@@ -1,0 +1,25 @@
+//! Criterion microbenchmark: Markov model construction + stationary
+//! solve (the per-point cost of every model sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taq_model::{FullModel, PartialModel};
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_solve");
+    group.bench_function("partial_wmax6", |b| {
+        b.iter(|| PartialModel::new(0.15, 6).stationary());
+    });
+    group.bench_function("partial_wmax16", |b| {
+        b.iter(|| PartialModel::new(0.15, 16).stationary());
+    });
+    group.bench_function("full_wmax6_k3", |b| {
+        b.iter(|| FullModel::new(0.15, 6, 3).stationary());
+    });
+    group.bench_function("full_wmax6_k6", |b| {
+        b.iter(|| FullModel::new(0.15, 6, 6).stationary());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

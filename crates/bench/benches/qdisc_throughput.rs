@@ -1,0 +1,62 @@
+//! Criterion microbenchmark: enqueue/dequeue throughput of each
+//! discipline under a steady multi-flow packet stream.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use taq_bench::{build_qdisc, Discipline};
+use taq_sim::{Bandwidth, FlowKey, NodeId, Packet, PacketBuilder, SimTime};
+
+fn packets(n: usize) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            let mut p = PacketBuilder::new(FlowKey {
+                src: NodeId(0),
+                src_port: 80,
+                dst: NodeId(1),
+                dst_port: (i % 64) as u16 + 1_000,
+            })
+            .seq(1 + (i as u64 / 64) * 460)
+            .payload(460)
+            .build();
+            p.id = i as u64;
+            p
+        })
+        .collect()
+}
+
+fn bench_qdiscs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qdisc_enqueue_dequeue");
+    for d in [
+        Discipline::DropTail,
+        Discipline::Red,
+        Discipline::Sfq,
+        Discipline::Taq,
+    ] {
+        group.bench_function(d.name(), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        build_qdisc(d, Bandwidth::from_mbps(1), 64, 1),
+                        packets(1_000),
+                    )
+                },
+                |(mut built, pkts)| {
+                    let mut t = 0u64;
+                    for pkt in pkts {
+                        t += 4_000_000; // 4 ms per packet at 1 Mbps.
+                        let now = SimTime::from_nanos(t);
+                        let _ = built.forward.enqueue(pkt, now);
+                        if t % 3 == 0 {
+                            let _ = built.forward.dequeue(now);
+                        }
+                    }
+                    while built.forward.dequeue(SimTime::from_nanos(t)).is_some() {}
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qdiscs);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion microbenchmark: end-to-end simulator event throughput on a
+//! contended dumbbell (events processed per wall second is the quantity
+//! that bounds every experiment's runtime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taq_queues::DropTail;
+use taq_sim::{Bandwidth, DumbbellConfig, SimDuration, SimTime};
+use taq_tcp::TcpConfig;
+use taq_workloads::{DumbbellScenario, BULK_BYTES};
+
+fn run_sim(flows: usize, secs: u64) -> u64 {
+    let rate = Bandwidth::from_kbps(600);
+    let topo = DumbbellConfig::with_rtt_200ms(rate);
+    let buffer = rate.packets_per(SimDuration::from_millis(200), 500);
+    let mut sc = DumbbellScenario::new(
+        1,
+        topo,
+        Box::new(DropTail::with_packets(buffer)),
+        TcpConfig::default(),
+    );
+    sc.add_bulk_clients(flows, BULK_BYTES, SimDuration::from_secs(1));
+    sc.run_until(SimTime::from_secs(secs));
+    sc.sim.events_processed()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    group.bench_function("dumbbell_20flows_30s", |b| {
+        b.iter(|| run_sim(20, 30));
+    });
+    group.bench_function("dumbbell_60flows_30s", |b| {
+        b.iter(|| run_sim(60, 30));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

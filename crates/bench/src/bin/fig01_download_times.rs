@@ -1,0 +1,67 @@
+//! Figure 1: download time vs object size on a pathologically shared
+//! access link.
+//!
+//! Replays the synthetic campus trace (the stand-in for the paper's
+//! Kerala university proxy log: ≈220 clients behind 2 Mbps) and prints
+//! the 10th/90th percentile, min, max and mean download time per
+//! logarithmic object-size bucket. Expected shape: download times for
+//! comparable sizes vary by around two orders of magnitude, at every
+//! size, with the spread narrowing only for multi-megabyte objects.
+//!
+//! Usage: `fig01_download_times [--full]`
+
+use taq_bench::{build_qdisc, Discipline};
+use taq_metrics::log_bucket_summary;
+use taq_sim::{Bandwidth, DumbbellConfig, SimDuration, SimRng, SimTime};
+use taq_tcp::TcpConfig;
+use taq_workloads::{weblog, DumbbellScenario};
+
+fn main() {
+    // Scale 24 → 5-minute window; scale 4 → 30 minutes with --full.
+    let scale = if taq_bench::full_scale() { 4 } else { 24 };
+    let rate = Bandwidth::from_mbps(2);
+    let buffer = rate.packets_per(SimDuration::from_millis(200), 500);
+    let built = build_qdisc(Discipline::DropTail, rate, buffer, 42);
+    let topo = DumbbellConfig::with_rtt_200ms(rate);
+    let mut sc = DumbbellScenario::new(42, topo, built.forward, TcpConfig::default());
+
+    let log_cfg = weblog::WebLogConfig::campus_two_hour(scale);
+    let mut rng = SimRng::new(7);
+    let log = weblog::generate(&log_cfg, &mut rng);
+    println!(
+        "# Figure 1 reproduction — {} requests from {} clients over {} (scale 1/{scale})",
+        log.len(),
+        log_cfg.clients,
+        log_cfg.duration
+    );
+    for (client, entries) in weblog::by_client(&log) {
+        let _ = client;
+        sc.add_scheduled_client(&entries, 4, SimTime::ZERO);
+    }
+    let horizon = SimTime::ZERO + log_cfg.duration + SimDuration::from_secs(120);
+    sc.run_until(horizon);
+
+    let records = sc.log.borrow();
+    let pairs: Vec<(f64, f64)> = records
+        .records
+        .iter()
+        .filter_map(|r| r.download_time().map(|d| (r.bytes as f64, d.as_secs_f64())))
+        .collect();
+    let unfinished = records.records.len() - pairs.len();
+    println!("# completed={} unfinished={unfinished}", pairs.len());
+    println!("# size_lo_bytes  size_hi_bytes  count  p10_s  p90_s  min_s  max_s  mean_s  spread(p90/p10)");
+    for b in log_bucket_summary(&pairs, 2, 5) {
+        println!(
+            "{:>14.0} {:>14.0} {:>6} {:>6.2} {:>6.2} {:>6.2} {:>7.2} {:>7.2} {:>8.1}",
+            b.lo,
+            b.hi,
+            b.count,
+            b.p10,
+            b.p90,
+            b.min,
+            b.max,
+            b.mean,
+            if b.p10 > 0.0 { b.p90 / b.p10 } else { f64::NAN }
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 3: DropTail buffer sizes required for restoring short-term
+//! fairness.
+//!
+//! For fair shares of 0.25 / 0.5 / 1 / 1.25 packets per RTT, sweeps the
+//! DropTail buffer and reports the 20-second-slice Jain index at each
+//! size, plus the queueing delay that buffer can impose. Expected
+//! shape: fairness rises with buffer, but deeper sub-packet regimes
+//! need disproportionately more buffer — and hence seconds of delay —
+//! to reach the same fairness, which is the infeasibility the paper
+//! argues motivates TAQ (its §2.4 example: 32 s of queueing delay).
+//!
+//! Senders cap their window at 20 segments, matching ns2's default
+//! `window_` that the paper's simulations inherit. Without a cap,
+//! aggregate demand grows without bound, losses never cease at any
+//! buffer size, and the buffer–fairness tradeoff disappears entirely.
+//!
+//! Usage: `fig03_buffer_tradeoff [--full]`
+
+use taq_bench::scaled_duration;
+use taq_metrics::SliceThroughput;
+use taq_queues::DropTail;
+use taq_sim::{shared, Bandwidth, DumbbellConfig, SimDuration};
+use taq_tcp::TcpConfig;
+use taq_workloads::{DumbbellScenario, BULK_BYTES};
+
+fn jain_at(flows: usize, buffer_pkts: usize, duration: taq_sim::SimTime) -> f64 {
+    let rate = Bandwidth::from_kbps(600);
+    let topo = DumbbellConfig::with_rtt_200ms(rate);
+    let tcp = TcpConfig {
+        max_window_segments: 20, // ns2's default window_ cap.
+        ..TcpConfig::default()
+    };
+    let mut sc =
+        DumbbellScenario::new(42, topo, Box::new(DropTail::with_packets(buffer_pkts)), tcp);
+    let (slices, erased) = shared(SliceThroughput::new(
+        sc.db.bottleneck,
+        SimDuration::from_secs(20),
+    ));
+    sc.sim.add_monitor(erased);
+    sc.add_bulk_clients(flows, BULK_BYTES, SimDuration::from_secs(2));
+    sc.run_until(duration);
+    let n = (duration.as_nanos() / SimDuration::from_secs(20).as_nanos()) as usize;
+    let j = slices.borrow().mean_jain(2, n, flows);
+    j
+}
+
+fn main() {
+    let duration = scaled_duration(600, 2_000);
+    let rate = Bandwidth::from_kbps(600);
+    let rtt = SimDuration::from_millis(200);
+    let pkts_per_rtt = rate.packets_per(rtt, 500); // 30 at 600 Kbps
+    let targets: [(f64, &str); 4] = [
+        (1.25, "1.25pkts/RTT"),
+        (1.0, "1pkt/RTT"),
+        (0.5, "0.5pkts/RTT"),
+        (0.25, "0.25pkts/RTT"),
+    ];
+
+    println!("# Figure 3 reproduction — DropTail buffer vs short-term fairness");
+    println!("# (window cap 20 segments, ns2 default; see module docs)");
+    println!("# fair_share  flows  buffer_rtts  buffer_pkts  jain_short  max_queue_delay_s");
+    for (share_pkts, label) in targets {
+        let flows = (pkts_per_rtt as f64 / share_pkts).round() as usize;
+        for buffer_rtts in [1usize, 2, 3, 5, 8, 12, 16] {
+            let buffer_pkts = pkts_per_rtt * buffer_rtts;
+            let jain = jain_at(flows, buffer_pkts, duration);
+            let delay = buffer_pkts as f64 * 500.0 * 8.0 / rate.bps() as f64;
+            println!(
+                "{label:>12} {flows:>6} {buffer_rtts:>12} {buffer_pkts:>12} {jain:>11.3} {delay:>17.2}"
+            );
+        }
+    }
+}

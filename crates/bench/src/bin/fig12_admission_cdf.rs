@@ -1,0 +1,115 @@
+//! Figure 12: object download time CDFs with admission control.
+//!
+//! Users arrive continuously (Poisson), each opening a browser pool of
+//! up to 4 connections to fetch one page worth of objects, with
+//! aggregate demand ~1.6× the 1 Mbps bottleneck — the overload regime
+//! §4.3 targets. Rejected connection attempts are retried until
+//! admitted and the waiting time is charged to the download, exactly as
+//! the paper measures. Reports download-time CDFs for small (10–20 KB)
+//! and larger (100–110 KB) objects under DropTail and TAQ+admission.
+//!
+//! Expected shape: TAQ completes substantially more objects and shifts
+//! the whole CDF left, most visibly for small objects. The paper's ~5×
+//! median factor is not fully reached here (see EXPERIMENTS.md): under
+//! *sustained* overload the Twait admission guarantee re-admits every
+//! pool within seconds, so the gain comes mostly from TAQ's queueing;
+//! the paper's trace had transient peaks where pacing pays more.
+//!
+//! Usage: `fig12_admission_cdf [--full]`
+
+use taq_bench::{build_qdisc, Discipline};
+use taq_metrics::Distribution;
+use taq_sim::{Bandwidth, DumbbellConfig, SimDuration, SimRng, SimTime};
+use taq_tcp::TcpConfig;
+use taq_workloads::{weblog, DumbbellScenario};
+
+/// Collects download times (seconds) for objects within a size bucket;
+/// unfinished downloads are censored at the horizon (they belong in the
+/// tail, not silently excluded).
+fn bucket(
+    records: &[taq_tcp::FlowRecord],
+    lo: u64,
+    hi: u64,
+    horizon: SimTime,
+) -> (Distribution, usize) {
+    let mut censored = 0;
+    let samples: Vec<f64> = records
+        .iter()
+        .filter(|r| r.bytes >= lo && r.bytes < hi)
+        .map(|r| match r.download_time() {
+            Some(d) => d.as_secs_f64(),
+            None => {
+                censored += 1;
+                horizon.saturating_since(r.queued_at).as_secs_f64()
+            }
+        })
+        .collect();
+    (Distribution::from_samples(samples), censored)
+}
+
+fn run(discipline: Discipline, secs: u64) -> Vec<(String, Distribution, usize)> {
+    let rate = Bandwidth::from_mbps(1);
+    let buffer = rate.packets_per(SimDuration::from_millis(200), 500);
+    let built = build_qdisc(discipline, rate, buffer, 42);
+    let topo = DumbbellConfig::with_rtt_200ms(rate);
+    let mut sc = DumbbellScenario::new_with_reverse(
+        42,
+        topo,
+        built.forward,
+        built.reverse,
+        TcpConfig::default(),
+    );
+    // Poisson user arrivals; each user = one page of four objects. Most
+    // objects are small, with some drawn from the 100-110 KB band so
+    // the large-object CDF has samples. Demand ≈ 1.6 Mbps.
+    let mut rng = SimRng::new(5);
+    let mut t = 0.0f64;
+    let mut user = 0u32;
+    while t < secs as f64 {
+        t += rng.exponential(1.0 / 2.0);
+        let at = SimTime::from_secs_f64(t);
+        let entries: Vec<weblog::LogEntry> = (0..4u64)
+            .map(|i| weblog::LogEntry {
+                at,
+                client: user,
+                bytes: if rng.chance(0.15) {
+                    100_000 + rng.next_below(10_000)
+                } else {
+                    10_000 + rng.next_below(10_000)
+                },
+                tag: (u64::from(user) << 8) | i,
+            })
+            .collect();
+        sc.add_scheduled_client(&entries, 4, SimTime::ZERO);
+        user += 1;
+    }
+    let horizon = SimTime::from_secs(secs + 90);
+    sc.run_until(horizon);
+    let records = sc.log.borrow();
+    let (small, small_censored) = bucket(&records.records, 10_000, 20_000, horizon);
+    let (large, large_censored) = bucket(&records.records, 100_000, 110_000, horizon);
+    vec![
+        ("10-20KB".into(), small, small_censored),
+        ("100-110KB".into(), large, large_censored),
+    ]
+}
+
+fn main() {
+    let secs = if taq_bench::full_scale() { 1_200 } else { 300 };
+    println!("# Figure 12 reproduction — download-time CDFs with admission control");
+    println!("# Poisson user churn at ~1.3x capacity; waiting time charged to downloads");
+    for d in [Discipline::DropTail, Discipline::TaqAdmission] {
+        for (label, dist, censored) in run(d, secs) {
+            println!(
+                "## {} — {label} objects: n={} censored={censored} median={:.1}s p90={:.1}s",
+                d.name(),
+                dist.len(),
+                dist.median().unwrap_or(f64::NAN),
+                dist.quantile(0.9).unwrap_or(f64::NAN)
+            );
+            for (v, c) in dist.cdf_points(15) {
+                println!("{v:>8.2} {:>6.1}", c * 100.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! §2.3: user-perceived hangs on a pathologically shared link.
+//!
+//! Users each hold a pool of 4 TCP connections browsing continuously
+//! over a 1 Mbps bottleneck (200 ms RTT, one RTT of buffer). A hang is
+//! an interval in which *none* of a user's connections delivers data.
+//! Expected shape (paper): with 200 users every user sees at least one
+//! hang longer than 20 s; with 400 users about half see a hang longer
+//! than a minute. The TAQ column shows the same workload through TAQ.
+//!
+//! Usage: `sec23_user_hangs [--full]`
+
+use taq_bench::{build_qdisc, scaled_duration, Discipline};
+use taq_metrics::HangTracker;
+use taq_sim::{shared, Bandwidth, DumbbellConfig, SimDuration, SimRng, SimTime};
+use taq_tcp::TcpConfig;
+use taq_workloads::{generate_session, DumbbellScenario, SessionConfig};
+
+fn run(users: usize, discipline: Discipline, secs: u64) -> (f64, f64, usize) {
+    let rate = Bandwidth::from_mbps(1);
+    let buffer = rate.packets_per(SimDuration::from_millis(200), 500);
+    let built = build_qdisc(discipline, rate, buffer, 42);
+    let topo = DumbbellConfig::with_rtt_200ms(rate);
+    let mut sc = DumbbellScenario::new_with_reverse(
+        42,
+        topo,
+        built.forward,
+        built.reverse,
+        TcpConfig::default(),
+    );
+    let horizon = SimTime::from_secs(secs);
+    let (hangs, erased) = shared(HangTracker::new(
+        sc.db.bottleneck,
+        SimTime::from_secs(5),
+        horizon,
+    ));
+    sc.sim.add_monitor(erased);
+    let mut rng = SimRng::new(99);
+    let session_cfg = SessionConfig {
+        pages_per_user: 10_000, // Effectively continuous browsing.
+        mean_think_time: SimDuration::from_secs(3),
+        ..SessionConfig::browsing_default()
+    };
+    for u in 0..users {
+        let mut user_rng = rng.split(u as u64);
+        let session = generate_session(&session_cfg, (u as u64) << 32, &mut user_rng);
+        // Feed requests up to the horizon only.
+        let reqs: Vec<_> = session
+            .requests
+            .into_iter()
+            .take_while(|(t, _)| *t < horizon)
+            .collect();
+        let entries: Vec<taq_workloads::weblog::LogEntry> = reqs
+            .iter()
+            .map(|(t, r)| taq_workloads::weblog::LogEntry {
+                at: *t,
+                client: u as u32,
+                bytes: r.bytes,
+                tag: r.tag,
+            })
+            .collect();
+        sc.add_scheduled_client(&entries, 4, SimTime::ZERO);
+    }
+    sc.run_until(horizon);
+    let hangs = hangs.borrow();
+    let over_20 = hangs.fraction_with_hang(SimDuration::from_secs(20));
+    let over_60 = hangs.fraction_with_hang(SimDuration::from_secs(60));
+    (over_20, over_60, hangs.users())
+}
+
+fn main() {
+    let secs = if taq_bench::full_scale() { 900 } else { 300 };
+    let _ = scaled_duration(0, 0);
+    println!("# §2.3 reproduction — user-perceived hangs (pool of 4 connections each)");
+    println!("# users  discipline  frac_hang>20s  frac_hang>60s  users_seen");
+    for users in [200usize, 400] {
+        for d in [Discipline::DropTail, Discipline::Taq] {
+            let (h20, h60, seen) = run(users, d, secs);
+            println!(
+                "{users:>6} {:>11} {h20:>14.2} {h60:>14.2} {seen:>10}",
+                d.name()
+            );
+        }
+    }
+}

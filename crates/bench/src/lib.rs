@@ -1,0 +1,309 @@
+//! # taq-bench — the experiment harness
+//!
+//! One binary per figure of the paper's evaluation (see `src/bin/`),
+//! plus Criterion microbenchmarks (see `benches/`). This library holds
+//! the shared pieces: discipline construction, the standard
+//! fairness-run shape used by Figures 2/3/8/9, and tiny CLI helpers.
+//!
+//! Every binary prints the same rows/series its figure plots, prefixed
+//! with `#`-comment headers, so outputs can be piped into a plotting
+//! tool directly. Binaries accept `--full` for paper-scale durations
+//! and default to shorter runs with the same shape.
+
+use taq::{SharedTaq, TaqConfig, TaqPair};
+use taq_metrics::{EvolutionTracker, SliceThroughput};
+use taq_queues::{DropTail, Red, RedConfig, Sfq};
+use taq_sim::{
+    shared, Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimRng, SimTime, UnboundedFifo,
+};
+use taq_tcp::TcpConfig;
+use taq_workloads::{DumbbellScenario, BULK_BYTES};
+
+/// The disciplines the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// Tail-drop FIFO (the paper's DT baseline).
+    DropTail,
+    /// Random Early Detection.
+    Red,
+    /// Stochastic Fairness Queueing.
+    Sfq,
+    /// Timeout Aware Queuing.
+    Taq,
+    /// TAQ with admission control enabled.
+    TaqAdmission,
+    /// Ablation: TAQ's buffer/scheduler in plain-FQ mode.
+    TaqFq,
+}
+
+impl Discipline {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Discipline> {
+        match s {
+            "droptail" | "dt" => Some(Discipline::DropTail),
+            "red" => Some(Discipline::Red),
+            "sfq" => Some(Discipline::Sfq),
+            "taq" => Some(Discipline::Taq),
+            "taq-admission" => Some(Discipline::TaqAdmission),
+            "taq-fq" => Some(Discipline::TaqFq),
+            _ => None,
+        }
+    }
+
+    /// Display name used in output tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Discipline::DropTail => "droptail",
+            Discipline::Red => "red",
+            Discipline::Sfq => "sfq",
+            Discipline::Taq => "taq",
+            Discipline::TaqAdmission => "taq-admission",
+            Discipline::TaqFq => "taq-fq",
+        }
+    }
+}
+
+/// A constructed discipline pair plus (for TAQ) the shared state handle.
+pub struct BuiltQdisc {
+    /// Bottleneck-direction queue.
+    pub forward: Box<dyn Qdisc>,
+    /// Reverse-direction queue.
+    pub reverse: Box<dyn Qdisc>,
+    /// TAQ state for post-run inspection, when applicable.
+    pub taq_state: Option<SharedTaq>,
+}
+
+/// Builds a discipline for a bottleneck of `rate` with `buffer_pkts` of
+/// buffering (500-byte packets assumed for RED's mean-packet-time).
+pub fn build_qdisc(d: Discipline, rate: Bandwidth, buffer_pkts: usize, seed: u64) -> BuiltQdisc {
+    match d {
+        Discipline::DropTail => BuiltQdisc {
+            forward: Box::new(DropTail::with_packets(buffer_pkts)),
+            reverse: Box::new(UnboundedFifo::new()),
+            taq_state: None,
+        },
+        Discipline::Red => {
+            let mean_pkt_time = 500.0 * 8.0 / rate.bps() as f64;
+            BuiltQdisc {
+                forward: Box::new(Red::new(
+                    RedConfig::conventional(buffer_pkts, mean_pkt_time),
+                    SimRng::new(seed ^ 0xDEAD),
+                )),
+                reverse: Box::new(UnboundedFifo::new()),
+                taq_state: None,
+            }
+        }
+        Discipline::Sfq => BuiltQdisc {
+            forward: Box::new(Sfq::new(1024, buffer_pkts)),
+            reverse: Box::new(UnboundedFifo::new()),
+            taq_state: None,
+        },
+        Discipline::Taq | Discipline::TaqAdmission | Discipline::TaqFq => {
+            let mut cfg = TaqConfig::for_link(rate);
+            cfg.buffer_pkts = buffer_pkts;
+            cfg.newflow_cap_pkts = cfg.newflow_cap_pkts.min(buffer_pkts);
+            if d == Discipline::TaqAdmission {
+                cfg.admission_control = true;
+            }
+            if d == Discipline::TaqFq {
+                cfg.fq_mode = true;
+            }
+            let pair = TaqPair::new(cfg);
+            BuiltQdisc {
+                forward: Box::new(pair.forward),
+                reverse: Box::new(pair.reverse),
+                taq_state: Some(pair.state),
+            }
+        }
+    }
+}
+
+/// Parameters of the standard long-lived-flows fairness run.
+#[derive(Debug, Clone)]
+pub struct FairnessRunConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Bottleneck rate.
+    pub rate: Bandwidth,
+    /// Number of long-lived flows.
+    pub flows: usize,
+    /// Bottleneck buffer in packets.
+    pub buffer_pkts: usize,
+    /// Simulated duration.
+    pub duration: SimTime,
+    /// Fairness slice length (the paper uses 20 s).
+    pub slice: SimDuration,
+    /// Evolution-tracker window.
+    pub evolution_window: SimDuration,
+}
+
+impl FairnessRunConfig {
+    /// The canonical setup: one RTT of buffer, 20 s slices, 2 s
+    /// evolution windows.
+    pub fn new(seed: u64, rate: Bandwidth, flows: usize, duration: SimTime) -> Self {
+        FairnessRunConfig {
+            seed,
+            rate,
+            flows,
+            buffer_pkts: rate.packets_per(SimDuration::from_millis(200), 500),
+            duration,
+            slice: SimDuration::from_secs(20),
+            evolution_window: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Results of a fairness run.
+#[derive(Debug)]
+pub struct FairnessRunResult {
+    /// Mean Jain index over slices (startup transient excluded).
+    pub short_term_jain: f64,
+    /// Jain index of whole-run totals.
+    pub long_term_jain: f64,
+    /// Link utilization over the run.
+    pub utilization: f64,
+    /// Measured drop rate at the bottleneck.
+    pub drop_rate: f64,
+    /// Mean per-window evolution counts over the steady half.
+    pub evolution: taq_metrics::EvolutionCounts,
+    /// Mean fraction of flows completely silent per slice.
+    pub shutout_fraction: f64,
+}
+
+/// Runs `flows` long-lived flows through `discipline` and measures
+/// fairness, utilization and flow evolution.
+pub fn fairness_run(cfg: &FairnessRunConfig, discipline: Discipline) -> FairnessRunResult {
+    let built = build_qdisc(discipline, cfg.rate, cfg.buffer_pkts, cfg.seed);
+    let topo = DumbbellConfig::with_rtt_200ms(cfg.rate);
+    let mut sc = DumbbellScenario::new_with_reverse(
+        cfg.seed,
+        topo,
+        built.forward,
+        built.reverse,
+        TcpConfig::default(),
+    );
+    let (slices, erased) = shared(SliceThroughput::new(sc.db.bottleneck, cfg.slice));
+    sc.sim.add_monitor(erased);
+    let (evo, erased) = shared(EvolutionTracker::new(
+        sc.db.bottleneck,
+        cfg.evolution_window,
+    ));
+    sc.sim.add_monitor(erased);
+    sc.add_bulk_clients(cfg.flows, BULK_BYTES, SimDuration::from_secs(2));
+    sc.run_until(cfg.duration);
+
+    let n_slices = (cfg.duration.as_nanos() / cfg.slice.as_nanos()) as usize;
+    let skip = 2.min(n_slices.saturating_sub(1));
+    let slices = slices.borrow();
+    let short_term_jain = slices.mean_jain(skip, n_slices, cfg.flows);
+    let long_term_jain = slices.overall_jain(cfg.flows);
+    let mut shutout = 0.0;
+    let mut shutout_n = 0;
+    for i in skip..n_slices {
+        shutout += slices.shutout_fraction(i, cfg.flows);
+        shutout_n += 1;
+    }
+    let shutout_fraction = if shutout_n > 0 {
+        shutout / shutout_n as f64
+    } else {
+        0.0
+    };
+
+    let evo = evo.borrow();
+    let series = evo.series();
+    let from = series.len() / 4;
+    let mut sum = taq_metrics::EvolutionCounts::default();
+    let mut n = 0;
+    for c in &series[from..] {
+        sum.maintained += c.maintained;
+        sum.dropped += c.dropped;
+        sum.arriving += c.arriving;
+        sum.stalled += c.stalled;
+        n += 1;
+    }
+    let evolution = if n > 0 {
+        taq_metrics::EvolutionCounts {
+            maintained: sum.maintained / n,
+            dropped: sum.dropped / n,
+            arriving: sum.arriving / n,
+            stalled: sum.stalled / n,
+        }
+    } else {
+        taq_metrics::EvolutionCounts::default()
+    };
+
+    let stats = sc.sim.link_stats(sc.db.bottleneck);
+    FairnessRunResult {
+        short_term_jain,
+        long_term_jain,
+        utilization: stats.utilization(cfg.duration.saturating_since(SimTime::ZERO)),
+        drop_rate: stats.drop_rate(),
+        evolution,
+        shutout_fraction,
+    }
+}
+
+/// `true` if the binary was invoked with `--full` (paper-scale
+/// durations).
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Duration helper: `short` normally, `long` with `--full`.
+pub fn scaled_duration(short_secs: u64, full_secs: u64) -> SimTime {
+    if full_scale() {
+        SimTime::from_secs(full_secs)
+    } else {
+        SimTime::from_secs(short_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discipline_parsing() {
+        assert_eq!(Discipline::parse("dt"), Some(Discipline::DropTail));
+        assert_eq!(Discipline::parse("taq"), Some(Discipline::Taq));
+        assert_eq!(
+            Discipline::parse("taq-admission"),
+            Some(Discipline::TaqAdmission)
+        );
+        assert_eq!(Discipline::parse("bogus"), None);
+        assert_eq!(Discipline::Red.name(), "red");
+    }
+
+    #[test]
+    fn build_all_disciplines() {
+        let rate = Bandwidth::from_kbps(600);
+        for d in [
+            Discipline::DropTail,
+            Discipline::Red,
+            Discipline::Sfq,
+            Discipline::Taq,
+            Discipline::TaqAdmission,
+            Discipline::TaqFq,
+        ] {
+            let b = build_qdisc(d, rate, 30, 1);
+            assert_eq!(b.forward.len(), 0);
+            assert_eq!(
+                b.taq_state.is_some(),
+                matches!(
+                    d,
+                    Discipline::Taq | Discipline::TaqAdmission | Discipline::TaqFq
+                )
+            );
+        }
+    }
+
+    #[test]
+    fn short_fairness_run_produces_sane_numbers() {
+        let cfg = FairnessRunConfig::new(3, Bandwidth::from_kbps(400), 10, SimTime::from_secs(60));
+        let r = fairness_run(&cfg, Discipline::DropTail);
+        assert!((0.0..=1.0).contains(&r.short_term_jain));
+        assert!((0.0..=1.0).contains(&r.long_term_jain));
+        assert!(r.utilization > 0.5, "util {}", r.utilization);
+        assert!(r.drop_rate > 0.0, "contention causes drops");
+    }
+}

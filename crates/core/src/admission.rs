@@ -1,0 +1,272 @@
+//! Admission control over flow pools (paper §4.3).
+//!
+//! When the measured drop rate exceeds the model's tipping point
+//! (`p_thresh = 0.1`), TAQ stops admitting *new flow pools* — a pool
+//! being the set of inter-related flows a single application session
+//! opens (e.g. one browser's ~4 parallel connections) — so that admitted
+//! flows can make progress instead of everyone spiralling into
+//! repetitive timeouts. Rules:
+//!
+//! - a flow is admitted if its pool is already admitted (commitments are
+//!   honoured even while over threshold);
+//! - a new pool is admitted if the current loss rate is below a slightly
+//!   discounted threshold (congestion avoidance headroom);
+//! - a rejected pool retries (clients keep re-SYNing) and is guaranteed
+//!   admission after `Twait`, oldest-waiting first.
+//!
+//! Pools are keyed by source address; SYNs from one source within
+//! `pool_window` of each other join the same pool, matching the paper's
+//! simplifying assumption that a user does not interleave applications
+//! within a few seconds.
+
+use crate::config::TaqConfig;
+use std::collections::HashMap;
+use taq_sim::{NodeId, SimTime};
+
+/// Decision for one SYN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Forward the SYN.
+    Admit,
+    /// Drop the SYN; the client will retry.
+    Reject,
+}
+
+#[derive(Debug)]
+struct Pool {
+    admitted: bool,
+    /// Last SYN observed from this source (pool-window tracking).
+    last_syn_at: SimTime,
+    /// When the pool first asked and was refused (Twait anchor).
+    waiting_since: Option<SimTime>,
+}
+
+/// Sliding loss-rate estimator over recent offered/dropped counts.
+///
+/// Keeps a short ring of per-interval (offered, dropped) buckets so the
+/// rate reflects the recent past, not all of history.
+#[derive(Debug)]
+pub struct LossRateMeter {
+    buckets: Vec<(u64, u64)>,
+    current: usize,
+    bucket_len: taq_sim::SimDuration,
+    bucket_start: SimTime,
+}
+
+impl LossRateMeter {
+    /// Creates a meter with `n` buckets of `bucket_len` each.
+    pub fn new(n: usize, bucket_len: taq_sim::SimDuration) -> Self {
+        assert!(n >= 2, "need at least two buckets");
+        LossRateMeter {
+            buckets: vec![(0, 0); n],
+            current: 0,
+            bucket_len,
+            bucket_start: SimTime::ZERO,
+        }
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        while now >= self.bucket_start + self.bucket_len {
+            self.bucket_start += self.bucket_len;
+            self.current = (self.current + 1) % self.buckets.len();
+            self.buckets[self.current] = (0, 0);
+        }
+    }
+
+    /// Records an offered packet (and whether it was dropped).
+    pub fn record(&mut self, dropped: bool, now: SimTime) {
+        self.advance(now);
+        let b = &mut self.buckets[self.current];
+        b.0 += 1;
+        b.1 += u64::from(dropped);
+    }
+
+    /// The loss rate over the retained window.
+    pub fn rate(&mut self, now: SimTime) -> f64 {
+        self.advance(now);
+        let (offered, dropped) = self
+            .buckets
+            .iter()
+            .fold((0u64, 0u64), |(o, d), &(bo, bd)| (o + bo, d + bd));
+        if offered == 0 {
+            0.0
+        } else {
+            dropped as f64 / offered as f64
+        }
+    }
+}
+
+/// The admission controller.
+#[derive(Debug)]
+pub struct AdmissionController {
+    cfg: TaqConfig,
+    pools: HashMap<NodeId, Pool>,
+    /// Sources waiting for admission, oldest first.
+    wait_queue: Vec<NodeId>,
+    /// Totals for reporting.
+    pub admitted_pools: u64,
+    /// SYNs rejected (including retries of waiting pools).
+    pub rejected_syns: u64,
+}
+
+impl AdmissionController {
+    /// Creates a controller with the given configuration.
+    pub fn new(cfg: TaqConfig) -> Self {
+        AdmissionController {
+            cfg,
+            pools: HashMap::new(),
+            wait_queue: Vec::new(),
+            admitted_pools: 0,
+            rejected_syns: 0,
+        }
+    }
+
+    /// Decides the fate of a SYN from `src` given the current measured
+    /// loss rate.
+    pub fn on_syn(&mut self, src: NodeId, loss_rate: f64, now: SimTime) -> AdmissionDecision {
+        if !self.cfg.admission_control {
+            return AdmissionDecision::Admit;
+        }
+        let window = self.cfg.pool_window;
+        let pool = self.pools.entry(src).or_insert(Pool {
+            admitted: false,
+            last_syn_at: now,
+            waiting_since: None,
+        });
+        // A long-quiet source starts a fresh pool (new session).
+        if pool.admitted && now.saturating_since(pool.last_syn_at) > window {
+            pool.admitted = false;
+            pool.waiting_since = None;
+        }
+        pool.last_syn_at = now;
+        if pool.admitted {
+            return AdmissionDecision::Admit;
+        }
+        let under_threshold = loss_rate < self.cfg.p_thresh * self.cfg.p_thresh_headroom;
+        let waited_out = pool
+            .waiting_since
+            .is_some_and(|since| now.saturating_since(since) >= self.cfg.admission_twait);
+        let head_of_line = self.wait_queue.first() == Some(&src) || self.wait_queue.is_empty();
+        if (under_threshold && head_of_line) || waited_out {
+            pool.admitted = true;
+            pool.waiting_since = None;
+            self.wait_queue.retain(|s| *s != src);
+            self.admitted_pools += 1;
+            AdmissionDecision::Admit
+        } else {
+            if pool.waiting_since.is_none() {
+                pool.waiting_since = Some(now);
+                self.wait_queue.push(src);
+            }
+            self.rejected_syns += 1;
+            AdmissionDecision::Reject
+        }
+    }
+
+    /// Number of pools currently waiting.
+    pub fn waiting_pools(&self) -> usize {
+        self.wait_queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taq_sim::{Bandwidth, SimDuration};
+
+    fn cfg() -> TaqConfig {
+        TaqConfig::for_link(Bandwidth::from_mbps(1)).with_admission_control()
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn admits_below_threshold() {
+        let mut ac = AdmissionController::new(cfg());
+        assert_eq!(ac.on_syn(NodeId(1), 0.02, t(0)), AdmissionDecision::Admit);
+        assert_eq!(ac.admitted_pools, 1);
+    }
+
+    #[test]
+    fn rejects_new_pools_above_threshold() {
+        let mut ac = AdmissionController::new(cfg());
+        assert_eq!(ac.on_syn(NodeId(1), 0.2, t(0)), AdmissionDecision::Reject);
+        assert_eq!(ac.waiting_pools(), 1);
+        assert_eq!(ac.rejected_syns, 1);
+    }
+
+    #[test]
+    fn admitted_pools_keep_their_commitment() {
+        let mut ac = AdmissionController::new(cfg());
+        assert_eq!(ac.on_syn(NodeId(1), 0.02, t(0)), AdmissionDecision::Admit);
+        // The same session's later connections are admitted even while
+        // the loss rate is over threshold.
+        assert_eq!(ac.on_syn(NodeId(1), 0.5, t(1)), AdmissionDecision::Admit);
+        assert_eq!(ac.on_syn(NodeId(1), 0.5, t(2)), AdmissionDecision::Admit);
+        assert_eq!(ac.admitted_pools, 1);
+    }
+
+    #[test]
+    fn twait_guarantees_eventual_admission() {
+        let mut ac = AdmissionController::new(cfg());
+        assert_eq!(ac.on_syn(NodeId(1), 0.5, t(0)), AdmissionDecision::Reject);
+        // Retries before Twait elapse are still rejected.
+        assert_eq!(ac.on_syn(NodeId(1), 0.5, t(1)), AdmissionDecision::Reject);
+        // After Twait (3 s default) the pool is guaranteed admission.
+        assert_eq!(ac.on_syn(NodeId(1), 0.5, t(4)), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn waiting_pools_admitted_oldest_first() {
+        let mut ac = AdmissionController::new(cfg());
+        assert_eq!(ac.on_syn(NodeId(1), 0.5, t(0)), AdmissionDecision::Reject);
+        assert_eq!(ac.on_syn(NodeId(2), 0.5, t(1)), AdmissionDecision::Reject);
+        // Loss clears: the younger pool retries first but must wait for
+        // the head of the line.
+        assert_eq!(ac.on_syn(NodeId(2), 0.01, t(2)), AdmissionDecision::Reject);
+        assert_eq!(ac.on_syn(NodeId(1), 0.01, t(2)), AdmissionDecision::Admit);
+        assert_eq!(ac.on_syn(NodeId(2), 0.01, t(2)), AdmissionDecision::Admit);
+        assert_eq!(ac.waiting_pools(), 0);
+    }
+
+    #[test]
+    fn session_expiry_forms_new_pool() {
+        let mut ac = AdmissionController::new(cfg());
+        assert_eq!(ac.on_syn(NodeId(1), 0.01, t(0)), AdmissionDecision::Admit);
+        // Ten seconds of silence: the next SYN is a new session, and the
+        // loss rate is now too high.
+        assert_eq!(ac.on_syn(NodeId(1), 0.5, t(10)), AdmissionDecision::Reject);
+    }
+
+    #[test]
+    fn disabled_controller_admits_everything() {
+        let mut ac = AdmissionController::new(TaqConfig::for_link(Bandwidth::from_mbps(1)));
+        assert_eq!(ac.on_syn(NodeId(1), 0.99, t(0)), AdmissionDecision::Admit);
+        assert_eq!(ac.rejected_syns, 0);
+    }
+
+    #[test]
+    fn loss_meter_windows_out_old_history() {
+        let mut m = LossRateMeter::new(5, SimDuration::from_secs(1));
+        // A terrible first second.
+        for _ in 0..100 {
+            m.record(true, t(0));
+        }
+        assert!(m.rate(t(0)) > 0.99);
+        // Five clean seconds later the bad bucket has rolled out.
+        for s in 1..=6u64 {
+            for _ in 0..100 {
+                m.record(false, t(s));
+            }
+        }
+        assert!(m.rate(t(6)) < 0.01, "rate {}", m.rate(t(6)));
+    }
+
+    #[test]
+    fn loss_meter_empty_is_zero() {
+        let mut m = LossRateMeter::new(3, SimDuration::from_secs(1));
+        assert_eq!(m.rate(t(5)), 0.0);
+    }
+}

@@ -1,0 +1,956 @@
+//! TAQ's multi-class priority queues and 3-level scheduler (paper §4.2).
+//!
+//! Five classes share one buffer:
+//!
+//! - **Recovery** — flows currently retransmitting, served as a strict
+//!   priority queue ordered by the flow's preceding silence (longer
+//!   silence first: a retransmission ending an extended silence must
+//!   win, because losing it doubles the flow's timer again);
+//! - **NewFlow** — brand-new flows in slow start, with its own capacity
+//!   cap (this is also where connection-admission pressure is applied);
+//! - **OverPenalized** — flows that already took multiple drops
+//!   recently, or are mid-recovery (don't kick a flow while it's down:
+//!   one more drop likely means a timeout);
+//! - **BelowFairShare** / **AboveFairShare** — flows under / over their
+//!   fair share.
+//!
+//! Packets are queued **per flow**, and a flow belongs to exactly one
+//! class at a time (its queue migrates wholesale when the classification
+//! changes). This guarantees the middlebox never reorders packets
+//! within a flow — a split-per-packet design would let a later segment
+//! overtake an earlier one across class queues and manufacture spurious
+//! duplicate ACKs at the receiver. Within each class, flows are served
+//! round-robin: TAQ explicitly "aims to achieve a Fair Queuing-like
+//! fairness model".
+//!
+//! Scheduling levels: (1) Recovery, strict but rate-capped by a token
+//! bucket so retransmissions cannot starve the link; (2) BelowFairShare,
+//! NewFlow and OverPenalized at equal priority, served proportionally to
+//! demand (the paper: "proportionally allocate resources based on the
+//! queue demands"); (3) AboveFairShare strictly last. The discipline is
+//! work-conserving: if only rate-capped recovery flows remain, they are
+//! served anyway (the cap protects other traffic, not the link).
+//!
+//! Victim selection on overflow drops where a timeout is least likely:
+//! the above-share flow with the biggest recent window first (it can
+//! repair by fast retransmit), always from the *head* of the flow's
+//! queue (the hole appears early, so the packets still buffered behind
+//! it produce the duplicate ACKs fast retransmit needs), sparing
+//! handshake packets while alternatives exist, and touching a
+//! recovering flow's packets only when nothing else is buffered.
+
+use crate::tracker::Observation;
+use std::collections::{HashMap, VecDeque};
+use taq_sim::{Bandwidth, FlowKey, Packet, SimDuration, SimTime};
+
+/// Which TAQ class a flow is assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueClass {
+    /// Flows retransmitting after losses (Level 1).
+    Recovery,
+    /// New flows in slow start (Level 2).
+    NewFlow,
+    /// Flows recently dropped on or mid-recovery (Level 2).
+    OverPenalized,
+    /// Flows under their fair share (Level 2).
+    BelowFairShare,
+    /// Flows over their fair share (Level 3).
+    AboveFairShare,
+}
+
+impl QueueClass {
+    const ALL: [QueueClass; 5] = [
+        QueueClass::Recovery,
+        QueueClass::NewFlow,
+        QueueClass::OverPenalized,
+        QueueClass::BelowFairShare,
+        QueueClass::AboveFairShare,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            QueueClass::Recovery => 0,
+            QueueClass::NewFlow => 1,
+            QueueClass::OverPenalized => 2,
+            QueueClass::BelowFairShare => 3,
+            QueueClass::AboveFairShare => 4,
+        }
+    }
+}
+
+/// Classifies a packet's flow given its observation, the flow's
+/// currently buffered backlog, and the fair share (paper §4.2's queue
+/// definitions).
+///
+/// Above-share detection uses two signals, either sufficing: the
+/// smoothed rate estimate exceeding the share, or the buffered backlog
+/// reaching `share_backlog_pkts` (the number of packets one fair share
+/// amounts to per epoch, floored at 1). The backlog signal is the sharp
+/// one in the sub-packet regime, where the fair share is under a packet
+/// per RTT and any flow keeping several packets buffered is by
+/// definition claiming more than its share.
+pub fn classify(
+    obs: &Observation,
+    backlog_pkts: usize,
+    share_backlog_pkts: usize,
+    fair_share_bps: f64,
+) -> QueueClass {
+    if obs.repairs_our_drop || (obs.retransmission && obs.protected) {
+        // True repairs of drops we inflicted ride the priority class,
+        // as do any retransmissions of a flow already in a timeout
+        // (losing those doubles its timer). Spurious go-back-N resends
+        // from a healthy flow do not get to jump the line.
+        QueueClass::Recovery
+    } else if obs.fq_only {
+        QueueClass::BelowFairShare
+    } else if obs.is_new {
+        QueueClass::NewFlow
+    } else if obs.protected || obs.recent_drops >= 2 {
+        // Flows recovering from losses (or already dropped-on) are
+        // shielded: one more loss likely means a (repetitive) timeout.
+        QueueClass::OverPenalized
+    } else if obs.rate_bps > fair_share_bps || backlog_pkts >= share_backlog_pkts.max(1) {
+        QueueClass::AboveFairShare
+    } else {
+        QueueClass::BelowFairShare
+    }
+}
+
+/// One flow's buffered packets plus scheduling metadata.
+#[derive(Debug)]
+struct FlowQueue {
+    packets: VecDeque<Packet>,
+    class: QueueClass,
+    /// Recent window estimate (eviction score: bigger pays first).
+    score: u32,
+    /// Silence preceding the current recovery (Recovery priority:
+    /// longer is served first, dropped last).
+    silence: u32,
+    /// Last normal-state transmission (Recovery tie-break).
+    last_normal_at: SimTime,
+    bytes: usize,
+}
+
+/// The five queues plus scheduler state.
+#[derive(Debug)]
+pub struct TaqQueues {
+    flows: HashMap<FlowKey, FlowQueue>,
+    /// Round-robin rotation per class (by flow key). The Recovery class
+    /// ring is unused for ordering (priority scan) but tracks
+    /// membership.
+    rings: [VecDeque<FlowKey>; 5],
+    len: usize,
+    bytes: usize,
+    // Level-1 token bucket.
+    recovery_tokens: f64,
+    recovery_rate_bps: f64,
+    token_cap: f64,
+    last_refill: SimTime,
+    // Level-2 rotation pointer (tie-breaking among equal demands).
+    rr_next: u8,
+}
+
+impl TaqQueues {
+    /// Creates the queue set; the Recovery class may use at most
+    /// `recovery_fraction` of `link_rate`.
+    pub fn new(link_rate: Bandwidth, recovery_fraction: f64) -> Self {
+        let rate = link_rate.bps() as f64 * recovery_fraction;
+        TaqQueues {
+            flows: HashMap::new(),
+            rings: Default::default(),
+            len: 0,
+            bytes: 0,
+            recovery_tokens: 0.0,
+            recovery_rate_bps: rate,
+            // Allow a burst of a few packets' worth of recovery traffic.
+            token_cap: 3.0 * 1500.0 * 8.0,
+            last_refill: SimTime::ZERO,
+            rr_next: 0,
+        }
+    }
+
+    /// Total packets buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no packets are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total bytes buffered.
+    pub fn byte_len(&self) -> usize {
+        self.bytes
+    }
+
+    /// Buffered packets of one flow.
+    pub fn flow_backlog(&self, key: &FlowKey) -> usize {
+        self.flows.get(key).map_or(0, |f| f.packets.len())
+    }
+
+    /// Packets buffered under a given class (tests, metrics).
+    pub fn class_len(&self, class: QueueClass) -> usize {
+        self.rings[class.index()]
+            .iter()
+            .map(|k| self.flows[k].packets.len())
+            .sum()
+    }
+
+    /// Flows currently assigned to a class.
+    pub fn class_flows(&self, class: QueueClass) -> usize {
+        self.rings[class.index()].len()
+    }
+
+    fn migrate(&mut self, key: FlowKey, to: QueueClass) {
+        let flow = self.flows.get_mut(&key).expect("flow exists");
+        if flow.class == to {
+            return;
+        }
+        let from = flow.class;
+        flow.class = to;
+        self.rings[from.index()].retain(|k| *k != key);
+        self.rings[to.index()].push_back(key);
+    }
+
+    /// Enqueues a packet, assigning (or migrating) its flow to `class`.
+    /// The caller has already applied buffer-capacity policy.
+    ///
+    /// A flow already in Recovery is *not* demoted by later non-recovery
+    /// packets while its retransmissions are still buffered — the
+    /// paper's protection extends to "existing packets within the
+    /// sliding window" that follow a retransmission.
+    pub fn push(&mut self, class: QueueClass, pkt: Packet, obs: &Observation) {
+        let key = pkt.flow;
+        let wire = pkt.wire_len() as usize;
+        match self.flows.get_mut(&key) {
+            Some(flow) => {
+                flow.score = obs.window_estimate;
+                if class == QueueClass::Recovery {
+                    flow.silence = flow.silence.max(obs.silent_epochs);
+                }
+                flow.last_normal_at = obs.last_normal_at;
+                flow.packets.push_back(pkt);
+                flow.bytes += wire;
+                let keep_recovery =
+                    flow.class == QueueClass::Recovery && class != QueueClass::Recovery;
+                if !keep_recovery {
+                    self.migrate(key, class);
+                }
+            }
+            None => {
+                let mut packets = VecDeque::with_capacity(4);
+                packets.push_back(pkt);
+                self.flows.insert(
+                    key,
+                    FlowQueue {
+                        packets,
+                        class,
+                        score: obs.window_estimate,
+                        silence: obs.silent_epochs,
+                        last_normal_at: obs.last_normal_at,
+                        bytes: wire,
+                    },
+                );
+                self.rings[class.index()].push_back(key);
+            }
+        }
+        self.len += 1;
+        self.bytes += wire;
+    }
+
+    fn refill_tokens(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.recovery_tokens =
+            (self.recovery_tokens + dt * self.recovery_rate_bps).min(self.token_cap);
+    }
+
+    /// Pops the head packet of `key`'s queue, cleaning up if drained.
+    fn pop_head(&mut self, key: FlowKey) -> Packet {
+        let flow = self.flows.get_mut(&key).expect("flow exists");
+        let pkt = flow.packets.pop_front().expect("flow queue non-empty");
+        let wire = pkt.wire_len() as usize;
+        flow.bytes -= wire;
+        if flow.packets.is_empty() {
+            let class = flow.class;
+            self.flows.remove(&key);
+            self.rings[class.index()].retain(|k| *k != key);
+        }
+        self.len -= 1;
+        self.bytes -= wire;
+        pkt
+    }
+
+    /// Removes the packet at `idx` in `key`'s queue.
+    fn remove_at(&mut self, key: FlowKey, idx: usize) -> Packet {
+        let flow = self.flows.get_mut(&key).expect("flow exists");
+        let pkt = flow.packets.remove(idx).expect("valid index");
+        let wire = pkt.wire_len() as usize;
+        flow.bytes -= wire;
+        if flow.packets.is_empty() {
+            let class = flow.class;
+            self.flows.remove(&key);
+            self.rings[class.index()].retain(|k| *k != key);
+        }
+        self.len -= 1;
+        self.bytes -= wire;
+        pkt
+    }
+
+    /// The Recovery flow with the highest priority: longest silence,
+    /// then least-recent normal transmission, then key.
+    fn best_recovery(&self) -> Option<FlowKey> {
+        self.rings[QueueClass::Recovery.index()]
+            .iter()
+            .max_by(|a, b| {
+                let fa = &self.flows[*a];
+                let fb = &self.flows[*b];
+                fa.silence
+                    .cmp(&fb.silence)
+                    .then(fb.last_normal_at.cmp(&fa.last_normal_at))
+                    .then(b.cmp(a))
+            })
+            .copied()
+    }
+
+    /// Serves the next flow of `class` in rotation.
+    fn pop_rr(&mut self, class: QueueClass) -> Option<Packet> {
+        let key = self.rings[class.index()].pop_front()?;
+        // The flow may still have packets after this pop; `pop_head`
+        // removes it from the ring only when drained, so re-append
+        // first and let `pop_head`'s cleanup run against the tail slot.
+        self.rings[class.index()].push_back(key);
+        Some(self.pop_head(key))
+    }
+
+    /// Removes the next packet to transmit under the 3-level policy.
+    pub fn pop(&mut self, now: SimTime) -> Option<Packet> {
+        self.refill_tokens(now);
+        let recovery_pkts = self.class_len(QueueClass::Recovery);
+        // Level 1: recovery, if within its rate budget (or alone).
+        if recovery_pkts > 0 {
+            let key = self.best_recovery().expect("non-empty");
+            let bits = f64::from(self.flows[&key].packets[0].wire_len()) * 8.0;
+            let others_waiting = self.len > recovery_pkts;
+            if self.recovery_tokens >= bits || !others_waiting {
+                self.recovery_tokens = (self.recovery_tokens - bits).max(0.0);
+                return Some(self.pop_head(key));
+            }
+            // Rate-capped and other classes have packets: fall through.
+        }
+        // Level 2: serve the most-backlogged of BelowFairShare /
+        // NewFlow / OverPenalized (demand-proportional), rotation
+        // breaking ties; per-flow round-robin inside.
+        let classes = [
+            QueueClass::BelowFairShare,
+            QueueClass::NewFlow,
+            QueueClass::OverPenalized,
+        ];
+        let mut pick: Option<(usize, QueueClass)> = None;
+        for step in 0..3u8 {
+            let class = classes[((self.rr_next + step) % 3) as usize];
+            let backlog = self.class_len(class);
+            if backlog > pick.map_or(0, |(b, _)| b) {
+                pick = Some((backlog, class));
+            }
+        }
+        if let Some((_, class)) = pick {
+            self.rr_next = (self.rr_next + 1) % 3;
+            return self.pop_rr(class);
+        }
+        // Level 3: above fair share.
+        if let Some(pkt) = self.pop_rr(QueueClass::AboveFairShare) {
+            return Some(pkt);
+        }
+        None
+    }
+
+    /// Head index of the first non-SYN-ACK packet of `key`'s queue.
+    fn first_data_idx(&self, key: &FlowKey) -> Option<usize> {
+        self.flows[key]
+            .packets
+            .iter()
+            .position(|p| !(p.flags.syn && p.flags.ack))
+    }
+
+    /// Victim flow within `class` by maximum score, ties by backlog
+    /// then key.
+    fn victim_by_score(&self, class: QueueClass) -> Option<FlowKey> {
+        self.rings[class.index()]
+            .iter()
+            .max_by_key(|k| {
+                let f = &self.flows[*k];
+                (f.score, f.packets.len(), std::cmp::Reverse(**k))
+            })
+            .copied()
+    }
+
+    /// Victim flow within `class` by maximum backlog.
+    fn victim_by_backlog(&self, class: QueueClass) -> Option<FlowKey> {
+        self.rings[class.index()]
+            .iter()
+            .max_by_key(|k| (self.flows[*k].packets.len(), std::cmp::Reverse(**k)))
+            .copied()
+    }
+
+    /// Evicts one packet from `class` (head of the victim flow, sparing
+    /// SYN-ACKs when `spare_synack` and alternatives exist).
+    fn evict_from(
+        &mut self,
+        class: QueueClass,
+        by_score: bool,
+        spare_synack: bool,
+    ) -> Option<Packet> {
+        let key = if by_score {
+            self.victim_by_score(class)?
+        } else {
+            self.victim_by_backlog(class)?
+        };
+        if spare_synack {
+            if let Some(idx) = self.first_data_idx(&key) {
+                return Some(self.remove_at(key, idx));
+            }
+            // This flow holds only SYN-ACKs; look for any flow in the
+            // class with data before sacrificing a handshake.
+            let fallback = self.rings[class.index()]
+                .iter()
+                .find(|k| self.first_data_idx(k).is_some())
+                .copied();
+            if let Some(k) = fallback {
+                let idx = self.first_data_idx(&k).expect("checked");
+                return Some(self.remove_at(k, idx));
+            }
+        }
+        Some(self.pop_head(key))
+    }
+
+    /// Chooses and removes a victim to make room, per the policy in the
+    /// module docs. Returns the evicted packet and whether it came from
+    /// a Recovery-class flow.
+    pub fn evict(&mut self) -> Option<(Packet, bool)> {
+        self.evict_staged().map(|(pkt, retx, _)| (pkt, retx))
+    }
+
+    /// [`TaqQueues::evict`] with the policy stage (1-6) that produced
+    /// the victim, for diagnostics and ablation studies.
+    pub fn evict_staged(&mut self) -> Option<(Packet, bool, u8)> {
+        // 1. Above fair share: biggest recent window pays first.
+        if let Some(pkt) = self.evict_from(QueueClass::AboveFairShare, true, false) {
+            return Some((pkt, false, 1));
+        }
+        // 2. Multi-packet backlogs of ordinary flows: trimming a burst
+        //    leaves the flow alive.
+        let below_burst = self.rings[QueueClass::BelowFairShare.index()]
+            .iter()
+            .any(|k| self.flows[k].packets.len() >= 2);
+        if below_burst {
+            if let Some(pkt) = self.evict_from(QueueClass::BelowFairShare, false, true) {
+                return Some((pkt, false, 2));
+            }
+        }
+        // 3. New flows' data (spare handshake packets).
+        if let Some(pkt) = self.evict_from(QueueClass::NewFlow, false, true) {
+            return Some((pkt, false, 3));
+        }
+        // 4. Ordinary flows' singletons.
+        if let Some(pkt) = self.evict_from(QueueClass::BelowFairShare, true, true) {
+            return Some((pkt, false, 4));
+        }
+        // 5. Flows already hurting.
+        if let Some(pkt) = self.evict_from(QueueClass::OverPenalized, true, true) {
+            return Some((pkt, false, 5));
+        }
+        // 6. Recovery last; the *least* protected flow (shortest
+        //    silence) pays first.
+        let victim = self.rings[QueueClass::Recovery.index()]
+            .iter()
+            .min_by(|a, b| {
+                let fa = &self.flows[*a];
+                let fb = &self.flows[*b];
+                fa.silence
+                    .cmp(&fb.silence)
+                    .then(fb.last_normal_at.cmp(&fa.last_normal_at))
+                    .then(a.cmp(b))
+            })
+            .copied();
+        victim.map(|key| (self.pop_head(key), true, 6))
+    }
+
+    /// Internal consistency check used by tests and debug assertions.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut len = 0;
+        let mut bytes = 0;
+        for (key, flow) in &self.flows {
+            assert!(!flow.packets.is_empty(), "empty flow {key} retained");
+            len += flow.packets.len();
+            bytes += flow.bytes;
+            assert_eq!(
+                flow.bytes,
+                flow.packets
+                    .iter()
+                    .map(|p| p.wire_len() as usize)
+                    .sum::<usize>()
+            );
+            assert!(
+                self.rings[flow.class.index()].contains(key),
+                "flow {key} missing from its class ring"
+            );
+        }
+        assert_eq!(len, self.len);
+        assert_eq!(bytes, self.bytes);
+        let ring_total: usize = QueueClass::ALL
+            .iter()
+            .map(|c| self.rings[c.index()].len())
+            .sum();
+        assert_eq!(ring_total, self.flows.len(), "ring membership is exact");
+    }
+}
+
+/// Computes the per-flow fair share in bits/sec under the configured
+/// fairness model.
+pub fn fair_share_bps(
+    link_rate: Bandwidth,
+    active_flows: usize,
+    model: crate::config::FairnessModel,
+    epoch_hint: Option<SimDuration>,
+) -> f64 {
+    let n = active_flows.max(1) as f64;
+    match model {
+        crate::config::FairnessModel::FairQueuing => link_rate.bps() as f64 / n,
+        crate::config::FairnessModel::Proportional => {
+            // Proportional to 1/RTT: flows with the hint's epoch get the
+            // plain share; the caller scales per flow. Without per-flow
+            // weights at this layer, fall back to the equal share.
+            let _ = epoch_hint;
+            link_rate.bps() as f64 / n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taq_sim::{NodeId, PacketBuilder, TcpFlags};
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey {
+            src: NodeId(1),
+            src_port: 80,
+            dst: NodeId(2),
+            dst_port: port,
+        }
+    }
+
+    fn pkt(port: u16, id: u64) -> Packet {
+        let mut p = PacketBuilder::new(key(port)).payload(460).build();
+        p.id = id;
+        p
+    }
+
+    fn synack(port: u16, id: u64) -> Packet {
+        let mut p = PacketBuilder::new(key(port))
+            .flags(TcpFlags::SYN_ACK)
+            .build();
+        p.id = id;
+        p
+    }
+
+    fn obs(retx: bool, silence: u32) -> Observation {
+        Observation {
+            retransmission: retx,
+            repairs_our_drop: retx,
+            state: crate::tracker::FlowState::Normal,
+            silent_epochs: silence,
+            is_new: false,
+            recent_drops: 0,
+            rate_bps: 0.0,
+            epoch_len: SimDuration::from_millis(200),
+            last_normal_at: SimTime::ZERO,
+            window_estimate: 0,
+            protected: false,
+            fq_only: false,
+        }
+    }
+
+    fn obs_win(window: u32) -> Observation {
+        Observation {
+            window_estimate: window,
+            ..obs(false, 0)
+        }
+    }
+
+    fn queues() -> TaqQueues {
+        TaqQueues::new(Bandwidth::from_kbps(600), 0.2)
+    }
+
+    #[test]
+    fn classify_matches_paper_rules() {
+        let mk = |retx, is_new, drops, rate| Observation {
+            retransmission: retx,
+            is_new,
+            recent_drops: drops,
+            rate_bps: rate,
+            ..obs(false, 0)
+        };
+        let fs = 10_000.0;
+        let repairing = Observation {
+            repairs_our_drop: true,
+            ..mk(true, true, 5, 0.0)
+        };
+        assert_eq!(classify(&repairing, 0, 1, fs), QueueClass::Recovery);
+        // A retransmission of a flow in a timeout state is protected
+        // even if this queue owes it nothing.
+        let timeout_retx = Observation {
+            retransmission: true,
+            protected: true,
+            ..mk(false, false, 0, 0.0)
+        };
+        assert_eq!(classify(&timeout_retx, 0, 1, fs), QueueClass::Recovery);
+        // A spurious retransmission from a healthy flow does not jump
+        // the line; it classifies like its flow's normal traffic.
+        let spurious = mk(true, false, 0, 0.0);
+        assert_eq!(classify(&spurious, 0, 1, fs), QueueClass::BelowFairShare);
+        assert_eq!(
+            classify(&mk(false, true, 0, 0.0), 0, 1, fs),
+            QueueClass::NewFlow
+        );
+        assert_eq!(
+            classify(&mk(false, false, 2, 0.0), 0, 1, fs),
+            QueueClass::OverPenalized
+        );
+        let protected = Observation {
+            protected: true,
+            ..mk(false, false, 0, 0.0)
+        };
+        assert_eq!(classify(&protected, 0, 1, fs), QueueClass::OverPenalized);
+        assert_eq!(
+            classify(&mk(false, false, 0, 5_000.0), 0, 1, fs),
+            QueueClass::BelowFairShare
+        );
+        assert_eq!(
+            classify(&mk(false, false, 0, 50_000.0), 0, 1, fs),
+            QueueClass::AboveFairShare
+        );
+        // The backlog signal alone flags a hog; the threshold floors
+        // at 1.
+        assert_eq!(
+            classify(&mk(false, false, 0, 5_000.0), 1, 1, fs),
+            QueueClass::AboveFairShare
+        );
+        assert_eq!(
+            classify(&mk(false, false, 0, 5_000.0), 2, 0, fs),
+            QueueClass::AboveFairShare
+        );
+        assert_eq!(
+            classify(&mk(false, false, 0, 5_000.0), 2, 3, fs),
+            QueueClass::BelowFairShare
+        );
+    }
+
+    #[test]
+    fn recovery_has_strict_priority_within_budget() {
+        let mut q = queues();
+        q.push(QueueClass::BelowFairShare, pkt(1, 1), &obs(false, 0));
+        q.push(QueueClass::Recovery, pkt(2, 2), &obs(true, 1));
+        let first = q.pop(SimTime::from_secs(1)).unwrap();
+        assert_eq!(first.id, 2, "recovery packet served first");
+        assert_eq!(q.pop(SimTime::from_secs(1)).unwrap().id, 1);
+        q.check_invariants();
+    }
+
+    #[test]
+    fn recovery_ordered_by_silence_length() {
+        let mut q = queues();
+        q.push(QueueClass::Recovery, pkt(1, 1), &obs(true, 1));
+        q.push(QueueClass::Recovery, pkt(2, 2), &obs(true, 5));
+        q.push(QueueClass::Recovery, pkt(3, 3), &obs(true, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop(SimTime::from_secs(10)))
+            .map(|p| p.id)
+            .collect();
+        assert_eq!(order, vec![2, 3, 1], "longest silence first");
+    }
+
+    #[test]
+    fn recovery_rate_cap_yields_to_level_two() {
+        let mut q = TaqQueues::new(Bandwidth::from_kbps(600), 0.05);
+        for i in 0..20 {
+            q.push(QueueClass::Recovery, pkt((i % 4) as u16, i), &obs(true, 1));
+        }
+        for i in 20..25 {
+            q.push(QueueClass::BelowFairShare, pkt(10, i), &obs(false, 0));
+        }
+        let mut popped = Vec::new();
+        for _ in 0..10 {
+            popped.push(q.pop(SimTime::from_millis(1)).unwrap().id);
+        }
+        assert!(
+            popped.iter().any(|&id| id >= 20),
+            "level 2 must not starve behind capped recovery: {popped:?}"
+        );
+    }
+
+    #[test]
+    fn work_conserving_when_only_recovery_remains() {
+        let mut q = TaqQueues::new(Bandwidth::from_kbps(600), 0.0);
+        q.push(QueueClass::Recovery, pkt(1, 7), &obs(true, 2));
+        assert_eq!(q.pop(SimTime::ZERO).unwrap().id, 7);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_flow_order_is_preserved_across_reclassification() {
+        let mut q = queues();
+        // Flow 1's first packet lands in AboveFairShare; its second in
+        // OverPenalized (protection kicked in). Despite OverPenalized's
+        // higher service level, packet 1 must still leave first.
+        q.push(QueueClass::AboveFairShare, pkt(1, 1), &obs(false, 0));
+        let protected = Observation {
+            protected: true,
+            ..obs(false, 0)
+        };
+        q.push(QueueClass::OverPenalized, pkt(1, 2), &protected);
+        let order: Vec<u64> = (0..2).map(|_| q.pop(SimTime::ZERO).unwrap().id).collect();
+        assert_eq!(order, vec![1, 2], "no intra-flow reordering");
+        q.check_invariants();
+    }
+
+    #[test]
+    fn recovery_class_is_sticky_until_drained() {
+        let mut q = queues();
+        q.push(QueueClass::Recovery, pkt(1, 1), &obs(true, 3));
+        // New data of the same flow arrives classified Below: the flow
+        // stays in Recovery (protection extends to in-window packets).
+        q.push(QueueClass::BelowFairShare, pkt(1, 2), &obs(false, 0));
+        assert_eq!(q.class_len(QueueClass::Recovery), 2);
+        assert_eq!(q.class_len(QueueClass::BelowFairShare), 0);
+        // Once drained, a fresh packet lands in its new class.
+        q.pop(SimTime::from_secs(1));
+        q.pop(SimTime::from_secs(1));
+        q.push(QueueClass::BelowFairShare, pkt(1, 3), &obs(false, 0));
+        assert_eq!(q.class_len(QueueClass::BelowFairShare), 1);
+        q.check_invariants();
+    }
+
+    #[test]
+    fn level_two_serves_demand_proportionally() {
+        let mut q = queues();
+        // OverPenalized has 6 packets; Below has 2.
+        for i in 0..6 {
+            q.push(QueueClass::OverPenalized, pkt(1, i), &obs(false, 0));
+        }
+        for i in 6..8 {
+            q.push(QueueClass::BelowFairShare, pkt(2, i), &obs(false, 0));
+        }
+        let first = q.pop(SimTime::ZERO).unwrap();
+        assert_eq!(
+            first.flow.dst_port, 1,
+            "most-backlogged class is served first"
+        );
+    }
+
+    #[test]
+    fn flows_within_a_class_round_robin() {
+        let mut q = queues();
+        for i in 0..4 {
+            q.push(QueueClass::BelowFairShare, pkt(1, i), &obs(false, 0));
+        }
+        for i in 4..6 {
+            q.push(QueueClass::BelowFairShare, pkt(2, i), &obs(false, 0));
+        }
+        let order: Vec<u16> = (0..6)
+            .map(|_| q.pop(SimTime::ZERO).unwrap().flow.dst_port)
+            .collect();
+        assert_eq!(&order[..4], &[1, 2, 1, 2], "per-flow RR: {order:?}");
+    }
+
+    #[test]
+    fn above_fair_share_served_last() {
+        let mut q = queues();
+        q.push(QueueClass::AboveFairShare, pkt(1, 1), &obs(false, 0));
+        q.push(QueueClass::BelowFairShare, pkt(2, 2), &obs(false, 0));
+        q.push(QueueClass::NewFlow, pkt(3, 3), &obs(false, 0));
+        let order: Vec<u64> = (0..3).map(|_| q.pop(SimTime::ZERO).unwrap().id).collect();
+        assert_eq!(*order.last().unwrap(), 1, "hog drains last: {order:?}");
+    }
+
+    #[test]
+    fn eviction_prefers_biggest_window_hog() {
+        let mut q = queues();
+        for i in 0..2 {
+            q.push(QueueClass::AboveFairShare, pkt(1, i), &obs_win(5));
+        }
+        q.push(QueueClass::AboveFairShare, pkt(2, 99), &obs_win(1));
+        q.push(QueueClass::Recovery, pkt(3, 100), &obs(true, 4));
+        let (victim, was_retx) = q.evict().unwrap();
+        assert!(!was_retx);
+        assert_eq!(
+            victim.flow.dst_port, 1,
+            "the flow most able to fast-retransmit pays"
+        );
+        assert_eq!(victim.id, 0, "head drop: the hole appears early");
+        assert_eq!(q.len(), 3);
+        q.check_invariants();
+    }
+
+    #[test]
+    fn eviction_trims_bursts_before_singletons() {
+        let mut q = queues();
+        for i in 0..3 {
+            q.push(QueueClass::BelowFairShare, pkt(1, i), &obs(false, 0));
+        }
+        q.push(QueueClass::BelowFairShare, pkt(2, 9), &obs(false, 0));
+        let (victim, _) = q.evict().unwrap();
+        assert_eq!(victim.flow.dst_port, 1, "burst trimmed first");
+        assert_eq!(victim.id, 0, "head drop");
+    }
+
+    #[test]
+    fn eviction_spares_synacks_while_data_exists() {
+        let mut q = queues();
+        q.push(QueueClass::NewFlow, synack(1, 1), &obs(false, 0));
+        q.push(QueueClass::NewFlow, pkt(1, 2), &obs(false, 0));
+        q.push(QueueClass::NewFlow, pkt(1, 3), &obs(false, 0));
+        let (victim, _) = q.evict().unwrap();
+        assert_eq!(victim.id, 2, "first data packet evicted, SYN-ACK spared");
+        let (victim, _) = q.evict().unwrap();
+        assert_eq!(victim.id, 3);
+        // Only the SYN-ACK remains: it must still be evictable.
+        let (victim, _) = q.evict().unwrap();
+        assert_eq!(victim.id, 1);
+        assert!(q.evict().is_none());
+        q.check_invariants();
+    }
+
+    #[test]
+    fn eviction_takes_recovery_only_as_last_resort() {
+        let mut q = queues();
+        q.push(QueueClass::Recovery, pkt(1, 1), &obs(true, 5));
+        q.push(QueueClass::Recovery, pkt(2, 2), &obs(true, 1));
+        let (victim, was_retx) = q.evict().unwrap();
+        assert!(was_retx);
+        assert_eq!(victim.id, 2, "shortest-silence flow dropped first");
+        let (victim2, _) = q.evict().unwrap();
+        assert_eq!(victim2.id, 1);
+        assert!(q.evict().is_none());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.byte_len(), 0);
+    }
+
+    #[test]
+    fn byte_and_packet_accounting_balance() {
+        let mut q = queues();
+        for i in 0..4 {
+            q.push(QueueClass::BelowFairShare, pkt(1, i), &obs(false, 0));
+        }
+        q.push(QueueClass::Recovery, pkt(2, 9), &obs(true, 1));
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.byte_len(), 5 * 500);
+        q.evict();
+        q.pop(SimTime::from_secs(1));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.byte_len(), 3 * 500);
+        q.check_invariants();
+    }
+
+    #[test]
+    fn conservation_under_random_churn() {
+        let mut rng = taq_sim::SimRng::new(5);
+        let mut q = queues();
+        let classes = [
+            QueueClass::Recovery,
+            QueueClass::NewFlow,
+            QueueClass::OverPenalized,
+            QueueClass::BelowFairShare,
+            QueueClass::AboveFairShare,
+        ];
+        let (mut pushed, mut popped, mut evicted) = (0u64, 0u64, 0u64);
+        for i in 0..5_000u64 {
+            let class = classes[rng.next_below(5) as usize];
+            q.push(
+                class,
+                pkt((i % 17) as u16, i),
+                &obs(class == QueueClass::Recovery, 1),
+            );
+            pushed += 1;
+            if rng.chance(0.5) && q.pop(SimTime::from_millis(i)).is_some() {
+                popped += 1;
+            }
+            while q.len() > 30 {
+                q.evict().expect("non-empty above cap");
+                evicted += 1;
+            }
+            if i % 512 == 0 {
+                q.check_invariants();
+            }
+        }
+        while q.pop(SimTime::from_secs(10_000)).is_some() {
+            popped += 1;
+        }
+        assert_eq!(pushed, popped + evicted);
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.byte_len(), 0);
+        q.check_invariants();
+    }
+
+    #[test]
+    fn per_flow_packets_always_leave_in_arrival_order() {
+        // Random class assignments must never reorder one flow's
+        // packets.
+        let mut rng = taq_sim::SimRng::new(11);
+        let classes = [
+            QueueClass::Recovery,
+            QueueClass::NewFlow,
+            QueueClass::OverPenalized,
+            QueueClass::BelowFairShare,
+            QueueClass::AboveFairShare,
+        ];
+        let mut q = queues();
+        let mut next_id_per_flow: HashMap<u16, u64> = HashMap::new();
+        let mut last_out: HashMap<FlowKey, u64> = HashMap::new();
+        for i in 0..3_000u64 {
+            let port = (i % 5) as u16;
+            let id = {
+                let n = next_id_per_flow.entry(port).or_insert(0);
+                *n += 1;
+                *n
+            };
+            let class = classes[rng.next_below(5) as usize];
+            q.push(class, pkt(port, id), &obs(class == QueueClass::Recovery, 0));
+            if rng.chance(0.6) {
+                if let Some(p) = q.pop(SimTime::from_millis(i)) {
+                    let prev = last_out.insert(p.flow, p.id);
+                    if let Some(prev) = prev {
+                        assert!(p.id > prev, "flow {} reordered", p.flow);
+                    }
+                }
+            }
+        }
+        while let Some(p) = q.pop(SimTime::from_secs(100)) {
+            let prev = last_out.insert(p.flow, p.id);
+            if let Some(prev) = prev {
+                assert!(p.id > prev);
+            }
+        }
+    }
+
+    #[test]
+    fn fair_share_models() {
+        use crate::config::FairnessModel;
+        let fs = fair_share_bps(
+            Bandwidth::from_kbps(600),
+            30,
+            FairnessModel::FairQueuing,
+            None,
+        );
+        assert!((fs - 20_000.0).abs() < 1e-9);
+        let fs0 = fair_share_bps(
+            Bandwidth::from_kbps(600),
+            0,
+            FairnessModel::FairQueuing,
+            None,
+        );
+        assert!((fs0 - 600_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,763 @@
+//! Per-flow tracking: epoch estimation, per-epoch observation counters,
+//! and the approximate state machine of the paper's Figure 7.
+//!
+//! The tracker consumes only what a middlebox can see on the wire —
+//! sequence numbers, flags, lengths, arrival times in the data
+//! direction, plus (in two-way mode) acknowledgements on the reverse
+//! path — and maintains for every flow:
+//!
+//! - an **epoch** estimate (the middlebox-perceived RTT), from SYN-ACK →
+//!   first-ACK timing in two-way mode, refined by data→ACK samples, or
+//!   from burst-boundary detection in one-way mode;
+//! - the paper's four per-epoch parameters: number of new packets,
+//!   highest sequence number, number of retransmitted packets, and
+//!   packet losses in the previous epoch;
+//! - the approximate state (slow start / normal / explicit loss recovery
+//!   / timeout silence / timeout recovery / extended silence / dummy
+//!   silence).
+
+use crate::config::TaqConfig;
+use std::collections::HashMap;
+use taq_sim::{FlowKey, Packet, SimDuration, SimTime};
+
+/// The approximate per-flow state a middlebox tracks (paper Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowState {
+    /// Exponential window growth: significant growth in new packets per
+    /// epoch.
+    SlowStart,
+    /// No losses, roughly steady or slowly growing packet counts.
+    Normal,
+    /// The middlebox dropped (or observed the effects of) a loss and
+    /// expects retransmissions.
+    ExplicitLossRecovery,
+    /// A silent epoch following a loss: the sender is waiting out its
+    /// RTO.
+    TimeoutSilence,
+    /// Retransmissions after a timeout.
+    TimeoutRecovery,
+    /// Multiple consecutive silent epochs: repetitive timeouts.
+    ExtendedSilence,
+    /// Silence with no reason to suspect a timeout (no recent losses):
+    /// the flow simply has nothing to send.
+    DummySilence,
+}
+
+impl FlowState {
+    /// `true` for the states in which the flow is transmitting nothing.
+    pub fn is_silent(self) -> bool {
+        matches!(
+            self,
+            FlowState::TimeoutSilence | FlowState::ExtendedSilence | FlowState::DummySilence
+        )
+    }
+
+    /// `true` for states reached through a timeout.
+    pub fn is_timeout(self) -> bool {
+        matches!(
+            self,
+            FlowState::TimeoutSilence | FlowState::TimeoutRecovery | FlowState::ExtendedSilence
+        )
+    }
+}
+
+/// Per-epoch observation counters (the paper's four parameters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochCounters {
+    /// New (not previously seen) data packets this epoch.
+    pub new_packets: u32,
+    /// Retransmitted data packets this epoch.
+    pub retransmitted: u32,
+    /// Highest sequence number seen by the end of this epoch.
+    pub highest_seq: u64,
+    /// Packets of this flow dropped at the TAQ queue this epoch.
+    pub drops: u32,
+}
+
+/// Tracked state for one flow.
+#[derive(Debug)]
+pub struct FlowInfo {
+    /// The flow's data-direction key.
+    pub key: FlowKey,
+    /// Current approximate state.
+    pub state: FlowState,
+    /// Current epoch estimate (middlebox-perceived RTT).
+    pub epoch_len: SimDuration,
+    /// Start of the current epoch.
+    pub epoch_start: SimTime,
+    /// Counters for the current epoch.
+    pub current: EpochCounters,
+    /// Counters for the previous epoch.
+    pub previous: EpochCounters,
+    /// Consecutive fully-silent epochs (no packets at all).
+    pub silent_epochs: u32,
+    /// Highest `seq_end` ever observed (retransmission detection).
+    pub highest_seq_end: u64,
+    /// Outstanding losses the middlebox knows about and expects to see
+    /// repaired (drops at this queue minus observed retransmissions).
+    pub pending_repairs: u32,
+    /// Time of the last packet observed.
+    pub last_packet_at: SimTime,
+    /// Time of the last *normal-state* transmission (priority input for
+    /// the Recovery queue).
+    pub last_normal_at: SimTime,
+    /// Bytes forwarded in the previous epoch (rate estimation).
+    pub bytes_prev_epoch: u64,
+    /// Bytes forwarded so far in the current epoch.
+    pub bytes_this_epoch: u64,
+    /// Smoothed rate estimate in bytes/sec.
+    pub rate_bps_ewma: f64,
+    /// Total data packets ever observed (young-flow classification).
+    pub total_packets: u64,
+    /// When the flow was first seen.
+    pub first_seen: SimTime,
+    /// Pending two-way RTT probe: `(seq_end, forwarded_at)`.
+    rtt_probe: Option<(u64, SimTime)>,
+    /// One-way mode: time of the previous packet (burst-gap detection).
+    prev_packet_at: Option<SimTime>,
+}
+
+impl FlowInfo {
+    fn new(key: FlowKey, now: SimTime, cfg: &TaqConfig) -> Self {
+        FlowInfo {
+            key,
+            state: FlowState::SlowStart,
+            epoch_len: cfg.min_epoch,
+            epoch_start: now,
+            current: EpochCounters::default(),
+            previous: EpochCounters::default(),
+            silent_epochs: 0,
+            highest_seq_end: 0,
+            pending_repairs: 0,
+            last_packet_at: now,
+            last_normal_at: now,
+            bytes_prev_epoch: 0,
+            bytes_this_epoch: 0,
+            rate_bps_ewma: 0.0,
+            total_packets: 0,
+            first_seen: now,
+            rtt_probe: None,
+            prev_packet_at: None,
+        }
+    }
+
+    /// Estimated send rate in bits/sec.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps_ewma * 8.0
+    }
+
+    /// `true` while the flow counts as "new" for NewFlow-queue
+    /// classification.
+    pub fn is_new(&self, cfg: &TaqConfig) -> bool {
+        self.state == FlowState::SlowStart && self.total_packets <= cfg.newflow_packet_horizon
+    }
+
+    /// Cumulative drops over the current and previous epochs (the
+    /// OverPenalized criterion).
+    pub fn recent_drops(&self) -> u32 {
+        self.current.drops + self.previous.drops
+    }
+
+    /// Rough congestion-window estimate: new packets observed over the
+    /// current and previous epochs. Bigger windows mean a drop is more
+    /// likely to be repaired by fast retransmit instead of a timeout.
+    pub fn window_estimate(&self) -> u32 {
+        self.current.new_packets + self.previous.new_packets
+    }
+
+    /// `true` while dropping this flow's packets is likely to cause (or
+    /// extend) a *timeout*: it is waiting out an RTO, replaying after
+    /// one, or took a drop this/last epoch that it has not yet repaired.
+    /// Such flows' packets are shielded from eviction (paper §4.1:
+    /// flows with recent losses "are given higher priority in future
+    /// epochs for retransmitted packets and existing packets within the
+    /// sliding window to prevent timeouts").
+    ///
+    /// Deliberately narrow: a flow in plain fast-retransmit recovery
+    /// whose drop has aged out is *not* protected — with a window large
+    /// enough to fast-retransmit it absorbs further drops without
+    /// timing out, and blanket protection would funnel every drop onto
+    /// exactly the flows that cannot afford them.
+    pub fn is_protected(&self) -> bool {
+        // A window comfortably above the duplicate-ACK threshold can
+        // repair any single loss with a fast retransmit; such a flow
+        // needs no shielding even mid-recovery. Protection is for the
+        // flows whose next loss necessarily becomes a timeout.
+        if self.window_estimate() > 4 {
+            return false;
+        }
+        self.state.is_timeout()
+            || (self.state == FlowState::ExplicitLossRecovery && self.recent_drops() > 0)
+    }
+
+    /// Rolls the epoch window forward to cover `now`, applying the state
+    /// machine's per-epoch transitions once per elapsed epoch.
+    fn roll_epochs(&mut self, now: SimTime, cfg: &TaqConfig) {
+        while now >= self.epoch_start + self.epoch_len {
+            self.apply_epoch_transition(cfg);
+            self.epoch_start += self.epoch_len;
+            self.previous = self.current;
+            self.bytes_prev_epoch = self.bytes_this_epoch;
+            let secs = self.epoch_len.as_secs_f64();
+            if secs > 0.0 {
+                let inst = self.bytes_this_epoch as f64 / secs;
+                self.rate_bps_ewma = 0.5 * self.rate_bps_ewma + 0.5 * inst;
+            }
+            self.current = EpochCounters {
+                highest_seq: self.highest_seq_end,
+                ..EpochCounters::default()
+            };
+            self.bytes_this_epoch = 0;
+        }
+    }
+
+    /// The end-of-epoch state transition (paper §3.3/§4.1).
+    fn apply_epoch_transition(&mut self, cfg: &TaqConfig) {
+        let sent = self.current.new_packets + self.current.retransmitted;
+        if sent == 0 {
+            self.silent_epochs += 1;
+            self.state = match self.state {
+                // Silence with repairs outstanding is a timeout.
+                FlowState::ExplicitLossRecovery | FlowState::TimeoutRecovery => {
+                    FlowState::TimeoutSilence
+                }
+                FlowState::TimeoutSilence | FlowState::ExtendedSilence => {
+                    if self.silent_epochs >= cfg.extended_silence_epochs {
+                        FlowState::ExtendedSilence
+                    } else {
+                        FlowState::TimeoutSilence
+                    }
+                }
+                // A quiet normal flow simply has nothing to send — unless
+                // we know of unrepaired drops, in which case it is
+                // waiting out an RTO.
+                FlowState::SlowStart | FlowState::Normal | FlowState::DummySilence => {
+                    if self.pending_repairs > 0 {
+                        FlowState::TimeoutSilence
+                    } else {
+                        FlowState::DummySilence
+                    }
+                }
+            };
+            return;
+        }
+        self.silent_epochs = 0;
+        let grew = f64::from(self.current.new_packets)
+            >= 1.5 * f64::from(self.previous.new_packets.max(1));
+        self.state = match self.state {
+            FlowState::SlowStart | FlowState::Normal | FlowState::DummySilence => {
+                if self.current.drops > 0 || self.current.retransmitted > 0 {
+                    FlowState::ExplicitLossRecovery
+                } else if grew {
+                    FlowState::SlowStart
+                } else {
+                    FlowState::Normal
+                }
+            }
+            FlowState::ExplicitLossRecovery => {
+                if self.pending_repairs == 0 && self.current.drops == 0 {
+                    FlowState::Normal
+                } else {
+                    FlowState::ExplicitLossRecovery
+                }
+            }
+            FlowState::TimeoutSilence | FlowState::ExtendedSilence => {
+                // Packets after a timeout are the timeout recovery.
+                FlowState::TimeoutRecovery
+            }
+            FlowState::TimeoutRecovery => {
+                if self.pending_repairs == 0 && self.current.drops == 0 {
+                    // Successful timeout recovery resumes in slow start.
+                    FlowState::SlowStart
+                } else {
+                    FlowState::TimeoutRecovery
+                }
+            }
+        };
+    }
+}
+
+/// The flow table: every flow traversing the middlebox, keyed by its
+/// data-direction 4-tuple.
+#[derive(Debug)]
+pub struct FlowTable {
+    cfg: TaqConfig,
+    flows: HashMap<FlowKey, FlowInfo>,
+    /// Total data packets observed (all flows), for loss-rate
+    /// accounting.
+    pub total_observed: u64,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new(cfg: TaqConfig) -> Self {
+        cfg.validate();
+        FlowTable {
+            cfg,
+            flows: HashMap::new(),
+            total_observed: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TaqConfig {
+        &self.cfg
+    }
+
+    /// Looks up a flow.
+    pub fn get(&self, key: &FlowKey) -> Option<&FlowInfo> {
+        self.flows.get(key)
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// `true` if no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Flows considered *active* for fair-share purposes: seen within
+    /// the last few epochs and not in dummy silence.
+    pub fn active_flows(&self, now: SimTime) -> usize {
+        self.flows
+            .values()
+            .filter(|f| {
+                f.state != FlowState::DummySilence
+                    && now.saturating_since(f.last_packet_at) <= f.epoch_len * 4
+            })
+            .count()
+    }
+
+    /// Observes a data-direction packet arriving at the middlebox.
+    /// Returns whether it is a retransmission, plus the flow's state
+    /// before this packet (classification input).
+    pub fn observe_forward(&mut self, pkt: &Packet, now: SimTime) -> Observation {
+        self.total_observed += 1;
+        let cfg_min_epoch = self.cfg.min_epoch;
+        let flow = self
+            .flows
+            .entry(pkt.flow)
+            .or_insert_with(|| FlowInfo::new(pkt.flow, now, &self.cfg));
+        flow.roll_epochs(now, &self.cfg);
+
+        // One-way epoch refinement: a gap longer than half the current
+        // estimate, followed by a burst, marks an epoch boundary; take
+        // the gap between burst starts as an epoch sample.
+        if let Some(prev) = flow.prev_packet_at {
+            let gap = now.saturating_since(prev);
+            if gap > flow.epoch_len / 2 && gap <= self.cfg.max_epoch {
+                let alpha = self.cfg.epoch_alpha;
+                let sample = gap.as_secs_f64();
+                let cur = flow.epoch_len.as_secs_f64();
+                let blended = (1.0 - alpha) * cur + alpha * sample;
+                flow.epoch_len = SimDuration::from_secs_f64(blended)
+                    .max(cfg_min_epoch)
+                    .min(self.cfg.max_epoch);
+            }
+        }
+        flow.prev_packet_at = Some(now);
+
+        let end = pkt.seq_end();
+        let retransmission = pkt.is_data() && end <= flow.highest_seq_end;
+        // A retransmission "repairs" a drop only if this queue owes the
+        // flow one; go-back-N resends after a spurious timeout reuse old
+        // sequence numbers without any drop here to repair.
+        let repairs_our_drop = retransmission && flow.pending_repairs > 0;
+        if retransmission {
+            flow.current.retransmitted += 1;
+            if flow.pending_repairs > 0 {
+                flow.pending_repairs -= 1;
+            }
+        } else if pkt.is_data() {
+            flow.current.new_packets += 1;
+        }
+        flow.total_packets += u64::from(pkt.is_data());
+        flow.highest_seq_end = flow.highest_seq_end.max(end);
+        flow.current.highest_seq = flow.highest_seq_end;
+        flow.last_packet_at = now;
+        if matches!(flow.state, FlowState::Normal | FlowState::SlowStart) {
+            flow.last_normal_at = now;
+        }
+        // Immediate (not just epoch-boundary) reactions for recovery
+        // detection: retransmissions from a silent flow mean timeout
+        // recovery is underway.
+        if retransmission && flow.state.is_silent() {
+            flow.state = FlowState::TimeoutRecovery;
+            flow.silent_epochs = 0;
+        }
+        Observation {
+            retransmission,
+            repairs_our_drop,
+            state: flow.state,
+            silent_epochs: flow.silent_epochs,
+            is_new: flow.is_new(&self.cfg),
+            recent_drops: flow.recent_drops(),
+            rate_bps: flow.rate_bps(),
+            epoch_len: flow.epoch_len,
+            last_normal_at: flow.last_normal_at,
+            window_estimate: flow.window_estimate(),
+            protected: flow.is_protected(),
+            fq_only: self.cfg.fq_mode,
+        }
+    }
+
+    /// Records that a packet of `key` was forwarded onto the link (rate
+    /// accounting).
+    pub fn on_forwarded(&mut self, key: &FlowKey, bytes: u32, now: SimTime) {
+        if let Some(flow) = self.flows.get_mut(key) {
+            flow.roll_epochs(now, &self.cfg);
+            flow.bytes_this_epoch += u64::from(bytes);
+            // Arm a two-way RTT probe if none outstanding.
+            if flow.rtt_probe.is_none() {
+                flow.rtt_probe = Some((flow.highest_seq_end, now));
+            }
+        }
+    }
+
+    /// Records that a packet of `key` was dropped at the TAQ queue.
+    /// Updates the flow's expected next state (paper §4.1: the middlebox
+    /// knows which losses it inflicted and adjusts its prediction).
+    pub fn on_drop(&mut self, key: &FlowKey, retransmission: bool, now: SimTime) {
+        if let Some(flow) = self.flows.get_mut(key) {
+            flow.roll_epochs(now, &self.cfg);
+            flow.current.drops += 1;
+            flow.pending_repairs += 1;
+            flow.state = if retransmission {
+                // A dropped retransmission forces an RTO (and possibly a
+                // repetitive one).
+                FlowState::TimeoutSilence
+            } else {
+                match flow.state {
+                    FlowState::SlowStart | FlowState::Normal | FlowState::DummySilence => {
+                        FlowState::ExplicitLossRecovery
+                    }
+                    other => other,
+                }
+            };
+        }
+    }
+
+    /// Observes a reverse-direction (ACK) packet in two-way mode,
+    /// closing any outstanding RTT probe for the matching flow.
+    pub fn observe_reverse(&mut self, pkt: &Packet, now: SimTime) {
+        if !pkt.flags.ack {
+            return;
+        }
+        let data_key = pkt.flow.reversed();
+        let Some(flow) = self.flows.get_mut(&data_key) else {
+            return;
+        };
+        let Some((probe_end, sent)) = flow.rtt_probe else {
+            return;
+        };
+        if pkt.ack >= probe_end {
+            let sample = now.saturating_since(sent);
+            if sample >= SimDuration::from_millis(1) && sample <= self.cfg.max_epoch {
+                let alpha = self.cfg.epoch_alpha;
+                let blended =
+                    (1.0 - alpha) * flow.epoch_len.as_secs_f64() + alpha * sample.as_secs_f64();
+                flow.epoch_len = SimDuration::from_secs_f64(blended)
+                    .max(self.cfg.min_epoch)
+                    .min(self.cfg.max_epoch);
+            }
+            flow.rtt_probe = None;
+        }
+    }
+
+    /// Advances every flow's epoch window to `now` and drops flows idle
+    /// past the GC horizon. Called periodically by the queue layer.
+    pub fn tick(&mut self, now: SimTime) {
+        let gc = self.cfg.flow_gc_epochs;
+        let cfg = self.cfg.clone();
+        self.flows.retain(|_, flow| {
+            flow.roll_epochs(now, &cfg);
+            flow.silent_epochs < gc
+        });
+    }
+
+    /// Iterates over tracked flows (diagnostics, metrics).
+    pub fn iter(&self) -> impl Iterator<Item = &FlowInfo> {
+        self.flows.values()
+    }
+}
+
+/// What the tracker can say about a packet's flow at classification
+/// time.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation {
+    /// The packet re-sends data already seen.
+    pub retransmission: bool,
+    /// The packet repairs a drop this queue inflicted (as opposed to a
+    /// spurious or externally-caused retransmission).
+    pub repairs_our_drop: bool,
+    /// Flow state (after immediate reactions to this packet).
+    pub state: FlowState,
+    /// Consecutive silent epochs before this packet.
+    pub silent_epochs: u32,
+    /// The flow is still "new" (slow start, few packets).
+    pub is_new: bool,
+    /// Drops at this queue over the current + previous epochs.
+    pub recent_drops: u32,
+    /// Estimated flow rate in bits/sec.
+    pub rate_bps: f64,
+    /// Current epoch estimate.
+    pub epoch_len: SimDuration,
+    /// Last time the flow transmitted in a normal state.
+    pub last_normal_at: SimTime,
+    /// Recent-window size estimate (packets over two epochs).
+    pub window_estimate: u32,
+    /// Dropping this flow now would likely cause or extend a timeout.
+    pub protected: bool,
+    /// Ablation: the middlebox is configured for plain-FQ mode.
+    pub fq_only: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taq_sim::{Bandwidth, NodeId, PacketBuilder};
+
+    fn cfg() -> TaqConfig {
+        TaqConfig::for_link(Bandwidth::from_kbps(600))
+    }
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey {
+            src: NodeId(1),
+            src_port: 80,
+            dst: NodeId(2),
+            dst_port: port,
+        }
+    }
+
+    fn data(port: u16, seq: u64) -> Packet {
+        PacketBuilder::new(key(port)).seq(seq).payload(460).build()
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn new_flow_starts_in_slow_start() {
+        let mut tab = FlowTable::new(cfg());
+        let obs = tab.observe_forward(&data(1, 1), t(0));
+        assert_eq!(obs.state, FlowState::SlowStart);
+        assert!(obs.is_new);
+        assert!(!obs.retransmission);
+        assert_eq!(tab.len(), 1);
+    }
+
+    #[test]
+    fn retransmission_detected_by_sequence_reuse() {
+        let mut tab = FlowTable::new(cfg());
+        tab.observe_forward(&data(1, 1), t(0));
+        tab.observe_forward(&data(1, 461), t(5));
+        let obs = tab.observe_forward(&data(1, 1), t(10));
+        assert!(obs.retransmission, "seq below high water is a retransmit");
+        let fresh = tab.observe_forward(&data(1, 921), t(15));
+        assert!(!fresh.retransmission);
+    }
+
+    #[test]
+    fn sustained_steady_traffic_becomes_normal() {
+        let mut tab = FlowTable::new(cfg());
+        // 3 packets per 100 ms epoch for 10 epochs.
+        let mut seq = 1;
+        for epoch in 0..10u64 {
+            for i in 0..3u64 {
+                tab.observe_forward(&data(1, seq), t(epoch * 100 + i * 20));
+                seq += 460;
+            }
+        }
+        let flow = tab.get(&key(1)).unwrap();
+        assert_eq!(flow.state, FlowState::Normal);
+        assert!(!flow.is_new(tab.config()), "past the new-flow horizon");
+    }
+
+    #[test]
+    fn growth_keeps_slow_start() {
+        let mut tab = FlowTable::new(cfg());
+        let mut seq = 1;
+        // Doubling per epoch: 1, 2, 4 packets.
+        for (epoch, count) in [1u64, 2, 4].iter().enumerate() {
+            for i in 0..*count {
+                tab.observe_forward(&data(1, seq), t(epoch as u64 * 100 + i * 10));
+                seq += 460;
+            }
+        }
+        // Trigger a roll into the next epoch.
+        tab.observe_forward(&data(1, seq), t(310));
+        let flow = tab.get(&key(1)).unwrap();
+        assert_eq!(flow.state, FlowState::SlowStart);
+    }
+
+    #[test]
+    fn drop_moves_flow_to_explicit_recovery_then_normal() {
+        let mut tab = FlowTable::new(cfg());
+        let mut seq = 1;
+        for epoch in 0..5u64 {
+            for i in 0..3u64 {
+                tab.observe_forward(&data(1, seq), t(epoch * 100 + i * 20));
+                seq += 460;
+            }
+        }
+        tab.on_drop(&key(1), false, t(500));
+        assert_eq!(
+            tab.get(&key(1)).unwrap().state,
+            FlowState::ExplicitLossRecovery
+        );
+        // The retransmission arrives; the repair completes; next epochs
+        // are clean.
+        let obs = tab.observe_forward(&data(1, 1), t(600));
+        assert!(obs.retransmission);
+        for epoch in 7..10u64 {
+            for i in 0..3u64 {
+                tab.observe_forward(&data(1, seq), t(epoch * 100 + i * 20));
+                seq += 460;
+            }
+        }
+        assert_eq!(tab.get(&key(1)).unwrap().state, FlowState::Normal);
+    }
+
+    #[test]
+    fn dropped_retransmission_predicts_timeout_silence() {
+        let mut tab = FlowTable::new(cfg());
+        tab.observe_forward(&data(1, 1), t(0));
+        tab.observe_forward(&data(1, 461), t(10));
+        tab.on_drop(&key(1), true, t(20));
+        assert_eq!(tab.get(&key(1)).unwrap().state, FlowState::TimeoutSilence);
+    }
+
+    #[test]
+    fn silence_after_loss_becomes_extended() {
+        let mut tab = FlowTable::new(cfg());
+        let mut seq = 1;
+        for epoch in 0..3u64 {
+            for i in 0..3u64 {
+                tab.observe_forward(&data(1, seq), t(epoch * 100 + i * 20));
+                seq += 460;
+            }
+        }
+        tab.on_drop(&key(1), false, t(310));
+        // Nothing for many epochs; tick rolls the window.
+        tab.tick(t(900));
+        let flow = tab.get(&key(1)).unwrap();
+        assert_eq!(flow.state, FlowState::ExtendedSilence);
+        assert!(flow.silent_epochs >= 2);
+        // A retransmission arrives: timeout recovery.
+        let obs = tab.observe_forward(&data(1, seq - 460), t(950));
+        assert!(obs.retransmission);
+        assert_eq!(obs.state, FlowState::TimeoutRecovery);
+    }
+
+    #[test]
+    fn quiet_normal_flow_is_dummy_silence_not_timeout() {
+        let mut tab = FlowTable::new(cfg());
+        let mut seq = 1;
+        for epoch in 0..5u64 {
+            for i in 0..3u64 {
+                tab.observe_forward(&data(1, seq), t(epoch * 100 + i * 20));
+                seq += 460;
+            }
+        }
+        // No losses; the flow just stops sending (e.g. between objects
+        // on a persistent connection).
+        tab.tick(t(1_000));
+        assert_eq!(tab.get(&key(1)).unwrap().state, FlowState::DummySilence);
+    }
+
+    #[test]
+    fn timeout_recovery_completes_into_slow_start() {
+        let mut tab = FlowTable::new(cfg());
+        let mut seq = 1u64;
+        for epoch in 0..3u64 {
+            for i in 0..3u64 {
+                tab.observe_forward(&data(1, seq), t(epoch * 100 + i * 20));
+                seq += 460;
+            }
+        }
+        tab.on_drop(&key(1), false, t(310));
+        tab.tick(t(700)); // Silence: timeout.
+        assert!(tab.get(&key(1)).unwrap().state.is_timeout());
+        // The retransmission repairs the loss...
+        tab.observe_forward(&data(1, seq - 460), t(750));
+        // ...and a clean epoch follows.
+        tab.observe_forward(&data(1, seq), t(900));
+        tab.observe_forward(&data(1, seq + 460), t(1_010));
+        let flow = tab.get(&key(1)).unwrap();
+        assert_eq!(flow.state, FlowState::SlowStart);
+    }
+
+    #[test]
+    fn two_way_mode_refines_epoch_from_acks() {
+        let mut tab = FlowTable::new(cfg());
+        let initial = tab.config().min_epoch;
+        tab.observe_forward(&data(1, 1), t(0));
+        tab.on_forwarded(&key(1), 500, t(1));
+        // The ACK comes back 400 ms later.
+        let ack = PacketBuilder::new(key(1).reversed())
+            .seq(1)
+            .ack(461)
+            .build();
+        tab.observe_reverse(&ack, t(401));
+        let flow = tab.get(&key(1)).unwrap();
+        assert!(
+            flow.epoch_len > initial,
+            "epoch blended upward: {} vs {}",
+            flow.epoch_len,
+            initial
+        );
+    }
+
+    #[test]
+    fn gc_removes_long_dead_flows() {
+        let mut tab = FlowTable::new(cfg());
+        tab.observe_forward(&data(1, 1), t(0));
+        tab.observe_forward(&data(2, 1), t(0));
+        assert_eq!(tab.len(), 2);
+        // Keep flow 2 alive; let flow 1 rot.
+        for i in 1..80u64 {
+            tab.observe_forward(&data(2, 1 + i * 460), t(i * 100));
+        }
+        tab.tick(t(8_000));
+        assert_eq!(tab.len(), 1);
+        assert!(tab.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn active_flow_count_excludes_idle() {
+        let mut tab = FlowTable::new(cfg());
+        tab.observe_forward(&data(1, 1), t(0));
+        tab.observe_forward(&data(2, 1), t(0));
+        assert_eq!(tab.active_flows(t(10)), 2);
+        // Flow 1 goes quiet for far longer than 4 epochs.
+        for i in 1..30u64 {
+            tab.observe_forward(&data(2, 1 + i * 460), t(i * 100));
+        }
+        assert_eq!(tab.active_flows(t(2_950)), 1);
+    }
+
+    #[test]
+    fn rate_estimate_tracks_throughput() {
+        let mut tab = FlowTable::new(cfg());
+        // 5 packets of 500 wire bytes per 100 ms epoch = 200 Kbps.
+        let mut seq = 1;
+        for epoch in 0..20u64 {
+            for i in 0..5u64 {
+                let now = t(epoch * 100 + i * 15);
+                tab.observe_forward(&data(1, seq), now);
+                tab.on_forwarded(&key(1), 500, now);
+                seq += 460;
+            }
+        }
+        let rate = tab.get(&key(1)).unwrap().rate_bps();
+        assert!(
+            (rate - 200_000.0).abs() < 60_000.0,
+            "rate estimate {rate} vs 200 Kbps"
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Distribution summaries: CDFs, percentiles, and logarithmic size
+//! buckets (the presentation devices of the paper's Figures 1 and 12).
+
+/// An empirical distribution over `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Distribution {
+    sorted: Vec<f64>,
+}
+
+impl Distribution {
+    /// Builds from samples (non-finite values are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN or infinite.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "non-finite sample in distribution"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Distribution { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Fraction of samples ≤ `x` (the empirical CDF).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `(value, cdf)` points for plotting/printing, one per sample,
+    /// thinned to at most `max_points` evenly spaced entries.
+    pub fn cdf_points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        if n == 0 || max_points == 0 {
+            return Vec::new();
+        }
+        let step = (n as f64 / max_points as f64).max(1.0);
+        let mut out = Vec::new();
+        let mut i = 0.0;
+        while (i as usize) < n {
+            let idx = i as usize;
+            out.push((self.sorted[idx], (idx + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(v, _)| v) != self.sorted.last().copied() {
+            out.push((self.sorted[n - 1], 1.0));
+        }
+        out
+    }
+}
+
+/// Summary row for one logarithmic bucket, mirroring Figure 1's
+/// plotted values.
+#[derive(Debug, Clone)]
+pub struct BucketSummary {
+    /// Inclusive lower edge of the bucket (e.g. object size in bytes).
+    pub lo: f64,
+    /// Exclusive upper edge.
+    pub hi: f64,
+    /// Number of samples in the bucket.
+    pub count: usize,
+    /// 10th percentile of the bucketed metric.
+    pub p10: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+/// Buckets `(key, value)` pairs into logarithmic key ranges and
+/// summarises the values per bucket — e.g. key = object size, value =
+/// download time, `per_decade = 4` buckets per factor of 10.
+pub fn log_bucket_summary(
+    pairs: &[(f64, f64)],
+    per_decade: u32,
+    min_count: usize,
+) -> Vec<BucketSummary> {
+    assert!(per_decade > 0, "need at least one bucket per decade");
+    let mut buckets: std::collections::BTreeMap<i64, Vec<f64>> = std::collections::BTreeMap::new();
+    for &(key, value) in pairs {
+        if key <= 0.0 {
+            continue;
+        }
+        let idx = (key.log10() * f64::from(per_decade)).floor() as i64;
+        buckets.entry(idx).or_default().push(value);
+    }
+    buckets
+        .into_iter()
+        .filter(|(_, vs)| vs.len() >= min_count)
+        .map(|(idx, vs)| {
+            let d = Distribution::from_samples(vs);
+            let lo = 10f64.powf(idx as f64 / f64::from(per_decade));
+            let hi = 10f64.powf((idx + 1) as f64 / f64::from(per_decade));
+            BucketSummary {
+                lo,
+                hi,
+                count: d.len(),
+                p10: d.quantile(0.1).expect("non-empty bucket"),
+                p90: d.quantile(0.9).expect("non-empty bucket"),
+                min: d.min().expect("non-empty bucket"),
+                max: d.max().expect("non-empty bucket"),
+                mean: d.mean().expect("non-empty bucket"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_set() {
+        let d = Distribution::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(d.quantile(0.1), Some(10.0));
+        assert_eq!(d.median(), Some(50.0));
+        assert_eq!(d.quantile(0.9), Some(90.0));
+        assert_eq!(d.quantile(1.0), Some(100.0));
+        assert_eq!(d.quantile(0.0), Some(1.0));
+        assert_eq!(d.min(), Some(1.0));
+        assert_eq!(d.max(), Some(100.0));
+        assert_eq!(d.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn empty_distribution_is_graceful() {
+        let d = Distribution::default();
+        assert!(d.is_empty());
+        assert_eq!(d.median(), None);
+        assert_eq!(d.cdf(10.0), 0.0);
+        assert!(d.cdf_points(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_is_monotone_step() {
+        let d = Distribution::from_samples(vec![1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert_eq!(d.cdf(1.0), 0.25);
+        assert_eq!(d.cdf(2.0), 0.75);
+        assert_eq!(d.cdf(4.9), 0.75);
+        assert_eq!(d.cdf(5.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_points_thin_but_cover() {
+        let d = Distribution::from_samples((0..1_000).map(f64::from).collect());
+        let pts = d.cdf_points(50);
+        assert!(pts.len() <= 52);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        // Monotone in both coordinates.
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn log_buckets_group_by_decade_fraction() {
+        // Keys 100 and 150 share a bucket at 4/decade (bucket width
+        // 10^0.25 ≈ 1.78×); 1000 is elsewhere.
+        let pairs = vec![(100.0, 1.0), (150.0, 3.0), (1_000.0, 10.0)];
+        let rows = log_bucket_summary(&pairs, 4, 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].min, 1.0);
+        assert_eq!(rows[0].max, 3.0);
+        assert_eq!(rows[0].mean, 2.0);
+        assert_eq!(rows[1].count, 1);
+        assert!(rows[1].lo <= 1_000.0 && 1_000.0 < rows[1].hi);
+    }
+
+    #[test]
+    fn log_buckets_respect_min_count() {
+        let pairs = vec![(10.0, 1.0), (10_000.0, 2.0), (10_500.0, 3.0)];
+        let rows = log_bucket_summary(&pairs, 1, 2);
+        assert_eq!(rows.len(), 1, "singleton bucket filtered out");
+        assert_eq!(rows[0].count, 2);
+    }
+
+    #[test]
+    fn nonpositive_keys_skipped() {
+        let rows = log_bucket_summary(&[(0.0, 1.0), (-5.0, 2.0)], 4, 1);
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-flow packets-per-epoch sampling, for validating the Markov model
+//! (the paper's Figure 6).
+//!
+//! The model's stationary distribution is over "packets sent per epoch"
+//! (an epoch being one RTT). This collector divides time into
+//! fixed-length epochs per flow (anchored at the flow's first packet so
+//! epoch boundaries align with its own round trips), counts data-packet
+//! transmissions over the bottleneck in each epoch, and reports the
+//! empirical distribution of counts — directly comparable to
+//! `taq_model::PartialModel::n_sent_distribution`.
+
+use std::collections::HashMap;
+use taq_sim::{FlowKey, LinkId, LinkMonitor, Packet, SimDuration, SimTime};
+
+/// Collects per-flow epoch activity histograms.
+#[derive(Debug)]
+pub struct EpochActivity {
+    link: LinkId,
+    epoch: SimDuration,
+    max_count: usize,
+    /// Per flow: (first packet time, last seen epoch index, count in
+    /// that epoch, histogram of closed-epoch counts).
+    flows: HashMap<FlowKey, FlowEpochs>,
+}
+
+#[derive(Debug)]
+struct FlowEpochs {
+    anchor: SimTime,
+    current_epoch: u64,
+    current_count: usize,
+    histogram: Vec<u64>,
+}
+
+impl EpochActivity {
+    /// Creates a collector for `link` with the given epoch length;
+    /// counts above `max_count` are clamped into the last bucket
+    /// (the paper's Wmax).
+    pub fn new(link: LinkId, epoch: SimDuration, max_count: usize) -> Self {
+        assert!(!epoch.is_zero(), "zero epoch");
+        assert!(max_count >= 1, "need at least one bucket");
+        EpochActivity {
+            link,
+            epoch,
+            max_count,
+            flows: HashMap::new(),
+        }
+    }
+
+    /// Closes every flow's window up to `end` (accounting trailing
+    /// silent epochs) and returns the aggregate distribution of packets
+    /// per epoch, normalized; index `n` is "n packets sent", clamped at
+    /// `max_count`.
+    pub fn distribution(&mut self, end: SimTime) -> Vec<f64> {
+        let mut totals = vec![0u64; self.max_count + 1];
+        for fe in self.flows.values_mut() {
+            let final_epoch = end.saturating_since(fe.anchor).as_nanos() / self.epoch.as_nanos();
+            while fe.current_epoch < final_epoch {
+                let bucket = fe.current_count.min(self.max_count);
+                fe.histogram[bucket] += 1;
+                fe.current_count = 0;
+                fe.current_epoch += 1;
+            }
+            for (n, c) in fe.histogram.iter().enumerate() {
+                totals[n] += c;
+            }
+        }
+        let sum: u64 = totals.iter().sum();
+        if sum == 0 {
+            return vec![0.0; self.max_count + 1];
+        }
+        totals.iter().map(|&c| c as f64 / sum as f64).collect()
+    }
+
+    /// Number of flows observed.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+impl LinkMonitor for EpochActivity {
+    fn on_transmit(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        if link != self.link || !pkt.is_data() {
+            return;
+        }
+        let epoch_len = self.epoch;
+        let max = self.max_count;
+        let fe = self.flows.entry(pkt.flow).or_insert_with(|| FlowEpochs {
+            anchor: now,
+            current_epoch: 0,
+            current_count: 0,
+            histogram: vec![0; max + 1],
+        });
+        let idx = now.saturating_since(fe.anchor).as_nanos() / epoch_len.as_nanos();
+        while fe.current_epoch < idx {
+            let bucket = fe.current_count.min(max);
+            fe.histogram[bucket] += 1;
+            fe.current_count = 0;
+            fe.current_epoch += 1;
+        }
+        fe.current_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taq_sim::{NodeId, PacketBuilder};
+
+    fn pkt(port: u16) -> Packet {
+        PacketBuilder::new(FlowKey {
+            src: NodeId(0),
+            src_port: 80,
+            dst: NodeId(1),
+            dst_port: port,
+        })
+        .payload(460)
+        .build()
+    }
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn counts_packets_per_epoch() {
+        let mut ea = EpochActivity::new(LinkId(0), SimDuration::from_millis(100), 6);
+        // Epoch 0: 2 packets; epoch 1: silent; epoch 2: 1 packet.
+        ea.on_transmit(LinkId(0), &pkt(1), at_ms(0));
+        ea.on_transmit(LinkId(0), &pkt(1), at_ms(50));
+        ea.on_transmit(LinkId(0), &pkt(1), at_ms(250));
+        let d = ea.distribution(at_ms(300));
+        // Three closed epochs: counts 2, 0, 1.
+        assert!((d[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ea.flow_count(), 1);
+    }
+
+    #[test]
+    fn counts_clamped_at_max() {
+        let mut ea = EpochActivity::new(LinkId(0), SimDuration::from_millis(100), 3);
+        for i in 0..7 {
+            ea.on_transmit(LinkId(0), &pkt(1), at_ms(i * 10));
+        }
+        let d = ea.distribution(at_ms(100));
+        assert_eq!(d.len(), 4);
+        assert!((d[3] - 1.0).abs() < 1e-12, "7 packets clamp to bucket 3");
+    }
+
+    #[test]
+    fn flows_anchor_independently() {
+        let mut ea = EpochActivity::new(LinkId(0), SimDuration::from_millis(100), 6);
+        ea.on_transmit(LinkId(0), &pkt(1), at_ms(0));
+        // Flow 2 starts mid-way; its first epoch is anchored at 130 ms.
+        ea.on_transmit(LinkId(0), &pkt(2), at_ms(130));
+        ea.on_transmit(LinkId(0), &pkt(2), at_ms(140));
+        let d = ea.distribution(at_ms(230));
+        // Flow 1: epochs [0,100) = 1 pkt, [100,200) = 0; flow 2:
+        // [130,230) = 2 pkts. Counts: {1:1, 0:1, 2:1}.
+        assert!((d[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distribution_is_zeros() {
+        let mut ea = EpochActivity::new(LinkId(0), SimDuration::from_millis(100), 6);
+        let d = ea.distribution(at_ms(1_000));
+        assert_eq!(d, vec![0.0; 7]);
+    }
+
+    #[test]
+    fn acks_ignored() {
+        let mut ea = EpochActivity::new(LinkId(0), SimDuration::from_millis(100), 6);
+        let mut ack = pkt(1);
+        ack.payload_len = 0;
+        ea.on_transmit(LinkId(0), &ack, at_ms(0));
+        assert_eq!(ea.flow_count(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! User-perceived hang analysis (paper §2.3).
+//!
+//! A user with a pool of simultaneous TCP connections perceives a hang
+//! when *none* of the pool's connections delivers any data for a while.
+//! This module extracts hang durations from per-user delivery
+//! timestamps, observed as bottleneck transmissions toward the user's
+//! node (propagation shifts every event by the same constant, so gap
+//! lengths are unaffected).
+
+use std::collections::HashMap;
+use taq_sim::{LinkId, LinkMonitor, NodeId, Packet, SimDuration, SimTime};
+
+/// Records, per destination node (user), the times data was delivered,
+/// and computes per-user gap statistics.
+#[derive(Debug)]
+pub struct HangTracker {
+    link: LinkId,
+    deliveries: HashMap<NodeId, Vec<SimTime>>,
+    start: SimTime,
+    end: SimTime,
+}
+
+impl HangTracker {
+    /// Creates a tracker observing `link`, analysing the period
+    /// `[start, end]` (gaps at the boundaries count).
+    pub fn new(link: LinkId, start: SimTime, end: SimTime) -> Self {
+        assert!(start <= end, "inverted analysis window");
+        HangTracker {
+            link,
+            deliveries: HashMap::new(),
+            start,
+            end,
+        }
+    }
+
+    /// Users observed.
+    pub fn users(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// All silent gaps for one user within the analysis window,
+    /// including the leading gap (start → first delivery) and trailing
+    /// gap (last delivery → end).
+    pub fn gaps(&self, user: NodeId) -> Vec<SimDuration> {
+        let Some(times) = self.deliveries.get(&user) else {
+            return vec![self.end.saturating_since(self.start)];
+        };
+        let mut gaps = Vec::with_capacity(times.len() + 1);
+        let mut prev = self.start;
+        for &t in times {
+            if t < self.start || t > self.end {
+                continue;
+            }
+            gaps.push(t.saturating_since(prev));
+            prev = t;
+        }
+        gaps.push(self.end.saturating_since(prev));
+        gaps
+    }
+
+    /// The longest hang each user experienced.
+    pub fn max_hang_per_user(&self) -> HashMap<NodeId, SimDuration> {
+        self.deliveries
+            .keys()
+            .map(|&u| {
+                let max = self.gaps(u).into_iter().max().unwrap_or(SimDuration::ZERO);
+                (u, max)
+            })
+            .collect()
+    }
+
+    /// Fraction of users whose longest hang meets or exceeds
+    /// `threshold`.
+    pub fn fraction_with_hang(&self, threshold: SimDuration) -> f64 {
+        let per_user = self.max_hang_per_user();
+        if per_user.is_empty() {
+            return 0.0;
+        }
+        let hit = per_user.values().filter(|&&h| h >= threshold).count();
+        hit as f64 / per_user.len() as f64
+    }
+}
+
+impl LinkMonitor for HangTracker {
+    fn on_transmit(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        if link != self.link || !pkt.is_data() {
+            return;
+        }
+        self.deliveries.entry(pkt.flow.dst).or_default().push(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taq_sim::{FlowKey, PacketBuilder};
+
+    fn pkt(user: u32) -> Packet {
+        PacketBuilder::new(FlowKey {
+            src: NodeId(0),
+            src_port: 80,
+            dst: NodeId(user),
+            dst_port: 10_000,
+        })
+        .payload(460)
+        .build()
+    }
+
+    fn at(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn tracker() -> HangTracker {
+        HangTracker::new(LinkId(0), at(0), at(100))
+    }
+
+    #[test]
+    fn gaps_include_boundaries() {
+        let mut t = tracker();
+        t.on_transmit(LinkId(0), &pkt(1), at(10));
+        t.on_transmit(LinkId(0), &pkt(1), at(40));
+        let gaps = t.gaps(NodeId(1));
+        assert_eq!(
+            gaps,
+            vec![
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(30),
+                SimDuration::from_secs(60),
+            ]
+        );
+    }
+
+    #[test]
+    fn pool_of_connections_counts_as_one_user() {
+        let mut t = tracker();
+        // Two connections of user 1 alternate; no pool-level hang.
+        for s in (0..100).step_by(10) {
+            let mut p = pkt(1);
+            p.flow.dst_port = if s % 20 == 0 { 10_000 } else { 10_001 };
+            t.on_transmit(LinkId(0), &p, at(s));
+        }
+        let max = t.max_hang_per_user();
+        assert_eq!(max.len(), 1);
+        assert_eq!(max[&NodeId(1)], SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn fraction_with_hang_thresholds() {
+        let mut t = tracker();
+        // User 1 delivers every 10 s: max hang 10 s.
+        for s in (0..=100).step_by(10) {
+            t.on_transmit(LinkId(0), &pkt(1), at(s));
+        }
+        // User 2 only delivers at t=0: 100 s hang.
+        t.on_transmit(LinkId(0), &pkt(2), at(0));
+        assert_eq!(t.users(), 2);
+        assert_eq!(t.fraction_with_hang(SimDuration::from_secs(60)), 0.5);
+        assert_eq!(t.fraction_with_hang(SimDuration::from_secs(5)), 1.0);
+        assert_eq!(
+            t.fraction_with_hang(SimDuration::from_secs(200)),
+            0.0,
+            "nobody hangs past the window"
+        );
+    }
+
+    #[test]
+    fn acks_and_other_links_ignored() {
+        let mut t = tracker();
+        let mut ack = pkt(1);
+        ack.payload_len = 0;
+        t.on_transmit(LinkId(0), &ack, at(5));
+        t.on_transmit(LinkId(1), &pkt(1), at(5));
+        assert_eq!(t.users(), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Generic finite discrete-time Markov chains.
+//!
+//! The paper's models are small (tens of states), so the stationary
+//! distribution is computed exactly by dense Gaussian elimination on
+//! `π(P − I) = 0` with the normalisation `Σπ = 1`, and cross-checked in
+//! tests against power iteration.
+
+use std::collections::HashMap;
+
+/// A finite DTMC with named states and a row-stochastic transition
+/// matrix.
+#[derive(Debug, Clone)]
+pub struct Dtmc {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    /// Row-major transition probabilities: `p[i][j] = P(i → j)`.
+    p: Vec<Vec<f64>>,
+}
+
+/// Builder for a [`Dtmc`].
+#[derive(Debug, Default)]
+pub struct DtmcBuilder {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl DtmcBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DtmcBuilder::default()
+    }
+
+    /// Declares (or finds) a state by name, returning its index.
+    pub fn state(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), i);
+        i
+    }
+
+    /// Adds probability mass `prob` to the transition `from → to`.
+    /// Multiple additions to the same pair accumulate.
+    pub fn transition(&mut self, from: usize, to: usize, prob: f64) -> &mut Self {
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&prob),
+            "probability out of range: {prob}"
+        );
+        if prob > 0.0 {
+            self.entries.push((from, to, prob));
+        }
+        self
+    }
+
+    /// Finalises the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first state whose outgoing
+    /// probabilities do not sum to 1 (within 1e-9).
+    pub fn build(self) -> Result<Dtmc, String> {
+        let n = self.names.len();
+        let mut p = vec![vec![0.0; n]; n];
+        for (i, j, prob) in self.entries {
+            p[i][j] += prob;
+        }
+        for (i, row) in p.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(format!(
+                    "state {:?} rows sum to {sum}, expected 1",
+                    self.names[i]
+                ));
+            }
+        }
+        Ok(Dtmc {
+            names: self.names,
+            index: self.index,
+            p,
+        })
+    }
+}
+
+impl Dtmc {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if the chain has no states.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of state `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Index of a named state.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Transition probability `P(i → j)`.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.p[i][j]
+    }
+
+    /// Exact stationary distribution via Gaussian elimination on the
+    /// transposed system, replacing one equation with `Σπ = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the linear system is singular beyond numerical
+    /// tolerance, which indicates a chain with no unique stationary
+    /// distribution (e.g. disconnected recurrent classes) — a modelling
+    /// bug, not a runtime condition.
+    pub fn stationary(&self) -> Vec<f64> {
+        let n = self.len();
+        assert!(n > 0, "empty chain");
+        // Build A = Pᵀ − I, then overwrite the last row with ones
+        // (normalisation); solve A x = e_last.
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                a[j][i] = self.p[i][j];
+            }
+        }
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] -= 1.0;
+        }
+        for v in a[n - 1].iter_mut() {
+            *v = 1.0;
+        }
+        let mut b = vec![0.0; n];
+        b[n - 1] = 1.0;
+        // Partial-pivot Gaussian elimination.
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&r1, &r2| a[r1][col].abs().partial_cmp(&a[r2][col].abs()).unwrap())
+                .expect("non-empty range");
+            assert!(
+                a[pivot][col].abs() > 1e-12,
+                "singular transition system at column {col}"
+            );
+            a.swap(col, pivot);
+            b.swap(col, pivot);
+            for row in (col + 1)..n {
+                let f = a[row][col] / a[col][col];
+                if f != 0.0 {
+                    for k in col..n {
+                        a[row][k] -= f * a[col][k];
+                    }
+                    b[row] -= f * b[col];
+                }
+            }
+        }
+        let mut x = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut s = b[row];
+            for k in (row + 1)..n {
+                s -= a[row][k] * x[k];
+            }
+            x[row] = s / a[row][row];
+        }
+        // Clean tiny negative round-off and renormalise.
+        for v in &mut x {
+            if *v < 0.0 && *v > -1e-9 {
+                *v = 0.0;
+            }
+        }
+        let total: f64 = x.iter().sum();
+        for v in &mut x {
+            *v /= total;
+        }
+        x
+    }
+
+    /// Stationary distribution by power iteration (used as a cross-check
+    /// and for very large chains).
+    pub fn stationary_power(&self, iterations: usize) -> Vec<f64> {
+        let n = self.len();
+        let mut pi = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0; n];
+        for _ in 0..iterations {
+            for v in &mut next {
+                *v = 0.0;
+            }
+            for i in 0..n {
+                if pi[i] == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    next[j] += pi[i] * self.p[i][j];
+                }
+            }
+            std::mem::swap(&mut pi, &mut next);
+        }
+        pi
+    }
+
+    /// Expected hitting probability mass of a state set under the
+    /// stationary distribution.
+    pub fn mass_of<'a>(&self, pi: &[f64], states: impl IntoIterator<Item = &'a str>) -> f64 {
+        states
+            .into_iter()
+            .filter_map(|s| self.index_of(s))
+            .map(|i| pi[i])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state(p01: f64, p10: f64) -> Dtmc {
+        let mut b = DtmcBuilder::new();
+        let s0 = b.state("a");
+        let s1 = b.state("b");
+        b.transition(s0, s1, p01)
+            .transition(s0, s0, 1.0 - p01)
+            .transition(s1, s0, p10)
+            .transition(s1, s1, 1.0 - p10);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn two_state_stationary_closed_form() {
+        let m = two_state(0.3, 0.1);
+        let pi = m.stationary();
+        // π_a = p10 / (p01 + p10).
+        assert!((pi[0] - 0.25).abs() < 1e-12);
+        assert!((pi[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_matches_power_iteration() {
+        let mut b = DtmcBuilder::new();
+        let s: Vec<usize> = (0..5).map(|i| b.state(&format!("s{i}"))).collect();
+        // A ring with a bias.
+        for i in 0..5 {
+            b.transition(s[i], s[(i + 1) % 5], 0.7);
+            b.transition(s[i], s[(i + 4) % 5], 0.3);
+        }
+        let m = b.build().unwrap();
+        let exact = m.stationary();
+        let approx = m.stationary_power(10_000);
+        for (e, a) in exact.iter().zip(&approx) {
+            assert!((e - a).abs() < 1e-9, "{e} vs {a}");
+        }
+        // Symmetric ring: uniform.
+        for e in &exact {
+            assert!((e - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unnormalised_rows_rejected() {
+        let mut b = DtmcBuilder::new();
+        let s0 = b.state("x");
+        let s1 = b.state("y");
+        b.transition(s0, s1, 0.5);
+        b.transition(s1, s0, 1.0);
+        let err = b.build().unwrap_err();
+        assert!(err.contains('x'), "error names the bad state: {err}");
+    }
+
+    #[test]
+    fn accumulating_transitions() {
+        let mut b = DtmcBuilder::new();
+        let s0 = b.state("x");
+        b.transition(s0, s0, 0.25);
+        b.transition(s0, s0, 0.75);
+        let m = b.build().unwrap();
+        assert_eq!(m.prob(0, 0), 1.0);
+        assert_eq!(m.stationary(), vec![1.0]);
+    }
+
+    #[test]
+    fn state_lookup_and_mass() {
+        let m = two_state(0.5, 0.5);
+        assert_eq!(m.index_of("a"), Some(0));
+        assert_eq!(m.index_of("zzz"), None);
+        assert_eq!(m.name(1), "b");
+        let pi = m.stationary();
+        assert!((m.mass_of(&pi, ["a", "b"]) - 1.0).abs() < 1e-12);
+        assert!((m.mass_of(&pi, ["a"]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_sums_to_one() {
+        let m = two_state(0.123, 0.456);
+        let pi = m.stationary();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&v| v >= 0.0));
+    }
+}

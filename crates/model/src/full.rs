@@ -1,0 +1,399 @@
+//! The paper's *full* idealized Markov model (its Figure 5).
+//!
+//! The partial model aggregates every backoff level into one `b*` state.
+//! The full model breaks that aggregation apart so repetitive timeouts
+//! are represented explicitly: it tracks "at least 1 backoff", "at least
+//! 2 backoffs", ..., up to a configurable depth `K`, with the residual
+//! tail beyond `K` aggregated the same way the partial model aggregates
+//! everything.
+//!
+//! Concretely, for backoff stage `j` (timer = `2^j · T0/2 · RTT`,
+//! following the paper's `S_{1/2^j}` naming):
+//!
+//! - entering stage `j` means waiting `2^j − 1` silent epochs (modelled
+//!   as an explicit chain of wait states, exact, not geometric), then
+//!   firing the retransmission in state `R_j` (one packet that epoch);
+//! - a successful retransmission (probability `1−p`) opens the window to
+//!   2, but the only data acknowledged so far was *retransmitted*, so by
+//!   Karn's algorithm the timer has not collapsed: the flow proceeds
+//!   through *tagged* low-window states `S2^(j)`, `S3^(j)` that remember
+//!   the backoff. Per the paper, by the time the flow leaves `S3` and
+//!   reaches `S4`, new data has been cumulatively acknowledged and the
+//!   timer collapses — so `S4` and above are untagged;
+//! - a failed retransmission (probability `p`), or a timeout from a
+//!   tagged state `S2^(j)`/`S3^(j)`, enters stage `j+1` (a *repetitive*
+//!   timeout), saturating at the aggregated tail stage.
+//!
+//! Timeouts from untagged states (`S2^(0)`, `S3^(0)` at flow steady
+//! state, and `S4..SWmax` whose losses exceed fast-retransmit's reach)
+//! enter stage 1 with the base timer.
+
+use crate::dtmc::{Dtmc, DtmcBuilder};
+
+/// The expanded repetitive-timeout model.
+#[derive(Debug, Clone)]
+pub struct FullModel {
+    /// Per-packet loss probability.
+    pub p: f64,
+    /// Maximum congestion window (segments).
+    pub wmax: u32,
+    /// Deepest explicitly modelled backoff stage; beyond it the tail is
+    /// aggregated.
+    pub max_backoff: u32,
+    chain: Dtmc,
+}
+
+/// State-name helpers for the full model.
+pub mod states {
+    /// Tagged low-window state: window `n` (2 or 3) with backoff memory
+    /// `j` (0 = collapsed).
+    pub fn tagged(n: u32, j: u32) -> String {
+        format!("S{n}^{j}")
+    }
+
+    /// Untagged window state `n ≥ 4`.
+    pub fn s(n: u32) -> String {
+        format!("S{n}")
+    }
+
+    /// `i`-th wait epoch of backoff stage `j` (`i` in `1..=2^j − 1`).
+    pub fn wait(j: u32, i: u32) -> String {
+        format!("W{j},{i}")
+    }
+
+    /// Retransmit state of backoff stage `j`.
+    pub fn retransmit(j: u32) -> String {
+        format!("R{j}")
+    }
+
+    /// The aggregated wait state for stages beyond `max_backoff`.
+    pub const TAIL_WAIT: &str = "Wtail";
+    /// The aggregated retransmit state for the tail.
+    pub const TAIL_RETX: &str = "Rtail";
+}
+
+impl FullModel {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 0.5`, `wmax ≥ 4`, and
+    /// `1 ≤ max_backoff ≤ 10` (the wait chain for stage `j` has `2^j − 1`
+    /// states, so depth is capped to keep the chain small).
+    pub fn new(p: f64, wmax: u32, max_backoff: u32) -> Self {
+        assert!(p > 0.0 && p < 0.5, "need 0 < p < 1/2, got {p}");
+        assert!(wmax >= 4, "need wmax >= 4, got {wmax}");
+        assert!(
+            (1..=10).contains(&max_backoff),
+            "need 1 <= max_backoff <= 10, got {max_backoff}"
+        );
+        let k = max_backoff;
+        let mut b = DtmcBuilder::new();
+        let q = 1.0 - p;
+
+        // Untagged window states S4..SWmax.
+        let s: Vec<usize> = (0..=wmax)
+            .map(|n| {
+                if n >= 4 {
+                    b.state(&states::s(n))
+                } else {
+                    usize::MAX
+                }
+            })
+            .collect();
+        // Tagged S2^j, S3^j for j = 0..=K.
+        let s2: Vec<usize> = (0..=k).map(|j| b.state(&states::tagged(2, j))).collect();
+        let s3: Vec<usize> = (0..=k).map(|j| b.state(&states::tagged(3, j))).collect();
+        // Wait chains and retransmit states per stage.
+        let waits: Vec<Vec<usize>> = (1..=k)
+            .map(|j| {
+                (1..=(1u32 << j) - 1)
+                    .map(|i| b.state(&states::wait(j, i)))
+                    .collect()
+            })
+            .collect();
+        let retx: Vec<usize> = (1..=k).map(|j| b.state(&states::retransmit(j))).collect();
+        let tail_wait = b.state(states::TAIL_WAIT);
+        let tail_retx = b.state(states::TAIL_RETX);
+
+        // Stage entry point: first wait state of stage j (1-indexed).
+        let stage_entry = |j: u32| -> usize {
+            if j > k {
+                tail_wait
+            } else {
+                waits[(j - 1) as usize][0]
+            }
+        };
+
+        // --- Untagged window chain S4..SWmax ---
+        for n in 4..=wmax {
+            let here = s[n as usize];
+            let up_target = if n == wmax { here } else { s[(n + 1) as usize] };
+            let up = q.powi(n as i32);
+            b.transition(here, up_target, up);
+            // Fast retransmit to ⌊n/2⌋: windows 2,3 land in tagged j=0
+            // (no backoff memory — no timeout happened), 4+ stay untagged.
+            let half = n / 2;
+            let fr_target = match half {
+                2 => s2[0],
+                3 => s3[0],
+                _ => s[half as usize],
+            };
+            let fast = f64::from(n) * p * q.powi(n as i32 - 1) * q;
+            b.transition(here, fr_target, fast);
+            // Simple timeout: enter stage 1.
+            b.transition(here, stage_entry(1), 1.0 - up - fast);
+        }
+
+        // --- Tagged low-window chains ---
+        for j in 0..=k {
+            let next_stage = stage_entry((j + 1).min(k + 1).max(1).min(k + 1));
+            // S2^j: success -> S3^j; timeout -> stage j+1 (repetitive if
+            // j >= 1; for j = 0 the timer is at base, i.e. stage 1).
+            let up2 = q * q;
+            b.transition(s2[j as usize], s3[j as usize], up2);
+            let to2 = 1.0 - up2;
+            let target2 = if j == 0 { stage_entry(1) } else { next_stage };
+            b.transition(s2[j as usize], target2, to2);
+            // S3^j: success -> S4 (timer collapses there, per the
+            // paper); timeout -> stage j+1.
+            let up3 = q * q * q;
+            b.transition(s3[j as usize], s[4], up3);
+            let target3 = if j == 0 { stage_entry(1) } else { next_stage };
+            b.transition(s3[j as usize], target3, 1.0 - up3);
+        }
+
+        // --- Wait chains: deterministic countdowns ---
+        for j in 1..=k {
+            let chain = &waits[(j - 1) as usize];
+            for w in 0..chain.len() {
+                let next = if w + 1 < chain.len() {
+                    chain[w + 1]
+                } else {
+                    retx[(j - 1) as usize]
+                };
+                b.transition(chain[w], next, 1.0);
+            }
+        }
+
+        // --- Retransmit states ---
+        for j in 1..=k {
+            let r = retx[(j - 1) as usize];
+            // Success: window opens to 2 with backoff memory j intact
+            // (only retransmitted data has been acked — Karn).
+            b.transition(r, s2[j as usize], q);
+            // Failure: next-deeper stage.
+            b.transition(r, stage_entry(j + 1), p);
+        }
+
+        // --- Aggregated tail (stages > K) ---
+        // Conditional on having exceeded stage K, the expected wait is
+        //   E = Σ_{i≥0} p^i (1−p) (2^{K+1+i} − 1)
+        //     = 2^{K+1} (1−p)/(1−2p) − 1   epochs,
+        // modelled as a geometric dwell with the same mean.
+        let e_tail = f64::from(1u32 << (k + 1)) * q / (1.0 - 2.0 * p) - 1.0;
+        debug_assert!(e_tail >= 1.0);
+        let stay = 1.0 - 1.0 / e_tail;
+        b.transition(tail_wait, tail_wait, stay);
+        b.transition(tail_wait, tail_retx, 1.0 - stay);
+        // Tail retransmit: success resumes at the deepest tracked tag;
+        // failure re-enters the tail.
+        b.transition(tail_retx, s2[k as usize], q);
+        b.transition(tail_retx, tail_wait, p);
+
+        let chain = b.build().expect("full model rows are stochastic");
+        FullModel {
+            p,
+            wmax,
+            max_backoff: k,
+            chain,
+        }
+    }
+
+    /// The underlying chain.
+    pub fn chain(&self) -> &Dtmc {
+        &self.chain
+    }
+
+    /// Exact stationary distribution.
+    pub fn stationary(&self) -> Vec<f64> {
+        self.chain.stationary()
+    }
+
+    /// Stationary distribution aggregated by packets sent per epoch
+    /// (index 0 = silent wait states; 1 = retransmit states; `n ≥ 2` =
+    /// window states of size `n`, summing tagged and untagged).
+    pub fn n_sent_distribution(&self) -> Vec<f64> {
+        let pi = self.stationary();
+        let mut out = vec![0.0; (self.wmax + 1) as usize];
+        for (i, mass) in pi.iter().enumerate() {
+            let name = self.chain.name(i);
+            let bucket = if name.starts_with('W') {
+                0
+            } else if name.starts_with('R') {
+                1
+            } else if let Some(rest) = name.strip_prefix('S') {
+                let n: u32 = rest
+                    .split('^')
+                    .next()
+                    .expect("split yields at least one part")
+                    .parse()
+                    .expect("window state name");
+                n as usize
+            } else {
+                unreachable!("unknown state {name}");
+            };
+            out[bucket] += mass;
+        }
+        out
+    }
+
+    /// Stationary probability of being at backoff stage ≥ `j` (silent or
+    /// retransmitting), the "at least j backoffs" reading of Figure 5.
+    pub fn backoff_mass_at_least(&self, j: u32) -> f64 {
+        let pi = self.stationary();
+        let mut total = 0.0;
+        for (i, mass) in pi.iter().enumerate() {
+            let name = self.chain.name(i);
+            let stage = if name == states::TAIL_WAIT || name == states::TAIL_RETX {
+                self.max_backoff + 1
+            } else if let Some(rest) = name.strip_prefix('W') {
+                rest.split(',')
+                    .next()
+                    .expect("split yields at least one part")
+                    .parse()
+                    .expect("wait state stage")
+            } else if let Some(rest) = name.strip_prefix('R') {
+                rest.parse().expect("retransmit state stage")
+            } else {
+                continue;
+            };
+            if stage >= j {
+                total += mass;
+            }
+        }
+        total
+    }
+
+    /// Stationary probability of a silent epoch.
+    pub fn silence_mass(&self) -> f64 {
+        self.n_sent_distribution()[0]
+    }
+
+    /// Stationary probability of timeout-related states (silent waits
+    /// plus timeout retransmissions).
+    pub fn timeout_mass(&self) -> f64 {
+        let d = self.n_sent_distribution();
+        d[0] + d[1]
+    }
+
+    /// Long-run throughput in segments per epoch.
+    pub fn expected_segments_per_epoch(&self) -> f64 {
+        self.n_sent_distribution()
+            .iter()
+            .enumerate()
+            .map(|(n, pr)| n as f64 * pr)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partial::PartialModel;
+
+    #[test]
+    fn distribution_sums_to_one() {
+        for &p in &[0.02, 0.1, 0.25, 0.4] {
+            let m = FullModel::new(p, 6, 3);
+            let d = m.n_sent_distribution();
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9, "p={p}: {d:?}");
+            assert!(d.iter().all(|&v| v >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn agrees_with_partial_model_at_low_loss() {
+        // Away from the backoff ladder the two models share structure,
+        // so at low loss (where repetitive timeouts are rare) their
+        // n-sent distributions nearly coincide.
+        let full = FullModel::new(0.02, 6, 3).n_sent_distribution();
+        let partial = PartialModel::new(0.02, 6).n_sent_distribution();
+        for (n, (f, pa)) in full.iter().zip(&partial).enumerate() {
+            assert!((f - pa).abs() < 0.03, "n={n}: full={f:.3} partial={pa:.3}");
+        }
+    }
+
+    #[test]
+    fn full_model_has_more_silence_than_partial() {
+        // The partial model's aggregated b* draws a fresh
+        // entry-conditioned dwell on every consecutive failure, which
+        // understates true exponential backoff; the full model tracks
+        // the doubling explicitly and therefore spends strictly more
+        // time silent. This gap is exactly why the paper calls the full
+        // model "a much more accurate picture of the timeout states".
+        for &p in &[0.05, 0.1, 0.2, 0.3] {
+            let f = FullModel::new(p, 6, 3).silence_mass();
+            let pa = PartialModel::new(p, 6).silence_mass();
+            assert!(f > pa, "p={p}: full {f:.3} <= partial {pa:.3}");
+        }
+    }
+
+    #[test]
+    fn backoff_mass_decreases_with_stage() {
+        let m = FullModel::new(0.25, 6, 4);
+        let masses: Vec<f64> = (1..=4).map(|j| m.backoff_mass_at_least(j)).collect();
+        for w in masses.windows(2) {
+            assert!(w[0] >= w[1], "deeper stages are rarer: {masses:?}");
+        }
+        assert!(masses[0] > 0.0);
+    }
+
+    #[test]
+    fn deeper_backoff_mass_grows_with_p() {
+        let low = FullModel::new(0.05, 6, 3).backoff_mass_at_least(2);
+        let high = FullModel::new(0.3, 6, 3).backoff_mass_at_least(2);
+        assert!(
+            high > 5.0 * low,
+            "repetitive timeouts explode with loss: {low} -> {high}"
+        );
+    }
+
+    #[test]
+    fn silence_dominates_at_high_loss() {
+        let m = FullModel::new(0.35, 6, 3);
+        assert!(m.silence_mass() > 0.5, "silence {}", m.silence_mass());
+    }
+
+    #[test]
+    fn wait_chain_lengths_are_exact() {
+        // Stage j contributes 2^j - 1 wait states.
+        let m = FullModel::new(0.1, 6, 3);
+        let names: Vec<&str> = (0..m.chain().len()).map(|i| m.chain().name(i)).collect();
+        for j in 1..=3u32 {
+            let count = names
+                .iter()
+                .filter(|n| n.starts_with(&format!("W{j},")))
+                .count();
+            assert_eq!(count, (1usize << j) - 1, "stage {j}");
+        }
+    }
+
+    #[test]
+    fn throughput_below_partial_model_and_decreasing() {
+        let mut prev = f64::MAX;
+        for &p in &[0.05, 0.1, 0.15, 0.25] {
+            let f = FullModel::new(p, 6, 3).expected_segments_per_epoch();
+            let pa = PartialModel::new(p, 6).expected_segments_per_epoch();
+            assert!(f <= pa + 0.05, "p={p}: full {f} > partial {pa}");
+            assert!(f < prev, "throughput decreases with p");
+            prev = f;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_backoff")]
+    fn excessive_depth_rejected() {
+        let _ = FullModel::new(0.1, 6, 11);
+    }
+}

@@ -1,0 +1,47 @@
+//! # taq-model — idealized Markov models of TCP in small packet regimes
+//!
+//! Implements the paper's analytical contribution: Markov chains
+//! describing a TCP flow's epoch-by-epoch behaviour under a single
+//! per-packet loss probability `p`, specialized to the small windows and
+//! high loss rates of the sub-packet regime.
+//!
+//! - [`PartialModel`] — the chain of Figure 4: window states `S2..SWmax`,
+//!   the simple-timeout buffer `b0`, the retransmit state `S1`, and the
+//!   aggregated repetitive-timeout state `b*` whose geometric dwell
+//!   matches the closed-form expected idle time `1/(1 − 2p)`.
+//! - [`FullModel`] — the expansion of Figure 5: explicit backoff stages
+//!   ("at least 1, 2, ... backoffs") with exact wait chains and tagged
+//!   low-window states carrying backoff memory until new data is
+//!   cumulatively acknowledged.
+//! - [`analysis`] — closed forms and the tipping-point computation that
+//!   justifies TAQ's admission threshold `p_thresh = 0.1`;
+//! - [`transient`] — first-passage analysis: expected epochs to a
+//!   flow's next timeout from each state, the quantity underlying TAQ's
+//!   per-state drop priorities.
+//!
+//! Both models expose [`PartialModel::n_sent_distribution`] /
+//! [`FullModel::n_sent_distribution`], the "packets sent per epoch"
+//! aggregation the paper's Figure 6 validates against simulation.
+//!
+//! ## Example
+//!
+//! ```
+//! use taq_model::{analysis, PartialModel};
+//!
+//! let model = PartialModel::new(0.2, 6);
+//! let dist = model.n_sent_distribution();
+//! // At 20% loss a large share of epochs are silent.
+//! assert!(dist[0] > 0.3);
+//! // Closed form: expected idle time in the backoff state.
+//! assert_eq!(analysis::expected_idle_epochs(0.2), Some(1.0 / 0.6));
+//! ```
+
+pub mod analysis;
+mod dtmc;
+mod full;
+mod partial;
+pub mod transient;
+
+pub use dtmc::{Dtmc, DtmcBuilder};
+pub use full::{states as full_states, FullModel};
+pub use partial::{states as partial_states, PartialModel};

@@ -1,0 +1,264 @@
+//! The paper's *partial* idealized Markov model (its Figure 4).
+//!
+//! A congestion-window chain `S2..SWmax` with three kinds of transitions
+//! per epoch (one RTT), driven by a single per-packet loss probability
+//! `p`:
+//!
+//! - `Sn → Sn+1` when all `n` transmissions succeed: `(1−p)^n`
+//!   (saturating at `SWmax`);
+//! - `Sn → S⌊n/2⌋` (fast retransmit) for `n ≥ 4` when exactly one packet
+//!   is lost and its retransmission succeeds: `n·p·(1−p)^(n−1)·(1−p)`;
+//! - the residual probability goes to a timeout.
+//!
+//! Timeouts from `S4..SWmax` are *simple* (the flow acknowledged new
+//! data recently, so its timer holds the base value `T0 = 2·RTT`): they
+//! pass through the one-epoch buffer state `b0` and reach the retransmit
+//! state `S1`. Timeouts from `S2`/`S3`, and failed retransmissions from
+//! `S1`, enter the *aggregated backoff state* `b*`, which summarises the
+//! infinite ladder of doubled timers: dwell there is geometric with
+//! `P(b*→b*) = 2p` so that the expected idle time equals the paper's
+//! closed form `1/(1−2p)` epochs (valid for `p < 1/2`).
+//!
+//! From `S1`, a successful retransmission (probability `1−p`) yields a
+//! cumulative ACK that reopens the window to 2: `S1 → S2`.
+
+use crate::dtmc::{Dtmc, DtmcBuilder};
+
+/// The paper's partial model for a given `Wmax` and loss probability.
+#[derive(Debug, Clone)]
+pub struct PartialModel {
+    /// Per-packet loss probability.
+    pub p: f64,
+    /// Maximum congestion window (in segments) modelled.
+    pub wmax: u32,
+    chain: Dtmc,
+}
+
+/// State names used in the chain (stable API for experiment code).
+pub mod states {
+    /// The one-epoch wait after a simple timeout.
+    pub const B0: &str = "b0";
+    /// The aggregated repetitive-timeout wait state.
+    pub const BSTAR: &str = "b*";
+    /// The timeout-retransmit state (one packet sent per epoch).
+    pub const S1: &str = "S1";
+
+    /// Name of the window state with `n` segments per epoch.
+    pub fn s(n: u32) -> String {
+        format!("S{n}")
+    }
+}
+
+impl PartialModel {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 0.5` (the aggregated backoff state's
+    /// geometric dwell requires `2p < 1`) and `wmax ≥ 4` (below 4 no
+    /// fast-retransmit transition exists and the chain degenerates).
+    pub fn new(p: f64, wmax: u32) -> Self {
+        assert!(p > 0.0 && p < 0.5, "need 0 < p < 1/2, got {p}");
+        assert!(wmax >= 4, "need wmax >= 4, got {wmax}");
+        let mut b = DtmcBuilder::new();
+        let q = 1.0 - p;
+
+        let s: Vec<usize> = (0..=wmax)
+            .map(|n| {
+                if n < 2 {
+                    usize::MAX // S0/S1 handled separately.
+                } else {
+                    b.state(&states::s(n))
+                }
+            })
+            .collect();
+        let s1 = b.state(states::S1);
+        let b0 = b.state(states::B0);
+        let bstar = b.state(states::BSTAR);
+
+        for n in 2..=wmax {
+            let here = s[n as usize];
+            let up = q.powi(n as i32);
+            // Window growth, saturating at Wmax.
+            let next = if n == wmax { here } else { s[(n + 1) as usize] };
+            b.transition(here, next, up);
+            let fast = if n >= 4 {
+                let target = s[(n / 2) as usize];
+                let pr = f64::from(n) * p * q.powi(n as i32 - 1) * q;
+                b.transition(here, target, pr);
+                pr
+            } else {
+                0.0
+            };
+            let timeout = 1.0 - up - fast;
+            if n >= 4 {
+                // Simple timeout: base timer, one wait epoch in b0.
+                b.transition(here, b0, timeout);
+            } else {
+                // Low-window timeout: backoff memory may persist.
+                b.transition(here, bstar, timeout);
+            }
+        }
+        // b0 waits exactly one epoch, then the retransmit fires.
+        b.transition(b0, s1, 1.0);
+        // Retransmit outcome.
+        b.transition(s1, s[2], q);
+        b.transition(s1, bstar, p);
+        // Aggregated backoff dwell: expected 1/(1-2p) epochs.
+        b.transition(bstar, bstar, 2.0 * p);
+        b.transition(bstar, s1, 1.0 - 2.0 * p);
+
+        let chain = b.build().expect("partial model rows are stochastic");
+        PartialModel { p, wmax, chain }
+    }
+
+    /// The underlying chain.
+    pub fn chain(&self) -> &Dtmc {
+        &self.chain
+    }
+
+    /// Exact stationary distribution over the chain's states.
+    pub fn stationary(&self) -> Vec<f64> {
+        self.chain.stationary()
+    }
+
+    /// The stationary distribution aggregated by *packets sent per
+    /// epoch*, the observable the paper's Figure 6 plots: index 0 is the
+    /// silent states (`b0`, `b*`), index 1 the retransmit state `S1`,
+    /// index `n ≥ 2` the window state `Sn`.
+    pub fn n_sent_distribution(&self) -> Vec<f64> {
+        let pi = self.stationary();
+        let mut out = vec![0.0; (self.wmax + 1) as usize];
+        out[0] = self.chain.mass_of(&pi, [states::B0, states::BSTAR]);
+        out[1] = self.chain.mass_of(&pi, [states::S1]);
+        for n in 2..=self.wmax {
+            out[n as usize] = pi[self
+                .chain
+                .index_of(&states::s(n))
+                .expect("window state exists")];
+        }
+        out
+    }
+
+    /// Stationary probability of being in a timeout state (silent or
+    /// retransmitting after a timeout): the paper's "probability of
+    /// timeouts".
+    pub fn timeout_mass(&self) -> f64 {
+        let pi = self.stationary();
+        self.chain
+            .mass_of(&pi, [states::B0, states::BSTAR, states::S1])
+    }
+
+    /// Stationary probability of a *silent* epoch (no packets at all).
+    pub fn silence_mass(&self) -> f64 {
+        let pi = self.stationary();
+        self.chain.mass_of(&pi, [states::B0, states::BSTAR])
+    }
+
+    /// Long-run throughput in segments per epoch implied by the model.
+    pub fn expected_segments_per_epoch(&self) -> f64 {
+        self.n_sent_distribution()
+            .iter()
+            .enumerate()
+            .map(|(n, pr)| n as f64 * pr)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_sums_to_one() {
+        for &p in &[0.01, 0.05, 0.1, 0.2, 0.3, 0.45] {
+            let m = PartialModel::new(p, 6);
+            let d = m.n_sent_distribution();
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9, "p={p}");
+            assert!(d.iter().all(|&v| v >= 0.0), "p={p}");
+        }
+    }
+
+    #[test]
+    fn low_loss_concentrates_at_wmax() {
+        let m = PartialModel::new(0.01, 6);
+        let d = m.n_sent_distribution();
+        assert!(d[6] > 0.7, "at 1% loss the flow mostly sits at Wmax: {d:?}");
+        assert!(d[0] < 0.05, "little silence at low loss");
+    }
+
+    #[test]
+    fn high_loss_concentrates_in_timeouts() {
+        let m = PartialModel::new(0.3, 6);
+        assert!(
+            m.timeout_mass() > 0.6,
+            "at 30% loss most epochs are timeout states: {}",
+            m.timeout_mass()
+        );
+        let d = m.n_sent_distribution();
+        assert!(d[0] > d[6], "silence dominates Wmax occupancy");
+    }
+
+    #[test]
+    fn timeout_mass_monotone_in_p() {
+        let masses: Vec<f64> = [0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3]
+            .iter()
+            .map(|&p| PartialModel::new(p, 6).timeout_mass())
+            .collect();
+        for w in masses.windows(2) {
+            assert!(w[0] < w[1], "timeout mass must increase with p: {masses:?}");
+        }
+    }
+
+    #[test]
+    fn bstar_dwell_matches_closed_form() {
+        // The expected dwell in b* is a geometric with exit 1−2p, i.e.
+        // 1/(1−2p) epochs: check via the chain's self-loop.
+        let m = PartialModel::new(0.2, 6);
+        let b = m.chain().index_of(states::BSTAR).unwrap();
+        let stay = m.chain().prob(b, b);
+        assert!((stay - 0.4).abs() < 1e-12);
+        let expected_dwell = 1.0 / (1.0 - stay);
+        assert!((expected_dwell - 1.0 / (1.0 - 2.0 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_decreases_with_loss() {
+        let lo = PartialModel::new(0.02, 6).expected_segments_per_epoch();
+        let hi = PartialModel::new(0.3, 6).expected_segments_per_epoch();
+        assert!(lo > 4.0, "low loss ≈ Wmax throughput: {lo}");
+        assert!(hi < 1.5, "high loss throughput collapses: {hi}");
+    }
+
+    #[test]
+    fn wmax_extension_works() {
+        let m = PartialModel::new(0.05, 10);
+        let d = m.n_sent_distribution();
+        assert_eq!(d.len(), 11);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // S7..S10 states exist and carry mass at 5% loss.
+        assert!(d[10] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < p < 1/2")]
+    fn p_half_rejected() {
+        let _ = PartialModel::new(0.5, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "wmax")]
+    fn tiny_wmax_rejected() {
+        let _ = PartialModel::new(0.1, 3);
+    }
+
+    #[test]
+    fn stationary_agrees_with_power_iteration() {
+        let m = PartialModel::new(0.15, 6);
+        let exact = m.stationary();
+        let power = m.chain().stationary_power(20_000);
+        for (e, a) in exact.iter().zip(&power) {
+            assert!((e - a).abs() < 1e-8);
+        }
+    }
+}

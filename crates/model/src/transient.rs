@@ -1,0 +1,201 @@
+//! Transient (first-passage) analysis of the chains.
+//!
+//! The stationary distribution says how a population of flows spreads
+//! across states in equilibrium; a middlebox deciding whether to drop a
+//! *particular* packet cares about transients: starting from this
+//! flow's current state, how long until it hits a timeout? These
+//! quantities come from standard first-step analysis — solve
+//! `h(s) = 1 + Σ_t P(s→t) h(t)` over the non-target states — and they
+//! quantify the intuition behind TAQ's per-state drop priorities (a
+//! window-6 flow is many epochs from a timeout; a window-2 flow is one
+//! unlucky epoch away).
+
+use crate::dtmc::Dtmc;
+use crate::partial::{states, PartialModel};
+
+/// Expected number of epochs to reach any state in `targets`, starting
+/// from each state of `chain` (entries for target states are 0).
+///
+/// Solves the linear first-step system by Gaussian elimination over the
+/// non-target states.
+///
+/// # Panics
+///
+/// Panics if some state cannot reach a target (the expectation would be
+/// infinite) or if `targets` names no state of the chain; both indicate
+/// a modelling bug.
+pub fn expected_hitting_times(chain: &Dtmc, targets: &[usize]) -> Vec<f64> {
+    let n = chain.len();
+    let is_target = {
+        let mut v = vec![false; n];
+        for &t in targets {
+            v[t] = true;
+        }
+        v
+    };
+    assert!(is_target.iter().any(|&t| t), "no target states");
+    // Index map for non-target states.
+    let free: Vec<usize> = (0..n).filter(|&i| !is_target[i]).collect();
+    let pos: std::collections::HashMap<usize, usize> =
+        free.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+    let m = free.len();
+    // (I - Q) h = 1, where Q is the sub-matrix over free states.
+    let mut a = vec![vec![0.0; m]; m];
+    let mut b = vec![1.0; m];
+    for (row, &i) in free.iter().enumerate() {
+        a[row][row] = 1.0;
+        for (col, &j) in free.iter().enumerate() {
+            a[row][col] -= chain.prob(i, j);
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..m {
+        let pivot = (col..m)
+            .max_by(|&r1, &r2| {
+                a[r1][col]
+                    .abs()
+                    .partial_cmp(&a[r2][col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        assert!(
+            a[pivot][col].abs() > 1e-12,
+            "state {:?} cannot reach the target set",
+            chain.name(free[col])
+        );
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..m {
+            let f = a[row][col] / a[col][col];
+            if f != 0.0 {
+                for k in col..m {
+                    a[row][k] -= f * a[col][k];
+                }
+                b[row] -= f * b[col];
+            }
+        }
+    }
+    let mut x = vec![0.0; m];
+    for row in (0..m).rev() {
+        let mut s = b[row];
+        for k in (row + 1)..m {
+            s -= a[row][k] * x[k];
+        }
+        x[row] = s / a[row][row];
+    }
+    (0..n)
+        .map(|i| if is_target[i] { 0.0 } else { x[pos[&i]] })
+        .collect()
+}
+
+/// Expected epochs until a flow starting at window `w` first enters a
+/// timeout state (`b0` or `b*`) in the partial model.
+///
+/// # Panics
+///
+/// Panics if `w` is outside `2..=wmax`.
+pub fn epochs_to_first_timeout(model: &PartialModel, w: u32) -> f64 {
+    let chain = model.chain();
+    let start = chain
+        .index_of(&states::s(w))
+        .unwrap_or_else(|| panic!("no state S{w} (wmax = {})", model.wmax));
+    let targets: Vec<usize> = [states::B0, states::BSTAR]
+        .iter()
+        .filter_map(|s| chain.index_of(s))
+        .collect();
+    expected_hitting_times(chain, &targets)[start]
+}
+
+/// Probability that a flow currently entering a timeout experiences at
+/// least `k` *consecutive* timeouts before escaping to window 2: each
+/// retransmission fails independently with probability `p`, so the run
+/// length is geometric.
+pub fn consecutive_timeout_probability(p: f64, k: u32) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p));
+    if k == 0 {
+        1.0
+    } else {
+        p.powi(k as i32 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtmc::DtmcBuilder;
+
+    #[test]
+    fn hitting_time_of_simple_chain_matches_geometric() {
+        // Two states: from A, reach B with probability q per step.
+        let q = 0.25;
+        let mut b = DtmcBuilder::new();
+        let sa = b.state("a");
+        let sb = b.state("b");
+        b.transition(sa, sb, q)
+            .transition(sa, sa, 1.0 - q)
+            .transition(sb, sb, 1.0);
+        let chain = b.build().unwrap();
+        let h = expected_hitting_times(&chain, &[sb]);
+        assert!((h[sa] - 1.0 / q).abs() < 1e-9, "E = 1/q, got {}", h[sa]);
+        assert_eq!(h[sb], 0.0);
+    }
+
+    #[test]
+    fn hitting_time_of_deterministic_path() {
+        // a → b → c deterministically: h(a) = 2, h(b) = 1.
+        let mut b = DtmcBuilder::new();
+        let sa = b.state("a");
+        let sb = b.state("b");
+        let sc = b.state("c");
+        b.transition(sa, sb, 1.0)
+            .transition(sb, sc, 1.0)
+            .transition(sc, sc, 1.0);
+        let chain = b.build().unwrap();
+        let h = expected_hitting_times(&chain, &[sc]);
+        assert!((h[sa] - 2.0).abs() < 1e-12);
+        assert!((h[sb] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_windows_are_closest_to_timeout() {
+        // Fast-retransmit-capable states (w ≥ 4) survive single losses;
+        // S2/S3 cannot, so they sit closest to the next timeout. (The
+        // distance is *not* monotone above 4 — larger windows risk more
+        // losses per epoch — which is itself worth pinning down.)
+        let m = PartialModel::new(0.1, 6);
+        let h2 = epochs_to_first_timeout(&m, 2);
+        let h3 = epochs_to_first_timeout(&m, 3);
+        let h4 = epochs_to_first_timeout(&m, 4);
+        let h6 = epochs_to_first_timeout(&m, 6);
+        assert!(h2 < h4 && h2 < h6, "S2 nearest: {h2:.2} {h4:.2} {h6:.2}");
+        assert!(h3 < h4 && h3 < h6, "S3 nearer than w>=4: {h3:.2}");
+        // At 10% loss a window-2 flow is only a handful of epochs from
+        // its next timeout.
+        assert!(h2 < 10.0, "h2 = {h2}");
+    }
+
+    #[test]
+    fn higher_loss_shortens_time_to_timeout() {
+        let low = epochs_to_first_timeout(&PartialModel::new(0.05, 6), 6);
+        let high = epochs_to_first_timeout(&PartialModel::new(0.3, 6), 6);
+        assert!(
+            low > 3.0 * high,
+            "loss accelerates timeouts: {low:.2} vs {high:.2}"
+        );
+    }
+
+    #[test]
+    fn consecutive_timeout_runs_are_geometric() {
+        assert_eq!(consecutive_timeout_probability(0.2, 0), 1.0);
+        assert_eq!(consecutive_timeout_probability(0.2, 1), 1.0);
+        assert!((consecutive_timeout_probability(0.2, 2) - 0.2).abs() < 1e-12);
+        assert!((consecutive_timeout_probability(0.2, 4) - 0.008).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no target states")]
+    fn empty_target_set_rejected() {
+        let m = PartialModel::new(0.1, 6);
+        let _ = expected_hitting_times(m.chain(), &[]);
+    }
+}

@@ -1,0 +1,160 @@
+//! DropTail (tail-drop FIFO), the paper's primary baseline.
+
+use std::collections::VecDeque;
+use taq_sim::{EnqueueOutcome, Packet, Qdisc, SimTime};
+
+/// Capacity accounting mode for [`DropTail`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Capacity {
+    /// At most this many packets may be buffered.
+    Packets(usize),
+    /// At most this many bytes (wire length) may be buffered.
+    Bytes(usize),
+}
+
+/// A bounded FIFO that drops arriving packets when full.
+///
+/// This is the discipline the paper's Figures 1–3 and every "DT" series
+/// use. Capacity is usually expressed as "one RTT worth" of packets, i.e.
+/// `Bandwidth::packets_per(rtt, pkt_size)`.
+#[derive(Debug)]
+pub struct DropTail {
+    queue: VecDeque<Packet>,
+    bytes: usize,
+    capacity: Capacity,
+}
+
+impl DropTail {
+    /// Creates a DropTail queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero; a zero-capacity queue drops every
+    /// packet and deadlocks any transport.
+    pub fn new(capacity: Capacity) -> Self {
+        match capacity {
+            Capacity::Packets(n) => assert!(n > 0, "zero packet capacity"),
+            Capacity::Bytes(n) => assert!(n > 0, "zero byte capacity"),
+        }
+        DropTail {
+            queue: VecDeque::new(),
+            bytes: 0,
+            capacity,
+        }
+    }
+
+    /// Convenience: packet-count capacity.
+    pub fn with_packets(n: usize) -> Self {
+        DropTail::new(Capacity::Packets(n))
+    }
+
+    fn fits(&self, pkt: &Packet) -> bool {
+        match self.capacity {
+            Capacity::Packets(n) => self.queue.len() < n,
+            Capacity::Bytes(n) => self.bytes + pkt.wire_len() as usize <= n,
+        }
+    }
+}
+
+impl Qdisc for DropTail {
+    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> EnqueueOutcome {
+        if self.fits(&pkt) {
+            self.bytes += pkt.wire_len() as usize;
+            self.queue.push_back(pkt);
+            EnqueueOutcome::accepted()
+        } else {
+            EnqueueOutcome::rejected(pkt)
+        }
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.wire_len() as usize;
+        Some(pkt)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn byte_len(&self) -> usize {
+        self.bytes
+    }
+
+    fn name(&self) -> &'static str {
+        "droptail"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taq_sim::{FlowKey, NodeId, PacketBuilder};
+
+    fn pkt(id: u64, payload: u32) -> Packet {
+        let mut p = PacketBuilder::new(FlowKey {
+            src: NodeId(0),
+            src_port: 1,
+            dst: NodeId(1),
+            dst_port: 2,
+        })
+        .payload(payload)
+        .build();
+        p.id = id;
+        p
+    }
+
+    #[test]
+    fn drops_when_packet_capacity_full() {
+        let mut q = DropTail::with_packets(2);
+        assert!(q.enqueue(pkt(1, 100), SimTime::ZERO).dropped.is_empty());
+        assert!(q.enqueue(pkt(2, 100), SimTime::ZERO).dropped.is_empty());
+        let out = q.enqueue(pkt(3, 100), SimTime::ZERO);
+        assert_eq!(out.dropped.len(), 1);
+        assert_eq!(out.dropped[0].id, 3, "the arriving packet is dropped");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = DropTail::with_packets(10);
+        for i in 0..5 {
+            q.enqueue(pkt(i, 100), SimTime::ZERO);
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().id, i);
+        }
+        assert!(q.dequeue(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn byte_capacity_mode() {
+        // 140-byte wire packets; 320-byte budget holds two plus a
+        // 40-byte header-only packet.
+        let mut q = DropTail::new(Capacity::Bytes(320));
+        assert!(q.enqueue(pkt(1, 100), SimTime::ZERO).dropped.is_empty());
+        assert!(q.enqueue(pkt(2, 100), SimTime::ZERO).dropped.is_empty());
+        assert_eq!(q.enqueue(pkt(3, 100), SimTime::ZERO).dropped.len(), 1);
+        assert_eq!(q.byte_len(), 280);
+        // A smaller packet still fits where the 140-byte one did not.
+        assert!(q.enqueue(pkt(4, 0), SimTime::ZERO).dropped.is_empty());
+    }
+
+    #[test]
+    fn byte_accounting_balanced() {
+        let mut q = DropTail::with_packets(10);
+        q.enqueue(pkt(1, 60), SimTime::ZERO);
+        q.enqueue(pkt(2, 460), SimTime::ZERO);
+        assert_eq!(q.byte_len(), 100 + 500);
+        q.dequeue(SimTime::ZERO);
+        assert_eq!(q.byte_len(), 500);
+        q.dequeue(SimTime::ZERO);
+        assert_eq!(q.byte_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero packet capacity")]
+    fn zero_capacity_rejected() {
+        let _ = DropTail::with_packets(0);
+    }
+}

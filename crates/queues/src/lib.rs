@@ -1,0 +1,27 @@
+//! # taq-queues — baseline queueing disciplines
+//!
+//! The disciplines the paper compares TAQ against: [`DropTail`] (the
+//! primary baseline), [`Red`] and [`Sfq`] (shown in Section 2.4 to behave
+//! like DropTail in small packet regimes). All implement
+//! [`taq_sim::Qdisc`], so they drop into the simulator's bottleneck link
+//! and the real-time testbed interchangeably with TAQ.
+//!
+//! ## Example
+//!
+//! ```
+//! use taq_queues::DropTail;
+//! use taq_sim::{Bandwidth, Qdisc, SimDuration};
+//!
+//! // "One RTT worth" of buffering at 1 Mbps with 500-byte packets = 50.
+//! let buf = Bandwidth::from_mbps(1).packets_per(SimDuration::from_millis(200), 500);
+//! let q = DropTail::with_packets(buf);
+//! assert_eq!(q.name(), "droptail");
+//! ```
+
+mod droptail;
+mod red;
+mod sfq;
+
+pub use droptail::{Capacity, DropTail};
+pub use red::{Red, RedConfig};
+pub use sfq::Sfq;

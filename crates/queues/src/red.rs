@@ -1,0 +1,272 @@
+//! Random Early Detection (Floyd & Jacobson 1993).
+//!
+//! Implemented for the paper's Section 2.4 comparison: under small packet
+//! regimes the average queue sits pinned at the maximum, so RED degrades
+//! to DropTail-like behaviour — a result our Figure-2-style experiments
+//! reproduce. The implementation follows the classic algorithm: an EWMA
+//! of the queue length (with idle-time compensation), a linear drop
+//! probability between `min_th` and `max_th`, the `count`-based spreading
+//! of drops, and an optional "gentle" region above `max_th`.
+
+use std::collections::VecDeque;
+use taq_sim::{EnqueueOutcome, Packet, Qdisc, SimRng, SimTime};
+
+/// RED parameters.
+#[derive(Debug, Clone)]
+pub struct RedConfig {
+    /// Hard buffer limit in packets.
+    pub limit: usize,
+    /// Minimum average-queue threshold (packets).
+    pub min_th: f64,
+    /// Maximum average-queue threshold (packets).
+    pub max_th: f64,
+    /// Maximum drop probability at `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue size.
+    pub weight: f64,
+    /// If set, drop probability ramps from `max_p` to 1 between `max_th`
+    /// and `2*max_th` instead of jumping to 1 ("gentle RED").
+    pub gentle: bool,
+    /// Mean packet transmission time, used to age the average while the
+    /// queue is idle.
+    pub mean_pkt_time: f64,
+}
+
+impl RedConfig {
+    /// The conventional parameterisation for a buffer of `limit` packets:
+    /// `min_th = limit/4`, `max_th = limit/2`, `max_p = 0.1`,
+    /// `weight = 0.002`.
+    pub fn conventional(limit: usize, mean_pkt_time: f64) -> Self {
+        RedConfig {
+            limit,
+            min_th: limit as f64 / 4.0,
+            max_th: limit as f64 / 2.0,
+            max_p: 0.1,
+            weight: 0.002,
+            gentle: true,
+            mean_pkt_time,
+        }
+    }
+}
+
+/// Random Early Detection queue.
+#[derive(Debug)]
+pub struct Red {
+    cfg: RedConfig,
+    queue: VecDeque<Packet>,
+    bytes: usize,
+    avg: f64,
+    /// Packets enqueued since the last early drop (the classic `count`).
+    count: i64,
+    /// When the queue went idle (empty), for average aging.
+    idle_since: Option<SimTime>,
+    rng: SimRng,
+}
+
+impl Red {
+    /// Creates a RED queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thresholds are inconsistent (`0 < min_th < max_th`) or
+    /// the limit is zero.
+    pub fn new(cfg: RedConfig, rng: SimRng) -> Self {
+        assert!(cfg.limit > 0, "zero limit");
+        assert!(
+            cfg.min_th > 0.0 && cfg.min_th < cfg.max_th,
+            "need 0 < min_th < max_th"
+        );
+        assert!((0.0..=1.0).contains(&cfg.max_p), "max_p out of range");
+        Red {
+            cfg,
+            queue: VecDeque::new(),
+            bytes: 0,
+            avg: 0.0,
+            count: -1,
+            idle_since: Some(SimTime::ZERO),
+            rng,
+        }
+    }
+
+    /// Current EWMA of the queue length, exposed for tests and probes.
+    pub fn avg_queue(&self) -> f64 {
+        self.avg
+    }
+
+    fn update_avg(&mut self, now: SimTime) {
+        if let Some(idle_start) = self.idle_since {
+            // Age the average as if `m` empty slots went by while idle.
+            let idle = now.saturating_since(idle_start).as_secs_f64();
+            let m = (idle / self.cfg.mean_pkt_time).floor().min(1e6);
+            self.avg *= (1.0 - self.cfg.weight).powf(m);
+            self.idle_since = None;
+        }
+        self.avg = (1.0 - self.cfg.weight) * self.avg + self.cfg.weight * self.queue.len() as f64;
+    }
+
+    /// Early-drop decision for the current average.
+    fn should_drop_early(&mut self) -> bool {
+        let avg = self.avg;
+        let c = &self.cfg;
+        let pb = if avg < c.min_th {
+            self.count = -1;
+            return false;
+        } else if avg < c.max_th {
+            c.max_p * (avg - c.min_th) / (c.max_th - c.min_th)
+        } else if c.gentle && avg < 2.0 * c.max_th {
+            c.max_p + (1.0 - c.max_p) * (avg - c.max_th) / c.max_th
+        } else {
+            self.count = 0;
+            return true;
+        };
+        self.count += 1;
+        // Spread drops uniformly: pa = pb / (1 - count*pb).
+        let pa = if self.count as f64 * pb >= 1.0 {
+            1.0
+        } else {
+            pb / (1.0 - self.count as f64 * pb)
+        };
+        if self.rng.chance(pa) {
+            self.count = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Qdisc for Red {
+    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
+        self.update_avg(now);
+        if self.queue.len() >= self.cfg.limit {
+            self.count = 0;
+            return EnqueueOutcome::rejected(pkt);
+        }
+        if self.should_drop_early() {
+            return EnqueueOutcome::rejected(pkt);
+        }
+        self.bytes += pkt.wire_len() as usize;
+        self.queue.push_back(pkt);
+        EnqueueOutcome::accepted()
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.wire_len() as usize;
+        if self.queue.is_empty() {
+            self.idle_since = Some(now);
+        }
+        Some(pkt)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn byte_len(&self) -> usize {
+        self.bytes
+    }
+
+    fn name(&self) -> &'static str {
+        "red"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taq_sim::{FlowKey, NodeId, PacketBuilder};
+
+    fn pkt(id: u64) -> Packet {
+        let mut p = PacketBuilder::new(FlowKey {
+            src: NodeId(0),
+            src_port: 1,
+            dst: NodeId(1),
+            dst_port: 2,
+        })
+        .payload(460)
+        .build();
+        p.id = id;
+        p
+    }
+
+    fn red(limit: usize) -> Red {
+        Red::new(RedConfig::conventional(limit, 0.004), SimRng::new(1))
+    }
+
+    #[test]
+    fn no_drops_below_min_threshold() {
+        let mut q = red(100);
+        for i in 0..10 {
+            let out = q.enqueue(pkt(i), SimTime::from_millis(i * 4));
+            assert!(out.dropped.is_empty(), "below min_th nothing drops");
+        }
+    }
+
+    #[test]
+    fn hard_limit_enforced() {
+        let mut q = red(10);
+        let mut accepted = 0;
+        for i in 0..50 {
+            if q.enqueue(pkt(i), SimTime::ZERO).dropped.is_empty() {
+                accepted += 1;
+            }
+        }
+        assert!(accepted <= 10);
+        assert!(q.len() <= 10);
+    }
+
+    #[test]
+    fn sustained_congestion_produces_early_drops() {
+        let mut q = red(50);
+        let mut drops = 0;
+        let mut t = SimTime::ZERO;
+        // Offer far faster than we drain: average climbs past min_th.
+        for i in 0..5_000 {
+            if !q.enqueue(pkt(i), t).dropped.is_empty() {
+                drops += 1;
+            }
+            if i % 3 == 0 {
+                q.dequeue(t);
+            }
+            t = t + taq_sim::SimDuration::from_micros(100);
+        }
+        assert!(drops > 0, "early/overflow drops expected under overload");
+        assert!(q.avg_queue() > 12.5, "average should exceed min_th");
+    }
+
+    #[test]
+    fn average_decays_while_idle() {
+        let mut q = red(50);
+        let mut t = SimTime::ZERO;
+        for i in 0..200 {
+            q.enqueue(pkt(i), t);
+            if i % 2 == 0 {
+                q.dequeue(t);
+            }
+            t = t + taq_sim::SimDuration::from_micros(100);
+        }
+        let before = q.avg_queue();
+        // Drain and go idle for a long time.
+        while q.dequeue(t).is_some() {}
+        let later = t + taq_sim::SimDuration::from_secs(10);
+        q.enqueue(pkt(10_000), later);
+        assert!(
+            q.avg_queue() < before / 2.0,
+            "idle aging should decay avg: {} -> {}",
+            before,
+            q.avg_queue()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_th")]
+    fn invalid_thresholds_rejected() {
+        let cfg = RedConfig {
+            min_th: 10.0,
+            max_th: 5.0,
+            ..RedConfig::conventional(20, 0.004)
+        };
+        let _ = Red::new(cfg, SimRng::new(1));
+    }
+}

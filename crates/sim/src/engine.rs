@@ -1,0 +1,671 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulator`] owns a set of [`Agent`]s (hosts, routers) connected by
+//! unidirectional rate/delay links, and drives them from a totally
+//! ordered event queue. Agents interact with the world only through the
+//! [`Ctx`] handed to their callbacks: sending packets, setting and
+//! cancelling timers, and drawing deterministic random numbers. The
+//! engine is single-threaded; determinism is guaranteed by the
+//! `(time, schedule-order)` event ordering and the single seeded RNG.
+
+use crate::events::{EventKind, EventQueue, TimerId, TimerTable};
+use crate::link::{Link, LinkStats};
+use crate::monitor::SharedMonitor;
+use crate::packet::{LinkId, NodeId, Packet};
+use crate::qdisc::Qdisc;
+use crate::rng::SimRng;
+use crate::time::{Bandwidth, SimDuration, SimTime};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// A simulated process attached to a node: a TCP host, a router, a
+/// traffic source.
+///
+/// Implementations must provide `as_any`/`as_any_mut` (returning `self`)
+/// so experiment harnesses can recover the concrete type after a run.
+pub trait Agent {
+    /// Called once when the agent's start event fires (see
+    /// [`Simulator::schedule_start`]).
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a packet addressed to (or routed through) this node
+    /// arrives.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+
+    /// Called when a live timer set by this agent fires; `token` is the
+    /// cookie passed to [`Ctx::set_timer`].
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        let _ = (token, ctx);
+    }
+
+    /// Upcast for post-run inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for post-run inspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A router that forwards every packet toward its flow's destination.
+///
+/// With static routes installed (see [`Simulator::add_route`] /
+/// [`Simulator::set_default_route`]) this is all the paper's dumbbell
+/// topology needs.
+#[derive(Debug, Default)]
+pub struct ForwardingRouter;
+
+impl Agent for ForwardingRouter {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        let dst = pkt.flow.dst;
+        ctx.forward(dst, pkt);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct RouteTable {
+    default: Option<LinkId>,
+    by_dst: HashMap<NodeId, LinkId>,
+}
+
+/// Everything in the simulator except the agents themselves; split out so
+/// an agent can be borrowed mutably while it manipulates the world.
+struct World {
+    now: SimTime,
+    queue: EventQueue,
+    timers: TimerTable,
+    links: Vec<Link>,
+    routes: Vec<RouteTable>,
+    monitors: Vec<SharedMonitor>,
+    rng: SimRng,
+    next_packet_id: u64,
+    events_processed: u64,
+}
+
+impl World {
+    fn next_link(&self, from: NodeId, dst: NodeId) -> Option<LinkId> {
+        let table = self.routes.get(from.0 as usize)?;
+        table.by_dst.get(&dst).copied().or(table.default)
+    }
+
+    /// Offers `pkt` to `link`'s queue and starts transmission if idle.
+    fn offer(&mut self, link_id: LinkId, pkt: Packet) {
+        let now = self.now;
+        for m in &self.monitors {
+            m.borrow_mut().on_enqueue(link_id, &pkt, now);
+        }
+        let link = &mut self.links[link_id.0 as usize];
+        link.stats.offered_pkts += 1;
+        link.stats.offered_bytes += u64::from(pkt.wire_len());
+        let outcome = link.qdisc.enqueue(pkt, now);
+        for dropped in outcome.dropped {
+            link.stats.dropped_pkts += 1;
+            link.stats.dropped_bytes += u64::from(dropped.wire_len());
+            for m in &self.monitors {
+                m.borrow_mut().on_drop(link_id, &dropped, now);
+            }
+        }
+        self.try_transmit(link_id);
+    }
+
+    /// If the link is idle and has a queued packet, begins serializing it.
+    fn try_transmit(&mut self, link_id: LinkId) {
+        let now = self.now;
+        let link = &mut self.links[link_id.0 as usize];
+        if link.busy {
+            return;
+        }
+        let Some(pkt) = link.qdisc.dequeue(now) else {
+            return;
+        };
+        let tx = link.rate.transmission_time(pkt.wire_len());
+        let done = now + tx;
+        let arrive = done + link.delay;
+        link.busy = true;
+        link.stats.busy_time += tx;
+        self.queue.push(done, EventKind::LinkFree { link: link_id });
+        // Bernoulli wire loss: the packet occupies the transmitter but
+        // never arrives (a corrupted frame). Used to drive controlled,
+        // contention-independent loss probabilities for model
+        // validation.
+        if link.loss_rate > 0.0 && self.rng.chance(link.loss_rate) {
+            let link = &mut self.links[link_id.0 as usize];
+            link.stats.wire_lost_pkts += 1;
+            for m in &self.monitors {
+                m.borrow_mut().on_drop(link_id, &pkt, now);
+            }
+            return;
+        }
+        let link = &mut self.links[link_id.0 as usize];
+        link.stats.transmitted_pkts += 1;
+        link.stats.transmitted_bytes += u64::from(pkt.wire_len());
+        let to = link.to;
+        // Monitors see the transmit with its completion timestamp so
+        // time-sliced byte accounting is exact.
+        for m in &self.monitors {
+            m.borrow_mut().on_transmit(link_id, &pkt, done);
+        }
+        self.queue
+            .push(arrive, EventKind::Arrival { node: to, pkt });
+    }
+}
+
+/// The agent-facing view of the simulator during a callback.
+pub struct Ctx<'a> {
+    world: &'a mut World,
+    node: NodeId,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// The node this callback is running on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The simulation RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.world.rng
+    }
+
+    /// Sends a freshly created packet toward `dst`, stamping its unique
+    /// id and send time. Routing starts from this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this node has no route toward `dst`; that is a topology
+    /// construction bug, not a runtime condition.
+    pub fn send(&mut self, dst: NodeId, mut pkt: Packet) {
+        pkt.id = self.world.next_packet_id;
+        self.world.next_packet_id += 1;
+        pkt.sent_at = self.world.now;
+        self.forward(dst, pkt);
+    }
+
+    /// Forwards an in-flight packet toward `dst` without restamping it.
+    /// Routers use this; original senders should use [`Ctx::send`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this node has no route toward `dst`.
+    pub fn forward(&mut self, dst: NodeId, pkt: Packet) {
+        let link = self
+            .world
+            .next_link(self.node, dst)
+            .unwrap_or_else(|| panic!("node {:?} has no route to {:?}", self.node, dst));
+        self.world.offer(link, pkt);
+    }
+
+    /// Schedules `on_timer(token)` on this agent after `delay`. Returns a
+    /// handle usable with [`Ctx::cancel_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        let id = self.world.timers.allocate();
+        let at = self.world.now + delay;
+        self.world.queue.push(
+            at,
+            EventKind::Timer {
+                node: self.node,
+                timer: id,
+                token,
+            },
+        );
+        id
+    }
+
+    /// Cancels a pending timer; returns `true` if it had not yet fired.
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        self.world.timers.cancel(id)
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    agents: Vec<Option<Box<dyn Agent>>>,
+    world: World,
+    max_events: u64,
+}
+
+impl Simulator {
+    /// Creates an empty simulator with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            agents: Vec::new(),
+            world: World {
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                timers: TimerTable::new(),
+                links: Vec::new(),
+                routes: Vec::new(),
+                monitors: Vec::new(),
+                rng: SimRng::new(seed),
+                next_packet_id: 1,
+                events_processed: 0,
+            },
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Caps the number of events processed; exceeded caps abort the run
+    /// with a panic. Useful in tests against runaway loops.
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Adds an agent, returning its node id.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> NodeId {
+        let id = NodeId(self.agents.len() as u32);
+        self.agents.push(Some(agent));
+        self.world.routes.push(RouteTable::default());
+        id
+    }
+
+    /// Adds a unidirectional link from `from` to `to`.
+    pub fn add_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        rate: Bandwidth,
+        delay: SimDuration,
+        qdisc: Box<dyn Qdisc>,
+    ) -> LinkId {
+        let _ = from; // Links are unidirectional; `from` documents intent
+                      // and is fixed by the route entries that use this link.
+        let id = LinkId(self.world.links.len() as u32);
+        self.world.links.push(Link::new(id, to, rate, delay, qdisc));
+        id
+    }
+
+    /// Installs `link` as the route from `node` to the specific `dst`.
+    pub fn add_route(&mut self, node: NodeId, dst: NodeId, link: LinkId) {
+        self.world.routes[node.0 as usize].by_dst.insert(dst, link);
+    }
+
+    /// Installs `link` as `node`'s default route.
+    pub fn set_default_route(&mut self, node: NodeId, link: LinkId) {
+        self.world.routes[node.0 as usize].default = Some(link);
+    }
+
+    /// Sets a Bernoulli wire-loss probability on a link: each serialized
+    /// packet is independently corrupted (and never arrives) with
+    /// probability `rate`. This realizes the Markov model's own i.i.d.
+    /// loss assumption, independent of queue contention.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate < 1.0`.
+    pub fn set_link_loss(&mut self, link: LinkId, rate: f64) {
+        assert!((0.0..1.0).contains(&rate), "loss rate out of range");
+        self.world.links[link.0 as usize].loss_rate = rate;
+    }
+
+    /// Registers a monitor observing every link.
+    pub fn add_monitor(&mut self, monitor: SharedMonitor) {
+        self.world.monitors.push(monitor);
+    }
+
+    /// Schedules `agent`'s `on_start` at time `at`.
+    pub fn schedule_start(&mut self, node: NodeId, at: SimTime) {
+        self.world.queue.push(at, EventKind::Start { node });
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.world.events_processed
+    }
+
+    /// Statistics for a link.
+    pub fn link_stats(&self, link: LinkId) -> &LinkStats {
+        &self.world.links[link.0 as usize].stats
+    }
+
+    /// Immutable access to a link's queue (for inspecting discipline
+    /// state mid-run).
+    pub fn link_qdisc(&self, link: LinkId) -> &dyn Qdisc {
+        self.world.links[link.0 as usize].qdisc.as_ref()
+    }
+
+    /// Downcasts an agent to its concrete type for post-run inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly for a node currently executing a
+    /// callback (its slot is temporarily empty).
+    pub fn agent<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.agents[node.0 as usize]
+            .as_ref()
+            .expect("agent is executing")
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`Simulator::agent`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly for a node currently executing a
+    /// callback.
+    pub fn agent_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.agents[node.0 as usize]
+            .as_mut()
+            .expect("agent is executing")
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.world.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.world.now, "time went backwards");
+        self.world.now = ev.time;
+        self.world.events_processed += 1;
+        assert!(
+            self.world.events_processed <= self.max_events,
+            "exceeded max_events = {}",
+            self.max_events
+        );
+        match ev.kind {
+            EventKind::Arrival { node, pkt } => {
+                self.with_agent(node, |agent, ctx| agent.on_packet(pkt, ctx));
+            }
+            EventKind::Timer { node, timer, token } => {
+                if self.world.timers.fire(timer) {
+                    self.with_agent(node, |agent, ctx| agent.on_timer(token, ctx));
+                }
+            }
+            EventKind::LinkFree { link } => {
+                self.world.links[link.0 as usize].busy = false;
+                self.world.try_transmit(link);
+            }
+            EventKind::Start { node } => {
+                self.with_agent(node, |agent, ctx| agent.on_start(ctx));
+            }
+        }
+        true
+    }
+
+    fn with_agent(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Agent, &mut Ctx<'_>)) {
+        let mut agent = self.agents[node.0 as usize]
+            .take()
+            .expect("re-entrant agent dispatch");
+        let mut ctx = Ctx {
+            world: &mut self.world,
+            node,
+        };
+        f(agent.as_mut(), &mut ctx);
+        self.agents[node.0 as usize] = Some(agent);
+    }
+
+    /// Runs until the event queue drains or the clock passes `until`.
+    /// Returns the final simulation time.
+    pub fn run_until(&mut self, until: SimTime) -> SimTime {
+        while let Some(t) = self.world.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+        // The clock advances to the horizon even if the queue drained
+        // early, so utilization denominators are well-defined.
+        self.world.now = self.world.now.max(until);
+        self.world.now
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.world.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowKey, PacketBuilder, TcpFlags};
+    use crate::qdisc::UnboundedFifo;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Sends `count` packets to `peer` at start; records arrivals.
+    struct Chatter {
+        peer: NodeId,
+        count: u32,
+        received: Rc<RefCell<Vec<(SimTime, u64)>>>,
+        timer_fires: Vec<u64>,
+    }
+
+    impl Agent for Chatter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for _ in 0..self.count {
+                let pkt = PacketBuilder::new(FlowKey {
+                    src: ctx.node(),
+                    src_port: 1,
+                    dst: self.peer,
+                    dst_port: 2,
+                })
+                .payload(500)
+                .flags(TcpFlags::ACK)
+                .build();
+                ctx.send(self.peer, pkt);
+            }
+        }
+
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            self.received.borrow_mut().push((ctx.now(), pkt.id));
+        }
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
+            self.timer_fires.push(token);
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_node_sim(count: u32) -> (Simulator, NodeId, NodeId, Rc<RefCell<Vec<(SimTime, u64)>>>) {
+        let mut sim = Simulator::new(1);
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let a = sim.add_agent(Box::new(Chatter {
+            peer: NodeId(1),
+            count,
+            received: Rc::new(RefCell::new(Vec::new())),
+            timer_fires: Vec::new(),
+        }));
+        let b = sim.add_agent(Box::new(Chatter {
+            peer: NodeId(0),
+            count: 0,
+            received: received.clone(),
+            timer_fires: Vec::new(),
+        }));
+        // 1 Mbps, 10 ms delay: a 540-byte packet serializes in 4.32 ms.
+        let link = sim.add_link(
+            a,
+            b,
+            Bandwidth::from_mbps(1),
+            SimDuration::from_millis(10),
+            Box::new(UnboundedFifo::new()),
+        );
+        sim.set_default_route(a, link);
+        sim.schedule_start(a, SimTime::ZERO);
+        (sim, a, b, received)
+    }
+
+    #[test]
+    fn packets_arrive_after_tx_plus_delay() {
+        let (mut sim, _a, _b, received) = two_node_sim(1);
+        sim.run();
+        let got = received.borrow();
+        assert_eq!(got.len(), 1);
+        // 540 bytes at 1 Mbps = 4.32 ms; +10 ms propagation.
+        assert_eq!(got[0].0, SimTime::from_micros(14_320));
+    }
+
+    #[test]
+    fn serialization_spaces_back_to_back_packets() {
+        let (mut sim, _a, _b, received) = two_node_sim(3);
+        sim.run();
+        let got = received.borrow();
+        assert_eq!(got.len(), 3);
+        let gap = got[1].0 - got[0].0;
+        // Successive arrivals separated by one serialization time.
+        assert_eq!(gap, SimDuration::from_micros(4_320));
+        assert_eq!(got[2].0 - got[1].0, gap);
+        // Ids are in send order.
+        assert!(got[0].1 < got[1].1 && got[1].1 < got[2].1);
+    }
+
+    #[test]
+    fn link_stats_count_traffic() {
+        let (mut sim, _a, _b, _r) = two_node_sim(4);
+        sim.run();
+        let stats = sim.link_stats(LinkId(0));
+        assert_eq!(stats.offered_pkts, 4);
+        assert_eq!(stats.transmitted_pkts, 4);
+        assert_eq!(stats.dropped_pkts, 0);
+        assert_eq!(stats.transmitted_bytes, 4 * 540);
+        assert_eq!(stats.busy_time, SimDuration::from_micros(4 * 4_320));
+    }
+
+    /// Agent that sets two timers and cancels one.
+    struct TimerAgent;
+    thread_local! {
+        static FIRED: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    impl Agent for TimerAgent {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let _keep = ctx.set_timer(SimDuration::from_secs(1), 10);
+            let cancel = ctx.set_timer(SimDuration::from_secs(2), 20);
+            assert!(ctx.cancel_timer(cancel));
+            ctx.set_timer(SimDuration::from_secs(3), 30);
+        }
+
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
+            FIRED.with(|f| f.borrow_mut().push(token));
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        FIRED.with(|f| f.borrow_mut().clear());
+        let mut sim = Simulator::new(2);
+        let n = sim.add_agent(Box::new(TimerAgent));
+        sim.schedule_start(n, SimTime::ZERO);
+        sim.run();
+        FIRED.with(|f| assert_eq!(*f.borrow(), vec![10, 30]));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let (mut sim, _a, _b, received) = two_node_sim(3);
+        let end = sim.run_until(SimTime::from_millis(15));
+        assert_eq!(end, SimTime::from_millis(15));
+        // Only the first packet has arrived by 15 ms.
+        assert_eq!(received.borrow().len(), 1);
+        sim.run();
+        assert_eq!(received.borrow().len(), 3);
+    }
+
+    #[test]
+    fn forwarding_router_relays_by_destination() {
+        let mut sim = Simulator::new(3);
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let src = sim.add_agent(Box::new(Chatter {
+            peer: NodeId(2),
+            count: 2,
+            received: Rc::new(RefCell::new(Vec::new())),
+            timer_fires: Vec::new(),
+        }));
+        let router = sim.add_agent(Box::new(ForwardingRouter));
+        let dst = sim.add_agent(Box::new(Chatter {
+            peer: NodeId(0),
+            count: 0,
+            received: received.clone(),
+            timer_fires: Vec::new(),
+        }));
+        let l1 = sim.add_link(
+            src,
+            router,
+            Bandwidth::from_mbps(10),
+            SimDuration::from_millis(1),
+            Box::new(UnboundedFifo::new()),
+        );
+        let l2 = sim.add_link(
+            router,
+            dst,
+            Bandwidth::from_mbps(10),
+            SimDuration::from_millis(1),
+            Box::new(UnboundedFifo::new()),
+        );
+        sim.set_default_route(src, l1);
+        sim.add_route(router, dst, l2);
+        sim.schedule_start(src, SimTime::ZERO);
+        sim.run();
+        assert_eq!(received.borrow().len(), 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let (mut sim, _a, _b, received) = two_node_sim(5);
+            let _ = seed;
+            sim.run();
+            let v: Vec<(SimTime, u64)> = received.borrow().clone();
+            v
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn missing_route_panics() {
+        let mut sim = Simulator::new(4);
+        let a = sim.add_agent(Box::new(Chatter {
+            peer: NodeId(0),
+            count: 1,
+            received: Rc::new(RefCell::new(Vec::new())),
+            timer_fires: Vec::new(),
+        }));
+        sim.schedule_start(a, SimTime::ZERO);
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_events")]
+    fn max_events_guard() {
+        let (mut sim, _a, _b, _r) = two_node_sim(5);
+        sim.set_max_events(2);
+        sim.run();
+    }
+}

@@ -1,0 +1,252 @@
+//! The deterministic event queue.
+//!
+//! Events are totally ordered by `(time, sequence)`: the sequence number
+//! is assigned at scheduling time, so two events at the same instant fire
+//! in the order they were scheduled. This removes the nondeterminism a
+//! plain binary heap would introduce for equal keys and is what makes
+//! whole-simulation runs reproducible.
+
+use crate::packet::{LinkId, NodeId, Packet};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A handle to a scheduled timer; see [`crate::engine::Ctx::set_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId {
+    pub(crate) slot: u32,
+    pub(crate) generation: u32,
+}
+
+impl TimerId {
+    /// Fabricates a timer id outside any engine, for mock environments
+    /// (e.g. `taq_tcp::MockIo`). Synthetic ids must never be passed to a
+    /// real [`crate::Ctx::cancel_timer`].
+    pub fn synthetic(n: u32) -> TimerId {
+        TimerId {
+            slot: n,
+            generation: u32::MAX,
+        }
+    }
+}
+
+/// What a fired event does.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// Deliver `pkt` to `node` (it finished propagating over a link).
+    Arrival { node: NodeId, pkt: Packet },
+    /// A node timer fired; `token` is the node's own cookie.
+    Timer {
+        node: NodeId,
+        timer: TimerId,
+        token: u64,
+    },
+    /// `link` finished serializing a packet: poll its queue again.
+    LinkFree { link: LinkId },
+    /// Deliver the start callback to `node`.
+    Start { node: NodeId },
+}
+
+#[derive(Debug)]
+pub(crate) struct ScheduledEvent {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Min-heap of pending events keyed by `(time, seq)`.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            kind,
+        });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Timer liveness table.
+///
+/// Timers fire as heap events, which cannot be removed from the middle of
+/// a heap; cancellation instead bumps a per-slot generation counter so the
+/// stale event is discarded when it surfaces. Slots are recycled through
+/// a free list, keeping the table size proportional to the number of
+/// *live* timers, not the number ever created.
+#[derive(Debug, Default)]
+pub(crate) struct TimerTable {
+    generations: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl TimerTable {
+    pub fn new() -> Self {
+        TimerTable::default()
+    }
+
+    /// Allocates a live timer id.
+    pub fn allocate(&mut self) -> TimerId {
+        if let Some(slot) = self.free.pop() {
+            TimerId {
+                slot,
+                generation: self.generations[slot as usize],
+            }
+        } else {
+            let slot = self.generations.len() as u32;
+            self.generations.push(0);
+            TimerId {
+                slot,
+                generation: 0,
+            }
+        }
+    }
+
+    /// Cancels a timer; returns `true` if it was still live.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        if self.is_live(id) {
+            self.generations[id.slot as usize] = self.generations[id.slot as usize].wrapping_add(1);
+            self.free.push(id.slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks a timer consumed as it fires; returns `true` if it was live
+    /// (i.e. not previously cancelled).
+    pub fn fire(&mut self, id: TimerId) -> bool {
+        self.cancel(id)
+    }
+
+    /// `true` if the timer has neither fired nor been cancelled.
+    pub fn is_live(&self, id: TimerId) -> bool {
+        self.generations
+            .get(id.slot as usize)
+            .is_some_and(|&g| g == id.generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::NodeId;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), EventKind::Start { node: NodeId(3) });
+        q.push(SimTime::from_secs(1), EventKind::Start { node: NodeId(1) });
+        q.push(SimTime::from_secs(2), EventKind::Start { node: NodeId(2) });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_nanos() / 1_000_000_000)
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for n in 0..10 {
+            q.push(t, EventKind::Start { node: NodeId(n) });
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Start { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.push(SimTime::from_secs(5), EventKind::Start { node: NodeId(0) });
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        assert!(q.pop().is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn timer_lifecycle() {
+        let mut t = TimerTable::new();
+        let a = t.allocate();
+        assert!(t.is_live(a));
+        assert!(t.cancel(a));
+        assert!(!t.is_live(a));
+        assert!(!t.cancel(a), "double cancel is a no-op");
+        // Slot is recycled with a new generation.
+        let b = t.allocate();
+        assert_eq!(b.slot, a.slot);
+        assert_ne!(b.generation, a.generation);
+        assert!(t.is_live(b));
+        assert!(!t.is_live(a), "stale handle stays dead");
+        assert!(t.fire(b));
+        assert!(!t.fire(b), "timer fires at most once");
+    }
+
+    #[test]
+    fn many_timers_unique_until_cancelled() {
+        let mut t = TimerTable::new();
+        let ids: Vec<TimerId> = (0..100).map(|_| t.allocate()).collect();
+        for id in &ids {
+            assert!(t.is_live(*id));
+        }
+        for id in &ids {
+            assert!(t.cancel(*id));
+        }
+        for id in &ids {
+            assert!(!t.is_live(*id));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # taq-sim — deterministic discrete-event network simulator
+//!
+//! The simulation substrate for the TAQ (EuroSys 2014) reproduction: a
+//! small, deterministic packet-level network simulator standing in for
+//! ns2/ns3. It provides
+//!
+//! - a nanosecond integer clock ([`SimTime`], [`SimDuration`],
+//!   [`Bandwidth`]),
+//! - a totally ordered event queue with cancellable timers,
+//! - rate-limited, delayed, queue-buffered unidirectional [links],
+//! - the [`Qdisc`] trait that DropTail, RED, SFQ and TAQ all implement,
+//! - [`Agent`]s (hosts, routers) driven by packet and timer callbacks,
+//! - the paper's dumbbell topology ([`Dumbbell`]), and
+//! - [`LinkMonitor`] hooks that the metrics crate uses to observe the
+//!   bottleneck, including a pcap-style [`PacketTrace`] recorder.
+//!
+//! Determinism: a simulation is a pure function of its construction and
+//! seed. Events at the same instant fire in scheduling order, and all
+//! randomness flows from one [`SimRng`].
+//!
+//! [links]: crate::LinkStats
+//!
+//!
+//! ## Example
+//!
+//! ```
+//! use taq_sim::{
+//!     Bandwidth, Dumbbell, DumbbellConfig, SimDuration, SimTime, Simulator, UnboundedFifo,
+//! };
+//!
+//! let mut sim = Simulator::new(42);
+//! let cfg = DumbbellConfig::with_rtt_200ms(Bandwidth::from_kbps(600));
+//! let db = Dumbbell::build_simple(&mut sim, cfg, Box::new(UnboundedFifo::new()));
+//! // ... attach taq_tcp hosts with db.attach_left / db.attach_right ...
+//! sim.run_until(SimTime::from_secs(10));
+//! assert_eq!(sim.now(), SimTime::from_secs(10));
+//! # let _ = db;
+//! ```
+
+mod engine;
+mod events;
+mod link;
+mod monitor;
+mod packet;
+mod qdisc;
+mod rng;
+mod time;
+mod topology;
+mod trace;
+
+pub use engine::{Agent, Ctx, ForwardingRouter, Simulator};
+pub use events::TimerId;
+pub use link::LinkStats;
+pub use monitor::{shared, EventRecorder, LinkMonitor, RecordedEvent, RecordedKind, SharedMonitor};
+pub use packet::{FlowKey, LinkId, NodeId, Packet, PacketBuilder, SackBlocks, TcpFlags};
+pub use qdisc::{EnqueueOutcome, Qdisc, UnboundedFifo};
+pub use rng::SimRng;
+pub use time::{Bandwidth, SimDuration, SimTime};
+pub use topology::{Dumbbell, DumbbellConfig};
+pub use trace::{FlowTraceSummary, PacketTrace, TraceEvent, TraceEventKind};

@@ -1,0 +1,119 @@
+//! Unidirectional links: rate-limited, delayed, qdisc-buffered.
+//!
+//! A link models the store-and-forward path between two nodes: packets
+//! offered while the transmitter is busy wait in the link's [`Qdisc`];
+//! serialization takes `wire_len * 8 / rate`; the packet then propagates
+//! for the configured delay before arriving at the destination node.
+//! Queueing delay therefore shows up in measured RTTs exactly as it does
+//! in the paper's simulations.
+
+use crate::packet::{LinkId, NodeId};
+use crate::qdisc::Qdisc;
+use crate::time::{Bandwidth, SimDuration};
+
+/// Counters maintained per link by the engine.
+#[derive(Debug, Default, Clone)]
+pub struct LinkStats {
+    /// Packets offered to the link's queue.
+    pub offered_pkts: u64,
+    /// Bytes offered (wire length).
+    pub offered_bytes: u64,
+    /// Packets dropped by the queue.
+    pub dropped_pkts: u64,
+    /// Bytes dropped.
+    pub dropped_bytes: u64,
+    /// Packets lost on the wire itself (Bernoulli corruption), distinct
+    /// from queue drops.
+    pub wire_lost_pkts: u64,
+    /// Packets fully serialized onto the wire.
+    pub transmitted_pkts: u64,
+    /// Bytes transmitted.
+    pub transmitted_bytes: u64,
+    /// Total time the transmitter spent busy.
+    pub busy_time: SimDuration,
+}
+
+impl LinkStats {
+    /// Fraction of offered packets that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered_pkts == 0 {
+            0.0
+        } else {
+            self.dropped_pkts as f64 / self.offered_pkts as f64
+        }
+    }
+
+    /// Link utilization over `elapsed`: busy time / wall time.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy_time.as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// One unidirectional link.
+pub(crate) struct Link {
+    pub id: LinkId,
+    pub to: NodeId,
+    pub rate: Bandwidth,
+    pub delay: SimDuration,
+    pub qdisc: Box<dyn Qdisc>,
+    /// Probability each serialized packet is corrupted in flight.
+    pub loss_rate: f64,
+    /// `true` while a packet is being serialized.
+    pub busy: bool,
+    pub stats: LinkStats,
+}
+
+impl Link {
+    pub fn new(
+        id: LinkId,
+        to: NodeId,
+        rate: Bandwidth,
+        delay: SimDuration,
+        qdisc: Box<dyn Qdisc>,
+    ) -> Self {
+        Link {
+            id,
+            to,
+            rate,
+            delay,
+            qdisc,
+            loss_rate: 0.0,
+            busy: false,
+            stats: LinkStats::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Link")
+            .field("id", &self.id)
+            .field("to", &self.to)
+            .field("rate", &self.rate)
+            .field("delay", &self.delay)
+            .field("qdisc", &self.qdisc.name())
+            .field("busy", &self.busy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_rate_and_utilization() {
+        let mut s = LinkStats::default();
+        assert_eq!(s.drop_rate(), 0.0);
+        s.offered_pkts = 10;
+        s.dropped_pkts = 3;
+        assert!((s.drop_rate() - 0.3).abs() < 1e-12);
+        s.busy_time = SimDuration::from_secs(5);
+        assert!((s.utilization(SimDuration::from_secs(10)) - 0.5).abs() < 1e-12);
+        assert_eq!(s.utilization(SimDuration::ZERO), 0.0);
+    }
+}

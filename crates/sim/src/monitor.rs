@@ -1,0 +1,147 @@
+//! Observation hooks for experiments.
+//!
+//! Metrics collectors attach to links as [`LinkMonitor`]s; the engine
+//! invokes them on enqueue, drop, and transmit. Monitors are shared
+//! `Rc<RefCell<..>>` handles so the experiment harness keeps its own
+//! reference and reads the collected data after the run — the simulator
+//! is single-threaded, making this pattern safe and allocation-cheap.
+
+use crate::packet::{LinkId, Packet};
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Observer of packet-level events on a link.
+///
+/// All methods have empty default bodies so monitors implement only what
+/// they need.
+pub trait LinkMonitor {
+    /// A packet was offered to the link's queue (before any drop
+    /// decision).
+    fn on_enqueue(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        let _ = (link, pkt, now);
+    }
+
+    /// A packet was dropped by the link's queue.
+    fn on_drop(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        let _ = (link, pkt, now);
+    }
+
+    /// A packet finished serializing onto the wire.
+    fn on_transmit(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        let _ = (link, pkt, now);
+    }
+}
+
+/// Shared handle to a monitor.
+pub type SharedMonitor = Rc<RefCell<dyn LinkMonitor>>;
+
+/// Wraps a concrete monitor in the shared handle form, returning both the
+/// typed handle (for the caller to read results) and the erased handle
+/// (for the engine).
+pub fn shared<M: LinkMonitor + 'static>(monitor: M) -> (Rc<RefCell<M>>, SharedMonitor) {
+    let typed = Rc::new(RefCell::new(monitor));
+    let erased: SharedMonitor = typed.clone();
+    (typed, erased)
+}
+
+/// A simple recording monitor retaining every event; useful in tests and
+/// small experiments.
+#[derive(Debug, Default)]
+pub struct EventRecorder {
+    /// `(time, link, packet id, kind)` for every observed event.
+    pub events: Vec<RecordedEvent>,
+}
+
+/// One record in [`EventRecorder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Which link.
+    pub link: LinkId,
+    /// Packet id involved.
+    pub packet_id: u64,
+    /// What happened.
+    pub kind: RecordedKind,
+}
+
+/// Event discriminator for [`RecordedEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordedKind {
+    /// Offered to the queue.
+    Enqueue,
+    /// Dropped by the queue.
+    Drop,
+    /// Serialized onto the wire.
+    Transmit,
+}
+
+impl LinkMonitor for EventRecorder {
+    fn on_enqueue(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        self.events.push(RecordedEvent {
+            at: now,
+            link,
+            packet_id: pkt.id,
+            kind: RecordedKind::Enqueue,
+        });
+    }
+
+    fn on_drop(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        self.events.push(RecordedEvent {
+            at: now,
+            link,
+            packet_id: pkt.id,
+            kind: RecordedKind::Drop,
+        });
+    }
+
+    fn on_transmit(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        self.events.push(RecordedEvent {
+            at: now,
+            link,
+            packet_id: pkt.id,
+            kind: RecordedKind::Transmit,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowKey, NodeId, PacketBuilder};
+
+    #[test]
+    fn recorder_records_in_order() {
+        let mut rec = EventRecorder::default();
+        let pkt = PacketBuilder::new(FlowKey {
+            src: NodeId(0),
+            src_port: 1,
+            dst: NodeId(1),
+            dst_port: 2,
+        })
+        .payload(10)
+        .build();
+        rec.on_enqueue(LinkId(0), &pkt, SimTime::from_secs(1));
+        rec.on_transmit(LinkId(0), &pkt, SimTime::from_secs(2));
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.events[0].kind, RecordedKind::Enqueue);
+        assert_eq!(rec.events[1].kind, RecordedKind::Transmit);
+        assert!(rec.events[0].at < rec.events[1].at);
+    }
+
+    #[test]
+    fn shared_gives_two_handles_to_same_monitor() {
+        let (typed, erased) = shared(EventRecorder::default());
+        let pkt = PacketBuilder::new(FlowKey {
+            src: NodeId(0),
+            src_port: 1,
+            dst: NodeId(1),
+            dst_port: 2,
+        })
+        .build();
+        erased.borrow_mut().on_drop(LinkId(3), &pkt, SimTime::ZERO);
+        assert_eq!(typed.borrow().events.len(), 1);
+        assert_eq!(typed.borrow().events[0].kind, RecordedKind::Drop);
+    }
+}

@@ -1,0 +1,385 @@
+//! Packets and flow identity.
+//!
+//! A [`Packet`] carries the TCP/IP header fields a middlebox can actually
+//! observe on the wire — addresses, ports, sequence/ack numbers, flags,
+//! lengths — plus simulator bookkeeping (unique id, creation time). The
+//! TAQ flow tracker consumes exactly these observable fields, mirroring
+//! the paper's deployment model where the middlebox never sees sender
+//! internal state.
+//!
+//! Sequence numbers are 64-bit byte offsets. Real TCP uses 32-bit
+//! wrapping sequence numbers; in the sub-packet regimes under study a
+//! flow moves at most a few megabytes over an entire experiment, so
+//! wraparound never occurs and modelling it would only obscure the
+//! congestion-control logic the paper is about.
+
+use crate::time::SimTime;
+use core::fmt;
+
+/// Identifier of a node (host or router) in the simulated topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a unidirectional link in the simulated topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// The 4-tuple identifying a TCP flow, oriented in the direction the
+/// packet travels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowKey {
+    /// Sending endpoint of this packet.
+    pub src: NodeId,
+    /// Source port.
+    pub src_port: u16,
+    /// Receiving endpoint of this packet.
+    pub dst: NodeId,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl FlowKey {
+    /// The same flow viewed from the opposite direction (used to match a
+    /// data packet with its returning ACKs).
+    pub fn reversed(self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            src_port: self.dst_port,
+            dst: self.src,
+            dst_port: self.src_port,
+        }
+    }
+
+    /// A direction-independent identity: both directions of one
+    /// connection map to the same canonical key.
+    pub fn canonical(self) -> FlowKey {
+        let fwd = (self.src, self.src_port, self.dst, self.dst_port);
+        let rev = (self.dst, self.dst_port, self.src, self.src_port);
+        if fwd <= rev {
+            self
+        } else {
+            self.reversed()
+        }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}->{}:{}",
+            self.src.0, self.src_port, self.dst.0, self.dst_port
+        )
+    }
+}
+
+/// TCP header flags (only the bits the simulation uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TcpFlags {
+    /// Synchronize: connection setup.
+    pub syn: bool,
+    /// Acknowledgement field is valid.
+    pub ack: bool,
+    /// Finish: sender is done.
+    pub fin: bool,
+    /// Reset: abort (used by admission control rejection).
+    pub rst: bool,
+}
+
+impl TcpFlags {
+    /// Data/ACK packet flags (`ACK` only).
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+
+    /// Pure SYN.
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+    };
+
+    /// SYN-ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+
+    /// FIN-ACK.
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+    };
+
+    /// RST.
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+    };
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for (set, c) in [
+            (self.syn, 'S'),
+            (self.ack, 'A'),
+            (self.fin, 'F'),
+            (self.rst, 'R'),
+        ] {
+            if set {
+                write!(f, "{c}")?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+/// Up to three SACK blocks, as fits in a standard TCP options field.
+///
+/// Each block is a half-open byte range `[start, end)` of data the
+/// receiver holds above the cumulative ACK point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SackBlocks {
+    blocks: [(u64, u64); 3],
+    len: u8,
+}
+
+impl SackBlocks {
+    /// No SACK information.
+    pub const EMPTY: SackBlocks = SackBlocks {
+        blocks: [(0, 0); 3],
+        len: 0,
+    };
+
+    /// Builds from a slice, keeping at most the first three blocks (the
+    /// most recently received ranges should be ordered first by the
+    /// caller, as real receivers do).
+    pub fn from_slice(ranges: &[(u64, u64)]) -> SackBlocks {
+        let mut out = SackBlocks::EMPTY;
+        for &r in ranges.iter().take(3) {
+            debug_assert!(r.0 < r.1, "empty SACK block");
+            out.blocks[out.len as usize] = r;
+            out.len += 1;
+        }
+        out
+    }
+
+    /// The contained blocks.
+    pub fn as_slice(&self) -> &[(u64, u64)] {
+        &self.blocks[..self.len as usize]
+    }
+
+    /// `true` if no blocks are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A simulated TCP/IP packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Simulator-unique identifier (monotonically assigned).
+    pub id: u64,
+    /// Direction-oriented flow 4-tuple.
+    pub flow: FlowKey,
+    /// First byte sequence number carried (valid when `payload_len > 0`
+    /// or `flags.syn`/`flags.fin`).
+    pub seq: u64,
+    /// Cumulative acknowledgement number (valid when `flags.ack`).
+    pub ack: u64,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Application payload bytes carried.
+    pub payload_len: u32,
+    /// Header overhead bytes (TCP/IP, default 40).
+    pub header_len: u32,
+    /// SACK option blocks (empty unless the receiver generates them).
+    pub sack: SackBlocks,
+    /// Application metadata carried end-to-end, e.g. the requested object
+    /// size on a SYN (standing in for an HTTP GET header).
+    pub meta: u64,
+    /// Time the packet was handed to the network by its sender.
+    pub sent_at: SimTime,
+}
+
+impl Packet {
+    /// Default TCP/IP header overhead in bytes.
+    pub const DEFAULT_HEADER: u32 = 40;
+
+    /// Total on-the-wire size in bytes.
+    pub fn wire_len(&self) -> u32 {
+        self.header_len + self.payload_len
+    }
+
+    /// `true` for packets that carry application payload.
+    pub fn is_data(&self) -> bool {
+        self.payload_len > 0
+    }
+
+    /// The sequence number one past the data carried (SYN and FIN each
+    /// consume one sequence number, as in real TCP).
+    pub fn seq_end(&self) -> u64 {
+        let ctl = u64::from(self.flags.syn) + u64::from(self.flags.fin);
+        self.seq + u64::from(self.payload_len) + ctl
+    }
+}
+
+/// Convenience builder for packets; keeps construction sites readable.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    pkt: Packet,
+}
+
+impl PacketBuilder {
+    /// Starts building a packet on `flow`.
+    pub fn new(flow: FlowKey) -> Self {
+        PacketBuilder {
+            pkt: Packet {
+                id: 0,
+                flow,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::ACK,
+                payload_len: 0,
+                header_len: Packet::DEFAULT_HEADER,
+                sack: SackBlocks::EMPTY,
+                meta: 0,
+                sent_at: SimTime::ZERO,
+            },
+        }
+    }
+
+    /// Sets the sequence number.
+    pub fn seq(mut self, seq: u64) -> Self {
+        self.pkt.seq = seq;
+        self
+    }
+
+    /// Sets the acknowledgement number (and the ACK flag).
+    pub fn ack(mut self, ack: u64) -> Self {
+        self.pkt.ack = ack;
+        self.pkt.flags.ack = true;
+        self
+    }
+
+    /// Sets the flags wholesale.
+    pub fn flags(mut self, flags: TcpFlags) -> Self {
+        self.pkt.flags = flags;
+        self
+    }
+
+    /// Sets the payload length.
+    pub fn payload(mut self, len: u32) -> Self {
+        self.pkt.payload_len = len;
+        self
+    }
+
+    /// Sets the header length.
+    pub fn header(mut self, len: u32) -> Self {
+        self.pkt.header_len = len;
+        self
+    }
+
+    /// Attaches SACK blocks.
+    pub fn sack(mut self, sack: SackBlocks) -> Self {
+        self.pkt.sack = sack;
+        self
+    }
+
+    /// Attaches application metadata.
+    pub fn meta(mut self, meta: u64) -> Self {
+        self.pkt.meta = meta;
+        self
+    }
+
+    /// Finishes the packet. `id` and `sent_at` are stamped by the engine
+    /// when the packet is sent.
+    pub fn build(self) -> Packet {
+        self.pkt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey {
+            src: NodeId(1),
+            src_port: 1000,
+            dst: NodeId(2),
+            dst_port: 80,
+        }
+    }
+
+    #[test]
+    fn flow_key_reverse_and_canonical() {
+        let k = key();
+        let r = k.reversed();
+        assert_eq!(r.src, NodeId(2));
+        assert_eq!(r.dst_port, 1000);
+        assert_eq!(r.reversed(), k);
+        assert_eq!(k.canonical(), r.canonical());
+    }
+
+    #[test]
+    fn wire_len_and_data() {
+        let p = PacketBuilder::new(key()).payload(460).build();
+        assert_eq!(p.wire_len(), 500);
+        assert!(p.is_data());
+        let a = PacketBuilder::new(key()).ack(100).build();
+        assert_eq!(a.wire_len(), 40);
+        assert!(!a.is_data());
+    }
+
+    #[test]
+    fn seq_end_accounts_for_syn_fin() {
+        let syn = PacketBuilder::new(key())
+            .flags(TcpFlags::SYN)
+            .seq(10)
+            .build();
+        assert_eq!(syn.seq_end(), 11);
+        let data = PacketBuilder::new(key()).seq(10).payload(100).build();
+        assert_eq!(data.seq_end(), 110);
+        let fin = PacketBuilder::new(key())
+            .flags(TcpFlags::FIN_ACK)
+            .seq(110)
+            .build();
+        assert_eq!(fin.seq_end(), 111);
+    }
+
+    #[test]
+    fn sack_blocks_limits_to_three() {
+        let s = SackBlocks::from_slice(&[(1, 2), (3, 4), (5, 6), (7, 8)]);
+        assert_eq!(s.as_slice(), &[(1, 2), (3, 4), (5, 6)]);
+        assert!(!s.is_empty());
+        assert!(SackBlocks::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SA");
+        assert_eq!(TcpFlags::default().to_string(), "-");
+        assert_eq!(TcpFlags::RST.to_string(), "R");
+    }
+
+    #[test]
+    fn flow_key_display() {
+        assert_eq!(key().to_string(), "1:1000->2:80");
+    }
+}

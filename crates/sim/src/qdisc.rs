@@ -1,0 +1,150 @@
+//! The queueing-discipline seam between the engine and the schemes under
+//! test.
+//!
+//! Every discipline in the reproduction — DropTail, RED, SFQ, and TAQ
+//! itself — implements [`Qdisc`]. The engine calls [`Qdisc::enqueue`]
+//! when a packet reaches a link whose transmitter may be busy, and
+//! [`Qdisc::dequeue`] each time the transmitter frees up. A discipline
+//! may refuse the arriving packet, or accept it and evict other buffered
+//! packets instead (RED's early drops and TAQ's fine-grained victim
+//! selection both need that), so the outcome is reported explicitly.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// What happened when a packet was offered to a queue.
+#[derive(Debug, Default)]
+pub struct EnqueueOutcome {
+    /// Packets dropped as a result of this enqueue. This may include the
+    /// offered packet itself, and/or previously buffered packets evicted
+    /// to make room.
+    pub dropped: Vec<Packet>,
+}
+
+impl EnqueueOutcome {
+    /// The packet was buffered and nothing was dropped.
+    pub fn accepted() -> Self {
+        EnqueueOutcome::default()
+    }
+
+    /// The offered packet was rejected outright.
+    pub fn rejected(pkt: Packet) -> Self {
+        EnqueueOutcome { dropped: vec![pkt] }
+    }
+}
+
+/// A queueing discipline managing the buffer in front of one link.
+///
+/// Implementations must uphold two invariants the engine relies on:
+///
+/// 1. **Conservation**: every packet passed to `enqueue` is eventually
+///    either returned from `dequeue`, returned in an
+///    [`EnqueueOutcome::dropped`] list, or still buffered (reflected in
+///    [`Qdisc::len`]).
+/// 2. **Non-idling**: if `len() > 0`, `dequeue` returns `Some`. The
+///    engine polls the queue exactly once per transmission-complete
+///    event, so an idling queue would stall the link forever.
+pub trait Qdisc {
+    /// Offers a packet to the queue at time `now`.
+    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome;
+
+    /// Removes the next packet to transmit, if any.
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+
+    /// Number of packets currently buffered.
+    fn len(&self) -> usize;
+
+    /// `true` if no packets are buffered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload+header bytes currently buffered.
+    fn byte_len(&self) -> usize;
+
+    /// Short human-readable name for reports ("droptail", "red", "taq"...).
+    fn name(&self) -> &'static str;
+}
+
+/// An unbounded FIFO used for uncongested links (access links, the
+/// reverse ACK path). It never drops.
+#[derive(Debug, Default)]
+pub struct UnboundedFifo {
+    queue: std::collections::VecDeque<Packet>,
+    bytes: usize,
+}
+
+impl UnboundedFifo {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        UnboundedFifo::default()
+    }
+}
+
+impl Qdisc for UnboundedFifo {
+    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> EnqueueOutcome {
+        self.bytes += pkt.wire_len() as usize;
+        self.queue.push_back(pkt);
+        EnqueueOutcome::accepted()
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.wire_len() as usize;
+        Some(pkt)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn byte_len(&self) -> usize {
+        self.bytes
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowKey, NodeId, PacketBuilder};
+
+    fn pkt(n: u64) -> Packet {
+        let mut p = PacketBuilder::new(FlowKey {
+            src: NodeId(0),
+            src_port: 1,
+            dst: NodeId(1),
+            dst_port: 2,
+        })
+        .payload(100)
+        .build();
+        p.id = n;
+        p
+    }
+
+    #[test]
+    fn unbounded_fifo_is_fifo() {
+        let mut q = UnboundedFifo::new();
+        for i in 0..5 {
+            let out = q.enqueue(pkt(i), SimTime::ZERO);
+            assert!(out.dropped.is_empty());
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.byte_len(), 5 * 140);
+        for i in 0..5 {
+            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().id, i);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.byte_len(), 0);
+        assert!(q.dequeue(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(EnqueueOutcome::accepted().dropped.is_empty());
+        assert_eq!(EnqueueOutcome::rejected(pkt(9)).dropped.len(), 1);
+    }
+}

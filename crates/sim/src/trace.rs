@@ -1,0 +1,278 @@
+//! Packet trace capture, in the spirit of the pcap traces the paper
+//! inspected to diagnose flow behaviour ("upon closer examination in
+//! the pcap traces for these simulations...").
+//!
+//! [`PacketTrace`] is a [`LinkMonitor`] that records every enqueue,
+//! drop, and transmit on selected links, renders them in a
+//! tcpdump-like text format, and answers the flow-level questions the
+//! paper asked of its traces: per-flow packet/drop counts, silence
+//! gaps, and retransmission counts (inferred from sequence reuse, as a
+//! middlebox would).
+
+use crate::monitor::LinkMonitor;
+use crate::packet::{FlowKey, LinkId, Packet};
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// What happened to a packet at the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Offered to the queue.
+    Enqueue,
+    /// Dropped by the queue (or lost on the wire).
+    Drop,
+    /// Serialized onto the wire.
+    Transmit,
+}
+
+/// One captured event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event time.
+    pub at: SimTime,
+    /// Link observed.
+    pub link: LinkId,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Flow 4-tuple.
+    pub flow: FlowKey,
+    /// Sequence number.
+    pub seq: u64,
+    /// Acknowledgement number.
+    pub ack: u64,
+    /// Payload length.
+    pub len: u32,
+    /// Rendered flags ("S", "SA", "A", "FA", ...).
+    pub flags: String,
+}
+
+impl TraceEvent {
+    /// tcpdump-flavored one-line rendering.
+    pub fn render(&self) -> String {
+        let kind = match self.kind {
+            TraceEventKind::Enqueue => "+",
+            TraceEventKind::Drop => "d",
+            TraceEventKind::Transmit => ">",
+        };
+        format!(
+            "{:>12.6} {kind} L{} {} seq {} ack {} len {} [{}]",
+            self.at.as_secs_f64(),
+            self.link.0,
+            self.flow,
+            self.seq,
+            self.ack,
+            self.len,
+            self.flags,
+        )
+    }
+}
+
+/// Per-flow summary computed from a trace.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTraceSummary {
+    /// Data packets transmitted.
+    pub transmitted: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Retransmitted data packets (sequence at or below the running
+    /// high-water mark).
+    pub retransmissions: u64,
+    /// Longest gap between consecutive transmissions.
+    pub longest_silence: SimDuration,
+    /// First and last transmit times.
+    pub first_tx: Option<SimTime>,
+    /// Last transmit time.
+    pub last_tx: Option<SimTime>,
+}
+
+/// A capturing monitor. Filter to one link (`Some(link)`) or capture
+/// everything (`None`); bound memory with `max_events` (older events are
+/// not evicted — capture simply stops, which keeps analyses
+/// reproducible).
+#[derive(Debug)]
+pub struct PacketTrace {
+    only: Option<LinkId>,
+    max_events: usize,
+    /// Captured events in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl PacketTrace {
+    /// Creates a trace capturing up to `max_events` events on `only`
+    /// (or all links when `None`).
+    pub fn new(only: Option<LinkId>, max_events: usize) -> Self {
+        PacketTrace {
+            only,
+            max_events,
+            events: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, kind: TraceEventKind, link: LinkId, pkt: &Packet, now: SimTime) {
+        if self.events.len() >= self.max_events {
+            return;
+        }
+        if let Some(want) = self.only {
+            if want != link {
+                return;
+            }
+        }
+        self.events.push(TraceEvent {
+            at: now,
+            link,
+            kind,
+            flow: pkt.flow,
+            seq: pkt.seq,
+            ack: pkt.ack,
+            len: pkt.payload_len,
+            flags: pkt.flags.to_string(),
+        });
+    }
+
+    /// `true` once the capture buffer filled (later events were lost).
+    pub fn truncated(&self) -> bool {
+        self.events.len() >= self.max_events
+    }
+
+    /// Renders the whole capture, one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Flow-level summaries over transmitted data packets.
+    pub fn flow_summaries(&self) -> HashMap<FlowKey, FlowTraceSummary> {
+        let mut out: HashMap<FlowKey, FlowTraceSummary> = HashMap::new();
+        let mut high_water: HashMap<FlowKey, u64> = HashMap::new();
+        for e in &self.events {
+            let s = out.entry(e.flow).or_default();
+            match e.kind {
+                TraceEventKind::Drop => s.dropped += 1,
+                TraceEventKind::Transmit if e.len > 0 => {
+                    s.transmitted += 1;
+                    let end = e.seq + u64::from(e.len);
+                    let hw = high_water.entry(e.flow).or_insert(0);
+                    if end <= *hw {
+                        s.retransmissions += 1;
+                    }
+                    *hw = (*hw).max(end);
+                    if let Some(last) = s.last_tx {
+                        let gap = e.at.saturating_since(last);
+                        s.longest_silence = s.longest_silence.max(gap);
+                    } else {
+                        s.first_tx = Some(e.at);
+                    }
+                    s.last_tx = Some(e.at);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+impl LinkMonitor for PacketTrace {
+    fn on_enqueue(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        self.record(TraceEventKind::Enqueue, link, pkt, now);
+    }
+
+    fn on_drop(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        self.record(TraceEventKind::Drop, link, pkt, now);
+    }
+
+    fn on_transmit(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        self.record(TraceEventKind::Transmit, link, pkt, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{NodeId, PacketBuilder, TcpFlags};
+
+    fn data(port: u16, seq: u64, len: u32) -> Packet {
+        PacketBuilder::new(FlowKey {
+            src: NodeId(0),
+            src_port: 80,
+            dst: NodeId(1),
+            dst_port: port,
+        })
+        .seq(seq)
+        .payload(len)
+        .build()
+    }
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn captures_and_renders_events() {
+        let mut t = PacketTrace::new(None, 100);
+        let p = data(1, 1, 460);
+        t.on_enqueue(LinkId(0), &p, at(10));
+        t.on_transmit(LinkId(0), &p, at(14));
+        t.on_drop(LinkId(0), &data(1, 461, 460), at(15));
+        assert_eq!(t.events.len(), 3);
+        let text = t.render();
+        assert!(text.contains("+ L0"), "{text}");
+        assert!(text.contains("> L0"));
+        assert!(text.contains("d L0"));
+        assert!(text.contains("seq 461"));
+    }
+
+    #[test]
+    fn link_filter_applies() {
+        let mut t = PacketTrace::new(Some(LinkId(2)), 100);
+        t.on_transmit(LinkId(0), &data(1, 1, 460), at(1));
+        t.on_transmit(LinkId(2), &data(1, 1, 460), at(2));
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].link, LinkId(2));
+    }
+
+    #[test]
+    fn capture_stops_at_capacity() {
+        let mut t = PacketTrace::new(None, 2);
+        for i in 0..5 {
+            t.on_transmit(LinkId(0), &data(1, 1 + i * 460, 460), at(i));
+        }
+        assert_eq!(t.events.len(), 2);
+        assert!(t.truncated());
+    }
+
+    #[test]
+    fn flow_summaries_detect_retransmissions_and_silences() {
+        let mut t = PacketTrace::new(None, 100);
+        // Flow sends seq 1, 461; drops one; retransmits 1 after a 5 s
+        // silence.
+        t.on_transmit(LinkId(0), &data(1, 1, 460), at(0));
+        t.on_transmit(LinkId(0), &data(1, 461, 460), at(20));
+        t.on_drop(LinkId(0), &data(1, 921, 460), at(25));
+        t.on_transmit(LinkId(0), &data(1, 1, 460), at(5_020));
+        let summaries = t.flow_summaries();
+        let s = &summaries[&data(1, 0, 0).flow];
+        assert_eq!(s.transmitted, 3);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.retransmissions, 1);
+        assert_eq!(s.longest_silence, SimDuration::from_millis(5_000));
+        assert_eq!(s.first_tx, Some(at(0)));
+        assert_eq!(s.last_tx, Some(at(5_020)));
+    }
+
+    #[test]
+    fn pure_acks_do_not_count_as_data() {
+        let mut t = PacketTrace::new(None, 100);
+        let ack = PacketBuilder::new(data(1, 0, 0).flow)
+            .ack(100)
+            .flags(TcpFlags::ACK)
+            .build();
+        t.on_transmit(LinkId(0), &ack, at(1));
+        let summaries = t.flow_summaries();
+        let s = &summaries[&ack.flow];
+        assert_eq!(s.transmitted, 0);
+    }
+}

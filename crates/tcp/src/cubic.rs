@@ -1,0 +1,143 @@
+//! CUBIC congestion avoidance (RFC 8312, simplified).
+//!
+//! The paper motivates its `SPK(k)` definition with "most TCP flows use
+//! TCP CUBIC and begin with a congestion window of 10". This module
+//! provides the CUBIC window-growth function for the
+//! [`crate::Variant::Cubic`] sender, so experiments can contrast
+//! classic-era stacks (NewReno, IW=2) with modern ones (CUBIC, IW=10)
+//! in the small packet regime — where, notably, CUBIC's growth function
+//! is almost irrelevant because windows rarely exceed the
+//! fast-retransmit threshold anyway.
+//!
+//! Simplifications relative to RFC 8312: no HyStart (plain slow start to
+//! `ssthresh`), no fast-convergence heuristic, and the TCP-friendly
+//! region uses the standard Reno-rate floor.
+
+/// CUBIC's multiplicative decrease factor (`beta_cubic`).
+pub const BETA: f64 = 0.7;
+/// CUBIC's scaling constant `C`, in segments/sec³.
+pub const C: f64 = 0.4;
+
+/// Per-connection CUBIC state.
+#[derive(Debug, Clone, Default)]
+pub struct CubicState {
+    /// Window (segments) just before the last congestion event.
+    w_max: f64,
+    /// Seconds of congestion-avoidance time accumulated since the last
+    /// congestion event (advanced by ACK arrivals).
+    t: f64,
+    /// Segments acknowledged since the last window increment, for the
+    /// Reno-friendly region's per-RTT accounting.
+    acked_segments: f64,
+}
+
+impl CubicState {
+    /// Records a congestion event (fast retransmit or timeout) at the
+    /// given window (segments). Returns the new ssthresh in segments.
+    pub fn on_congestion(&mut self, cwnd_segments: f64) -> f64 {
+        self.w_max = cwnd_segments;
+        self.t = 0.0;
+        self.acked_segments = 0.0;
+        (cwnd_segments * BETA).max(2.0)
+    }
+
+    /// The cubic inflection offset `K = cbrt(w_max (1-beta) / C)`.
+    fn k(&self) -> f64 {
+        (self.w_max * (1.0 - BETA) / C).cbrt()
+    }
+
+    /// Window target (segments) at `t` seconds after the last event.
+    pub fn window_at(&self, t: f64) -> f64 {
+        let d = t - self.k();
+        C * d * d * d + self.w_max
+    }
+
+    /// Reno-friendly floor (segments) at time `t` with round-trip `rtt`.
+    pub fn tcp_friendly_at(&self, t: f64, rtt: f64) -> f64 {
+        if rtt <= 0.0 {
+            return 0.0;
+        }
+        self.w_max * BETA + 3.0 * (1.0 - BETA) / (1.0 + BETA) * (t / rtt)
+    }
+
+    /// Advances CUBIC on one new ACK during congestion avoidance and
+    /// returns the new congestion window in segments.
+    ///
+    /// `ack_interval` is the estimated time the ACK represents (we use
+    /// `rtt / cwnd`, the self-clocked spacing); `rtt` is the smoothed
+    /// RTT estimate in seconds.
+    pub fn on_ack(&mut self, cwnd_segments: f64, ack_interval: f64, rtt: f64) -> f64 {
+        self.t += ack_interval.max(0.0);
+        self.acked_segments += 1.0;
+        let target = self
+            .window_at(self.t + rtt.max(0.0))
+            .max(self.tcp_friendly_at(self.t, rtt));
+        if target > cwnd_segments {
+            // Spread the climb over the ACKs of one RTT, as the RFC's
+            // per-ACK increment does.
+            cwnd_segments + (target - cwnd_segments) / cwnd_segments.max(1.0)
+        } else {
+            // Below target (e.g. right after an event in the concave
+            // region's flat spot): probe gently.
+            cwnd_segments + 0.01 / cwnd_segments.max(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn congestion_event_sets_beta_decrease() {
+        let mut c = CubicState::default();
+        let ssthresh = c.on_congestion(10.0);
+        assert!((ssthresh - 7.0).abs() < 1e-9);
+        // Tiny windows floor at 2 segments.
+        assert_eq!(c.on_congestion(1.0), 2.0);
+    }
+
+    #[test]
+    fn window_recovers_to_wmax_at_k() {
+        let mut c = CubicState::default();
+        c.on_congestion(20.0);
+        let k = c.k();
+        assert!((c.window_at(k) - 20.0).abs() < 1e-9, "plateau at W_max");
+        // Concave before K, convex after.
+        assert!(c.window_at(k * 0.5) < 20.0);
+        assert!(c.window_at(k * 1.5) > 20.0);
+    }
+
+    #[test]
+    fn growth_is_slow_near_plateau_fast_far_away() {
+        let mut c = CubicState::default();
+        c.on_congestion(50.0);
+        let k = c.k();
+        let near = c.window_at(k + 0.1) - c.window_at(k);
+        let far = c.window_at(k + 2.1) - c.window_at(k + 2.0);
+        assert!(far > 10.0 * near, "convex acceleration: {near} vs {far}");
+    }
+
+    #[test]
+    fn ack_driven_climb_converges_toward_target() {
+        let mut c = CubicState::default();
+        c.on_congestion(10.0);
+        let mut w = 7.0;
+        // Simulate 2000 ACKs at rtt=0.2s self-clocked spacing.
+        for _ in 0..2_000 {
+            w = c.on_ack(w, 0.2 / w, 0.2);
+        }
+        assert!(w > 10.0, "window regrows past W_max: {w}");
+        assert!(w < 200.0, "growth stays sane: {w}");
+    }
+
+    #[test]
+    fn tcp_friendly_floor_dominates_at_small_windows() {
+        // At small W_max and short RTT, the Reno-rate region grows
+        // faster than the cubic curve early on.
+        let mut c = CubicState::default();
+        c.on_congestion(4.0);
+        let t = 1.0;
+        assert!(c.tcp_friendly_at(t, 0.2) > c.window_at(t));
+    }
+}

@@ -1,0 +1,86 @@
+//! Wall-clock time mapped into the simulation time domain.
+//!
+//! The testbed reuses the `taq-tcp` state machines and the `Qdisc`
+//! implementations unchanged; both speak [`SimTime`]. A [`ScaledClock`]
+//! maps real elapsed time into that domain, optionally scaled so a
+//! 200 ms-RTT experiment can run faster than real time while keeping
+//! every *relative* timing (RTTs, RTOs, serialization times) intact.
+
+use std::time::{Duration, Instant};
+use taq_sim::SimTime;
+
+/// Maps wall-clock time to simulation time with a speed factor.
+#[derive(Debug, Clone)]
+pub struct ScaledClock {
+    start: Instant,
+    /// Simulated nanoseconds per real nanosecond. 1.0 = real time;
+    /// 4.0 = the experiment runs 4× faster than real time.
+    speedup: f64,
+}
+
+impl ScaledClock {
+    /// Creates a clock starting "now".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `speedup` is positive and finite.
+    pub fn new(speedup: f64) -> Self {
+        assert!(speedup > 0.0 && speedup.is_finite(), "invalid speedup");
+        ScaledClock {
+            start: Instant::now(),
+            speedup,
+        }
+    }
+
+    /// Current time in the simulation domain.
+    pub fn now(&self) -> SimTime {
+        let real = self.start.elapsed();
+        SimTime::from_nanos((real.as_nanos() as f64 * self.speedup) as u64)
+    }
+
+    /// Converts a simulation-domain instant into the real-time
+    /// [`Duration`] from the clock's start.
+    pub fn real_offset(&self, t: SimTime) -> Duration {
+        Duration::from_nanos((t.as_nanos() as f64 / self.speedup) as u64)
+    }
+
+    /// How long to sleep (real time) until simulation instant `t`;
+    /// zero if it already passed.
+    pub fn real_until(&self, t: SimTime) -> Duration {
+        let target = self.real_offset(t);
+        target.saturating_sub(self.start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unscaled_clock_tracks_real_time() {
+        let c = ScaledClock::new(1.0);
+        std::thread::sleep(Duration::from_millis(20));
+        let t = c.now().as_secs_f64();
+        assert!((0.015..0.5).contains(&t), "elapsed {t}");
+    }
+
+    #[test]
+    fn speedup_scales_elapsed() {
+        let c = ScaledClock::new(10.0);
+        std::thread::sleep(Duration::from_millis(10));
+        let t = c.now().as_secs_f64();
+        // 10 ms real ≈ 100 ms simulated (with generous slack for CI).
+        assert!((0.08..1.5).contains(&t), "elapsed {t}");
+    }
+
+    #[test]
+    fn real_until_roundtrips() {
+        let c = ScaledClock::new(2.0);
+        let target = SimTime::from_millis(100); // 50 ms real
+        let wait = c.real_until(target);
+        assert!(wait <= Duration::from_millis(50));
+        assert!(wait >= Duration::from_millis(10), "wait {wait:?}");
+        // A past instant needs no wait.
+        assert_eq!(c.real_until(SimTime::ZERO), Duration::ZERO);
+    }
+}

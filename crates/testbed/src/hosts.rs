@@ -1,0 +1,434 @@
+//! Real-time host threads: the `taq-tcp` state machines driven by wall
+//! clock instead of the simulator.
+//!
+//! Each host runs one thread with a timer heap and a packet channel;
+//! [`RtIo`] adapts the thread's clock and channels to the [`TcpIo`]
+//! interface. Because the state machines are I/O-free, this file
+//! contains *no* TCP logic — only plumbing — which is the point of the
+//! testbed: demonstrating that the exact code evaluated in simulation
+//! runs under real time and real scheduling jitter.
+
+use crate::clock::ScaledClock;
+use crate::middlebox::{Crossing, Direction, MbInput};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::time::Duration;
+use taq_sim::{FlowKey, NodeId, Packet, PacketBuilder, SimDuration, SimTime, TcpFlags, TimerId};
+use taq_tcp::{FlowRecord, TcpConfig, TcpIo, TcpReceiver, TcpSender, TimerKind};
+
+/// A pending timer in a host's heap (min-heap by deadline).
+#[derive(Debug, PartialEq, Eq)]
+struct HeapTimer {
+    at: SimTime,
+    id: TimerId,
+    conn: usize,
+    kind: TimerKind,
+}
+
+impl Ord for HeapTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at) // Reversed for min-heap.
+    }
+}
+
+impl PartialOrd for HeapTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Timer bookkeeping shared by both host kinds.
+#[derive(Debug, Default)]
+struct Timers {
+    heap: BinaryHeap<HeapTimer>,
+    alive: HashSet<TimerId>,
+    next: u32,
+}
+
+impl Timers {
+    fn set(&mut self, at: SimTime, conn: usize, kind: TimerKind) -> TimerId {
+        let id = TimerId::synthetic(self.next);
+        self.next = self.next.wrapping_add(1);
+        self.alive.insert(id);
+        self.heap.push(HeapTimer { at, id, conn, kind });
+        id
+    }
+
+    fn cancel(&mut self, id: TimerId) {
+        self.alive.remove(&id);
+    }
+
+    fn next_deadline(&mut self) -> Option<SimTime> {
+        while let Some(top) = self.heap.peek() {
+            if self.alive.contains(&top.id) {
+                return Some(top.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pops the next live timer if it is due at `now`.
+    fn pop_due(&mut self, now: SimTime) -> Option<(usize, TimerKind)> {
+        while let Some(top) = self.heap.peek() {
+            if !self.alive.contains(&top.id) {
+                self.heap.pop();
+                continue;
+            }
+            if top.at > now {
+                return None;
+            }
+            let t = self.heap.pop().expect("peeked");
+            self.alive.remove(&t.id);
+            return Some((t.conn, t.kind));
+        }
+        None
+    }
+}
+
+/// [`TcpIo`] over wall clock + channels, scoped to one connection.
+struct RtIo<'a> {
+    clock: &'a ScaledClock,
+    out: &'a Sender<MbInput>,
+    dir: Direction,
+    timers: &'a mut Timers,
+    conn: usize,
+}
+
+impl TcpIo for RtIo<'_> {
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    fn emit(&mut self, mut pkt: Packet) {
+        pkt.sent_at = self.clock.now();
+        // Lost channel = testbed shutting down; nothing to do.
+        let _ = self
+            .out
+            .send(MbInput::Packet(Crossing { dir: self.dir, pkt }));
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, kind: TimerKind) -> TimerId {
+        let at = self.clock.now() + delay;
+        self.timers.set(at, self.conn, kind)
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.timers.cancel(id);
+    }
+}
+
+fn recv_deadline(clock: &ScaledClock, timers: &mut Timers) -> Duration {
+    match timers.next_deadline() {
+        Some(t) => clock.real_until(t).min(Duration::from_millis(20)),
+        None => Duration::from_millis(20),
+    }
+}
+
+/// Runs a server host: accepts connections on port 80 and serves the
+/// byte count named in each SYN's `meta`. Returns when the inbound
+/// channel closes.
+pub fn run_server(
+    clock: ScaledClock,
+    cfg: TcpConfig,
+    inbound: Receiver<Packet>,
+    out: Sender<MbInput>,
+) {
+    let mut timers = Timers::default();
+    let mut conns: Vec<Option<TcpSender>> = Vec::new();
+    let mut by_peer: HashMap<(NodeId, u16), usize> = HashMap::new();
+    loop {
+        // Fire due timers.
+        let now = clock.now();
+        while let Some((conn, kind)) = timers.pop_due(now) {
+            if let Some(Some(sender)) = conns.get_mut(conn) {
+                let mut io = RtIo {
+                    clock: &clock,
+                    out: &out,
+                    dir: Direction::Forward,
+                    timers: &mut timers,
+                    conn,
+                };
+                sender.on_timer(kind, &mut io);
+            }
+        }
+        let timeout = recv_deadline(&clock, &mut timers);
+        match inbound.recv_timeout(timeout) {
+            Ok(pkt) => {
+                let peer = (pkt.flow.src, pkt.flow.src_port);
+                let slot = if pkt.flags.syn && !pkt.flags.ack {
+                    *by_peer.entry(peer).or_insert_with(|| {
+                        conns.push(Some(TcpSender::new(
+                            cfg.clone(),
+                            pkt.flow.reversed(),
+                            pkt.meta,
+                        )));
+                        conns.len() - 1
+                    })
+                } else {
+                    match by_peer.get(&peer) {
+                        Some(&s) => s,
+                        None => continue,
+                    }
+                };
+                let mut io = RtIo {
+                    clock: &clock,
+                    out: &out,
+                    dir: Direction::Forward,
+                    timers: &mut timers,
+                    conn: slot,
+                };
+                if let Some(sender) = conns[slot].as_mut() {
+                    if pkt.flags.syn && !pkt.flags.ack {
+                        sender.on_syn(&pkt, &mut io);
+                    } else {
+                        sender.on_packet(&pkt, &mut io);
+                    }
+                    if sender.is_closed() {
+                        conns[slot] = None;
+                        by_peer.remove(&peer);
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// One object to fetch on the real-time client.
+#[derive(Debug, Clone)]
+pub struct RtRequest {
+    /// Caller-assigned tag.
+    pub tag: u64,
+    /// Object size in bytes.
+    pub bytes: u64,
+}
+
+struct RtConn {
+    local_port: u16,
+    receiver: Option<TcpReceiver>,
+    record: FlowRecord,
+    syn_retries: u32,
+}
+
+/// Runs a client host: fetches `requests` with up to `max_parallel`
+/// concurrent connections (SYN retries with exponential backoff), then
+/// sends its [`FlowRecord`]s and returns.
+#[allow(clippy::too_many_arguments)]
+pub fn run_client(
+    clock: ScaledClock,
+    cfg: TcpConfig,
+    me: NodeId,
+    server: NodeId,
+    requests: Vec<RtRequest>,
+    max_parallel: usize,
+    inbound: Receiver<Packet>,
+    out: Sender<MbInput>,
+    records_out: Sender<FlowRecord>,
+    deadline: SimTime,
+) {
+    let sack = cfg.variant == taq_tcp::Variant::Sack;
+    let mut timers = Timers::default();
+    let mut pending: std::collections::VecDeque<RtRequest> = requests.into();
+    let mut conns: Vec<Option<RtConn>> = Vec::new();
+    let mut by_port: HashMap<u16, usize> = HashMap::new();
+    let mut next_port = 10_000u16;
+    let mut done = 0usize;
+    let total = pending.len();
+
+    let open = |pending: &mut std::collections::VecDeque<RtRequest>,
+                conns: &mut Vec<Option<RtConn>>,
+                by_port: &mut HashMap<u16, usize>,
+                next_port: &mut u16,
+                timers: &mut Timers,
+                clock: &ScaledClock,
+                out: &Sender<MbInput>| {
+        while by_port.len() < max_parallel {
+            let Some(req) = pending.pop_front() else {
+                break;
+            };
+            let port = *next_port;
+            *next_port = next_port.wrapping_add(1);
+            let now = clock.now();
+            let syn = PacketBuilder::new(FlowKey {
+                src: me,
+                src_port: port,
+                dst: server,
+                dst_port: 80,
+            })
+            .seq(0)
+            .flags(TcpFlags::SYN)
+            .meta(req.bytes)
+            .build();
+            let _ = out.send(MbInput::Packet(Crossing {
+                dir: Direction::Reverse,
+                pkt: syn,
+            }));
+            let slot = conns.len();
+            timers.set(now + cfg.syn_retry_initial, slot, TimerKind::SynRetry);
+            conns.push(Some(RtConn {
+                local_port: port,
+                receiver: None,
+                record: FlowRecord {
+                    client: me,
+                    client_port: port,
+                    tag: req.tag,
+                    bytes: req.bytes,
+                    queued_at: now,
+                    first_syn_at: now,
+                    established_at: None,
+                    completed_at: None,
+                    syn_retries: 0,
+                },
+                syn_retries: 0,
+            }));
+            by_port.insert(port, slot);
+        }
+    };
+
+    open(
+        &mut pending,
+        &mut conns,
+        &mut by_port,
+        &mut next_port,
+        &mut timers,
+        &clock,
+        &out,
+    );
+
+    while done < total && clock.now() < deadline {
+        let now = clock.now();
+        while let Some((slot, kind)) = timers.pop_due(now) {
+            let Some(Some(conn)) = conns.get_mut(slot) else {
+                continue;
+            };
+            match kind {
+                TimerKind::SynRetry => {
+                    if conn.receiver.is_some() {
+                        continue; // Established while timer in flight.
+                    }
+                    conn.syn_retries += 1;
+                    conn.record.syn_retries = conn.syn_retries;
+                    let syn = PacketBuilder::new(FlowKey {
+                        src: me,
+                        src_port: conn.local_port,
+                        dst: server,
+                        dst_port: 80,
+                    })
+                    .seq(0)
+                    .flags(TcpFlags::SYN)
+                    .meta(conn.record.bytes)
+                    .build();
+                    let _ = out.send(MbInput::Packet(Crossing {
+                        dir: Direction::Reverse,
+                        pkt: syn,
+                    }));
+                    let backoff = (cfg.syn_retry_initial * (1u64 << conn.syn_retries.min(8)))
+                        .min(cfg.syn_retry_max);
+                    timers.set(now + backoff, slot, TimerKind::SynRetry);
+                }
+                TimerKind::DelayedAck => {
+                    if let Some(receiver) = conn.receiver.as_mut() {
+                        let mut io = RtIo {
+                            clock: &clock,
+                            out: &out,
+                            dir: Direction::Reverse,
+                            timers: &mut timers,
+                            conn: slot,
+                        };
+                        receiver.on_timer(kind, &mut io);
+                    }
+                }
+                TimerKind::Rto => {}
+            }
+        }
+        let timeout = recv_deadline(&clock, &mut timers);
+        match inbound.recv_timeout(timeout) {
+            Ok(pkt) => {
+                let Some(&slot) = by_port.get(&pkt.flow.dst_port) else {
+                    continue;
+                };
+                let Some(conn) = conns[slot].as_mut() else {
+                    continue;
+                };
+                if conn.receiver.is_none() {
+                    if pkt.flags.syn && pkt.flags.ack {
+                        conn.record.established_at = Some(clock.now());
+                        let ack_flow = FlowKey {
+                            src: me,
+                            src_port: conn.local_port,
+                            dst: server,
+                            dst_port: 80,
+                        };
+                        conn.receiver = Some(TcpReceiver::new(cfg.clone(), ack_flow, sack));
+                    } else {
+                        continue;
+                    }
+                }
+                let receiver = conn.receiver.as_mut().expect("set above");
+                let mut io = RtIo {
+                    clock: &clock,
+                    out: &out,
+                    dir: Direction::Reverse,
+                    timers: &mut timers,
+                    conn: slot,
+                };
+                receiver.on_packet(&pkt, &mut io);
+                if receiver.is_complete() {
+                    conn.record.completed_at = receiver.complete_at();
+                    let record = conn.record.clone();
+                    by_port.remove(&pkt.flow.dst_port);
+                    conns[slot] = None;
+                    let _ = records_out.send(record);
+                    done += 1;
+                    open(
+                        &mut pending,
+                        &mut conns,
+                        &mut by_port,
+                        &mut next_port,
+                        &mut timers,
+                        &clock,
+                        &out,
+                    );
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Report unfinished transfers too.
+    for conn in conns.into_iter().flatten() {
+        let _ = records_out.send(conn.record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_heap_orders_and_cancels() {
+        let mut t = Timers::default();
+        let a = t.set(SimTime::from_secs(2), 0, TimerKind::Rto);
+        let _b = t.set(SimTime::from_secs(1), 1, TimerKind::SynRetry);
+        assert_eq!(t.next_deadline(), Some(SimTime::from_secs(1)));
+        assert_eq!(
+            t.pop_due(SimTime::from_secs(1)),
+            Some((1, TimerKind::SynRetry))
+        );
+        assert!(t.pop_due(SimTime::from_secs(1)).is_none(), "2s not due");
+        t.cancel(a);
+        assert_eq!(t.next_deadline(), None);
+        assert!(t.pop_due(SimTime::from_secs(10)).is_none());
+    }
+
+    #[test]
+    fn cancelled_timer_skipped_in_deadline_scan() {
+        let mut t = Timers::default();
+        let a = t.set(SimTime::from_secs(1), 0, TimerKind::Rto);
+        let _b = t.set(SimTime::from_secs(3), 0, TimerKind::Rto);
+        t.cancel(a);
+        assert_eq!(t.next_deadline(), Some(SimTime::from_secs(3)));
+    }
+}

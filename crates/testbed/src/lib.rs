@@ -1,0 +1,28 @@
+//! # taq-testbed — real-time emulation harness
+//!
+//! The testbed substitute for the paper's 4-machine physical setup
+//! (§5's Click and C#/SharpPcap prototypes): a multi-threaded userspace
+//! emulation in which the *same* `Qdisc` implementations (DropTail or
+//! `taq::TaqPair`) and the *same* `taq-tcp` state machines run against
+//! wall-clock time, exposed to genuine OS scheduling jitter. Unlike the
+//! deterministic simulator, testbed runs vary — which is exactly the
+//! property the paper's testbed section demonstrates: the discipline
+//! works outside the simulator on modest hardware.
+//!
+//! - [`ScaledClock`] — wall-clock → simulation-time mapping with an
+//!   optional speedup so long experiments compress;
+//! - [`run_middlebox`] — token-paced bidirectional bottleneck around a
+//!   qdisc pair;
+//! - [`run_server`] / [`run_client`] — host threads adapting channels
+//!   and timer heaps to the `TcpIo` interface;
+//! - [`run_testbed`] — the one-call experiment assembly.
+
+mod clock;
+mod hosts;
+mod middlebox;
+mod testbed;
+
+pub use clock::ScaledClock;
+pub use hosts::{run_client, run_server, RtRequest};
+pub use middlebox::{run_middlebox, Crossing, Direction, MbInput, MiddleboxStats};
+pub use testbed::{run_testbed, ClientSpec, TestbedConfig, TestbedReport};

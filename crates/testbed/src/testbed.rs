@@ -1,0 +1,221 @@
+//! The assembled real-time testbed: one middlebox, one server, N
+//! clients, each on its own thread.
+//!
+//! Substitutes for the paper's 4-machine Ethernet testbed (§5): the
+//! same `Qdisc` implementations and the same TCP state machines run
+//! against wall-clock time with genuine OS scheduling jitter, which is
+//! the property the paper's testbed experiments establish (that TAQ
+//! works outside the simulator on modest hardware). An optional speedup
+//! factor compresses the experiment without changing any relative
+//! timing.
+
+use crate::clock::ScaledClock;
+use crate::hosts::{run_client, run_server, RtRequest};
+use crate::middlebox::{run_middlebox, MbInput, MiddleboxStats};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use taq_sim::{Bandwidth, NodeId, Packet, Qdisc, SimDuration, SimTime};
+use taq_tcp::{FlowRecord, TcpConfig};
+
+/// Testbed parameters.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Bottleneck rate (both directions are paced at this rate; the
+    /// reverse direction stays uncongested as ACKs are small).
+    pub rate: Bandwidth,
+    /// One-way propagation delay.
+    pub one_way_delay: SimDuration,
+    /// TCP configuration for all hosts.
+    pub tcp: TcpConfig,
+    /// Simulated nanoseconds per real nanosecond (>1 runs the
+    /// experiment faster than real time).
+    pub speedup: f64,
+    /// Experiment horizon in simulated time.
+    pub horizon: SimTime,
+}
+
+/// One client's workload specification.
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// Objects to fetch, in order.
+    pub requests: Vec<RtRequest>,
+    /// Parallel connection limit (the browser pool size).
+    pub max_parallel: usize,
+}
+
+/// Results of a testbed run.
+#[derive(Debug)]
+pub struct TestbedReport {
+    /// Completion records from every client (unfinished transfers have
+    /// `completed_at = None`).
+    pub records: Vec<FlowRecord>,
+    /// Bottleneck counters.
+    pub stats: MiddleboxStats,
+}
+
+/// Runs a complete testbed experiment. `make_qdiscs` is called inside
+/// the middlebox thread (so non-`Send` disciplines like [`taq::TaqPair`]
+/// work) and must return the (forward, reverse) pair.
+///
+/// [`taq::TaqPair`]: https://docs.rs/taq
+pub fn run_testbed(
+    cfg: TestbedConfig,
+    make_qdiscs: impl FnOnce() -> (Box<dyn Qdisc>, Box<dyn Qdisc>) + Send + 'static,
+    clients: Vec<ClientSpec>,
+) -> TestbedReport {
+    assert!(!clients.is_empty(), "no clients");
+    let clock = ScaledClock::new(cfg.speedup);
+    let server_id = NodeId(1);
+    let (mb_tx, mb_rx) = unbounded::<MbInput>();
+    let (stats_tx, stats_rx) = bounded(1);
+    let (records_tx, records_rx) = unbounded::<FlowRecord>();
+
+    // Host inbound channels, registered with the middlebox.
+    let mut host_channels: HashMap<NodeId, Sender<Packet>> = HashMap::new();
+    let (server_in_tx, server_in_rx) = unbounded::<Packet>();
+    host_channels.insert(server_id, server_in_tx);
+
+    let mut client_handles: Vec<JoinHandle<()>> = Vec::new();
+    for (i, spec) in clients.into_iter().enumerate() {
+        let me = NodeId(10 + i as u32);
+        let (in_tx, in_rx) = unbounded::<Packet>();
+        host_channels.insert(me, in_tx);
+        let clock = clock.clone();
+        let tcp = cfg.tcp.clone();
+        let out = mb_tx.clone();
+        let records = records_tx.clone();
+        let horizon = cfg.horizon;
+        client_handles.push(std::thread::spawn(move || {
+            run_client(
+                clock,
+                tcp,
+                me,
+                server_id,
+                spec.requests,
+                spec.max_parallel,
+                in_rx,
+                out,
+                records,
+                horizon,
+            );
+        }));
+    }
+    drop(records_tx);
+
+    let mb_clock = clock.clone();
+    let rate = cfg.rate;
+    let delay = cfg.one_way_delay;
+    let middlebox = std::thread::spawn(move || {
+        run_middlebox(
+            mb_clock,
+            rate,
+            delay,
+            make_qdiscs,
+            mb_rx,
+            host_channels,
+            stats_tx,
+        );
+    });
+
+    let server_clock = clock.clone();
+    let server_tcp = cfg.tcp.clone();
+    let server_out = mb_tx.clone();
+    let server = std::thread::spawn(move || {
+        run_server(server_clock, server_tcp, server_in_rx, server_out);
+    });
+
+    // Clients exit when done or at the horizon; collect their records.
+    let mut records = Vec::new();
+    for handle in client_handles {
+        handle.join().expect("client thread panicked");
+    }
+    while let Ok(r) = records_rx.try_recv() {
+        records.push(r);
+    }
+    // Orderly shutdown: the explicit signal breaks the middlebox loop
+    // (the server still holds an input sender, so channel closure alone
+    // would never fire); dropping the middlebox's host channels then
+    // stops the server.
+    let _ = mb_tx.send(MbInput::Shutdown);
+    drop(mb_tx);
+    middlebox.join().expect("middlebox thread panicked");
+    server.join().expect("server thread panicked");
+    let stats = stats_rx.recv().expect("middlebox reports stats");
+    TestbedReport { records, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taq_queues::DropTail;
+    use taq_sim::UnboundedFifo;
+
+    fn base_cfg() -> TestbedConfig {
+        TestbedConfig {
+            rate: Bandwidth::from_kbps(600),
+            one_way_delay: SimDuration::from_millis(100),
+            tcp: TcpConfig::default(),
+            // 20x real time: a 60 s experiment runs in 3 s.
+            speedup: 20.0,
+            horizon: SimTime::from_secs(120),
+        }
+    }
+
+    #[test]
+    fn single_client_download_completes() {
+        let report = run_testbed(
+            base_cfg(),
+            || {
+                (
+                    Box::new(DropTail::with_packets(30)),
+                    Box::new(UnboundedFifo::new()),
+                )
+            },
+            vec![ClientSpec {
+                requests: vec![RtRequest {
+                    tag: 1,
+                    bytes: 30_000,
+                }],
+                max_parallel: 1,
+            }],
+        );
+        assert_eq!(report.records.len(), 1);
+        let r = &report.records[0];
+        assert!(r.completed_at.is_some(), "transfer finished: {report:?}");
+        // 30 KB at 600 Kbps ≈ 0.4 s serialization + slow start RTTs.
+        let dl = r.download_time().unwrap().as_secs_f64();
+        assert!((0.3..30.0).contains(&dl), "download time {dl}");
+        assert!(report.stats.fwd_transmitted > 60);
+    }
+
+    #[test]
+    fn concurrent_clients_all_finish() {
+        let specs: Vec<ClientSpec> = (0..4)
+            .map(|i| ClientSpec {
+                requests: vec![RtRequest {
+                    tag: i,
+                    bytes: 20_000,
+                }],
+                max_parallel: 1,
+            })
+            .collect();
+        let report = run_testbed(
+            base_cfg(),
+            || {
+                (
+                    Box::new(DropTail::with_packets(30)),
+                    Box::new(UnboundedFifo::new()),
+                )
+            },
+            specs,
+        );
+        assert_eq!(report.records.len(), 4);
+        let done = report
+            .records
+            .iter()
+            .filter(|r| r.completed_at.is_some())
+            .count();
+        assert_eq!(done, 4, "all transfers finish: {report:?}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # taq-workloads — traffic generation for the TAQ reproduction
+//!
+//! Builds the workloads the paper evaluates on:
+//!
+//! - [`DumbbellScenario`] — one-call assembly of the canonical dumbbell
+//!   experiment (server, clients, discipline under test), with helpers
+//!   for bulk flows, short-flow mixes, connection pools, and scheduled
+//!   log replay;
+//! - [`ObjectSizeModel`] — heavy-tailed web object sizes (log-normal
+//!   body + Pareto tail), the stand-in for the unavailable real traces;
+//! - [`weblog`] — synthetic access logs with Poisson arrivals,
+//!   including the `campus_two_hour` preset mirroring Figure 1's
+//!   setting;
+//! - [`SessionConfig`] / [`generate_session`] — page-structured
+//!   browsing sessions for the user-hang experiment (§2.3).
+//!
+//! Everything is deterministic under a [`taq_sim::SimRng`] seed.
+
+mod scenario;
+mod sessions;
+mod sizes;
+pub mod weblog;
+
+pub use scenario::{flows_for_fair_share, DumbbellScenario, BULK_BYTES};
+pub use sessions::{generate_session, Session, SessionConfig};
+pub use sizes::ObjectSizeModel;

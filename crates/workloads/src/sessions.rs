@@ -1,0 +1,130 @@
+//! Web browsing session models (§2.3's user-hang experiment and the
+//! admission-control replay of §5.5).
+//!
+//! A user alternates page loads and think times; each page load is a
+//! burst of object requests (root document plus embedded assets) fed to
+//! the user's connection pool. The pool fetches up to `connections`
+//! objects at once, requesting the next "as soon as possible" — the
+//! dependence structure the paper emulates in its trace replay.
+
+use crate::sizes::ObjectSizeModel;
+use taq_sim::{SimDuration, SimRng, SimTime};
+use taq_tcp::Request;
+
+/// Parameters of a browsing session generator.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Number of pages each user loads.
+    pub pages_per_user: u32,
+    /// Objects per page: uniform in `[min, max]`.
+    pub objects_per_page: (u32, u32),
+    /// Mean exponential think time between a page completing *being
+    /// issued* and the next page being issued (the generator is
+    /// open-loop over pages; within a page, requests are closed-loop
+    /// through the pool).
+    pub mean_think_time: SimDuration,
+    /// Object size model for page assets.
+    pub sizes: ObjectSizeModel,
+}
+
+impl SessionConfig {
+    /// The §2.3 hang-experiment profile: continuous browsing of small
+    /// pages.
+    pub fn browsing_default() -> Self {
+        SessionConfig {
+            pages_per_user: 50,
+            objects_per_page: (2, 8),
+            mean_think_time: SimDuration::from_secs(5),
+            sizes: ObjectSizeModel::small_assets(),
+        }
+    }
+}
+
+/// A generated session: time-stamped page bursts of requests.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// `(issue time, request)` pairs, time-ordered.
+    pub requests: Vec<(SimTime, Request)>,
+}
+
+/// Generates one user's session. Tags are `user_tag_base + sequence`.
+pub fn generate_session(cfg: &SessionConfig, user_tag_base: u64, rng: &mut SimRng) -> Session {
+    let mut t = SimTime::ZERO + SimDuration::from_secs_f64(rng.next_f64());
+    let mut requests = Vec::new();
+    let mut seq = 0;
+    for _ in 0..cfg.pages_per_user {
+        let objects = rng.range_u64(
+            u64::from(cfg.objects_per_page.0),
+            u64::from(cfg.objects_per_page.1),
+        );
+        for _ in 0..objects {
+            requests.push((
+                t,
+                Request {
+                    tag: user_tag_base + seq,
+                    bytes: cfg.sizes.sample(rng),
+                },
+            ));
+            seq += 1;
+        }
+        t += SimDuration::from_secs_f64(rng.exponential(cfg.mean_think_time.as_secs_f64()));
+    }
+    Session { requests }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_shape_matches_config() {
+        let cfg = SessionConfig {
+            pages_per_user: 10,
+            objects_per_page: (3, 3),
+            mean_think_time: SimDuration::from_secs(2),
+            sizes: ObjectSizeModel::small_assets(),
+        };
+        let mut rng = SimRng::new(1);
+        let s = generate_session(&cfg, 1_000, &mut rng);
+        assert_eq!(s.requests.len(), 30, "10 pages × 3 objects");
+        // Time-ordered, tags sequential from the base.
+        for (i, w) in s.requests.windows(2).enumerate() {
+            assert!(w[0].0 <= w[1].0, "request {i} out of order");
+        }
+        let tags: Vec<u64> = s.requests.iter().map(|(_, r)| r.tag).collect();
+        assert_eq!(tags, (1_000..1_030).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pages_are_bursts_with_gaps() {
+        let cfg = SessionConfig {
+            pages_per_user: 5,
+            objects_per_page: (4, 4),
+            mean_think_time: SimDuration::from_secs(100),
+            sizes: ObjectSizeModel::small_assets(),
+        };
+        let mut rng = SimRng::new(2);
+        let s = generate_session(&cfg, 0, &mut rng);
+        // Within a page the 4 objects share a timestamp; across pages
+        // the (huge) think time separates them.
+        for page in s.requests.chunks(4) {
+            assert!(page.iter().all(|(t, _)| *t == page[0].0));
+        }
+        let page_times: Vec<SimTime> = s.requests.chunks(4).map(|c| c[0].0).collect();
+        for w in page_times.windows(2) {
+            assert!(w[1] > w[0], "think time separates pages");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = SessionConfig::browsing_default();
+        let a = generate_session(&cfg, 5, &mut SimRng::new(3));
+        let b = generate_session(&cfg, 5, &mut SimRng::new(3));
+        assert_eq!(a.requests.len(), b.requests.len());
+        for (x, y) in a.requests.iter().zip(&b.requests) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.bytes, y.1.bytes);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Web object size models.
+//!
+//! Stands in for the unavailable real traces (the Kerala campus proxy
+//! log of Figure 1, the India/Ghana access logs of §5). What the
+//! experiments need from those traces is their *shape*: object sizes
+//! spanning 100 B to tens of MB, a log-normal body around ~10 KB (the
+//! classic web-object finding, consistent with the paper's era), and a
+//! Pareto tail supplying the rare large downloads. All parameters are
+//! explicit so sensitivity runs can vary them.
+
+use taq_sim::SimRng;
+
+/// Mixture model: log-normal body + Pareto tail, clamped to a range.
+#[derive(Debug, Clone)]
+pub struct ObjectSizeModel {
+    /// Mean of the underlying normal (log of bytes).
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+    /// Probability a sample comes from the heavy tail instead of the
+    /// body.
+    pub tail_prob: f64,
+    /// Pareto scale (minimum tail size, bytes).
+    pub tail_scale: f64,
+    /// Pareto shape (smaller = heavier).
+    pub tail_alpha: f64,
+    /// Smallest size ever returned.
+    pub min_bytes: u64,
+    /// Largest size ever returned.
+    pub max_bytes: u64,
+}
+
+impl ObjectSizeModel {
+    /// A 2013-era web-object mix: median ≈ 8 KB, 10% heavy tail from
+    /// 100 KB with shape 1.1, clamped to [100 B, 50 MB].
+    pub fn web_default() -> Self {
+        ObjectSizeModel {
+            mu: 9.0, // e^9 ≈ 8.1 KB median
+            sigma: 1.6,
+            tail_prob: 0.10,
+            tail_scale: 100_000.0,
+            tail_alpha: 1.1,
+            min_bytes: 100,
+            max_bytes: 50_000_000,
+        }
+    }
+
+    /// A small-objects-only mix (page assets: icons, scripts, css),
+    /// median ≈ 3 KB, no heavy tail, capped at 100 KB.
+    pub fn small_assets() -> Self {
+        ObjectSizeModel {
+            mu: 8.0,
+            sigma: 1.2,
+            tail_prob: 0.0,
+            tail_scale: 1.0,
+            tail_alpha: 1.0,
+            min_bytes: 100,
+            max_bytes: 100_000,
+        }
+    }
+
+    /// Draws one object size in bytes.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let raw = if self.tail_prob > 0.0 && rng.chance(self.tail_prob) {
+            rng.pareto(self.tail_scale, self.tail_alpha)
+        } else {
+            rng.log_normal(self.mu, self.sigma)
+        };
+        (raw.round() as u64).clamp(self.min_bytes, self.max_bytes)
+    }
+
+    /// Draws `n` sizes.
+    pub fn sample_n(&self, rng: &mut SimRng, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_respect_clamps() {
+        let m = ObjectSizeModel::web_default();
+        let mut rng = SimRng::new(1);
+        for _ in 0..50_000 {
+            let s = m.sample(&mut rng);
+            assert!((m.min_bytes..=m.max_bytes).contains(&s));
+        }
+    }
+
+    #[test]
+    fn median_is_near_body_median() {
+        let m = ObjectSizeModel::web_default();
+        let mut rng = SimRng::new(2);
+        let mut xs = m.sample_n(&mut rng, 100_001);
+        xs.sort_unstable();
+        let median = xs[xs.len() / 2] as f64;
+        // Body median e^9 ≈ 8103; the 10% tail shifts it slightly up.
+        assert!((5_000.0..16_000.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn tail_produces_large_objects() {
+        let m = ObjectSizeModel::web_default();
+        let mut rng = SimRng::new(3);
+        let xs = m.sample_n(&mut rng, 100_000);
+        let big = xs.iter().filter(|&&x| x > 1_000_000).count();
+        // The Pareto(100 KB, 1.1) tail puts ~8% of tail draws past 1 MB;
+        // with 10% tail probability that is ~0.8–2% of all draws.
+        let frac = big as f64 / xs.len() as f64;
+        assert!((0.002..0.05).contains(&frac), ">1 MB fraction {frac}");
+        // And the span covers the orders of magnitude Figure 1 plots.
+        assert!(*xs.iter().min().unwrap() < 1_000);
+        assert!(*xs.iter().max().unwrap() > 5_000_000);
+    }
+
+    #[test]
+    fn small_assets_stay_small() {
+        let m = ObjectSizeModel::small_assets();
+        let mut rng = SimRng::new(4);
+        let xs = m.sample_n(&mut rng, 10_000);
+        assert!(xs.iter().all(|&x| x <= 100_000));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = ObjectSizeModel::web_default();
+        let a = m.sample_n(&mut SimRng::new(7), 100);
+        let b = m.sample_n(&mut SimRng::new(7), 100);
+        assert_eq!(a, b);
+    }
+}

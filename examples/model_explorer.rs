@@ -1,0 +1,59 @@
+//! Explore the idealized Markov models from the command line.
+//!
+//! Prints, for a given per-packet loss probability `p`, the stationary
+//! distribution over "packets sent per epoch" of both the partial model
+//! (Figure 4) and the full repetitive-timeout model (Figure 5), the
+//! closed-form expected idle time, and the backoff-depth occupancy.
+//!
+//! Run with: `cargo run --example model_explorer -- 0.15`
+
+use taq_model::{analysis, FullModel, PartialModel};
+
+fn main() {
+    let p: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.15);
+    assert!(
+        p > 0.0 && p < 0.5,
+        "loss probability must be in (0, 0.5); got {p}"
+    );
+    let wmax = 6;
+    let partial = PartialModel::new(p, wmax);
+    let full = FullModel::new(p, wmax, 3);
+
+    println!("TCP in a small packet regime at p = {p} (Wmax = {wmax}):\n");
+    println!("packets/epoch   partial-model   full-model");
+    let pd = partial.n_sent_distribution();
+    let fd = full.n_sent_distribution();
+    for n in 0..=wmax as usize {
+        println!("{n:>13} {:>15.4} {:>12.4}", pd[n], fd[n]);
+    }
+    println!();
+    println!(
+        "probability of a timeout state:   partial {:.3}, full {:.3}",
+        partial.timeout_mass(),
+        full.timeout_mass()
+    );
+    println!(
+        "expected throughput (pkts/epoch): partial {:.3}, full {:.3}",
+        partial.expected_segments_per_epoch(),
+        full.expected_segments_per_epoch()
+    );
+    println!(
+        "expected idle time in timeout:    {:.3} epochs  (closed form 1/(1-2p))",
+        analysis::expected_idle_epochs(p).expect("p < 1/2")
+    );
+    println!("\nrepetitive-timeout depth (full model):");
+    for j in 1..=4 {
+        println!(
+            "  P(at least {j} backoff{}) = {:.4}",
+            if j == 1 { "" } else { "s" },
+            full.backoff_mass_at_least(j)
+        );
+    }
+    println!(
+        "\nthe tipping point: timeout states claim a majority of epochs at p ≈ {:.3}",
+        analysis::majority_timeout_point(wmax, 3)
+    );
+}

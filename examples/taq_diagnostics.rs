@@ -1,0 +1,125 @@
+//! Diagnostic harness comparing DropTail and TAQ internals on the
+//! fairness scenario: class populations, drop stages, tracker states,
+//! server-side timeout counters. Knobs via env vars: `FLOWS`,
+//! `RECOV_FRAC`, `TAQ_BUF`, `EVO_WIN_MS`, `MINRTO_MS`.
+//!
+//! Run with: `cargo run --release --example taq_diagnostics`
+
+use taq::{QueueClass, TaqConfig, TaqPair};
+use taq_metrics::{EvolutionTracker, SliceThroughput};
+use taq_queues::DropTail;
+use taq_sim::{shared, Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimTime};
+use taq_tcp::{ServerHost, TcpConfig};
+use taq_workloads::{DumbbellScenario, BULK_BYTES};
+
+fn run(name: &str, qdisc: Box<dyn Qdisc>, taq_state: Option<taq::SharedTaq>) {
+    let rate = Bandwidth::from_kbps(600);
+    let topo = DumbbellConfig::with_rtt_200ms(rate);
+    let tcp = TcpConfig {
+        min_rto: taq_sim::SimDuration::from_millis(
+            std::env::var("MINRTO_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1000),
+        ),
+        ..TcpConfig::default()
+    };
+    let mut sc = DumbbellScenario::new(42, topo, qdisc, tcp);
+    let (slices, erased) = shared(SliceThroughput::new(
+        sc.db.bottleneck,
+        SimDuration::from_secs(20),
+    ));
+    sc.sim.add_monitor(erased);
+    let evo_win = std::env::var("EVO_WIN_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let (evo, erased) = shared(EvolutionTracker::new(
+        sc.db.bottleneck,
+        SimDuration::from_millis(evo_win),
+    ));
+    sc.sim.add_monitor(erased);
+    let flows = std::env::var("FLOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    sc.add_bulk_clients(flows, BULK_BYTES, SimDuration::from_secs(2));
+    sc.run_until(SimTime::from_secs(300));
+
+    let stats = sc.sim.link_stats(sc.db.bottleneck);
+    let srv = sc.sim.agent::<ServerHost>(sc.server).unwrap();
+    let agg = srv.aggregate_stats();
+    let slices = slices.borrow();
+    let jain = slices.mean_jain(2, 15, flows);
+    let series = evo.borrow().series();
+    let (mut stalled, mut total) = (0, 0);
+    for c in &series[series.len() / 4..] {
+        stalled += c.stalled;
+        total += c.total();
+    }
+    println!("== {name}");
+    println!(
+        "  jain20={jain:.3} util={:.3} drops={} ({:.1}%) tx={}",
+        stats.utilization(SimDuration::from_secs(300)),
+        stats.dropped_pkts,
+        100.0 * stats.drop_rate(),
+        stats.transmitted_pkts
+    );
+    println!(
+        "  srv: timeouts={} fast_rtx={} retx={} sent={} max_backoff={}",
+        agg.timeouts, agg.fast_retransmits, agg.retransmits, agg.segments_sent, agg.max_backoff
+    );
+    println!("  stalled_frac={:.3}", stalled as f64 / total.max(1) as f64);
+    if let Some(state) = taq_state {
+        let st = state.borrow();
+        println!(
+            "  taq: offered={} dropped={} retx_dropped={} syn_rej={}",
+            st.stats.offered,
+            st.stats.dropped,
+            st.stats.retransmissions_dropped,
+            st.stats.syns_rejected
+        );
+        println!("    drops by stage: {:?}", st.stats.drops_by_stage);
+        for class in [
+            QueueClass::Recovery,
+            QueueClass::NewFlow,
+            QueueClass::OverPenalized,
+            QueueClass::BelowFairShare,
+            QueueClass::AboveFairShare,
+        ] {
+            println!("    {:?}: {}", class, st.stats.class_count(class));
+        }
+        println!(
+            "    flows tracked={} fair_share={:.0}bps",
+            st.flows.len(),
+            st.fair_share(SimTime::from_secs(300))
+        );
+        let mut states: std::collections::HashMap<String, usize> = Default::default();
+        for f in st.flows.iter() {
+            *states.entry(format!("{:?}", f.state)).or_default() += 1;
+        }
+        println!("    states: {states:?}");
+        let rates: Vec<u64> = st.flows.iter().map(|f| f.rate_bps() as u64).collect();
+        println!(
+            "    rate est: min={:?} max={:?}",
+            rates.iter().min(),
+            rates.iter().max()
+        );
+    }
+}
+
+fn main() {
+    let rate = Bandwidth::from_kbps(600);
+    let buffer = rate.packets_per(SimDuration::from_millis(200), 500);
+    run("droptail", Box::new(DropTail::with_packets(buffer)), None);
+    let mut cfg = TaqConfig::for_link(rate);
+    if let Ok(v) = std::env::var("RECOV_FRAC") {
+        cfg.recovery_cap_fraction = v.parse().unwrap();
+    }
+    if let Ok(v) = std::env::var("TAQ_BUF") {
+        cfg.buffer_pkts = v.parse().unwrap();
+    }
+    let pair = TaqPair::new(cfg);
+    let state = pair.state.clone();
+    run("taq", Box::new(pair.forward), Some(state));
+}

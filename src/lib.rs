@@ -1,0 +1,1 @@
+//! Root integration crate for the TAQ reproduction: see `tests/` and `examples/`.

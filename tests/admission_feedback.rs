@@ -1,0 +1,76 @@
+//! Integration: explicit admission-rejection feedback (§4.3's
+//! expected-wait-time notice) end to end.
+
+use taq::{TaqConfig, TaqPair};
+use taq_sim::{Bandwidth, Dumbbell, DumbbellConfig, SimDuration, SimTime, Simulator};
+use taq_tcp::{new_flow_log, ClientHost, Request, ServerHost, TcpConfig};
+
+/// Drives heavy synthetic loss into the meter, then opens a client and
+/// measures how it learns about rejection.
+fn run(feedback: bool) -> (u64, u64, bool) {
+    let rate = Bandwidth::from_kbps(600);
+    let mut cfg = TaqConfig::for_link(rate).with_admission_control();
+    cfg.reject_feedback = feedback;
+    cfg.admission_twait = SimDuration::from_secs(2);
+    let pair = TaqPair::new(cfg);
+    let state = pair.state.clone();
+    let mut sim = Simulator::new(3);
+    let topo = DumbbellConfig::with_rtt_200ms(rate);
+    let db = Dumbbell::build(
+        &mut sim,
+        topo,
+        Box::new(pair.forward),
+        Box::new(pair.reverse),
+    );
+    let server = sim.add_agent(Box::new(ServerHost::new(TcpConfig::default(), 80)));
+    db.attach_left(&mut sim, server);
+
+    let log = new_flow_log();
+    let mut client = ClientHost::new(TcpConfig::default(), server, 80, 1, log.clone());
+    client.push_request(Request {
+        tag: 1,
+        bytes: 10_000,
+    });
+    let node = sim.add_agent(Box::new(client));
+    db.attach_right(&mut sim, node);
+    // Pin the admission meter at heavy loss just before the SYN
+    // arrives (the external-loss entry point; the admission example
+    // exercises the organic overload path).
+    {
+        let mut st = state.borrow_mut();
+        for _ in 0..200 {
+            st.record_external_loss(SimTime::ZERO);
+        }
+    }
+    sim.schedule_start(node, SimTime::ZERO);
+    sim.run_until(SimTime::from_secs(30));
+
+    let client_ref = sim.agent::<ClientHost>(node).unwrap();
+    let rejections = client_ref.rejections_seen;
+    let st = state.borrow();
+    let done = log
+        .borrow()
+        .records
+        .iter()
+        .any(|r| r.completed_at.is_some());
+    (st.stats.syns_rejected, rejections, done)
+}
+
+#[test]
+fn feedback_notices_reach_the_client_and_it_still_completes() {
+    let (rejected, seen, done) = run(true);
+    assert!(rejected > 0, "the first SYN is rejected");
+    assert!(
+        seen > 0,
+        "the client received explicit rejection notices ({rejected} rejected)"
+    );
+    assert!(done, "the transfer completes after the Twait window");
+}
+
+#[test]
+fn without_feedback_rejection_is_silent() {
+    let (rejected, seen, done) = run(false);
+    assert!(rejected > 0);
+    assert_eq!(seen, 0, "no notices without the feedback option");
+    assert!(done, "blind retries still get in eventually");
+}

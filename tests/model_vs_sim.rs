@@ -1,0 +1,101 @@
+//! Validating the Markov models against simulation under the models'
+//! *own* assumptions: independent per-packet loss with probability `p`
+//! (a Bernoulli wire, no queue contention), windows capped at Wmax, and
+//! a base timeout near 2×RTT.
+//!
+//! This is the controlled companion to the Figure 6 experiment (which
+//! uses contention-induced loss): here `p` is set exactly, so the
+//! comparison isolates the chain itself.
+
+use taq_metrics::EpochActivity;
+use taq_model::{FullModel, PartialModel};
+use taq_sim::{shared, Bandwidth, DumbbellConfig, SimDuration, SimTime, UnboundedFifo};
+use taq_tcp::TcpConfig;
+use taq_workloads::{DumbbellScenario, BULK_BYTES};
+
+const WMAX: usize = 6;
+
+/// Runs independent capped flows over an uncontended Bernoulli-loss
+/// bottleneck and returns the empirical packets-per-epoch distribution
+/// alongside the realized loss rate.
+fn simulate(p: f64, flows: usize, secs: u64) -> (Vec<f64>, f64) {
+    let rate = Bandwidth::from_mbps(10); // Fast: no queueing, no contention.
+    let topo = DumbbellConfig::with_rtt_200ms(rate);
+    let tcp = TcpConfig {
+        max_window_segments: WMAX as u32,
+        min_rto: SimDuration::from_millis(400), // The model's T0 = 2×RTT.
+        ..TcpConfig::default()
+    };
+    let mut sc = DumbbellScenario::new(9, topo, Box::new(UnboundedFifo::new()), tcp);
+    sc.sim.set_link_loss(sc.db.bottleneck, p);
+    let epoch = SimDuration::from_millis(200);
+    let (activity, erased) = shared(EpochActivity::new(sc.db.bottleneck, epoch, WMAX));
+    sc.sim.add_monitor(erased);
+    sc.add_bulk_clients(flows, BULK_BYTES, SimDuration::from_secs(1));
+    let horizon = SimTime::from_secs(secs);
+    sc.run_until(horizon);
+    let stats = sc.sim.link_stats(sc.db.bottleneck);
+    let realized =
+        stats.wire_lost_pkts as f64 / (stats.wire_lost_pkts + stats.transmitted_pkts) as f64;
+    let dist = activity.borrow_mut().distribution(horizon);
+    (dist, realized)
+}
+
+#[test]
+fn bernoulli_loss_rate_is_realized() {
+    let (_, realized) = simulate(0.15, 10, 120);
+    assert!(
+        (realized - 0.15).abs() < 0.02,
+        "wire loss realizes the configured p: {realized}"
+    );
+}
+
+#[test]
+fn models_bracket_simulated_silence_under_iid_loss() {
+    // The two models bound reality from opposite sides: the partial
+    // model understates silence (its aggregated b* redraws a fresh
+    // entry-conditioned dwell on every consecutive failure), while the
+    // full model overstates it (it sends every low-window loss straight
+    // to a timeout, where real TCP's cumulative ACKs often slide the
+    // window past a single hole). Simulation lands between them.
+    for &p in &[0.1, 0.2, 0.3] {
+        let (sim, realized) = simulate(p, 20, 300);
+        let full = FullModel::new(realized, WMAX as u32, 3).n_sent_distribution();
+        let partial = PartialModel::new(realized, WMAX as u32).n_sent_distribution();
+        assert!(
+            partial[0] - 0.05 <= sim[0],
+            "p={p}: partial model silence {:.3} should lower-bound sim {:.3}",
+            partial[0],
+            sim[0]
+        );
+        assert!(
+            sim[0] <= full[0] + 0.05,
+            "p={p}: full model silence {:.3} should upper-bound sim {:.3}",
+            full[0],
+            sim[0]
+        );
+    }
+}
+
+#[test]
+fn timeout_mass_grows_sharply_with_p_in_simulation() {
+    // The model's tipping-point story, observed in simulation: silence
+    // fraction grows steeply between p = 0.05 and p = 0.25.
+    let (lo, _) = simulate(0.05, 20, 200);
+    let (hi, _) = simulate(0.25, 20, 200);
+    assert!(
+        hi[0] > 2.5 * lo[0],
+        "silence at p=0.25 ({:.3}) should dwarf p=0.05 ({:.3})",
+        hi[0],
+        lo[0]
+    );
+}
+
+#[test]
+fn low_loss_concentrates_at_wmax_in_simulation() {
+    let (sim, _) = simulate(0.01, 10, 200);
+    assert!(
+        sim[WMAX] > 0.5,
+        "at 1% loss flows mostly sit at the window cap: {sim:?}"
+    );
+}

@@ -1,0 +1,145 @@
+//! Integration: persistent connections with pipelined requests
+//! (HTTP/1.1 keep-alive), end to end over the simulator.
+
+use taq::{FlowState, TaqConfig, TaqPair};
+use taq_queues::DropTail;
+use taq_sim::{Bandwidth, Dumbbell, DumbbellConfig, SimTime, Simulator};
+use taq_tcp::{new_flow_log, ClientHost, Request, ServerHost, TcpConfig};
+
+fn setup(qdisc: Box<dyn taq_sim::Qdisc>) -> (Simulator, Dumbbell, taq_sim::NodeId) {
+    let mut sim = Simulator::new(21);
+    let cfg = DumbbellConfig::with_rtt_200ms(Bandwidth::from_kbps(600));
+    let db = Dumbbell::build_simple(&mut sim, cfg, qdisc);
+    let server = sim.add_agent(Box::new(ServerHost::new(TcpConfig::default(), 80)));
+    db.attach_left(&mut sim, server);
+    (sim, db, server)
+}
+
+#[test]
+fn pipelined_objects_complete_in_order_on_one_connection() {
+    let (mut sim, db, server) = setup(Box::new(DropTail::with_packets(30)));
+    let log = new_flow_log();
+    let mut client =
+        ClientHost::new(TcpConfig::default(), server, 80, 1, log.clone()).with_pipelining();
+    for tag in 0..6 {
+        client.push_request(Request { tag, bytes: 8_000 });
+    }
+    let node = sim.add_agent(Box::new(client));
+    db.attach_right(&mut sim, node);
+    sim.schedule_start(node, SimTime::ZERO);
+    sim.run_until(SimTime::from_secs(120));
+
+    let log = log.borrow();
+    let done: Vec<_> = log
+        .records
+        .iter()
+        .filter(|r| r.completed_at.is_some())
+        .collect();
+    assert_eq!(done.len(), 6, "all pipelined objects complete");
+    // One connection: every record shares the client port.
+    let ports: std::collections::HashSet<u16> = done.iter().map(|r| r.client_port).collect();
+    assert_eq!(ports.len(), 1, "a single keep-alive connection: {ports:?}");
+    // In-order completion by tag.
+    let mut tags: Vec<u64> = done.iter().map(|r| r.tag).collect();
+    let sorted = {
+        let mut t = tags.clone();
+        t.sort_unstable();
+        t
+    };
+    assert_eq!(tags, sorted, "pipelined objects finish in request order");
+    tags.dedup();
+    assert_eq!(tags.len(), 6);
+    // The server accepted exactly one connection.
+    let srv = sim.agent::<ServerHost>(server).unwrap();
+    assert_eq!(srv.accepted, 1);
+}
+
+#[test]
+fn scheduled_requests_reuse_idle_keepalive_connections() {
+    let (mut sim, db, server) = setup(Box::new(DropTail::with_packets(30)));
+    let log = new_flow_log();
+    let mut client =
+        ClientHost::new(TcpConfig::default(), server, 80, 2, log.clone()).with_pipelining();
+    client.push_request(Request {
+        tag: 0,
+        bytes: 5_000,
+    });
+    // A second burst arrives long after the first object finished: the
+    // idle keep-alive connection must pick it up without a new SYN.
+    client.schedule_request(
+        SimTime::from_secs(30),
+        Request {
+            tag: 1,
+            bytes: 5_000,
+        },
+    );
+    client.schedule_request(
+        SimTime::from_secs(30),
+        Request {
+            tag: 2,
+            bytes: 5_000,
+        },
+    );
+    let node = sim.add_agent(Box::new(client));
+    db.attach_right(&mut sim, node);
+    sim.schedule_start(node, SimTime::ZERO);
+    sim.run_until(SimTime::from_secs(120));
+
+    let log = log.borrow();
+    let done = log
+        .records
+        .iter()
+        .filter(|r| r.completed_at.is_some())
+        .count();
+    assert_eq!(done, 3, "burst after idle completes");
+    let srv = sim.agent::<ServerHost>(server).unwrap();
+    // Reuse means at most 2 connections ever (the pool limit), not 3.
+    assert!(
+        srv.accepted <= 2,
+        "idle connection reused: {}",
+        srv.accepted
+    );
+    // The later objects completed after their scheduled time.
+    let r1 = log.records.iter().find(|r| r.tag == 1).unwrap();
+    assert!(r1.completed_at.unwrap() >= SimTime::from_secs(30));
+}
+
+#[test]
+fn idle_keepalive_connection_tracks_as_dummy_silence_at_taq() {
+    // The traffic pattern pipelining creates — an established flow that
+    // simply has nothing to send — is exactly what TAQ's DummySilence
+    // state exists to distinguish from a timeout.
+    let mut sim = Simulator::new(33);
+    let cfg = DumbbellConfig::with_rtt_200ms(Bandwidth::from_kbps(600));
+    let pair = TaqPair::new(TaqConfig::for_link(Bandwidth::from_kbps(600)));
+    let state = pair.state.clone();
+    let db = Dumbbell::build(
+        &mut sim,
+        cfg,
+        Box::new(pair.forward),
+        Box::new(pair.reverse),
+    );
+    let server = sim.add_agent(Box::new(ServerHost::new(TcpConfig::default(), 80)));
+    db.attach_left(&mut sim, server);
+    let log = new_flow_log();
+    let mut client =
+        ClientHost::new(TcpConfig::default(), server, 80, 1, log.clone()).with_pipelining();
+    client.push_request(Request {
+        tag: 0,
+        bytes: 20_000,
+    });
+    let node = sim.add_agent(Box::new(client));
+    db.attach_right(&mut sim, node);
+    sim.schedule_start(node, SimTime::ZERO);
+    // Run past completion so idle epochs accumulate (but well short of
+    // the tracker's GC horizon), then roll the tracker's clock forward.
+    sim.run_until(SimTime::from_secs(5));
+    state.borrow_mut().flows.tick(SimTime::from_secs(5));
+
+    let st = state.borrow();
+    let states: Vec<FlowState> = st.flows.iter().map(|f| f.state).collect();
+    assert!(
+        states.contains(&FlowState::DummySilence),
+        "idle keep-alive flow classified as dummy silence, got {states:?}"
+    );
+}
