@@ -1,25 +1,23 @@
-//! Criterion microbenchmark: Markov model construction + stationary
-//! solve (the per-point cost of every model sweep).
+//! Microbenchmark: Markov model construction + stationary solve (the
+//! per-point cost of every model sweep).
+//!
+//! Run with `cargo bench --bench model_solve`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use taq_bench::measure;
 use taq_model::{FullModel, PartialModel};
 
-fn bench_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model_solve");
-    group.bench_function("partial_wmax6", |b| {
-        b.iter(|| PartialModel::new(0.15, 6).stationary());
+fn main() {
+    println!("# model_solve — construction + stationary distribution");
+    measure("partial_wmax6", 10, 200, || {
+        PartialModel::new(0.15, 6).stationary()
     });
-    group.bench_function("partial_wmax16", |b| {
-        b.iter(|| PartialModel::new(0.15, 16).stationary());
+    measure("partial_wmax16", 10, 200, || {
+        PartialModel::new(0.15, 16).stationary()
     });
-    group.bench_function("full_wmax6_k3", |b| {
-        b.iter(|| FullModel::new(0.15, 6, 3).stationary());
+    measure("full_wmax6_k3", 10, 200, || {
+        FullModel::new(0.15, 6, 3).stationary()
     });
-    group.bench_function("full_wmax6_k6", |b| {
-        b.iter(|| FullModel::new(0.15, 6, 6).stationary());
+    measure("full_wmax6_k6", 10, 200, || {
+        FullModel::new(0.15, 6, 6).stationary()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

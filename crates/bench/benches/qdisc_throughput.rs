@@ -1,9 +1,15 @@
-//! Criterion microbenchmark: enqueue/dequeue throughput of each
-//! discipline under a steady multi-flow packet stream.
+//! Microbenchmark: enqueue/dequeue throughput of each discipline under a
+//! steady multi-flow packet stream, plus the telemetry-overhead check —
+//! TAQ with no telemetry attached vs an attached hub with no sinks vs a
+//! live ring-buffer sink. The "no sinks" column is the cost the
+//! instrumentation adds to every deployment whether or not anyone is
+//! listening; the acceptance bar is ≤ 5% over the detached baseline.
+//!
+//! Run with `cargo bench --bench qdisc_throughput`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use taq_bench::{build_qdisc, Discipline};
+use taq_bench::{build_qdisc, measure, BuiltQdisc, Discipline};
 use taq_sim::{Bandwidth, FlowKey, NodeId, Packet, PacketBuilder, SimTime};
+use taq_telemetry::{shared_sink, RingBufferSink, Telemetry};
 
 fn packets(n: usize) -> Vec<Packet> {
     (0..n)
@@ -23,40 +29,59 @@ fn packets(n: usize) -> Vec<Packet> {
         .collect()
 }
 
-fn bench_qdiscs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qdisc_enqueue_dequeue");
+/// One batch: 1 000 packets enqueued with a dequeue every third tick,
+/// then a full drain.
+fn drive(mut built: BuiltQdisc, pkts: Vec<Packet>) {
+    let mut t = 0u64;
+    for pkt in pkts {
+        t += 4_000_000; // 4 ms per packet at 1 Mbps.
+        let now = SimTime::from_nanos(t);
+        let _ = built.forward.enqueue(pkt, now);
+        if t.is_multiple_of(3) {
+            let _ = built.forward.dequeue(now);
+        }
+    }
+    while built.forward.dequeue(SimTime::from_nanos(t)).is_some() {}
+}
+
+fn bench_discipline(d: Discipline, suffix: &str, telemetry: Option<&Telemetry>) -> f64 {
+    let label = format!("{}{suffix}/batch_1000", d.name());
+    measure(&label, 10, 60, || {
+        let built = build_qdisc(d, Bandwidth::from_mbps(1), 64, 1);
+        if let (Some(t), Some(state)) = (telemetry, &built.taq_state) {
+            state.borrow_mut().attach_telemetry(t.clone());
+        }
+        drive(built, packets(1_000));
+    })
+}
+
+fn main() {
+    println!("# qdisc_throughput — 1000-packet enqueue/dequeue batches");
     for d in [
         Discipline::DropTail,
         Discipline::Red,
         Discipline::Sfq,
         Discipline::Taq,
     ] {
-        group.bench_function(d.name(), |b| {
-            b.iter_batched(
-                || {
-                    (
-                        build_qdisc(d, Bandwidth::from_mbps(1), 64, 1),
-                        packets(1_000),
-                    )
-                },
-                |(mut built, pkts)| {
-                    let mut t = 0u64;
-                    for pkt in pkts {
-                        t += 4_000_000; // 4 ms per packet at 1 Mbps.
-                        let now = SimTime::from_nanos(t);
-                        let _ = built.forward.enqueue(pkt, now);
-                        if t % 3 == 0 {
-                            let _ = built.forward.dequeue(now);
-                        }
-                    }
-                    while built.forward.dequeue(SimTime::from_nanos(t)).is_some() {}
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        bench_discipline(d, "", None);
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_qdiscs);
-criterion_main!(benches);
+    println!("# telemetry overhead (TAQ) — acceptance bar: nosink ≤ 5% over detached");
+    let baseline = bench_discipline(Discipline::Taq, "", None);
+    // A hub with no sinks: handles are registered but event closures are
+    // skipped; only the latency histograms are recorded.
+    let nosink = Telemetry::new();
+    let nosink_ns = bench_discipline(Discipline::Taq, "+hub_nosink", Some(&nosink));
+    // A live ring sink: full event construction and delivery.
+    let live = Telemetry::new();
+    let (_ring, erased) = shared_sink(RingBufferSink::new(1 << 14));
+    live.add_shared_sink(erased);
+    let live_ns = bench_discipline(Discipline::Taq, "+ring_sink", Some(&live));
+
+    let pct = |x: f64| (x / baseline - 1.0) * 100.0;
+    println!(
+        "# overhead: nosink {:+.2}%   live ring sink {:+.2}%",
+        pct(nosink_ns),
+        pct(live_ns)
+    );
+}

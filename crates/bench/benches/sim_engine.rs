@@ -1,8 +1,10 @@
-//! Criterion microbenchmark: end-to-end simulator event throughput on a
-//! contended dumbbell (events processed per wall second is the quantity
-//! that bounds every experiment's runtime).
+//! Microbenchmark: end-to-end simulator event throughput on a contended
+//! dumbbell (events processed per wall second is the quantity that
+//! bounds every experiment's runtime).
+//!
+//! Run with `cargo bench --bench sim_engine`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use taq_bench::measure;
 use taq_queues::DropTail;
 use taq_sim::{Bandwidth, DumbbellConfig, SimDuration, SimTime};
 use taq_tcp::TcpConfig;
@@ -23,17 +25,11 @@ fn run_sim(flows: usize, secs: u64) -> u64 {
     sc.sim.events_processed()
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_engine");
-    group.sample_size(10);
-    group.bench_function("dumbbell_20flows_30s", |b| {
-        b.iter(|| run_sim(20, 30));
-    });
-    group.bench_function("dumbbell_60flows_30s", |b| {
-        b.iter(|| run_sim(60, 30));
-    });
-    group.finish();
+fn main() {
+    println!("# sim_engine — dumbbell event throughput");
+    let mut events = 0;
+    let ns = measure("dumbbell_20flows_30s", 1, 5, || events = run_sim(20, 30));
+    println!("#   {:.2} Mevents/s", events as f64 / ns * 1e3);
+    let ns = measure("dumbbell_60flows_30s", 1, 5, || events = run_sim(60, 30));
+    println!("#   {:.2} Mevents/s", events as f64 / ns * 1e3);
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -22,7 +22,7 @@ fn main() {
         let rate = Bandwidth::from_kbps(rate_kbps);
         for share in shares_bps {
             let flows = flows_for_fair_share(rate, share);
-            if flows < 4 || flows > 400 {
+            if !(4..=400).contains(&flows) {
                 continue;
             }
             let cfg = FairnessRunConfig::new(42, rate, flows, duration);

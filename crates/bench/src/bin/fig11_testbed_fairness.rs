@@ -26,6 +26,7 @@ fn run(rate_kbps: u64, taq: bool, secs: u64) -> (f64, f64) {
         tcp: TcpConfig::default(),
         speedup: 10.0,
         horizon: SimTime::from_secs(secs),
+        telemetry_jsonl: None,
     };
     // 40 clients each streaming 15 KB objects over two parallel
     // connections: handshake-heavy, deep sub-packet contention, so the
@@ -43,7 +44,7 @@ fn run(rate_kbps: u64, taq: bool, secs: u64) -> (f64, f64) {
         .collect();
     let report = run_testbed(
         cfg,
-        move || {
+        move |_| {
             if taq {
                 let pair = TaqPair::new(TaqConfig::for_link(rate));
                 (Box::new(pair.forward) as _, Box::new(pair.reverse) as _)

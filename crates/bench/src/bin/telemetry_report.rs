@@ -1,0 +1,45 @@
+//! Canonical small-packet telemetry run: DropTail vs TAQ with the full
+//! telemetry stack attached (JSONL traces, exact event counts, aggregate
+//! summaries), rendered side by side.
+//!
+//! Usage: `telemetry_report [--full] [--jsonl DIR]`
+//!
+//! With `--jsonl DIR` the per-discipline event traces are written to
+//! `DIR/droptail.jsonl` and `DIR/taq.jsonl` for offline analysis
+//! (each line is one event object; see DESIGN.md's telemetry appendix).
+
+use taq_bench::{scaled_duration, telemetry_report, TelemetryReportConfig};
+
+fn main() {
+    let mut cfg = TelemetryReportConfig::small_packet(42, scaled_duration(60, 600));
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--jsonl") {
+        match args.get(i + 1) {
+            Some(dir) => {
+                let dir = std::path::PathBuf::from(dir);
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+                cfg.jsonl_dir = Some(dir);
+            }
+            None => {
+                eprintln!("--jsonl needs a directory argument");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let report = telemetry_report(&cfg);
+    print!("{}", report.render());
+    if let Some(dir) = &cfg.jsonl_dir {
+        println!();
+        for r in [&report.droptail, &report.taq] {
+            println!(
+                "# wrote {} events to {}",
+                r.jsonl.len(),
+                dir.join(format!("{}.jsonl", r.name)).display()
+            );
+        }
+    }
+}

@@ -1,14 +1,19 @@
 //! # taq-bench — the experiment harness
 //!
 //! One binary per figure of the paper's evaluation (see `src/bin/`),
-//! plus Criterion microbenchmarks (see `benches/`). This library holds
-//! the shared pieces: discipline construction, the standard
-//! fairness-run shape used by Figures 2/3/8/9, and tiny CLI helpers.
+//! plus hand-rolled microbenchmarks (see `benches/`). This library
+//! holds the shared pieces: discipline construction, the standard
+//! fairness-run shape used by Figures 2/3/8/9, the telemetry-report
+//! scenario, and tiny CLI helpers.
 //!
 //! Every binary prints the same rows/series its figure plots, prefixed
 //! with `#`-comment headers, so outputs can be piped into a plotting
 //! tool directly. Binaries accept `--full` for paper-scale durations
 //! and default to shorter runs with the same shape.
+
+mod report;
+
+pub use report::{telemetry_report, DisciplineReport, TelemetryReport, TelemetryReportConfig};
 
 use taq::{SharedTaq, TaqConfig, TaqPair};
 use taq_metrics::{EvolutionTracker, SliceThroughput};
@@ -18,6 +23,23 @@ use taq_sim::{
 };
 use taq_tcp::TcpConfig;
 use taq_workloads::{DumbbellScenario, BULK_BYTES};
+
+/// Hand-rolled microbenchmark loop (the workspace builds offline, so no
+/// external bench harness): runs `f` `warmup` times untimed, then
+/// `iters` timed runs, prints one aligned row, and returns the mean
+/// nanoseconds per iteration.
+pub fn measure<R>(name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..iters.max(1) {
+        std::hint::black_box(f());
+    }
+    let mean_ns = start.elapsed().as_nanos() as f64 / f64::from(iters.max(1));
+    println!("{name:<36} {mean_ns:>14.0} ns/iter   ({iters} iters)");
+    mean_ns
+}
 
 /// The disciplines the experiments compare.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -221,15 +243,14 @@ pub fn fairness_run(cfg: &FairnessRunConfig, discipline: Discipline) -> Fairness
         sum.stalled += c.stalled;
         n += 1;
     }
-    let evolution = if n > 0 {
-        taq_metrics::EvolutionCounts {
+    let evolution = match n {
+        0 => taq_metrics::EvolutionCounts::default(),
+        n => taq_metrics::EvolutionCounts {
             maintained: sum.maintained / n,
             dropped: sum.dropped / n,
             arriving: sum.arriving / n,
             stalled: sum.stalled / n,
-        }
-    } else {
-        taq_metrics::EvolutionCounts::default()
+        },
     };
 
     let stats = sc.sim.link_stats(sc.db.bottleneck);

@@ -22,6 +22,7 @@
 use crate::config::TaqConfig;
 use std::collections::HashMap;
 use taq_sim::{NodeId, SimTime};
+use taq_telemetry::{Event, Telemetry};
 
 /// Decision for one SYN.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +104,7 @@ pub struct AdmissionController {
     pools: HashMap<NodeId, Pool>,
     /// Sources waiting for admission, oldest first.
     wait_queue: Vec<NodeId>,
+    telemetry: Telemetry,
     /// Totals for reporting.
     pub admitted_pools: u64,
     /// SYNs rejected (including retries of waiting pools).
@@ -116,15 +118,28 @@ impl AdmissionController {
             cfg,
             pools: HashMap::new(),
             wait_queue: Vec::new(),
+            telemetry: Telemetry::disabled(),
             admitted_pools: 0,
             rejected_syns: 0,
         }
+    }
+
+    /// Routes grant/reject and pool wait-queue events to `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Decides the fate of a SYN from `src` given the current measured
     /// loss rate.
     pub fn on_syn(&mut self, src: NodeId, loss_rate: f64, now: SimTime) -> AdmissionDecision {
         if !self.cfg.admission_control {
+            // Still worth a telemetry record: the stream then shows
+            // every SYN the middlebox saw, whatever the configuration.
+            self.telemetry.emit(now.as_nanos(), || Event::Admission {
+                src: src.0,
+                decision: "admit",
+                loss_rate,
+            });
             return AdmissionDecision::Admit;
         }
         let window = self.cfg.pool_window;
@@ -147,20 +162,36 @@ impl AdmissionController {
             .waiting_since
             .is_some_and(|since| now.saturating_since(since) >= self.cfg.admission_twait);
         let head_of_line = self.wait_queue.first() == Some(&src) || self.wait_queue.is_empty();
-        if (under_threshold && head_of_line) || waited_out {
+        let decision = if (under_threshold && head_of_line) || waited_out {
+            let was_waiting = pool.waiting_since.is_some();
             pool.admitted = true;
             pool.waiting_since = None;
             self.wait_queue.retain(|s| *s != src);
             self.admitted_pools += 1;
+            if was_waiting {
+                self.telemetry
+                    .emit(now.as_nanos(), || Event::PoolAdmitted { src: src.0 });
+            }
             AdmissionDecision::Admit
         } else {
             if pool.waiting_since.is_none() {
                 pool.waiting_since = Some(now);
                 self.wait_queue.push(src);
+                self.telemetry
+                    .emit(now.as_nanos(), || Event::PoolWaiting { src: src.0 });
             }
             self.rejected_syns += 1;
             AdmissionDecision::Reject
-        }
+        };
+        self.telemetry.emit(now.as_nanos(), || Event::Admission {
+            src: src.0,
+            decision: match decision {
+                AdmissionDecision::Admit => "admit",
+                AdmissionDecision::Reject => "reject",
+            },
+            loss_rate,
+        });
+        decision
     }
 
     /// Number of pools currently waiting.

@@ -15,10 +15,15 @@
 use crate::admission::{AdmissionController, AdmissionDecision, LossRateMeter};
 use crate::config::TaqConfig;
 use crate::queues::{classify, fair_share_bps, QueueClass, TaqQueues};
-use crate::tracker::FlowTable;
+use crate::tracker::{flow_id, FlowTable};
 use std::cell::RefCell;
 use std::rc::Rc;
 use taq_sim::{EnqueueOutcome, Packet, PacketBuilder, Qdisc, SimDuration, SimTime, TcpFlags};
+use taq_telemetry::{Event, GaugeId, HistogramId, Telemetry, Value};
+
+/// Queue depth is sampled on every nth offered packet: often enough for
+/// meaningful percentiles, cheap enough for the hot path.
+const DEPTH_SAMPLE_EVERY: u64 = 32;
 
 /// Aggregate statistics a TAQ instance maintains.
 #[derive(Debug, Default, Clone)]
@@ -53,7 +58,56 @@ impl TaqStats {
     pub fn class_count(&self, class: QueueClass) -> u64 {
         self.per_class[Self::class_index(class)]
     }
+
+    /// Fraction of offered packets that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+
+    /// Serializes the counters into the telemetry JSON value type, with
+    /// eviction stages and classes keyed by name.
+    pub fn snapshot(&self) -> Value {
+        let stages = self
+            .drops_by_stage
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &n)| (STAGE_NAMES[i].to_string(), Value::UInt(n)))
+            .collect();
+        let classes = QueueClass::ALL
+            .iter()
+            .map(|&c| (c.name().to_string(), Value::UInt(self.class_count(c))))
+            .collect();
+        Value::object(vec![
+            ("offered", Value::UInt(self.offered)),
+            ("dropped", Value::UInt(self.dropped)),
+            ("drop_rate", Value::Float(self.drop_rate())),
+            (
+                "retransmissions_dropped",
+                Value::UInt(self.retransmissions_dropped),
+            ),
+            ("syns_rejected", Value::UInt(self.syns_rejected)),
+            ("drops_by_stage", Value::Object(stages)),
+            ("per_class", Value::Object(classes)),
+        ])
+    }
 }
+
+/// Names for the staged eviction policy, indexed by stage number.
+const STAGE_NAMES: [&str; 8] = [
+    "none",
+    "stage1",
+    "stage2",
+    "stage3",
+    "stage4",
+    "stage5",
+    "stage6",
+    "newflow_cap",
+];
 
 /// Shared middlebox state: tracker, queues, admission, meters.
 pub struct TaqState {
@@ -68,12 +122,23 @@ pub struct TaqState {
     pending_rejects: std::collections::VecDeque<Packet>,
     /// Aggregate counters.
     pub stats: TaqStats,
+    telemetry: Telemetry,
+    /// Hot-path latency histograms (dead handles until telemetry is
+    /// attached).
+    enqueue_ns: HistogramId,
+    classify_ns: HistogramId,
+    dequeue_ns: HistogramId,
+    depth_gauge: GaugeId,
+    class_gauges: [GaugeId; 5],
 }
 
 impl TaqState {
     /// Creates the shared state.
     pub fn new(cfg: TaqConfig) -> Self {
         cfg.validate();
+        let disabled = Telemetry::disabled();
+        let dead_hist = disabled.histogram("dead");
+        let dead_gauge = disabled.gauge("dead");
         TaqState {
             queues: TaqQueues::new(cfg.link_rate, cfg.recovery_cap_fraction),
             flows: FlowTable::new(cfg.clone()),
@@ -82,7 +147,37 @@ impl TaqState {
             pending_rejects: std::collections::VecDeque::new(),
             cfg,
             stats: TaqStats::default(),
+            telemetry: disabled,
+            enqueue_ns: dead_hist,
+            classify_ns: dead_hist,
+            dequeue_ns: dead_hist,
+            depth_gauge: dead_gauge,
+            class_gauges: [dead_gauge; 5],
         }
+    }
+
+    /// Wires a telemetry hub through the whole middlebox: flow tracker
+    /// transitions, classification/drop decisions, admission events, and
+    /// hot-path latency histograms all flow into `telemetry`'s sinks.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.enqueue_ns = telemetry.histogram("taq_enqueue_ns");
+        self.classify_ns = telemetry.histogram("taq_classify_ns");
+        self.dequeue_ns = telemetry.histogram("taq_dequeue_ns");
+        self.depth_gauge = telemetry.gauge("taq_queue_depth_pkts");
+        let mut gauges = self.class_gauges;
+        for (slot, class) in gauges.iter_mut().zip(QueueClass::ALL) {
+            *slot = telemetry.gauge_with("taq_class_depth_pkts", &[("class", class.name())]);
+        }
+        self.class_gauges = gauges;
+        self.flows.set_telemetry(telemetry.clone());
+        self.admission.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`TaqState::attach_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The currently measured loss rate at the queue.
@@ -116,6 +211,8 @@ impl TaqState {
     }
 
     fn enqueue_forward(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
+        let telemetry = self.telemetry.clone();
+        let _enq_timer = telemetry.scoped(self.enqueue_ns);
         self.stats.offered += 1;
         self.flows.tick(now);
         let obs = self.flows.observe_forward(&pkt, now);
@@ -126,7 +223,15 @@ impl TaqState {
         let share_pkts = (fair * obs.epoch_len.as_secs_f64()
             / (8.0 * f64::from(pkt.wire_len().max(1)))) as usize;
         let backlog = self.queues.flow_backlog(&pkt.flow);
-        let class = classify(&obs, backlog, share_pkts, fair);
+        let class = {
+            let _cls_timer = telemetry.scoped(self.classify_ns);
+            classify(&obs, backlog, share_pkts, fair)
+        };
+        telemetry.emit(now.as_nanos(), || Event::Classified {
+            flow: flow_id(&pkt.flow),
+            class: class.name(),
+            retransmission: obs.retransmission,
+        });
         let mut outcome = EnqueueOutcome::accepted();
 
         // NewFlow admission pressure: its own cap limits how many
@@ -135,7 +240,7 @@ impl TaqState {
             && self.queues.class_len(QueueClass::NewFlow) >= self.cfg.newflow_cap_pkts
         {
             self.stats.drops_by_stage[7] += 1;
-            self.record_drop(&pkt, obs.retransmission, now);
+            self.record_drop(&pkt, obs.retransmission, 7, now);
             outcome.dropped.push(pkt);
             return outcome;
         }
@@ -149,24 +254,52 @@ impl TaqState {
                 break;
             };
             self.stats.drops_by_stage[usize::from(stage)] += 1;
-            self.record_drop(&victim, was_retx, now);
+            self.record_drop(&victim, was_retx, stage, now);
             outcome.dropped.push(victim);
         }
         // Everything that stayed counts as a non-drop observation.
         self.loss_meter.record(false, now);
+        if telemetry.is_active() && self.stats.offered % DEPTH_SAMPLE_EVERY == 1 {
+            self.sample_depth(now);
+        }
         outcome
     }
 
-    fn record_drop(&mut self, pkt: &Packet, was_retransmission: bool, now: SimTime) {
+    /// Emits one queue-depth sample (packet/byte totals plus the
+    /// per-class breakdown) and refreshes the depth gauges.
+    fn sample_depth(&mut self, now: SimTime) {
+        let per_class = self.queues.depth_per_class();
+        self.telemetry
+            .set_gauge(self.depth_gauge, self.queues.len() as f64);
+        for (gauge, (_, depth)) in self.class_gauges.iter().zip(per_class.iter()) {
+            self.telemetry.set_gauge(*gauge, *depth as f64);
+        }
+        let pkts = self.queues.len() as u64;
+        let bytes = self.queues.byte_len() as u64;
+        self.telemetry.emit(now.as_nanos(), || Event::QueueDepth {
+            pkts,
+            bytes,
+            per_class,
+        });
+    }
+
+    fn record_drop(&mut self, pkt: &Packet, was_retransmission: bool, stage: u8, now: SimTime) {
         self.stats.dropped += 1;
         if was_retransmission {
             self.stats.retransmissions_dropped += 1;
         }
+        self.telemetry.emit(now.as_nanos(), || Event::Dropped {
+            flow: flow_id(&pkt.flow),
+            stage,
+            retransmission: was_retransmission,
+        });
         self.loss_meter.record(true, now);
         self.flows.on_drop(&pkt.flow, was_retransmission, now);
     }
 
     fn dequeue_forward(&mut self, now: SimTime) -> Option<Packet> {
+        let telemetry = self.telemetry.clone();
+        let _deq_timer = telemetry.scoped(self.dequeue_ns);
         // Rejection notices are tiny and latency-sensitive: inject them
         // ahead of buffered data.
         if let Some(rst) = self.pending_rejects.pop_front() {
@@ -257,6 +390,12 @@ impl TaqPair {
             },
             state,
         }
+    }
+
+    /// Wires a telemetry hub through the shared state (see
+    /// [`TaqState::attach_telemetry`]).
+    pub fn attach_telemetry(&self, telemetry: Telemetry) {
+        self.state.borrow_mut().attach_telemetry(telemetry);
     }
 }
 

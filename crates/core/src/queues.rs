@@ -59,13 +59,27 @@ pub enum QueueClass {
 }
 
 impl QueueClass {
-    const ALL: [QueueClass; 5] = [
+    /// All classes in scheduler-priority order (diagnostics, telemetry,
+    /// iteration).
+    pub const ALL: [QueueClass; 5] = [
         QueueClass::Recovery,
         QueueClass::NewFlow,
         QueueClass::OverPenalized,
         QueueClass::BelowFairShare,
         QueueClass::AboveFairShare,
     ];
+
+    /// Stable human- and machine-readable name, used in telemetry
+    /// events and report rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueClass::Recovery => "Recovery",
+            QueueClass::NewFlow => "NewFlow",
+            QueueClass::OverPenalized => "OverPenalized",
+            QueueClass::BelowFairShare => "BelowFairShare",
+            QueueClass::AboveFairShare => "AboveFairShare",
+        }
+    }
 
     fn index(self) -> usize {
         match self {
@@ -75,6 +89,12 @@ impl QueueClass {
             QueueClass::BelowFairShare => 3,
             QueueClass::AboveFairShare => 4,
         }
+    }
+}
+
+impl std::fmt::Display for QueueClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -200,6 +220,15 @@ impl TaqQueues {
     /// Flows currently assigned to a class.
     pub fn class_flows(&self, class: QueueClass) -> usize {
         self.rings[class.index()].len()
+    }
+
+    /// Packet counts per class in priority order, shaped for the
+    /// telemetry `QueueDepth` event.
+    pub fn depth_per_class(&self) -> Vec<(&'static str, u64)> {
+        QueueClass::ALL
+            .iter()
+            .map(|&c| (c.name(), self.class_len(c) as u64))
+            .collect()
     }
 
     fn migrate(&mut self, key: FlowKey, to: QueueClass) {

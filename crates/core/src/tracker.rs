@@ -18,7 +18,15 @@
 
 use crate::config::TaqConfig;
 use std::collections::HashMap;
-use taq_sim::{FlowKey, Packet, SimDuration, SimTime};
+use taq_sim::{seq_reuse_is_retransmission, FlowKey, Packet, SimDuration, SimTime};
+use taq_telemetry::{Event, FlowId, Telemetry};
+
+/// Converts a simulator flow key into the telemetry layer's flow
+/// identity (the telemetry crate sits below `taq-sim` in the dependency
+/// graph, so it has its own 4-tuple type).
+pub fn flow_id(key: &FlowKey) -> FlowId {
+    taq_sim::telemetry_flow_id(key)
+}
 
 /// The approximate per-flow state a middlebox tracks (paper Figure 7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,6 +52,20 @@ pub enum FlowState {
 }
 
 impl FlowState {
+    /// Stable human- and machine-readable name, used in telemetry
+    /// events and report rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowState::SlowStart => "SlowStart",
+            FlowState::Normal => "Normal",
+            FlowState::ExplicitLossRecovery => "ExplicitLossRecovery",
+            FlowState::TimeoutSilence => "TimeoutSilence",
+            FlowState::TimeoutRecovery => "TimeoutRecovery",
+            FlowState::ExtendedSilence => "ExtendedSilence",
+            FlowState::DummySilence => "DummySilence",
+        }
+    }
+
     /// `true` for the states in which the flow is transmitting nothing.
     pub fn is_silent(self) -> bool {
         matches!(
@@ -58,6 +80,12 @@ impl FlowState {
             self,
             FlowState::TimeoutSilence | FlowState::TimeoutRecovery | FlowState::ExtendedSilence
         )
+    }
+}
+
+impl std::fmt::Display for FlowState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -191,10 +219,23 @@ impl FlowInfo {
     }
 
     /// Rolls the epoch window forward to cover `now`, applying the state
-    /// machine's per-epoch transitions once per elapsed epoch.
-    fn roll_epochs(&mut self, now: SimTime, cfg: &TaqConfig) {
+    /// machine's per-epoch transitions once per elapsed epoch. Each
+    /// transition that changes state is emitted, timestamped at the
+    /// epoch boundary it fired on.
+    fn roll_epochs(&mut self, now: SimTime, cfg: &TaqConfig, telemetry: &Telemetry) {
         while now >= self.epoch_start + self.epoch_len {
-            self.apply_epoch_transition(cfg);
+            let old = self.state;
+            let trigger = self.apply_epoch_transition(cfg);
+            if self.state != old {
+                let boundary = self.epoch_start + self.epoch_len;
+                let (from, to, key) = (old.name(), self.state.name(), self.key);
+                telemetry.emit(boundary.as_nanos(), || Event::FlowStateChanged {
+                    flow: flow_id(&key),
+                    from,
+                    to,
+                    trigger,
+                });
+            }
             self.epoch_start += self.epoch_len;
             self.previous = self.current;
             self.bytes_prev_epoch = self.bytes_this_epoch;
@@ -211,8 +252,9 @@ impl FlowInfo {
         }
     }
 
-    /// The end-of-epoch state transition (paper §3.3/§4.1).
-    fn apply_epoch_transition(&mut self, cfg: &TaqConfig) {
+    /// The end-of-epoch state transition (paper §3.3/§4.1). Returns the
+    /// trigger tag describing which transition family fired.
+    fn apply_epoch_transition(&mut self, cfg: &TaqConfig) -> &'static str {
         let sent = self.current.new_packets + self.current.retransmitted;
         if sent == 0 {
             self.silent_epochs += 1;
@@ -239,7 +281,7 @@ impl FlowInfo {
                     }
                 }
             };
-            return;
+            return "silent-epoch";
         }
         self.silent_epochs = 0;
         let grew = f64::from(self.current.new_packets)
@@ -274,6 +316,7 @@ impl FlowInfo {
                 }
             }
         };
+        "active-epoch"
     }
 }
 
@@ -283,6 +326,7 @@ impl FlowInfo {
 pub struct FlowTable {
     cfg: TaqConfig,
     flows: HashMap<FlowKey, FlowInfo>,
+    telemetry: Telemetry,
     /// Total data packets observed (all flows), for loss-rate
     /// accounting.
     pub total_observed: u64,
@@ -295,8 +339,15 @@ impl FlowTable {
         FlowTable {
             cfg,
             flows: HashMap::new(),
+            telemetry: Telemetry::disabled(),
             total_observed: 0,
         }
+    }
+
+    /// Routes state-machine transitions and retransmission events to
+    /// `telemetry` (disabled by default; the handle is free when off).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The configuration in use.
@@ -341,7 +392,7 @@ impl FlowTable {
             .flows
             .entry(pkt.flow)
             .or_insert_with(|| FlowInfo::new(pkt.flow, now, &self.cfg));
-        flow.roll_epochs(now, &self.cfg);
+        flow.roll_epochs(now, &self.cfg, &self.telemetry);
 
         // One-way epoch refinement: a gap longer than half the current
         // estimate, followed by a burst, marks an epoch boundary; take
@@ -361,7 +412,8 @@ impl FlowTable {
         flow.prev_packet_at = Some(now);
 
         let end = pkt.seq_end();
-        let retransmission = pkt.is_data() && end <= flow.highest_seq_end;
+        let retransmission =
+            pkt.is_data() && seq_reuse_is_retransmission(end, flow.highest_seq_end);
         // A retransmission "repairs" a drop only if this queue owes the
         // flow one; go-back-N resends after a spurious timeout reuse old
         // sequence numbers without any drop here to repair.
@@ -381,12 +433,26 @@ impl FlowTable {
         if matches!(flow.state, FlowState::Normal | FlowState::SlowStart) {
             flow.last_normal_at = now;
         }
+        if retransmission {
+            self.telemetry.emit(now.as_nanos(), || Event::Retransmit {
+                flow: flow_id(&pkt.flow),
+                repairs_local_drop: repairs_our_drop,
+            });
+        }
         // Immediate (not just epoch-boundary) reactions for recovery
         // detection: retransmissions from a silent flow mean timeout
         // recovery is underway.
         if retransmission && flow.state.is_silent() {
+            let from = flow.state.name();
             flow.state = FlowState::TimeoutRecovery;
             flow.silent_epochs = 0;
+            self.telemetry
+                .emit(now.as_nanos(), || Event::FlowStateChanged {
+                    flow: flow_id(&pkt.flow),
+                    from,
+                    to: FlowState::TimeoutRecovery.name(),
+                    trigger: "retransmit-after-silence",
+                });
         }
         Observation {
             retransmission,
@@ -408,7 +474,7 @@ impl FlowTable {
     /// accounting).
     pub fn on_forwarded(&mut self, key: &FlowKey, bytes: u32, now: SimTime) {
         if let Some(flow) = self.flows.get_mut(key) {
-            flow.roll_epochs(now, &self.cfg);
+            flow.roll_epochs(now, &self.cfg, &self.telemetry);
             flow.bytes_this_epoch += u64::from(bytes);
             // Arm a two-way RTT probe if none outstanding.
             if flow.rtt_probe.is_none() {
@@ -422,9 +488,10 @@ impl FlowTable {
     /// knows which losses it inflicted and adjusts its prediction).
     pub fn on_drop(&mut self, key: &FlowKey, retransmission: bool, now: SimTime) {
         if let Some(flow) = self.flows.get_mut(key) {
-            flow.roll_epochs(now, &self.cfg);
+            flow.roll_epochs(now, &self.cfg, &self.telemetry);
             flow.current.drops += 1;
             flow.pending_repairs += 1;
+            let old = flow.state;
             flow.state = if retransmission {
                 // A dropped retransmission forces an RTO (and possibly a
                 // repetitive one).
@@ -437,6 +504,20 @@ impl FlowTable {
                     other => other,
                 }
             };
+            if flow.state != old {
+                let (from, to) = (old.name(), flow.state.name());
+                self.telemetry
+                    .emit(now.as_nanos(), || Event::FlowStateChanged {
+                        flow: flow_id(key),
+                        from,
+                        to,
+                        trigger: if retransmission {
+                            "dropped-retransmission"
+                        } else {
+                            "local-drop"
+                        },
+                    });
+            }
         }
     }
 
@@ -472,8 +553,9 @@ impl FlowTable {
     pub fn tick(&mut self, now: SimTime) {
         let gc = self.cfg.flow_gc_epochs;
         let cfg = self.cfg.clone();
+        let telemetry = self.telemetry.clone();
         self.flows.retain(|_, flow| {
-            flow.roll_epochs(now, &cfg);
+            flow.roll_epochs(now, &cfg, &telemetry);
             flow.silent_epochs < gc
         });
     }

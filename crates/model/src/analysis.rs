@@ -17,7 +17,7 @@ pub fn expected_idle_epochs(p: f64) -> Option<f64> {
 ///
 /// Returns `None` for `p ≥ 1/2`.
 pub fn backoff_exit_probability(p: f64) -> Option<f64> {
-    (0.0..0.5).contains(&p).then(|| 1.0 - 2.0 * p)
+    (0.0..0.5).contains(&p).then_some(1.0 - 2.0 * p)
 }
 
 /// The conditional stage-occupancy of the infinite timeout ladder: given

@@ -119,6 +119,9 @@ impl Dtmc {
     /// tolerance, which indicates a chain with no unique stationary
     /// distribution (e.g. disconnected recurrent classes) — a modelling
     /// bug, not a runtime condition.
+    // Index-based loops: this is textbook Gaussian elimination over a
+    // dense matrix; iterator rewrites obscure the row/column structure.
+    #[allow(clippy::needless_range_loop)]
     pub fn stationary(&self) -> Vec<f64> {
         let n = self.len();
         assert!(n > 0, "empty chain");
@@ -182,14 +185,13 @@ impl Dtmc {
 
     /// Stationary distribution by power iteration (used as a cross-check
     /// and for very large chains).
+    #[allow(clippy::needless_range_loop)]
     pub fn stationary_power(&self, iterations: usize) -> Vec<f64> {
         let n = self.len();
         let mut pi = vec![1.0 / n as f64; n];
         let mut next = vec![0.0; n];
         for _ in 0..iterations {
-            for v in &mut next {
-                *v = 0.0;
-            }
+            next.fill(0.0);
             for i in 0..n {
                 if pi[i] == 0.0 {
                     continue;

@@ -24,6 +24,8 @@ use crate::partial::{states, PartialModel};
 /// Panics if some state cannot reach a target (the expectation would be
 /// infinite) or if `targets` names no state of the chain; both indicate
 /// a modelling bug.
+// Index-based loops: Gaussian elimination, as in `Dtmc::stationary`.
+#[allow(clippy::needless_range_loop)]
 pub fn expected_hitting_times(chain: &Dtmc, targets: &[usize]) -> Vec<f64> {
     let n = chain.len();
     let is_target = {

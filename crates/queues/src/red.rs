@@ -229,7 +229,7 @@ mod tests {
             if i % 3 == 0 {
                 q.dequeue(t);
             }
-            t = t + taq_sim::SimDuration::from_micros(100);
+            t += taq_sim::SimDuration::from_micros(100);
         }
         assert!(drops > 0, "early/overflow drops expected under overload");
         assert!(q.avg_queue() > 12.5, "average should exceed min_th");
@@ -244,7 +244,7 @@ mod tests {
             if i % 2 == 0 {
                 q.dequeue(t);
             }
-            t = t + taq_sim::SimDuration::from_micros(100);
+            t += taq_sim::SimDuration::from_micros(100);
         }
         let before = q.avg_queue();
         // Drain and go idle for a long time.

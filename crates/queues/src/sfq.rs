@@ -248,10 +248,8 @@ mod tests {
             let out = q.enqueue(pkt((i % 13) as u16, i), SimTime::ZERO);
             in_count += 1;
             dropped += out.dropped.len() as u64;
-            if i % 3 == 0 {
-                if q.dequeue(SimTime::ZERO).is_some() {
-                    out_count += 1;
-                }
+            if i % 3 == 0 && q.dequeue(SimTime::ZERO).is_some() {
+                out_count += 1;
             }
         }
         while q.dequeue(SimTime::ZERO).is_some() {

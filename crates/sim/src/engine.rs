@@ -434,6 +434,36 @@ impl Simulator {
         while self.step() {}
         self.world.now
     }
+
+    /// Emits end-of-run aggregates into `telemetry`: one
+    /// [`taq_telemetry::Event::LinkSummary`] per link (utilization over
+    /// the full virtual run) and one
+    /// [`taq_telemetry::Event::EngineSummary`] with the events-processed
+    /// count, virtual time covered, and `wall` — the measured wall-clock
+    /// time of the run, zero when the caller did not time it.
+    pub fn emit_telemetry_summary(
+        &self,
+        telemetry: &taq_telemetry::Telemetry,
+        wall: std::time::Duration,
+    ) {
+        let now_ns = self.world.now.as_nanos();
+        let elapsed = self.world.now - SimTime::ZERO;
+        for link in &self.world.links {
+            let stats = &link.stats;
+            telemetry.emit(now_ns, || taq_telemetry::Event::LinkSummary {
+                link: link.id.0,
+                offered_pkts: stats.offered_pkts,
+                dropped_pkts: stats.dropped_pkts,
+                transmitted_pkts: stats.transmitted_pkts,
+                utilization: stats.utilization(elapsed),
+            });
+        }
+        telemetry.emit(now_ns, || taq_telemetry::Event::EngineSummary {
+            events: self.world.events_processed,
+            virtual_ns: now_ns,
+            wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+        });
+    }
 }
 
 #[cfg(test)]
@@ -484,7 +514,9 @@ mod tests {
         }
     }
 
-    fn two_node_sim(count: u32) -> (Simulator, NodeId, NodeId, Rc<RefCell<Vec<(SimTime, u64)>>>) {
+    type Received = Rc<RefCell<Vec<(SimTime, u64)>>>;
+
+    fn two_node_sim(count: u32) -> (Simulator, NodeId, NodeId, Received) {
         let mut sim = Simulator::new(1);
         let received = Rc::new(RefCell::new(Vec::new()));
         let a = sim.add_agent(Box::new(Chatter {

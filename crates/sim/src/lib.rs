@@ -51,8 +51,14 @@ mod trace;
 pub use engine::{Agent, Ctx, ForwardingRouter, Simulator};
 pub use events::TimerId;
 pub use link::LinkStats;
-pub use monitor::{shared, EventRecorder, LinkMonitor, RecordedEvent, RecordedKind, SharedMonitor};
-pub use packet::{FlowKey, LinkId, NodeId, Packet, PacketBuilder, SackBlocks, TcpFlags};
+pub use monitor::{
+    shared, telemetry_flow_id, EventRecorder, LinkMonitor, RecordedEvent, RecordedKind,
+    SharedMonitor, TelemetryBridge,
+};
+pub use packet::{
+    seq_reuse_is_retransmission, FlowKey, LinkId, NodeId, Packet, PacketBuilder, SackBlocks,
+    TcpFlags,
+};
 pub use qdisc::{EnqueueOutcome, Qdisc, UnboundedFifo};
 pub use rng::SimRng;
 pub use time::{Bandwidth, SimDuration, SimTime};

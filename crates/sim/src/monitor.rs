@@ -6,10 +6,11 @@
 //! reference and reads the collected data after the run — the simulator
 //! is single-threaded, making this pattern safe and allocation-cheap.
 
-use crate::packet::{LinkId, Packet};
+use crate::packet::{FlowKey, LinkId, Packet};
 use crate::time::SimTime;
 use std::cell::RefCell;
 use std::rc::Rc;
+use taq_telemetry::{Event, FlowId, Telemetry};
 
 /// Observer of packet-level events on a link.
 ///
@@ -43,6 +44,70 @@ pub fn shared<M: LinkMonitor + 'static>(monitor: M) -> (Rc<RefCell<M>>, SharedMo
     let typed = Rc::new(RefCell::new(monitor));
     let erased: SharedMonitor = typed.clone();
     (typed, erased)
+}
+
+/// Converts a simulator flow key into the telemetry layer's flow
+/// identity (same 4-tuple, same rendering).
+pub fn telemetry_flow_id(key: &FlowKey) -> FlowId {
+    FlowId {
+        src: key.src.0,
+        src_port: key.src_port,
+        dst: key.dst.0,
+        dst_port: key.dst_port,
+    }
+}
+
+/// A [`LinkMonitor`] that forwards every link-level packet event into a
+/// [`Telemetry`] stream as [`Event::Link`] records, putting the
+/// simulator's packet lifecycle in the same JSONL stream as the TAQ
+/// core's flow-state and classification events.
+#[derive(Debug)]
+pub struct TelemetryBridge {
+    telemetry: Telemetry,
+    only: Option<LinkId>,
+}
+
+impl TelemetryBridge {
+    /// Creates a bridge emitting every link's events into `telemetry`.
+    pub fn new(telemetry: Telemetry) -> Self {
+        TelemetryBridge {
+            telemetry,
+            only: None,
+        }
+    }
+
+    /// Restricts the bridge to one link (typically the bottleneck, to
+    /// keep JSONL volume proportional to the interesting traffic).
+    pub fn only(mut self, link: LinkId) -> Self {
+        self.only = Some(link);
+        self
+    }
+
+    fn emit(&self, kind: &'static str, link: LinkId, pkt: &Packet, now: SimTime) {
+        if self.only.is_some_and(|want| want != link) {
+            return;
+        }
+        self.telemetry.emit(now.as_nanos(), || Event::Link {
+            link: link.0,
+            kind,
+            flow: telemetry_flow_id(&pkt.flow),
+            bytes: u64::from(pkt.wire_len()),
+        });
+    }
+}
+
+impl LinkMonitor for TelemetryBridge {
+    fn on_enqueue(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        self.emit("enqueue", link, pkt, now);
+    }
+
+    fn on_drop(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        self.emit("drop", link, pkt, now);
+    }
+
+    fn on_transmit(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
+        self.emit("transmit", link, pkt, now);
+    }
 }
 
 /// A simple recording monitor retaining every event; useful in tests and

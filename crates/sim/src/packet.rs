@@ -239,6 +239,18 @@ impl Packet {
     }
 }
 
+/// Wire-level retransmission inference from sequence-number reuse.
+///
+/// A data packet whose last byte (`seq_end`) does not advance past the
+/// highest byte already seen from the flow (`high_water`) is re-offering
+/// bytes the middlebox has already forwarded — the only retransmission
+/// signal available without sender state. Shared by the TAQ flow tracker
+/// and offline trace analysis so both layers agree on what counts as a
+/// retransmission.
+pub fn seq_reuse_is_retransmission(seq_end: u64, high_water: u64) -> bool {
+    seq_end <= high_water
+}
+
 /// Convenience builder for packets; keeps construction sites readable.
 #[derive(Debug, Clone)]
 pub struct PacketBuilder {

@@ -10,7 +10,7 @@
 //! middlebox would).
 
 use crate::monitor::LinkMonitor;
-use crate::packet::{FlowKey, LinkId, Packet};
+use crate::packet::{seq_reuse_is_retransmission, FlowKey, LinkId, Packet};
 use crate::time::{SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -156,7 +156,7 @@ impl PacketTrace {
                     s.transmitted += 1;
                     let end = e.seq + u64::from(e.len);
                     let hw = high_water.entry(e.flow).or_insert(0);
-                    if end <= *hw {
+                    if seq_reuse_is_retransmission(end, *hw) {
                         s.retransmissions += 1;
                     }
                     *hw = (*hw).max(end);

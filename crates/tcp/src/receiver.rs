@@ -472,6 +472,6 @@ mod tests {
         let acks = io.take_sent();
         assert_eq!(acks.len(), 1);
         assert_eq!(acks[0].ack, 461);
-        io.now = io.now + SimDuration::from_secs(1);
+        io.now += SimDuration::from_secs(1);
     }
 }

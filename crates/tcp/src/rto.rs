@@ -121,7 +121,7 @@ mod tests {
         // Variance decays toward zero, so RTO approaches the clamp or
         // srtt itself.
         let rto = e.rto().as_secs_f64();
-        assert!(rto >= 0.4 && rto < 0.45, "rto = {rto}");
+        assert!((0.4..0.45).contains(&rto), "rto = {rto}");
     }
 
     #[test]

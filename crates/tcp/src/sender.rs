@@ -712,7 +712,7 @@ mod tests {
         let sent = io.take_sent();
         assert_eq!(sent.len(), 1);
         assert_eq!(sent[0].flags, TcpFlags::SYN_ACK);
-        io.now = io.now + SimDuration::from_millis(200);
+        io.now += SimDuration::from_millis(200);
         s.on_packet(&ack_pkt(1), &mut io);
         assert!(s.is_established());
         (s, io)
@@ -855,7 +855,7 @@ mod tests {
         // Cumulatively ack everything outstanding, including data beyond
         // the pre-timeout high-water mark (genuinely new, so sampled).
         let high = fresh.iter().map(|p| p.seq_end()).max().unwrap();
-        io.now = io.now + SimDuration::from_millis(300);
+        io.now += SimDuration::from_millis(300);
         s.on_packet(&ack_pkt(high), &mut io);
         assert_eq!(s.backoff(), 0, "new RTT sample collapses the backoff");
     }
@@ -1041,7 +1041,7 @@ mod tests {
         s.ssthresh = 5.0 * 460.0;
         let before = s.cwnd;
         for p in &w1 {
-            io.now = io.now + SimDuration::from_millis(20);
+            io.now += SimDuration::from_millis(20);
             s.on_packet(&ack_pkt(p.seq_end()), &mut io);
         }
         assert!(s.cwnd > before, "CUBIC grows in CA");

@@ -1,0 +1,336 @@
+//! Unified telemetry for the TAQ reproduction: structured events, a
+//! metric registry, and pluggable sinks, shared by the middlebox core,
+//! the discrete-event simulator, and the real-time testbed.
+//!
+//! Everything is hand-rolled (the build is fully offline), in the same
+//! spirit as `taq-sim`'s own RNG. The design constraints, in order:
+//!
+//! 1. **Free when off.** A [`Telemetry`] handle with no sinks is a
+//!    single `Option` check on the hot path; events are built inside
+//!    closures that never run, and scoped timers skip the clock read.
+//! 2. **One stream, three layers.** The [`Event`] taxonomy covers flow
+//!    state transitions, classification, drops, admission, queue depth,
+//!    and link/engine aggregates, so a simulator run and a testbed run
+//!    produce directly comparable JSONL.
+//! 3. **Sinks stay dumb.** A sink sees `(timestamp, &Event)` and
+//!    nothing else; the ring buffer, JSONL writer, and summary table
+//!    are each ~100 lines.
+//!
+//! ```
+//! use taq_telemetry::{shared_sink, Event, FlowId, RingBufferSink, Telemetry};
+//!
+//! let telemetry = Telemetry::new();
+//! let (ring, erased) = shared_sink(RingBufferSink::new(64));
+//! telemetry.add_shared_sink(erased);
+//! telemetry.emit(5, || Event::PoolWaiting { src: 9 });
+//! assert_eq!(ring.borrow().count("pool_waiting"), 1);
+//! ```
+
+mod event;
+mod registry;
+mod sink;
+mod value;
+
+pub use event::{Event, FlowId};
+pub use registry::{CounterId, GaugeId, HistogramId, LogHistogram, MetricRegistry};
+pub use sink::{
+    jsonl_event_kind, shared_sink, JsonlSink, RingBufferSink, SharedSink, SummarySink,
+    SummaryStats, TelemetrySink,
+};
+pub use value::Value;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+struct Hub {
+    sinks: Vec<SharedSink>,
+    registry: MetricRegistry,
+}
+
+/// Cheaply clonable handle to a telemetry hub, or to nothing at all.
+///
+/// The disabled handle ([`Telemetry::disabled`], also the `Default`) is
+/// what instrumented components hold when nobody is listening: every
+/// operation short-circuits on one `Option` check, and event
+/// constructors (passed as closures) are never invoked. Attaching is
+/// explicit — components expose an `attach_telemetry`-style seam and
+/// default to disabled, keeping the data path honest about its costs.
+///
+/// Handles are `Rc`-based (the whole stack is single-threaded per
+/// component); a thread constructs its own hub, as the testbed
+/// middlebox does inside its packet-forwarding thread.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<Hub>>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("active", &self.is_active())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// An active hub with no sinks yet.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Some(Rc::new(RefCell::new(Hub {
+                sinks: Vec::new(),
+                registry: MetricRegistry::new(),
+            }))),
+        }
+    }
+
+    /// The no-op handle: all emission paths reduce to an `Option`
+    /// check.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// `true` when a hub is attached (it may still have zero sinks;
+    /// metrics are recorded either way).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attaches an owned sink.
+    pub fn add_sink<S: TelemetrySink + 'static>(&self, sink: S) {
+        let (_, erased) = shared_sink(sink);
+        self.add_shared_sink(erased);
+    }
+
+    /// Attaches a shared sink (keep the typed half to inspect later).
+    /// No-op on a disabled handle.
+    pub fn add_shared_sink(&self, sink: SharedSink) {
+        if let Some(hub) = &self.inner {
+            hub.borrow_mut().sinks.push(sink);
+        }
+    }
+
+    /// Emits an event to every sink. The closure only runs when the
+    /// handle is active *and* at least one sink is attached, so building
+    /// the event costs nothing when telemetry is off or nobody listens.
+    #[inline]
+    pub fn emit(&self, at_ns: u64, build: impl FnOnce() -> Event) {
+        if let Some(hub) = &self.inner {
+            let hub = hub.borrow();
+            if hub.sinks.is_empty() {
+                return;
+            }
+            let event = build();
+            for sink in &hub.sinks {
+                sink.borrow_mut().emit(at_ns, &event);
+            }
+        }
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        if let Some(hub) = &self.inner {
+            for sink in &hub.borrow().sinks {
+                sink.borrow_mut().flush();
+            }
+        }
+    }
+
+    /// Registers (or finds) a counter. Returns a dead handle on a
+    /// disabled hub — `inc` on it is a no-op.
+    pub fn counter(&self, name: &'static str) -> CounterId {
+        match &self.inner {
+            Some(hub) => hub.borrow_mut().registry.counter(name),
+            None => MetricRegistry::new().counter(name),
+        }
+    }
+
+    /// Registers (or finds) a gauge.
+    pub fn gauge(&self, name: &'static str) -> GaugeId {
+        match &self.inner {
+            Some(hub) => hub.borrow_mut().registry.gauge(name),
+            None => MetricRegistry::new().gauge(name),
+        }
+    }
+
+    /// Registers (or finds) a labeled gauge.
+    pub fn gauge_with(&self, name: &'static str, labels: &[(&'static str, &str)]) -> GaugeId {
+        match &self.inner {
+            Some(hub) => hub.borrow_mut().registry.gauge_with(name, labels),
+            None => MetricRegistry::new().gauge_with(name, labels),
+        }
+    }
+
+    /// Registers (or finds) a histogram.
+    pub fn histogram(&self, name: &'static str) -> HistogramId {
+        match &self.inner {
+            Some(hub) => hub.borrow_mut().registry.histogram(name),
+            None => MetricRegistry::new().histogram(name),
+        }
+    }
+
+    /// Registers (or finds) a labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> HistogramId {
+        match &self.inner {
+            Some(hub) => hub.borrow_mut().registry.histogram_with(name, labels),
+            None => MetricRegistry::new().histogram_with(name, labels),
+        }
+    }
+
+    /// Adds to a counter (no-op when disabled).
+    #[inline]
+    pub fn inc(&self, id: CounterId, by: u64) {
+        if let Some(hub) = &self.inner {
+            hub.borrow_mut().registry.inc(id, by);
+        }
+    }
+
+    /// Sets a gauge (no-op when disabled).
+    #[inline]
+    pub fn set_gauge(&self, id: GaugeId, v: f64) {
+        if let Some(hub) = &self.inner {
+            hub.borrow_mut().registry.set(id, v);
+        }
+    }
+
+    /// Records a histogram sample (no-op when disabled).
+    #[inline]
+    pub fn record(&self, id: HistogramId, v: u64) {
+        if let Some(hub) = &self.inner {
+            hub.borrow_mut().registry.record(id, v);
+        }
+    }
+
+    /// Starts a scoped wall-clock timer that records elapsed
+    /// nanoseconds into `id` when dropped. The guard is inert — no
+    /// clock reads at all — unless a hub with at least one sink is
+    /// attached: the timers exist to profile the hot path for a
+    /// listener, and two `Instant::now()` calls per packet are exactly
+    /// the cost an idle deployment must not pay.
+    #[inline]
+    pub fn scoped(&self, id: HistogramId) -> ScopedTimer<'_> {
+        let armed = self
+            .inner
+            .as_ref()
+            .is_some_and(|hub| !hub.borrow().sinks.is_empty());
+        ScopedTimer {
+            armed: armed.then(|| (Instant::now(), self, id)),
+        }
+    }
+
+    /// Reads a counter's current value (0 when disabled).
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        match &self.inner {
+            Some(hub) => hub.borrow().registry.counter_value(id),
+            None => 0,
+        }
+    }
+
+    /// Clones out a histogram's current state (empty when disabled).
+    pub fn histogram_value(&self, id: HistogramId) -> LogHistogram {
+        match &self.inner {
+            Some(hub) => hub.borrow().registry.histogram_value(id),
+            None => LogHistogram::new(),
+        }
+    }
+
+    /// Serializes the whole metric registry (Null when disabled).
+    pub fn metrics_snapshot(&self) -> Value {
+        match &self.inner {
+            Some(hub) => hub.borrow().registry.snapshot(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Guard returned by [`Telemetry::scoped`]; records the elapsed time on
+/// drop. Inert (no clock reads at all) when telemetry is disabled.
+pub struct ScopedTimer<'a> {
+    armed: Option<(Instant, &'a Telemetry, HistogramId)>,
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        if let Some((start, telemetry, id)) = self.armed.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            telemetry.record(id, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_active());
+        let mut built = false;
+        t.emit(0, || {
+            built = true;
+            Event::PoolWaiting { src: 1 }
+        });
+        assert!(!built, "event closure must not run when disabled");
+        let c = t.counter("x");
+        t.inc(c, 5);
+        assert_eq!(t.counter_value(c), 0);
+        let h = t.histogram("y");
+        drop(t.scoped(h));
+        assert_eq!(t.histogram_value(h).count(), 0);
+        assert_eq!(t.metrics_snapshot(), Value::Null);
+    }
+
+    #[test]
+    fn events_fan_out_to_all_sinks() {
+        let t = Telemetry::new();
+        let (ring_a, erased) = shared_sink(RingBufferSink::new(8));
+        t.add_shared_sink(erased);
+        let (ring_b, erased) = shared_sink(RingBufferSink::new(8));
+        t.add_shared_sink(erased);
+        t.emit(3, || Event::PoolAdmitted { src: 7 });
+        assert_eq!(ring_a.borrow().count("pool_admitted"), 1);
+        assert_eq!(ring_b.borrow().count("pool_admitted"), 1);
+    }
+
+    #[test]
+    fn scoped_timer_records() {
+        let t = Telemetry::new();
+        let (_ring, erased) = shared_sink(RingBufferSink::new(1));
+        t.add_shared_sink(erased);
+        let h = t.histogram("latency_ns");
+        {
+            let _guard = t.scoped(h);
+            std::hint::black_box(1 + 1);
+        }
+        let hist = t.histogram_value(h);
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn scoped_timer_inert_without_sinks() {
+        // An attached hub with no sinks must not pay for clock reads:
+        // the guard stays disarmed and the histogram stays empty.
+        let t = Telemetry::new();
+        let h = t.histogram("latency_ns");
+        drop(t.scoped(h));
+        assert_eq!(t.histogram_value(h).count(), 0);
+    }
+
+    #[test]
+    fn metrics_shared_across_clones() {
+        let t = Telemetry::new();
+        let t2 = t.clone();
+        let c = t.counter("pkts");
+        let c2 = t2.counter("pkts");
+        assert_eq!(c, c2);
+        t.inc(c, 2);
+        t2.inc(c2, 3);
+        assert_eq!(t.counter_value(c), 5);
+    }
+}

@@ -1,0 +1,368 @@
+//! A small metric registry: named (and optionally labeled) counters,
+//! gauges, and fixed-log-bucket histograms, addressed through cheap
+//! copyable handles so hot paths never touch the name table.
+
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Handle to a counter. Obtained from [`MetricRegistry::counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Handle to a gauge. Obtained from [`MetricRegistry::gauge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Handle to a histogram. Obtained from [`MetricRegistry::histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(u32);
+
+/// A histogram over `u64` samples with fixed logarithmic (power-of-two)
+/// buckets: bucket `i` holds samples whose highest set bit is `i`, i.e.
+/// values in `[2^(i-1), 2^i)` for `i >= 1` and the single value 0 in
+/// bucket 0. 65 buckets cover the full `u64` range with no allocation
+/// after construction — the classic HdrHistogram trade dialed all the
+/// way toward cheapness.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Geometric representative of a bucket (its midpoint in log space).
+fn bucket_mid(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        // Bucket i spans [2^(i-1), 2^i); take 1.5 * 2^(i-1).
+        (1u64 << (i - 1)) + (1u64 << (i - 1)) / 2
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in [0, 1]): the geometric midpoint of
+    /// the bucket containing the q-th sample, clamped to the observed
+    /// min/max so small histograms do not over-report.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Renders count/sum/min/mean/p50/p99/max as a JSON object.
+    pub fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("count", Value::UInt(self.count)),
+            ("sum", Value::UInt(self.sum)),
+            ("min", Value::UInt(self.min())),
+            ("mean", Value::Float(self.mean())),
+            ("p50", Value::UInt(self.quantile(0.50))),
+            ("p99", Value::UInt(self.quantile(0.99))),
+            ("max", Value::UInt(self.max)),
+        ])
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Box<LogHistogram>),
+}
+
+/// Fully qualified metric name: base name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MetricKey {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+}
+
+impl MetricKey {
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.to_string();
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// Registry of named instruments. Lookup by name happens once, at
+/// registration; afterwards all access goes through integer handles.
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    instruments: Vec<(MetricKey, Instrument)>,
+    index: HashMap<MetricKey, u32>,
+}
+
+impl MetricRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, key: MetricKey, make: impl FnOnce() -> Instrument) -> u32 {
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = self.instruments.len() as u32;
+        self.instruments.push((key.clone(), make()));
+        self.index.insert(key, id);
+        id
+    }
+
+    fn key(name: &'static str, labels: &[(&'static str, &str)]) -> MetricKey {
+        let mut labels: Vec<(&'static str, String)> =
+            labels.iter().map(|&(k, v)| (k, v.to_string())).collect();
+        labels.sort();
+        MetricKey { name, labels }
+    }
+
+    /// Registers (or finds) an unlabeled counter.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        self.counter_with(name, &[])
+    }
+
+    /// Registers (or finds) a labeled counter.
+    pub fn counter_with(
+        &mut self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> CounterId {
+        CounterId(self.intern(Self::key(name, labels), || Instrument::Counter(0)))
+    }
+
+    /// Registers (or finds) an unlabeled gauge.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        self.gauge_with(name, &[])
+    }
+
+    /// Registers (or finds) a labeled gauge.
+    pub fn gauge_with(&mut self, name: &'static str, labels: &[(&'static str, &str)]) -> GaugeId {
+        GaugeId(self.intern(Self::key(name, labels), || Instrument::Gauge(0.0)))
+    }
+
+    /// Registers (or finds) an unlabeled histogram.
+    pub fn histogram(&mut self, name: &'static str) -> HistogramId {
+        self.histogram_with(name, &[])
+    }
+
+    /// Registers (or finds) a labeled histogram.
+    pub fn histogram_with(
+        &mut self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> HistogramId {
+        HistogramId(self.intern(Self::key(name, labels), || {
+            Instrument::Histogram(Box::new(LogHistogram::new()))
+        }))
+    }
+
+    /// Adds to a counter.
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        if let Some((_, Instrument::Counter(v))) = self.instruments.get_mut(id.0 as usize) {
+            *v += by;
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        if let Some((_, Instrument::Gauge(g))) = self.instruments.get_mut(id.0 as usize) {
+            *g = v;
+        }
+    }
+
+    /// Records a histogram sample.
+    pub fn record(&mut self, id: HistogramId, v: u64) {
+        if let Some((_, Instrument::Histogram(h))) = self.instruments.get_mut(id.0 as usize) {
+            h.record(v);
+        }
+    }
+
+    /// Current value of a counter (0 if the handle is stale).
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        match self.instruments.get(id.0 as usize) {
+            Some((_, Instrument::Counter(v))) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        match self.instruments.get(id.0 as usize) {
+            Some((_, Instrument::Gauge(v))) => *v,
+            _ => 0.0,
+        }
+    }
+
+    /// A snapshot of a histogram (cloned out so callers can keep it
+    /// past further mutation).
+    pub fn histogram_value(&self, id: HistogramId) -> LogHistogram {
+        match self.instruments.get(id.0 as usize) {
+            Some((_, Instrument::Histogram(h))) => (**h).clone(),
+            _ => LogHistogram::new(),
+        }
+    }
+
+    /// Serializes every instrument into one JSON object keyed by the
+    /// rendered metric name (`name{label=value,...}`).
+    pub fn snapshot(&self) -> Value {
+        let pairs = self
+            .instruments
+            .iter()
+            .map(|(key, inst)| {
+                let v = match inst {
+                    Instrument::Counter(v) => Value::UInt(*v),
+                    Instrument::Gauge(v) => Value::Float(*v),
+                    Instrument::Histogram(h) => h.to_value(),
+                };
+                (key.render(), v)
+            })
+            .collect();
+        Value::Object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut r = MetricRegistry::new();
+        let c = r.counter("pkts");
+        let c2 = r.counter("pkts");
+        assert_eq!(c, c2);
+        r.inc(c, 3);
+        r.inc(c2, 2);
+        assert_eq!(r.counter_value(c), 5);
+        let g = r.gauge("depth");
+        r.set(g, 7.5);
+        assert_eq!(r.gauge_value(g), 7.5);
+    }
+
+    #[test]
+    fn labels_distinguish_instruments() {
+        let mut r = MetricRegistry::new();
+        let a = r.counter_with("drops", &[("stage", "1")]);
+        let b = r.counter_with("drops", &[("stage", "2")]);
+        assert_ne!(a, b);
+        r.inc(a, 1);
+        assert_eq!(r.counter_value(a), 1);
+        assert_eq!(r.counter_value(b), 0);
+        let snap = r.snapshot();
+        assert!(snap.get("drops{stage=1}").is_some());
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 1107);
+        // Median lands in the bucket for 2-3.
+        let p50 = h.quantile(0.5);
+        assert!((1..=3).contains(&p50), "p50={p50}");
+        assert!(h.quantile(1.0) <= 1000);
+        // Quantiles are monotone.
+        let mut prev = 0;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

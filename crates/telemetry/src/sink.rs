@@ -1,0 +1,471 @@
+//! Sinks consume the event stream. Three are shipped: a bounded ring
+//! buffer for tests, a JSONL writer for offline analysis, and a
+//! summarizer that aggregates into a human-readable table.
+
+use crate::event::Event;
+use crate::registry::LogHistogram;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+/// Consumes timestamped events. `at_ns` is nanoseconds of simulated
+/// (or scaled-real) time, matching the emitting layer's clock.
+pub trait TelemetrySink {
+    /// Handles one event.
+    fn emit(&mut self, at_ns: u64, event: &Event);
+
+    /// Flushes any buffered output (called at detach/shutdown).
+    fn flush(&mut self) {}
+}
+
+/// A sink handle shareable between the telemetry hub and a harness that
+/// wants to inspect the sink afterwards (same pattern as the
+/// simulator's shared monitors).
+pub type SharedSink = Rc<RefCell<dyn TelemetrySink>>;
+
+/// Wraps a sink so the caller keeps a typed handle while the telemetry
+/// hub holds a type-erased one.
+pub fn shared_sink<S: TelemetrySink + 'static>(sink: S) -> (Rc<RefCell<S>>, SharedSink) {
+    let typed = Rc::new(RefCell::new(sink));
+    let erased: SharedSink = typed.clone();
+    (typed, erased)
+}
+
+/// Bounded in-memory sink: keeps the most recent `capacity` events and
+/// exact per-kind counts over the whole stream (counts are never
+/// evicted, only the event payloads are).
+#[derive(Debug, Default)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: std::collections::VecDeque<(u64, Event)>,
+    counts: BTreeMap<&'static str, u64>,
+    total: u64,
+    evicted: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity,
+            ..Default::default()
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(u64, Event)> {
+        self.events.iter()
+    }
+
+    /// Total events observed (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events pushed out of the ring to respect `capacity`.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Exact count of events with the given kind tag.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// All per-kind counts, sorted by kind.
+    pub fn counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+}
+
+impl TelemetrySink for RingBufferSink {
+    fn emit(&mut self, at_ns: u64, event: &Event) {
+        self.total += 1;
+        *self.counts.entry(event.kind()).or_insert(0) += 1;
+        if self.capacity == 0 {
+            self.evicted += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back((at_ns, event.clone()));
+    }
+}
+
+/// Writes each event as one line of JSON to any `io::Write` — a file
+/// for offline analysis, or a `Vec<u8>` in tests.
+pub struct JsonlSink<W: Write> {
+    out: io::BufWriter<W>,
+    lines: u64,
+}
+
+impl JsonlSink<std::fs::File> {
+    /// Creates (truncating) a JSONL file at `path`.
+    pub fn create(path: &std::path::Path) -> io::Result<Self> {
+        Ok(JsonlSink::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out: io::BufWriter::new(out),
+            lines: 0,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(self) -> W {
+        match self.out.into_inner() {
+            Ok(w) => w,
+            Err(_) => panic!("jsonl flush failed"),
+        }
+    }
+}
+
+impl<W: Write> TelemetrySink for JsonlSink<W> {
+    fn emit(&mut self, at_ns: u64, event: &Event) {
+        let mut line = event.to_value(at_ns).to_json();
+        line.push('\n');
+        // Telemetry must never take down the data path: swallow I/O
+        // errors here, surface them at flush time if the caller cares.
+        let _ = self.out.write_all(line.as_bytes());
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Aggregates computed by [`SummarySink`], exposed so harnesses and
+/// integration tests can assert on the same numbers the rendered table
+/// shows.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryStats {
+    /// Events seen, by kind tag.
+    pub counts_by_kind: BTreeMap<&'static str, u64>,
+    /// Flow state transitions, keyed by (from, to).
+    pub transitions: BTreeMap<(&'static str, &'static str), u64>,
+    /// Which state each transition landed in — occupancy by entry count.
+    pub state_entries: BTreeMap<&'static str, u64>,
+    /// Classification decisions by class name.
+    pub classified: BTreeMap<&'static str, u64>,
+    /// Drops by stage (index 0-15; TAQ uses 0-7).
+    pub drops_by_stage: [u64; 16],
+    /// Retransmissions seen / of those, ones repairing our own drops.
+    pub retransmits: u64,
+    pub repairs_local: u64,
+    /// Admission decisions.
+    pub admitted: u64,
+    pub rejected: u64,
+    pub pools_waited: u64,
+    pub pools_admitted: u64,
+    /// Queue-depth samples (packets).
+    pub depth: LogHistogram,
+    /// Link packet-lifecycle events by kind ("enqueue"/"drop"/"transmit").
+    pub link_events: BTreeMap<&'static str, u64>,
+    /// Final link summaries, by link id.
+    pub links: BTreeMap<u32, (u64, u64, u64, f64)>,
+}
+
+impl SummaryStats {
+    /// Total drops across all stages.
+    pub fn total_drops(&self) -> u64 {
+        self.drops_by_stage.iter().sum()
+    }
+
+    /// Total events observed.
+    pub fn total_events(&self) -> u64 {
+        self.counts_by_kind.values().sum()
+    }
+}
+
+/// Aggregating sink rendering a human-readable table — the shared
+/// replacement for ad-hoc diagnostic printing.
+#[derive(Debug, Clone, Default)]
+pub struct SummarySink {
+    stats: SummaryStats,
+}
+
+impl SummarySink {
+    /// Creates an empty summarizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The aggregates collected so far.
+    pub fn stats(&self) -> &SummaryStats {
+        &self.stats
+    }
+
+    /// Renders the aggregate table, one section per populated event
+    /// family, indented under `title`.
+    pub fn render(&self, title: &str) -> String {
+        let s = &self.stats;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {title}: {} events", s.total_events());
+        if !s.state_entries.is_empty() {
+            let _ = writeln!(out, "  state entries (occupancy by transition target):");
+            for (state, n) in &s.state_entries {
+                let _ = writeln!(out, "    {state:<22} {n}");
+            }
+            let mut top: Vec<_> = s.transitions.iter().collect();
+            top.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
+            let _ = writeln!(out, "  top transitions:");
+            for ((from, to), n) in top.into_iter().take(8) {
+                let _ = writeln!(out, "    {from} -> {to}: {n}");
+            }
+        }
+        if !s.classified.is_empty() {
+            let _ = writeln!(out, "  classified:");
+            for (class, n) in &s.classified {
+                let _ = writeln!(out, "    {class:<22} {n}");
+            }
+        }
+        if s.total_drops() > 0 {
+            let _ = writeln!(out, "  drops by stage:");
+            for (stage, &n) in s.drops_by_stage.iter().enumerate() {
+                if n > 0 {
+                    let _ = writeln!(out, "    stage {stage}: {n}");
+                }
+            }
+        }
+        if s.retransmits > 0 {
+            let _ = writeln!(
+                out,
+                "  retransmits: {} ({} repairing local drops)",
+                s.retransmits, s.repairs_local
+            );
+        }
+        if s.admitted + s.rejected > 0 {
+            let _ = writeln!(
+                out,
+                "  admission: {} admitted, {} rejected, {} pools waited, {} pools admitted",
+                s.admitted, s.rejected, s.pools_waited, s.pools_admitted
+            );
+        }
+        if s.depth.count() > 0 {
+            let _ = writeln!(
+                out,
+                "  queue depth (pkts): n={} min={} p50={} p99={} max={}",
+                s.depth.count(),
+                s.depth.min(),
+                s.depth.quantile(0.5),
+                s.depth.quantile(0.99),
+                s.depth.max()
+            );
+        }
+        if !s.link_events.is_empty() {
+            let _ = write!(out, "  link events:");
+            for (kind, n) in &s.link_events {
+                let _ = write!(out, " {kind}={n}");
+            }
+            let _ = writeln!(out);
+        }
+        // A full topology has a summary per edge link; show the busiest
+        // few (the bottleneck always leads) and fold the rest into one
+        // line so the table stays readable.
+        let mut links: Vec<_> = s.links.iter().collect();
+        links.sort_by_key(|(_, (offered, ..))| std::cmp::Reverse(*offered));
+        for (link, (offered, dropped, transmitted, util)) in links.iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  link {link}: offered={offered} dropped={dropped} transmitted={transmitted} util={util:.3}"
+            );
+        }
+        if links.len() > 8 {
+            let rest = &links[8..];
+            let offered: u64 = rest.iter().map(|(_, (o, ..))| o).sum();
+            let dropped: u64 = rest.iter().map(|(_, (_, d, ..))| d).sum();
+            let _ = writeln!(
+                out,
+                "  … {} more links: offered={offered} dropped={dropped}",
+                rest.len()
+            );
+        }
+        out
+    }
+}
+
+impl TelemetrySink for SummarySink {
+    fn emit(&mut self, _at_ns: u64, event: &Event) {
+        let s = &mut self.stats;
+        *s.counts_by_kind.entry(event.kind()).or_insert(0) += 1;
+        match event {
+            Event::FlowStateChanged { from, to, .. } => {
+                *s.transitions.entry((from, to)).or_insert(0) += 1;
+                *s.state_entries.entry(to).or_insert(0) += 1;
+            }
+            Event::Retransmit {
+                repairs_local_drop, ..
+            } => {
+                s.retransmits += 1;
+                if *repairs_local_drop {
+                    s.repairs_local += 1;
+                }
+            }
+            Event::Classified { class, .. } => {
+                *s.classified.entry(class).or_insert(0) += 1;
+            }
+            Event::Dropped { stage, .. } => {
+                s.drops_by_stage[(*stage as usize).min(15)] += 1;
+            }
+            Event::QueueDepth { pkts, .. } => {
+                s.depth.record(*pkts);
+            }
+            Event::Admission { decision, .. } => {
+                if *decision == "admit" {
+                    s.admitted += 1;
+                } else {
+                    s.rejected += 1;
+                }
+            }
+            Event::PoolWaiting { .. } => s.pools_waited += 1,
+            Event::PoolAdmitted { .. } => s.pools_admitted += 1,
+            Event::Link { kind, .. } => {
+                *s.link_events.entry(kind).or_insert(0) += 1;
+            }
+            Event::LinkSummary {
+                link,
+                offered_pkts,
+                dropped_pkts,
+                transmitted_pkts,
+                utilization,
+            } => {
+                s.links.insert(
+                    *link,
+                    (
+                        *offered_pkts,
+                        *dropped_pkts,
+                        *transmitted_pkts,
+                        *utilization,
+                    ),
+                );
+            }
+            Event::EngineSummary { .. } | Event::Custom { .. } => {}
+        }
+    }
+}
+
+/// Parses one JSONL line's `event` kind without a full JSON parser —
+/// enough for tests and scripts that only bucket lines by kind.
+pub fn jsonl_event_kind(line: &str) -> Option<&str> {
+    let idx = line.find("\"event\":\"")?;
+    let rest = &line[idx + 9..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FlowId;
+
+    fn flow() -> FlowId {
+        FlowId {
+            src: 1,
+            src_port: 10,
+            dst: 2,
+            dst_port: 80,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_bounds_and_counts() {
+        let mut ring = RingBufferSink::new(2);
+        for i in 0..5u64 {
+            ring.emit(
+                i,
+                &Event::Dropped {
+                    flow: flow(),
+                    stage: 1,
+                    retransmission: false,
+                },
+            );
+        }
+        assert_eq!(ring.total(), 5);
+        assert_eq!(ring.count("dropped"), 5);
+        assert_eq!(ring.events().count(), 2);
+        assert_eq!(ring.evicted(), 3);
+        // Oldest-first, and the newest survive.
+        let times: Vec<u64> = ring.events().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![3, 4]);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(
+            7,
+            &Event::Admission {
+                src: 3,
+                decision: "admit",
+                loss_rate: 0.25,
+            },
+        );
+        sink.emit(
+            9,
+            &Event::QueueDepth {
+                pkts: 4,
+                bytes: 2000,
+                per_class: vec![("Recovery", 1)],
+            },
+        );
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"admission\""));
+        assert!(lines[0].contains("\"t_ns\":7"));
+        assert_eq!(jsonl_event_kind(lines[1]), Some("queue_depth"));
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let mut sink = SummarySink::new();
+        sink.emit(
+            0,
+            &Event::FlowStateChanged {
+                flow: flow(),
+                from: "SlowStart",
+                to: "Normal",
+                trigger: "epoch-roll",
+            },
+        );
+        sink.emit(
+            1,
+            &Event::Dropped {
+                flow: flow(),
+                stage: 3,
+                retransmission: true,
+            },
+        );
+        sink.emit(
+            2,
+            &Event::QueueDepth {
+                pkts: 10,
+                bytes: 5000,
+                per_class: vec![],
+            },
+        );
+        let s = sink.stats();
+        assert_eq!(s.transitions[&("SlowStart", "Normal")], 1);
+        assert_eq!(s.drops_by_stage[3], 1);
+        assert_eq!(s.depth.count(), 1);
+        assert_eq!(s.total_events(), 3);
+        let rendered = sink.render("test");
+        assert!(rendered.contains("SlowStart -> Normal"));
+        assert!(rendered.contains("stage 3: 1"));
+    }
+}

@@ -10,8 +10,8 @@
 
 use crate::clock::ScaledClock;
 use crate::middlebox::{Crossing, Direction, MbInput};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 use taq_sim::{FlowKey, NodeId, Packet, PacketBuilder, SimDuration, SimTime, TcpFlags, TimerId};
 use taq_tcp::{FlowRecord, TcpConfig, TcpIo, TcpReceiver, TcpSender, TimerKind};

@@ -24,5 +24,7 @@ mod testbed;
 
 pub use clock::ScaledClock;
 pub use hosts::{run_client, run_server, RtRequest};
-pub use middlebox::{run_middlebox, Crossing, Direction, MbInput, MiddleboxStats};
+pub use middlebox::{
+    run_middlebox, Crossing, Direction, MbInput, MiddleboxStats, TELEMETRY_FORWARD_LINK,
+};
 pub use testbed::{run_testbed, ClientSpec, TestbedConfig, TestbedReport};

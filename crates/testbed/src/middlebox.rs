@@ -5,16 +5,22 @@
 //! Click prototypes: the identical discipline code (DropTail or a
 //! `TaqPair`) runs against wall-clock time with genuine thread-timing
 //! jitter, which is the property the paper's testbed experiments
-//! demonstrate. Packets arrive over a crossbeam channel, wait in the
+//! demonstrate. Packets arrive over an mpsc channel, wait in the
 //! qdisc while the simulated transmitter is busy, then sit in a delay
 //! line for the propagation time before delivery to the destination
 //! host's channel.
 
 use crate::clock::ScaledClock;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
-use taq_sim::{Bandwidth, NodeId, Packet, Qdisc, SimDuration, SimTime};
+use taq_sim::{telemetry_flow_id, Bandwidth, NodeId, Packet, Qdisc, SimDuration, SimTime};
+use taq_telemetry::{Event, JsonlSink, Telemetry};
+
+/// Link id the middlebox uses for its forward (congested) direction in
+/// telemetry events — the testbed has exactly one bottleneck, so its
+/// JSONL lines up with a simulator run filtered to the bottleneck link.
+pub const TELEMETRY_FORWARD_LINK: u32 = 0;
 
 /// Which direction a packet crosses the middlebox.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,17 +92,37 @@ impl Pacer {
 /// Runs the middlebox loop until `shutdown` closes. Generic over the
 /// discipline constructors so non-`Send` qdiscs (TAQ's shared-state
 /// pair) can be built inside the thread.
+///
+/// Telemetry is constructed *inside* this thread (the handles are
+/// `Rc`-based and not `Send`): when `telemetry_jsonl` names a file, an
+/// active hub with a [`JsonlSink`] is built and handed to `make_qdiscs`
+/// so the discipline can attach — a TAQ pair then streams the same
+/// flow-state / classification / drop events the simulator produces.
+/// The middlebox itself contributes forward-direction [`Event::Link`]
+/// records and a closing [`Event::LinkSummary`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_middlebox(
     clock: ScaledClock,
     rate: Bandwidth,
     delay: SimDuration,
-    make_qdiscs: impl FnOnce() -> (Box<dyn Qdisc>, Box<dyn Qdisc>),
+    make_qdiscs: impl FnOnce(&Telemetry) -> (Box<dyn Qdisc>, Box<dyn Qdisc>),
     input: Receiver<MbInput>,
     hosts: HashMap<NodeId, Sender<Packet>>,
     stats_out: Sender<MiddleboxStats>,
+    telemetry_jsonl: Option<std::path::PathBuf>,
 ) {
-    let (fwd, rev) = make_qdiscs();
+    let telemetry = match &telemetry_jsonl {
+        Some(path) => {
+            let t = Telemetry::new();
+            match JsonlSink::create(path) {
+                Ok(sink) => t.add_sink(sink),
+                Err(e) => eprintln!("middlebox: cannot write {}: {e}", path.display()),
+            }
+            t
+        }
+        None => Telemetry::disabled(),
+    };
+    let (fwd, rev) = make_qdiscs(&telemetry);
     let mut forward = Pacer {
         qdisc: fwd,
         rate,
@@ -134,6 +160,12 @@ pub fn run_middlebox(
         while let Some((pkt, deliver_at)) = forward.try_transmit(now, delay) {
             stats.fwd_transmitted += 1;
             stats.fwd_bytes += u64::from(pkt.wire_len());
+            telemetry.emit(now.as_nanos(), || Event::Link {
+                link: TELEMETRY_FORWARD_LINK,
+                kind: "transmit",
+                flow: telemetry_flow_id(&pkt.flow),
+                bytes: u64::from(pkt.wire_len()),
+            });
             in_flight.push_back((deliver_at, pkt));
         }
         while let Some((pkt, deliver_at)) = reverse.try_transmit(now, delay) {
@@ -167,8 +199,22 @@ pub fn run_middlebox(
                 match dir {
                     Direction::Forward => {
                         stats.fwd_offered += 1;
+                        telemetry.emit(now.as_nanos(), || Event::Link {
+                            link: TELEMETRY_FORWARD_LINK,
+                            kind: "enqueue",
+                            flow: telemetry_flow_id(&pkt.flow),
+                            bytes: u64::from(pkt.wire_len()),
+                        });
                         let outcome = forward.qdisc.enqueue(pkt, now);
                         stats.fwd_dropped += outcome.dropped.len() as u64;
+                        for victim in &outcome.dropped {
+                            telemetry.emit(now.as_nanos(), || Event::Link {
+                                link: TELEMETRY_FORWARD_LINK,
+                                kind: "drop",
+                                flow: telemetry_flow_id(&victim.flow),
+                                bytes: u64::from(victim.wire_len()),
+                            });
+                        }
                     }
                     Direction::Reverse => {
                         let outcome = reverse.qdisc.enqueue(pkt, now);
@@ -181,14 +227,32 @@ pub fn run_middlebox(
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-    // Drain whatever the pacers still owe so byte counters are final.
+    // Closing summary: same shape as the simulator engine's, so a
+    // testbed JSONL trace and a sim trace end with comparable records.
+    let now = clock.now();
+    let elapsed = now.saturating_since(SimTime::ZERO);
+    telemetry.emit(now.as_nanos(), || {
+        let capacity = rate.bps() as f64 * elapsed.as_secs_f64();
+        Event::LinkSummary {
+            link: TELEMETRY_FORWARD_LINK,
+            offered_pkts: stats.fwd_offered,
+            dropped_pkts: stats.fwd_dropped,
+            transmitted_pkts: stats.fwd_transmitted,
+            utilization: if capacity > 0.0 {
+                (stats.fwd_bytes as f64 * 8.0 / capacity).min(1.0)
+            } else {
+                0.0
+            },
+        }
+    });
+    telemetry.flush();
     let _ = stats_out.send(stats);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
+    use std::sync::mpsc::channel;
     use taq_queues::DropTail;
     use taq_sim::{FlowKey, PacketBuilder, UnboundedFifo};
 
@@ -206,9 +270,9 @@ mod tests {
     #[test]
     fn packets_cross_with_pacing_and_delay() {
         let clock = ScaledClock::new(1.0);
-        let (in_tx, in_rx) = unbounded();
-        let (out_tx, out_rx) = unbounded();
-        let (stats_tx, stats_rx) = unbounded();
+        let (in_tx, in_rx) = channel();
+        let (out_tx, out_rx) = channel();
+        let (stats_tx, stats_rx) = channel();
         let mut hosts = HashMap::new();
         hosts.insert(NodeId(1), out_tx);
         let c2 = clock.clone();
@@ -217,7 +281,7 @@ mod tests {
                 c2,
                 Bandwidth::from_kbps(400), // 460+40 B packet = 10 ms
                 SimDuration::from_millis(5),
-                || {
+                |_| {
                     (
                         Box::new(DropTail::with_packets(10)),
                         Box::new(UnboundedFifo::new()),
@@ -226,6 +290,7 @@ mod tests {
                 in_rx,
                 hosts,
                 stats_tx,
+                None,
             );
         });
         let start = std::time::Instant::now();
@@ -262,9 +327,9 @@ mod tests {
     #[test]
     fn droptail_drops_surface_in_stats() {
         let clock = ScaledClock::new(1.0);
-        let (in_tx, in_rx) = unbounded();
-        let (out_tx, out_rx) = unbounded();
-        let (stats_tx, stats_rx) = unbounded();
+        let (in_tx, in_rx) = channel();
+        let (out_tx, out_rx) = channel();
+        let (stats_tx, stats_rx) = channel();
         let mut hosts = HashMap::new();
         hosts.insert(NodeId(1), out_tx);
         let c2 = clock.clone();
@@ -273,7 +338,7 @@ mod tests {
                 c2,
                 Bandwidth::from_kbps(100),
                 SimDuration::from_millis(1),
-                || {
+                |_| {
                     (
                         Box::new(DropTail::with_packets(2)),
                         Box::new(UnboundedFifo::new()),
@@ -282,6 +347,7 @@ mod tests {
                 in_rx,
                 hosts,
                 stats_tx,
+                None,
             );
         });
         // Blast 20 packets instantly into a 2-packet buffer on a slow

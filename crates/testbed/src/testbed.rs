@@ -12,8 +12,8 @@
 use crate::clock::ScaledClock;
 use crate::hosts::{run_client, run_server, RtRequest};
 use crate::middlebox::{run_middlebox, MbInput, MiddleboxStats};
-use crossbeam::channel::{bounded, unbounded, Sender};
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Sender};
 use std::thread::JoinHandle;
 use taq_sim::{Bandwidth, NodeId, Packet, Qdisc, SimDuration, SimTime};
 use taq_tcp::{FlowRecord, TcpConfig};
@@ -33,6 +33,13 @@ pub struct TestbedConfig {
     pub speedup: f64,
     /// Experiment horizon in simulated time.
     pub horizon: SimTime,
+    /// When set, the middlebox thread builds a telemetry hub with a
+    /// JSONL sink writing to this file and hands it to the qdisc
+    /// constructor — a TAQ pair that attaches then produces the same
+    /// event stream (flow states, classification, drops, link records)
+    /// as an instrumented simulator run. `None` keeps telemetry fully
+    /// disabled.
+    pub telemetry_jsonl: Option<std::path::PathBuf>,
 }
 
 /// One client's workload specification.
@@ -56,30 +63,35 @@ pub struct TestbedReport {
 
 /// Runs a complete testbed experiment. `make_qdiscs` is called inside
 /// the middlebox thread (so non-`Send` disciplines like [`taq::TaqPair`]
-/// work) and must return the (forward, reverse) pair.
+/// work) and must return the (forward, reverse) pair. It receives the
+/// middlebox's [`taq_telemetry::Telemetry`] handle — active when
+/// [`TestbedConfig::telemetry_jsonl`] is set, disabled otherwise — so
+/// the discipline can attach its instrumentation in-thread.
 ///
 /// [`taq::TaqPair`]: https://docs.rs/taq
 pub fn run_testbed(
     cfg: TestbedConfig,
-    make_qdiscs: impl FnOnce() -> (Box<dyn Qdisc>, Box<dyn Qdisc>) + Send + 'static,
+    make_qdiscs: impl FnOnce(&taq_telemetry::Telemetry) -> (Box<dyn Qdisc>, Box<dyn Qdisc>)
+        + Send
+        + 'static,
     clients: Vec<ClientSpec>,
 ) -> TestbedReport {
     assert!(!clients.is_empty(), "no clients");
     let clock = ScaledClock::new(cfg.speedup);
     let server_id = NodeId(1);
-    let (mb_tx, mb_rx) = unbounded::<MbInput>();
-    let (stats_tx, stats_rx) = bounded(1);
-    let (records_tx, records_rx) = unbounded::<FlowRecord>();
+    let (mb_tx, mb_rx) = channel::<MbInput>();
+    let (stats_tx, stats_rx) = channel();
+    let (records_tx, records_rx) = channel::<FlowRecord>();
 
     // Host inbound channels, registered with the middlebox.
     let mut host_channels: HashMap<NodeId, Sender<Packet>> = HashMap::new();
-    let (server_in_tx, server_in_rx) = unbounded::<Packet>();
+    let (server_in_tx, server_in_rx) = channel::<Packet>();
     host_channels.insert(server_id, server_in_tx);
 
     let mut client_handles: Vec<JoinHandle<()>> = Vec::new();
     for (i, spec) in clients.into_iter().enumerate() {
         let me = NodeId(10 + i as u32);
-        let (in_tx, in_rx) = unbounded::<Packet>();
+        let (in_tx, in_rx) = channel::<Packet>();
         host_channels.insert(me, in_tx);
         let clock = clock.clone();
         let tcp = cfg.tcp.clone();
@@ -106,6 +118,7 @@ pub fn run_testbed(
     let mb_clock = clock.clone();
     let rate = cfg.rate;
     let delay = cfg.one_way_delay;
+    let telemetry_jsonl = cfg.telemetry_jsonl.clone();
     let middlebox = std::thread::spawn(move || {
         run_middlebox(
             mb_clock,
@@ -115,6 +128,7 @@ pub fn run_testbed(
             mb_rx,
             host_channels,
             stats_tx,
+            telemetry_jsonl,
         );
     });
 
@@ -159,6 +173,7 @@ mod tests {
             // 20x real time: a 60 s experiment runs in 3 s.
             speedup: 20.0,
             horizon: SimTime::from_secs(120),
+            telemetry_jsonl: None,
         }
     }
 
@@ -166,7 +181,7 @@ mod tests {
     fn single_client_download_completes() {
         let report = run_testbed(
             base_cfg(),
-            || {
+            |_| {
                 (
                     Box::new(DropTail::with_packets(30)),
                     Box::new(UnboundedFifo::new()),
@@ -202,7 +217,7 @@ mod tests {
             .collect();
         let report = run_testbed(
             base_cfg(),
-            || {
+            |_| {
                 (
                     Box::new(DropTail::with_packets(30)),
                     Box::new(UnboundedFifo::new()),

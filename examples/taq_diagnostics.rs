@@ -1,50 +1,63 @@
 //! Diagnostic harness comparing DropTail and TAQ internals on the
-//! fairness scenario: class populations, drop stages, tracker states,
-//! server-side timeout counters. Knobs via env vars: `FLOWS`,
-//! `RECOV_FRAC`, `TAQ_BUF`, `EVO_WIN_MS`, `MINRTO_MS`.
+//! fairness scenario, reported through the unified telemetry layer: a
+//! [`SummarySink`] aggregates every structured event the middlebox and
+//! simulator emit (state transitions, classification, staged drops,
+//! queue-depth samples, link records) and renders one table per run.
+//! Knobs via env vars: `FLOWS`, `RECOV_FRAC`, `TAQ_BUF`, `EVO_WIN_MS`,
+//! `MINRTO_MS`.
 //!
 //! Run with: `cargo run --release --example taq_diagnostics`
 
 use taq::{QueueClass, TaqConfig, TaqPair};
 use taq_metrics::{EvolutionTracker, SliceThroughput};
 use taq_queues::DropTail;
-use taq_sim::{shared, Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimTime};
+use taq_sim::{shared, Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimTime, TelemetryBridge};
 use taq_tcp::{ServerHost, TcpConfig};
+use taq_telemetry::{shared_sink, SummarySink, Telemetry};
 use taq_workloads::{DumbbellScenario, BULK_BYTES};
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn run(name: &str, qdisc: Box<dyn Qdisc>, taq_state: Option<taq::SharedTaq>) {
     let rate = Bandwidth::from_kbps(600);
     let topo = DumbbellConfig::with_rtt_200ms(rate);
     let tcp = TcpConfig {
-        min_rto: taq_sim::SimDuration::from_millis(
-            std::env::var("MINRTO_MS")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(1000),
-        ),
+        min_rto: SimDuration::from_millis(env_or("MINRTO_MS", 1000)),
         ..TcpConfig::default()
     };
+
+    let telemetry = Telemetry::new();
+    let (summary, erased) = shared_sink(SummarySink::new());
+    telemetry.add_shared_sink(erased);
+    if let Some(state) = &taq_state {
+        state.borrow_mut().attach_telemetry(telemetry.clone());
+    }
+
     let mut sc = DumbbellScenario::new(42, topo, qdisc, tcp);
+    let bridge = TelemetryBridge::new(telemetry.clone()).only(sc.db.bottleneck);
+    let (_bridge, erased) = shared(bridge);
+    sc.sim.add_monitor(erased);
     let (slices, erased) = shared(SliceThroughput::new(
         sc.db.bottleneck,
         SimDuration::from_secs(20),
     ));
     sc.sim.add_monitor(erased);
-    let evo_win = std::env::var("EVO_WIN_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1000);
     let (evo, erased) = shared(EvolutionTracker::new(
         sc.db.bottleneck,
-        SimDuration::from_millis(evo_win),
+        SimDuration::from_millis(env_or("EVO_WIN_MS", 1000)),
     ));
     sc.sim.add_monitor(erased);
-    let flows = std::env::var("FLOWS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(60);
+    let flows = env_or("FLOWS", 60);
     sc.add_bulk_clients(flows, BULK_BYTES, SimDuration::from_secs(2));
+    let wall = std::time::Instant::now();
     sc.run_until(SimTime::from_secs(300));
+    sc.sim.emit_telemetry_summary(&telemetry, wall.elapsed());
+    telemetry.flush();
 
     let stats = sc.sim.link_stats(sc.db.bottleneck);
     let srv = sc.sim.agent::<ServerHost>(sc.server).unwrap();
@@ -72,33 +85,21 @@ fn run(name: &str, qdisc: Box<dyn Qdisc>, taq_state: Option<taq::SharedTaq>) {
     println!("  stalled_frac={:.3}", stalled as f64 / total.max(1) as f64);
     if let Some(state) = taq_state {
         let st = state.borrow();
-        println!(
-            "  taq: offered={} dropped={} retx_dropped={} syn_rej={}",
-            st.stats.offered,
-            st.stats.dropped,
-            st.stats.retransmissions_dropped,
-            st.stats.syns_rejected
-        );
-        println!("    drops by stage: {:?}", st.stats.drops_by_stage);
-        for class in [
-            QueueClass::Recovery,
-            QueueClass::NewFlow,
-            QueueClass::OverPenalized,
-            QueueClass::BelowFairShare,
-            QueueClass::AboveFairShare,
-        ] {
-            println!("    {:?}: {}", class, st.stats.class_count(class));
-        }
+        println!("  taq stats snapshot: {}", st.stats.snapshot().to_json());
         println!(
             "    flows tracked={} fair_share={:.0}bps",
             st.flows.len(),
             st.fair_share(SimTime::from_secs(300))
         );
-        let mut states: std::collections::HashMap<String, usize> = Default::default();
+        let mut states: std::collections::BTreeMap<&'static str, usize> = Default::default();
         for f in st.flows.iter() {
-            *states.entry(format!("{:?}", f.state)).or_default() += 1;
+            *states.entry(f.state.name()).or_default() += 1;
         }
-        println!("    states: {states:?}");
+        let states: Vec<String> = states.iter().map(|(s, n)| format!("{s}={n}")).collect();
+        println!("    final states: {}", states.join(" "));
+        for class in QueueClass::ALL {
+            println!("    {class}: {} pkts admitted", st.stats.class_count(class));
+        }
         let rates: Vec<u64> = st.flows.iter().map(|f| f.rate_bps() as u64).collect();
         println!(
             "    rate est: min={:?} max={:?}",
@@ -106,6 +107,8 @@ fn run(name: &str, qdisc: Box<dyn Qdisc>, taq_state: Option<taq::SharedTaq>) {
             rates.iter().max()
         );
     }
+    println!();
+    print!("{}", summary.borrow().render(name));
 }
 
 fn main() {

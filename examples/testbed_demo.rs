@@ -10,6 +10,11 @@
 //! Runs ~12 s of simulated time at 6x real time (about 2 s wall).
 //!
 //! Run with: `cargo run --release --example testbed_demo`
+//!
+//! Set `TELEMETRY_JSONL=/path/to/trace.jsonl` to stream the middlebox's
+//! structured telemetry (flow states, classification, drops, link
+//! events) to a file — the same event taxonomy an instrumented
+//! simulator run emits, so the two traces are directly comparable.
 
 use taq::{TaqConfig, TaqPair};
 use taq_metrics::jain_index;
@@ -19,12 +24,14 @@ use taq_testbed::{run_testbed, ClientSpec, RtRequest, TestbedConfig};
 
 fn main() {
     let rate = Bandwidth::from_kbps(600);
+    let telemetry_jsonl = std::env::var_os("TELEMETRY_JSONL").map(std::path::PathBuf::from);
     let cfg = TestbedConfig {
         rate,
         one_way_delay: SimDuration::from_millis(100),
         tcp: TcpConfig::default(),
         speedup: 6.0,
         horizon: SimTime::from_secs(12),
+        telemetry_jsonl: telemetry_jsonl.clone(),
     };
     let clients: Vec<ClientSpec> = (0..8)
         .map(|c| ClientSpec {
@@ -41,12 +48,20 @@ fn main() {
     println!("8 clients through a real-time TAQ middlebox at 600 Kbps...");
     let report = run_testbed(
         cfg,
-        move || {
+        move |telemetry| {
             let pair = TaqPair::new(TaqConfig::for_link(rate));
+            pair.state.borrow_mut().attach_telemetry(telemetry.clone());
             (Box::new(pair.forward) as _, Box::new(pair.reverse) as _)
         },
         clients,
     );
+    if let Some(path) = &telemetry_jsonl {
+        // The middlebox thread owns the sink; it warns on stderr if the
+        // file could not be created, so only claim success if it exists.
+        if path.exists() {
+            println!("telemetry trace written to {}", path.display());
+        }
+    }
 
     let mut per_client = std::collections::HashMap::<u64, u64>::new();
     let mut completed = 0;

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# The full local gate, offline-safe (no crates.io access needed):
+# release build, test suite, clippy as errors, formatting.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+cargo build --offline --release
+cargo test --offline -q
+cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo fmt --check

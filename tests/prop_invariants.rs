@@ -1,13 +1,19 @@
-//! Property-based tests on core data-structure invariants: queue
+//! Randomized-property tests on core data-structure invariants: queue
 //! conservation across every discipline, metric bounds, model
 //! distributions, and RNG ranges.
+//!
+//! Cases are generated from the repo's own deterministic [`SimRng`]
+//! (fixed seeds, fixed case counts) rather than an external
+//! property-testing framework, keeping the build dependency-free; a
+//! failing case reproduces exactly from its printed seed.
 
-use proptest::prelude::*;
 use taq::{QueueClass, TaqConfig, TaqPair};
 use taq_metrics::{jain_index, Distribution};
 use taq_model::{FullModel, PartialModel};
 use taq_queues::{DropTail, Red, RedConfig, Sfq};
 use taq_sim::{Bandwidth, FlowKey, NodeId, Packet, PacketBuilder, Qdisc, SimRng, SimTime};
+
+const CASES: u64 = 48;
 
 fn pkt(port: u16, seq: u64, id: u64) -> Packet {
     let mut p = PacketBuilder::new(FlowKey {
@@ -23,9 +29,17 @@ fn pkt(port: u16, seq: u64, id: u64) -> Packet {
     p
 }
 
+/// A random enqueue/dequeue schedule: (port selector, dequeue?) pairs.
+fn ops_schedule(rng: &mut SimRng) -> Vec<(u8, bool)> {
+    let len = rng.range_u64(1, 300) as usize;
+    (0..len)
+        .map(|_| (rng.next_below(256) as u8, rng.chance(0.5)))
+        .collect()
+}
+
 /// Drives a qdisc with an arbitrary enqueue/dequeue schedule and checks
 /// packet conservation: in = out + dropped + still-buffered.
-fn conservation(mut q: Box<dyn Qdisc>, ops: &[(u8, bool)]) -> Result<(), TestCaseError> {
+fn conservation(mut q: Box<dyn Qdisc>, ops: &[(u8, bool)], seed: u64) {
     let (mut enq, mut deq, mut dropped) = (0u64, 0u64, 0u64);
     let mut seq_per_flow = std::collections::HashMap::<u16, u64>::new();
     for (i, &(port_sel, do_deq)) in ops.iter().enumerate() {
@@ -39,51 +53,69 @@ fn conservation(mut q: Box<dyn Qdisc>, ops: &[(u8, bool)]) -> Result<(), TestCas
         if do_deq && q.dequeue(now).is_some() {
             deq += 1;
         }
-        prop_assert_eq!(q.is_empty(), q.len() == 0);
+        #[allow(clippy::len_zero)] // the invariant under test IS is_empty == (len == 0)
+        {
+            assert_eq!(q.is_empty(), q.len() == 0, "seed {seed}");
+        }
     }
     let buffered = q.len() as u64;
     let mut drained = 0u64;
     while q.dequeue(SimTime::from_secs(3_600)).is_some() {
         drained += 1;
     }
-    prop_assert_eq!(drained, buffered);
-    prop_assert_eq!(enq, deq + dropped + buffered);
-    prop_assert_eq!(q.len(), 0);
-    prop_assert_eq!(q.byte_len(), 0);
-    Ok(())
+    assert_eq!(drained, buffered, "seed {seed}");
+    assert_eq!(enq, deq + dropped + buffered, "seed {seed}");
+    assert_eq!(q.len(), 0, "seed {seed}");
+    assert_eq!(q.byte_len(), 0, "seed {seed}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn droptail_conserves_packets(ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..300)) {
-        conservation(Box::new(DropTail::with_packets(16)), &ops)?;
+#[test]
+fn droptail_conserves_packets() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
+        let ops = ops_schedule(&mut rng);
+        conservation(Box::new(DropTail::with_packets(16)), &ops, seed);
     }
+}
 
-    #[test]
-    fn red_conserves_packets(ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..300)) {
+#[test]
+fn red_conserves_packets() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
+        let ops = ops_schedule(&mut rng);
         let red = Red::new(RedConfig::conventional(16, 0.004), SimRng::new(1));
-        conservation(Box::new(red), &ops)?;
+        conservation(Box::new(red), &ops, seed);
     }
+}
 
-    #[test]
-    fn sfq_conserves_packets(ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..300)) {
-        conservation(Box::new(Sfq::new(64, 16)), &ops)?;
+#[test]
+fn sfq_conserves_packets() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
+        let ops = ops_schedule(&mut rng);
+        conservation(Box::new(Sfq::new(64, 16)), &ops, seed);
     }
+}
 
-    #[test]
-    fn taq_conserves_packets(ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..300)) {
+#[test]
+fn taq_conserves_packets() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
+        let ops = ops_schedule(&mut rng);
         let mut cfg = TaqConfig::for_link(Bandwidth::from_kbps(600));
         cfg.buffer_pkts = 16;
         cfg.newflow_cap_pkts = 8;
         let pair = TaqPair::new(cfg);
-        conservation(Box::new(pair.forward), &ops)?;
+        conservation(Box::new(pair.forward), &ops, seed);
     }
+}
 
-    /// TAQ never reorders packets within one flow, for any schedule.
-    #[test]
-    fn taq_preserves_per_flow_order(ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..300)) {
+/// TAQ never reorders packets within one flow, for any schedule.
+#[test]
+fn taq_preserves_per_flow_order() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
+        let ops = ops_schedule(&mut rng);
         let mut cfg = TaqConfig::for_link(Bandwidth::from_kbps(600));
         cfg.buffer_pkts = 16;
         cfg.newflow_cap_pkts = 16;
@@ -91,11 +123,10 @@ proptest! {
         let mut q: Box<dyn Qdisc> = Box::new(pair.forward);
         let mut next_id = std::collections::HashMap::<u16, u64>::new();
         let mut last_seen = std::collections::HashMap::<FlowKey, u64>::new();
-        let mut check = |p: &Packet| -> Result<(), TestCaseError> {
+        let mut check = |p: &Packet| {
             if let Some(prev) = last_seen.insert(p.flow, p.id) {
-                prop_assert!(p.id > prev, "flow {} reordered", p.flow);
+                assert!(p.id > prev, "flow {} reordered (seed {seed})", p.flow);
             }
-            Ok(())
         };
         for (i, &(port_sel, do_deq)) in ops.iter().enumerate() {
             let port = u16::from(port_sel % 5);
@@ -109,118 +140,135 @@ proptest! {
             q.enqueue(pkt(port, id * 460, id), now);
             if do_deq {
                 if let Some(p) = q.dequeue(now) {
-                    check(&p)?;
+                    check(&p);
                 }
             }
         }
         while let Some(p) = q.dequeue(SimTime::from_secs(3_600)) {
-            check(&p)?;
+            check(&p);
         }
     }
+}
 
-    /// Jain's index is bounded by [1/n, 1], invariant under permutation
-    /// and positive scaling.
-    #[test]
-    fn jain_bounds_and_invariances(
-        mut xs in proptest::collection::vec(0.0f64..1e6, 1..64),
-        scale in 0.001f64..1e3,
-    ) {
-        let n = xs.len() as f64;
+/// Jain's index is bounded by [1/n, 1], invariant under permutation
+/// and positive scaling.
+#[test]
+fn jain_bounds_and_invariances() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(100 + seed);
+        let n = rng.range_u64(1, 64) as usize;
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 1e6)).collect();
+        let scale = rng.range_f64(0.001, 1e3);
+        let nf = xs.len() as f64;
         let j = jain_index(&xs);
-        prop_assert!(j <= 1.0 + 1e-9);
+        assert!(j <= 1.0 + 1e-9, "seed {seed}");
         if xs.iter().any(|&x| x > 0.0) {
-            prop_assert!(j >= 1.0 / n - 1e-9);
+            assert!(j >= 1.0 / nf - 1e-9, "seed {seed}");
         }
         let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
-        prop_assert!((jain_index(&scaled) - j).abs() < 1e-6);
+        assert!((jain_index(&scaled) - j).abs() < 1e-6, "seed {seed}");
         xs.reverse();
-        prop_assert!((jain_index(&xs) - j).abs() < 1e-12);
+        assert!((jain_index(&xs) - j).abs() < 1e-12, "seed {seed}");
     }
+}
 
-    /// Empirical distributions: quantiles are monotone and within
-    /// [min, max]; the CDF is a proper distribution function.
-    #[test]
-    fn distribution_quantiles_monotone(
-        samples in proptest::collection::vec(-1e6f64..1e6, 1..200),
-    ) {
+/// Empirical distributions: quantiles are monotone and within
+/// [min, max]; the CDF is a proper distribution function.
+#[test]
+fn distribution_quantiles_monotone() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(200 + seed);
+        let n = rng.range_u64(1, 200) as usize;
+        let samples: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
         let d = Distribution::from_samples(samples);
         let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
         let mut prev = f64::MIN;
         for &q in &qs {
             let v = d.quantile(q).unwrap();
-            prop_assert!(v >= prev);
-            prop_assert!(v >= d.min().unwrap() && v <= d.max().unwrap());
+            assert!(v >= prev, "seed {seed}");
+            assert!(
+                v >= d.min().unwrap() && v <= d.max().unwrap(),
+                "seed {seed}"
+            );
             prev = v;
         }
-        prop_assert!((d.cdf(d.max().unwrap()) - 1.0).abs() < 1e-12);
-        prop_assert_eq!(d.cdf(d.min().unwrap() - 1.0), 0.0);
+        assert!((d.cdf(d.max().unwrap()) - 1.0).abs() < 1e-12, "seed {seed}");
+        assert_eq!(d.cdf(d.min().unwrap() - 1.0), 0.0, "seed {seed}");
     }
+}
 
-    /// Markov model stationary distributions are valid for arbitrary
-    /// parameters, and the full model is never less silent than the
-    /// partial one.
-    #[test]
-    fn model_distributions_valid(
-        p in 0.01f64..0.45,
-        wmax in 4u32..12,
-        k in 1u32..5,
-    ) {
+/// Markov model stationary distributions are valid for arbitrary
+/// parameters, and the full model is never less silent than the
+/// partial one.
+#[test]
+fn model_distributions_valid() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(300 + seed);
+        let p = rng.range_f64(0.01, 0.45);
+        let wmax = rng.range_u64(4, 11) as u32;
+        let k = rng.range_u64(1, 4) as u32;
         let partial = PartialModel::new(p, wmax);
         let pd = partial.n_sent_distribution();
-        prop_assert!((pd.iter().sum::<f64>() - 1.0).abs() < 1e-8);
-        prop_assert!(pd.iter().all(|&v| v >= -1e-12));
+        assert!((pd.iter().sum::<f64>() - 1.0).abs() < 1e-8, "seed {seed}");
+        assert!(pd.iter().all(|&v| v >= -1e-12), "seed {seed}");
         let full = FullModel::new(p, wmax, k);
         let fd = full.n_sent_distribution();
-        prop_assert!((fd.iter().sum::<f64>() - 1.0).abs() < 1e-8);
-        prop_assert!(full.silence_mass() + 1e-9 >= partial.silence_mass());
+        assert!((fd.iter().sum::<f64>() - 1.0).abs() < 1e-8, "seed {seed}");
+        assert!(
+            full.silence_mass() + 1e-9 >= partial.silence_mass(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// The RNG's bounded draws stay in range, and chance(0)/chance(1)
-    /// are degenerate.
-    #[test]
-    fn rng_ranges(seed in any::<u64>(), lo in 0u64..1000, width in 1u64..1000) {
-        let mut rng = SimRng::new(seed);
+/// The RNG's bounded draws stay in range, and chance(0)/chance(1)
+/// are degenerate.
+#[test]
+fn rng_ranges() {
+    for seed in 0..CASES {
+        let mut meta = SimRng::new(400 + seed);
+        let lo = meta.range_u64(0, 999);
+        let width = meta.range_u64(1, 999);
+        let mut rng = SimRng::new(meta.next_u64());
         for _ in 0..100 {
             let x = rng.range_u64(lo, lo + width);
-            prop_assert!((lo..=lo + width).contains(&x));
-            prop_assert!(!rng.chance(0.0));
-            prop_assert!(rng.chance(1.0));
+            assert!((lo..=lo + width).contains(&x), "seed {seed}");
+            assert!(!rng.chance(0.0), "seed {seed}");
+            assert!(rng.chance(1.0), "seed {seed}");
             let f = rng.next_f64();
-            prop_assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&f), "seed {seed}");
         }
     }
+}
 
-    /// TAQ classification is total and stable: every observation maps to
-    /// exactly one class, and retransmissions repairing our drops always
-    /// win Recovery.
-    #[test]
-    fn classification_is_total(
-        retx in any::<bool>(),
-        repairs in any::<bool>(),
-        is_new in any::<bool>(),
-        protected in any::<bool>(),
-        drops in 0u32..5,
-        rate in 0f64..100_000.0,
-        backlog in 0usize..10,
-        share_pkts in 0usize..5,
-    ) {
+/// TAQ classification is total and stable: every observation maps to
+/// exactly one class, and retransmissions repairing our drops always
+/// win Recovery.
+#[test]
+fn classification_is_total() {
+    for seed in 0..256 {
+        let mut rng = SimRng::new(500 + seed);
+        let retx = rng.chance(0.5);
+        let repairs = rng.chance(0.5);
         let obs = taq::Observation {
             retransmission: retx,
             repairs_our_drop: repairs && retx,
             state: taq::FlowState::Normal,
             silent_epochs: 0,
-            is_new,
-            recent_drops: drops,
-            rate_bps: rate,
+            is_new: rng.chance(0.5),
+            recent_drops: rng.next_below(5) as u32,
+            rate_bps: rng.range_f64(0.0, 100_000.0),
             epoch_len: taq_sim::SimDuration::from_millis(200),
             last_normal_at: SimTime::ZERO,
             window_estimate: 0,
-            protected,
+            protected: rng.chance(0.5),
             fq_only: false,
         };
+        let backlog = rng.next_below(10) as usize;
+        let share_pkts = rng.next_below(5) as usize;
         let class = taq::classify(&obs, backlog, share_pkts, 10_000.0);
         if repairs && retx {
-            prop_assert_eq!(class, QueueClass::Recovery);
+            assert_eq!(class, QueueClass::Recovery, "seed {seed}");
         }
         // Exactly one class (total function, no panics) — reaching here
         // suffices.

@@ -1,16 +1,18 @@
-//! Property-based tests: the TCP state machines deliver every byte
+//! Randomized-property tests: the TCP state machines deliver every byte
 //! exactly once, in order, under arbitrary finite loss patterns.
 //!
 //! A deterministic harness shuttles packets between a `TcpSender` and a
 //! `TcpReceiver` through a lossy "wire" whose drop decisions come from a
-//! proptest-generated boolean schedule (exhausted schedules stop
+//! [`SimRng`]-generated boolean schedule (exhausted schedules stop
 //! dropping, so every run terminates). Timers fire in deadline order
 //! whenever the wire goes idle — exactly the situations where real TCP
-//! relies on its RTO.
+//! relies on its RTO. Cases come from fixed seeds, so a failure
+//! reproduces exactly from its printed seed.
 
-use proptest::prelude::*;
-use taq_sim::{FlowKey, NodeId, PacketBuilder, SimDuration, TcpFlags};
+use taq_sim::{FlowKey, NodeId, PacketBuilder, SimDuration, SimRng, TcpFlags};
 use taq_tcp::{MockIo, TcpConfig, TcpReceiver, TcpSender, TimerKind, Variant};
+
+const CASES: u64 = 64;
 
 fn flow() -> FlowKey {
     FlowKey {
@@ -23,7 +25,7 @@ fn flow() -> FlowKey {
 
 /// Runs a full transfer of `bytes` through a wire that drops data-path
 /// packets per `drops` (one decision per forwarded packet, both
-/// directions interleaved). Returns (delivered bytes, sender stats).
+/// directions interleaved). Returns (delivered bytes, sender timeouts).
 fn transfer(bytes: u64, variant: Variant, drops: Vec<bool>) -> (u64, u64) {
     let cfg = TcpConfig {
         variant,
@@ -94,44 +96,50 @@ fn transfer(bytes: u64, variant: Variant, drops: Vec<bool>) -> (u64, u64) {
     (receiver.delivered_bytes(), sender.stats.timeouts)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const VARIANTS: [Variant; 3] = [Variant::Reno, Variant::NewReno, Variant::Sack];
 
-    /// Every transfer completes with exactly the requested bytes, for
-    /// any variant and any finite drop schedule.
-    #[test]
-    fn lossy_transfer_delivers_exactly_once(
-        bytes in 0u64..30_000,
-        variant_idx in 0usize..3,
-        drops in proptest::collection::vec(any::<bool>(), 0..400),
-    ) {
-        let variant = [Variant::Reno, Variant::NewReno, Variant::Sack][variant_idx];
+/// Every transfer completes with exactly the requested bytes, for
+/// any variant and any finite drop schedule.
+#[test]
+fn lossy_transfer_delivers_exactly_once() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
+        let bytes = rng.range_u64(0, 29_999);
+        let variant = VARIANTS[rng.next_below(3) as usize];
+        let n = rng.next_below(400) as usize;
+        let drops: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let (delivered, _timeouts) = transfer(bytes, variant, drops);
-        prop_assert_eq!(delivered, bytes);
+        assert_eq!(delivered, bytes, "seed {seed}");
     }
+}
 
-    /// A lossless wire never times out, regardless of variant or size.
-    #[test]
-    fn clean_transfer_has_no_timeouts(
-        bytes in 1u64..50_000,
-        variant_idx in 0usize..3,
-    ) {
-        let variant = [Variant::Reno, Variant::NewReno, Variant::Sack][variant_idx];
+/// A lossless wire never times out, regardless of variant or size.
+#[test]
+fn clean_transfer_has_no_timeouts() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(100 + seed);
+        let bytes = rng.range_u64(1, 49_999);
+        let variant = VARIANTS[rng.next_below(3) as usize];
         let (delivered, timeouts) = transfer(bytes, variant, vec![]);
-        prop_assert_eq!(delivered, bytes);
-        prop_assert_eq!(timeouts, 0);
+        assert_eq!(delivered, bytes, "seed {seed}");
+        assert_eq!(timeouts, 0, "seed {seed}");
     }
+}
 
-    /// Bursty loss (drop the first k packets outright) still completes:
-    /// the handshake and first window survive arbitrary consecutive
-    /// loss through RTO retries.
-    #[test]
-    fn leading_burst_loss_recovers(
-        bytes in 1u64..10_000,
-        burst in 1usize..12,
-    ) {
+/// Bursty loss (drop the first k packets outright) still completes:
+/// the handshake and first window survive arbitrary consecutive
+/// loss through RTO retries.
+#[test]
+fn leading_burst_loss_recovers() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(200 + seed);
+        let bytes = rng.range_u64(1, 9_999);
+        let burst = rng.range_u64(1, 11) as usize;
         let (delivered, timeouts) = transfer(bytes, Variant::NewReno, vec![true; burst]);
-        prop_assert_eq!(delivered, bytes);
-        prop_assert!(timeouts > 0, "a leading burst forces at least one RTO");
+        assert_eq!(delivered, bytes, "seed {seed}");
+        assert!(
+            timeouts > 0,
+            "a leading burst forces at least one RTO (seed {seed})"
+        );
     }
 }

@@ -7,6 +7,7 @@ use taq_metrics::{EvolutionTracker, SliceThroughput};
 use taq_queues::DropTail;
 use taq_sim::{shared, Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimTime};
 use taq_tcp::TcpConfig;
+use taq_telemetry::{shared_sink, RingBufferSink, Telemetry};
 use taq_workloads::{DumbbellScenario, BULK_BYTES};
 
 struct RunResult {
@@ -74,7 +75,34 @@ fn taq_beats_droptail_on_short_term_fairness() {
         300,
     );
     let pair = TaqPair::new(TaqConfig::for_link(rate));
+    // Telemetry rides along: its counters must agree with TaqStats.
+    let telemetry = Telemetry::new();
+    let (ring, erased) = shared_sink(RingBufferSink::new(1024));
+    telemetry.add_shared_sink(erased);
+    pair.state.borrow_mut().attach_telemetry(telemetry);
     let tq = run(Box::new(pair.forward), 42, 600, flows, 300);
+
+    // The stats snapshot and the sink-observed event stream are two
+    // views of the same run: one Classified event per offered packet,
+    // one Dropped event per drop, drop_rate consistent with both.
+    {
+        let st = pair.state.borrow();
+        let ring = ring.borrow();
+        assert_eq!(st.stats.offered, ring.count("classified"));
+        assert_eq!(st.stats.dropped, ring.count("dropped"));
+        let snapshot = st.stats.snapshot();
+        assert_eq!(
+            snapshot.get("offered").and_then(|v| v.as_u64()),
+            Some(st.stats.offered)
+        );
+        assert_eq!(
+            snapshot.get("dropped").and_then(|v| v.as_u64()),
+            Some(st.stats.dropped)
+        );
+        let rate = snapshot.get("drop_rate").and_then(|v| v.as_f64()).unwrap();
+        assert!((rate - st.stats.drop_rate()).abs() < 1e-9);
+        assert!(st.stats.dropped > 0, "the contended link drops packets");
+    }
 
     assert!(
         tq.short_term_jain > dt.short_term_jain + 0.1,
