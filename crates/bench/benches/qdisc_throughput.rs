@@ -49,7 +49,7 @@ fn bench_discipline(d: Discipline, suffix: &str, telemetry: Option<&Telemetry>) 
     measure(&label, 10, 60, || {
         let built = build_qdisc(d, Bandwidth::from_mbps(1), 64, 1);
         if let (Some(t), Some(state)) = (telemetry, &built.taq_state) {
-            state.borrow_mut().attach_telemetry(t.clone());
+            state.lock().unwrap().attach_telemetry(t.clone());
         }
         drive(built, packets(1_000));
     })

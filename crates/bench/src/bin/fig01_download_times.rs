@@ -8,32 +8,37 @@
 //! comparable sizes vary by around two orders of magnitude, at every
 //! size, with the spread narrowing only for multi-megabyte objects.
 //!
-//! Usage: `fig01_download_times [--full]`
+//! Runs one independent trace replay per seed (different request
+//! arrivals and jitter), fanned across worker threads, and pools the
+//! (size, download-time) samples before bucketing.
+//!
+//! Usage: `fig01_download_times [--seeds a,b,c | --runs N] [--threads N]
+//! [--full] [--smoke]`
 
-use taq_bench::{build_qdisc, Discipline};
+use taq_bench::{build_qdisc, sweep_seeds, Discipline, SweepArgs};
 use taq_metrics::log_bucket_summary;
-use taq_sim::{Bandwidth, DumbbellConfig, SimDuration, SimRng, SimTime};
-use taq_tcp::TcpConfig;
-use taq_workloads::{weblog, DumbbellScenario};
+use taq_sim::{Bandwidth, DumbbellConfig, SimDuration, SimTime};
+use taq_workloads::{weblog, DumbbellSpec};
 
-fn main() {
-    // Scale 24 → 5-minute window; scale 4 → 30 minutes with --full.
-    let scale = if taq_bench::full_scale() { 4 } else { 24 };
-    let rate = Bandwidth::from_mbps(2);
+struct RunOutput {
+    /// `(bytes, seconds)` per completed download.
+    pairs: Vec<(f64, f64)>,
+    unfinished: usize,
+    requests: usize,
+}
+
+fn run(spec: &DumbbellSpec, scale: u32, seed: u64) -> RunOutput {
+    let rate = spec.topo.bottleneck_rate;
     let buffer = rate.packets_per(SimDuration::from_millis(200), 500);
-    let built = build_qdisc(Discipline::DropTail, rate, buffer, 42);
-    let topo = DumbbellConfig::with_rtt_200ms(rate);
-    let mut sc = DumbbellScenario::new(42, topo, built.forward, TcpConfig::default());
+    let built = build_qdisc(Discipline::DropTail, rate, buffer, seed);
+    let mut sc = spec.build(seed, built.forward);
 
     let log_cfg = weblog::WebLogConfig::campus_two_hour(scale);
-    let mut rng = SimRng::new(7);
+    // The trace derives from the run seed so every sweep member replays
+    // an independent arrival process.
+    let mut rng = taq_sim::SimRng::new(seed ^ 7);
     let log = weblog::generate(&log_cfg, &mut rng);
-    println!(
-        "# Figure 1 reproduction — {} requests from {} clients over {} (scale 1/{scale})",
-        log.len(),
-        log_cfg.clients,
-        log_cfg.duration
-    );
+    let requests = log.len();
     for (client, entries) in weblog::by_client(&log) {
         let _ = client;
         sc.add_scheduled_client(&entries, 4, SimTime::ZERO);
@@ -41,13 +46,37 @@ fn main() {
     let horizon = SimTime::ZERO + log_cfg.duration + SimDuration::from_secs(120);
     sc.run_until(horizon);
 
-    let records = sc.log.borrow();
+    let records = sc.log.lock().unwrap();
     let pairs: Vec<(f64, f64)> = records
         .records
         .iter()
         .filter_map(|r| r.download_time().map(|d| (r.bytes as f64, d.as_secs_f64())))
         .collect();
     let unfinished = records.records.len() - pairs.len();
+    RunOutput {
+        pairs,
+        unfinished,
+        requests,
+    }
+}
+
+fn main() {
+    let args = SweepArgs::parse(42);
+    // Scale divides the two-hour trace: 5-minute window by default,
+    // 30 minutes with --full, under a minute with --smoke.
+    let scale = args.secs(96, 24, 4) as u32;
+    let rate = Bandwidth::from_mbps(2);
+    let spec = DumbbellSpec::new(DumbbellConfig::with_rtt_200ms(rate));
+
+    let runs = sweep_seeds(&args.seeds, args.threads, |seed| run(&spec, scale, seed));
+
+    let requests: usize = runs.iter().map(|r| r.requests).sum();
+    let unfinished: usize = runs.iter().map(|r| r.unfinished).sum();
+    let pairs: Vec<(f64, f64)> = runs.into_iter().flat_map(|r| r.pairs).collect();
+    println!(
+        "# Figure 1 reproduction — {requests} requests across {} seed(s) (scale 1/{scale})",
+        args.seeds.len()
+    );
     println!("# completed={} unfinished={unfinished}", pairs.len());
     println!("# size_lo_bytes  size_hi_bytes  count  p10_s  p90_s  min_s  max_s  mean_s  spread(p90/p10)");
     for b in log_bucket_summary(&pairs, 2, 5) {

@@ -14,60 +14,117 @@
 //! aggregate demand grows without bound, losses never cease at any
 //! buffer size, and the buffer–fairness tradeoff disappears entirely.
 //!
-//! Usage: `fig03_buffer_tradeoff [--full]`
+//! The whole (fair-share × buffer × seed) grid fans across worker
+//! threads — cells are independent runs — and Jain indices are averaged
+//! over seeds per cell. `--smoke` shrinks the grid and duration to a
+//! CI-sized run.
+//!
+//! Usage: `fig03_buffer_tradeoff [--seeds a,b,c | --runs N]
+//! [--threads N] [--full] [--smoke]`
 
-use taq_bench::scaled_duration;
+use taq_bench::{sweep_indexed, SweepArgs};
 use taq_metrics::SliceThroughput;
 use taq_queues::DropTail;
-use taq_sim::{shared, Bandwidth, DumbbellConfig, SimDuration};
+use taq_sim::{Bandwidth, DumbbellConfig, SimDuration, SimTime};
 use taq_tcp::TcpConfig;
-use taq_workloads::{DumbbellScenario, BULK_BYTES};
+use taq_workloads::{DumbbellSpec, BULK_BYTES};
 
-fn jain_at(flows: usize, buffer_pkts: usize, duration: taq_sim::SimTime) -> f64 {
-    let rate = Bandwidth::from_kbps(600);
-    let topo = DumbbellConfig::with_rtt_200ms(rate);
-    let tcp = TcpConfig {
-        max_window_segments: 20, // ns2's default window_ cap.
-        ..TcpConfig::default()
-    };
-    let mut sc =
-        DumbbellScenario::new(42, topo, Box::new(DropTail::with_packets(buffer_pkts)), tcp);
-    let (slices, erased) = shared(SliceThroughput::new(
+fn jain_at(
+    spec: &DumbbellSpec,
+    seed: u64,
+    flows: usize,
+    buffer_pkts: usize,
+    duration: SimTime,
+) -> f64 {
+    let mut sc = spec.build(seed, Box::new(DropTail::with_packets(buffer_pkts)));
+    let slices = sc.sim.add_monitor(Box::new(SliceThroughput::new(
         sc.db.bottleneck,
         SimDuration::from_secs(20),
-    ));
-    sc.sim.add_monitor(erased);
+    )));
     sc.add_bulk_clients(flows, BULK_BYTES, SimDuration::from_secs(2));
     sc.run_until(duration);
     let n = (duration.as_nanos() / SimDuration::from_secs(20).as_nanos()) as usize;
-    let j = slices.borrow().mean_jain(2, n, flows);
-    j
+    sc.sim
+        .monitor::<SliceThroughput>(slices)
+        .expect("slice monitor")
+        .mean_jain(2, n, flows)
+}
+
+/// One grid cell: a (fair-share, buffer) point for one seed.
+struct Cell {
+    label: &'static str,
+    flows: usize,
+    buffer_rtts: usize,
+    buffer_pkts: usize,
+    seed: u64,
 }
 
 fn main() {
-    let duration = scaled_duration(600, 2_000);
+    let args = SweepArgs::parse(42);
+    let duration = args.duration(60, 600, 2_000);
     let rate = Bandwidth::from_kbps(600);
     let rtt = SimDuration::from_millis(200);
     let pkts_per_rtt = rate.packets_per(rtt, 500); // 30 at 600 Kbps
-    let targets: [(f64, &str); 4] = [
-        (1.25, "1.25pkts/RTT"),
-        (1.0, "1pkt/RTT"),
-        (0.5, "0.5pkts/RTT"),
-        (0.25, "0.25pkts/RTT"),
-    ];
+    let targets: &[(f64, &str)] = if args.smoke {
+        &[(1.25, "1.25pkts/RTT"), (0.5, "0.5pkts/RTT")]
+    } else {
+        &[
+            (1.25, "1.25pkts/RTT"),
+            (1.0, "1pkt/RTT"),
+            (0.5, "0.5pkts/RTT"),
+            (0.25, "0.25pkts/RTT"),
+        ]
+    };
+    let buffers: &[usize] = if args.smoke {
+        &[1, 3]
+    } else {
+        &[1, 2, 3, 5, 8, 12, 16]
+    };
+
+    let spec = DumbbellSpec::new(DumbbellConfig::with_rtt_200ms(rate)).tcp(TcpConfig {
+        max_window_segments: 20, // ns2's default window_ cap.
+        ..TcpConfig::default()
+    });
+
+    // Grid order (share, buffer, seed) fixes the merged output; the
+    // sweep returns results in exactly this order however the pool
+    // schedules them.
+    let seeds = &args.seeds;
+    let cells: Vec<Cell> = targets
+        .iter()
+        .flat_map(|&(share_pkts, label)| {
+            let flows = (pkts_per_rtt as f64 / share_pkts).round() as usize;
+            buffers.iter().flat_map(move |&buffer_rtts| {
+                seeds.iter().map(move |&seed| Cell {
+                    label,
+                    flows,
+                    buffer_rtts,
+                    buffer_pkts: pkts_per_rtt * buffer_rtts,
+                    seed,
+                })
+            })
+        })
+        .collect();
+    let jains = sweep_indexed(&cells, args.threads, |_, cell| {
+        jain_at(&spec, cell.seed, cell.flows, cell.buffer_pkts, duration)
+    });
 
     println!("# Figure 3 reproduction — DropTail buffer vs short-term fairness");
     println!("# (window cap 20 segments, ns2 default; see module docs)");
+    println!(
+        "# mean of {} seed(s) per cell; {} worker thread(s)",
+        args.seeds.len(),
+        args.threads
+    );
     println!("# fair_share  flows  buffer_rtts  buffer_pkts  jain_short  max_queue_delay_s");
-    for (share_pkts, label) in targets {
-        let flows = (pkts_per_rtt as f64 / share_pkts).round() as usize;
-        for buffer_rtts in [1usize, 2, 3, 5, 8, 12, 16] {
-            let buffer_pkts = pkts_per_rtt * buffer_rtts;
-            let jain = jain_at(flows, buffer_pkts, duration);
-            let delay = buffer_pkts as f64 * 500.0 * 8.0 / rate.bps() as f64;
-            println!(
-                "{label:>12} {flows:>6} {buffer_rtts:>12} {buffer_pkts:>12} {jain:>11.3} {delay:>17.2}"
-            );
-        }
+    let per_cell = args.seeds.len();
+    for (chunk, cells) in jains.chunks(per_cell).zip(cells.chunks(per_cell)) {
+        let cell = &cells[0];
+        let jain = chunk.iter().sum::<f64>() / chunk.len() as f64;
+        let delay = cell.buffer_pkts as f64 * 500.0 * 8.0 / rate.bps() as f64;
+        println!(
+            "{:>12} {:>6} {:>12} {:>12} {jain:>11.3} {delay:>17.2}",
+            cell.label, cell.flows, cell.buffer_rtts, cell.buffer_pkts
+        );
     }
 }

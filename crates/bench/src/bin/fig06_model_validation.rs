@@ -13,7 +13,7 @@
 use taq_bench::{build_qdisc, scaled_duration, Discipline};
 use taq_metrics::EpochActivity;
 use taq_model::{FullModel, PartialModel};
-use taq_sim::{shared, Bandwidth, DumbbellConfig, SimDuration};
+use taq_sim::{Bandwidth, DumbbellConfig, SimDuration};
 use taq_tcp::TcpConfig;
 use taq_workloads::{DumbbellScenario, BULK_BYTES};
 
@@ -41,13 +41,18 @@ fn simulate(rate_kbps: u64, flows: usize, secs: u64) -> (f64, Vec<f64>) {
     let queueing =
         SimDuration::from_nanos(buffer as u64 / 2 * rate.transmission_time(500).as_nanos());
     let epoch = SimDuration::from_millis(200) + queueing;
-    let (activity, erased) = shared(EpochActivity::new(sc.db.bottleneck, epoch, WMAX));
-    sc.sim.add_monitor(erased);
+    let activity = sc
+        .sim
+        .add_monitor(Box::new(EpochActivity::new(sc.db.bottleneck, epoch, WMAX)));
     sc.add_bulk_clients(flows, BULK_BYTES, SimDuration::from_secs(2));
     let horizon = taq_sim::SimTime::from_secs(secs);
     sc.run_until(horizon);
     let p = sc.sim.link_stats(sc.db.bottleneck).drop_rate();
-    let dist = activity.borrow_mut().distribution(horizon);
+    let dist = sc
+        .sim
+        .monitor_mut::<EpochActivity>(activity)
+        .expect("epoch monitor")
+        .distribution(horizon);
     (p, dist)
 }
 

@@ -53,7 +53,7 @@ fn main() {
         discipline.name()
     );
     println!("# packets  bytes  download_time_s  completed");
-    let records = sc.log.borrow();
+    let records = sc.log.lock().unwrap();
     for (tag, packets) in short_tags {
         let rec = records
             .records

@@ -85,7 +85,7 @@ fn run(discipline: Discipline, secs: u64) -> Vec<(String, Distribution, usize)> 
     }
     let horizon = SimTime::from_secs(secs + 90);
     sc.run_until(horizon);
-    let records = sc.log.borrow();
+    let records = sc.log.lock().unwrap();
     let (small, small_censored) = bucket(&records.records, 10_000, 20_000, horizon);
     let (large, large_censored) = bucket(&records.records, 100_000, 110_000, horizon);
     vec![

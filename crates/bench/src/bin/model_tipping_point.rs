@@ -7,24 +7,32 @@
 //! threshold `p_thresh ≈ 0.1`), the closed-form expected idle time
 //! `1/(1−2p)`, and the full model's "at least j backoffs" masses.
 //!
-//! Usage: `model_tipping_point`
+//! The 45-point p-grid fans across the sweep pool (each point solves
+//! two Markov chains independently); output order is fixed regardless
+//! of scheduling. Pure math — no simulation, no seeds.
+//!
+//! Usage: `model_tipping_point [--threads N]`
 
+use taq_bench::{sweep_indexed, SweepArgs};
 use taq_model::{analysis, FullModel, PartialModel};
 
 fn main() {
+    let args = SweepArgs::parse(0);
     println!("# Model analysis — TAQ (EuroSys 2014) §3");
     println!("# p  timeout_mass_partial  timeout_mass_full  silence_full  E[idle epochs]=1/(1-2p)");
-    for i in 1..=45 {
-        let p = i as f64 / 100.0;
+    let ps: Vec<f64> = (1..=45).map(|i| i as f64 / 100.0).collect();
+    let rows = sweep_indexed(&ps, args.threads, |_, &p| {
         let partial = PartialModel::new(p, 6);
         let full = FullModel::new(p, 6, 3);
-        println!(
-            "{p:.2} {:>20.3} {:>17.3} {:>12.3} {:>22.3}",
+        (
             partial.timeout_mass(),
             full.timeout_mass(),
             full.silence_mass(),
-            analysis::expected_idle_epochs(p).expect("p < 1/2")
-        );
+            analysis::expected_idle_epochs(p).expect("p < 1/2"),
+        )
+    });
+    for (&p, (partial, full, silence, idle)) in ps.iter().zip(rows) {
+        println!("{p:.2} {partial:>20.3} {full:>17.3} {silence:>12.3} {idle:>22.3}");
     }
     println!();
     println!(

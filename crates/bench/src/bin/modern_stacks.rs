@@ -16,7 +16,7 @@
 
 use taq_bench::{build_qdisc, scaled_duration, Discipline};
 use taq_metrics::{EvolutionTracker, SliceThroughput};
-use taq_sim::{shared, Bandwidth, DumbbellConfig, SimDuration};
+use taq_sim::{Bandwidth, DumbbellConfig, SimDuration};
 use taq_tcp::TcpConfig;
 use taq_workloads::{DumbbellScenario, BULK_BYTES};
 
@@ -27,21 +27,27 @@ fn run(discipline: Discipline, tcp: TcpConfig, duration: taq_sim::SimTime) -> (f
     let built = build_qdisc(discipline, rate, buffer, 42);
     let topo = DumbbellConfig::with_rtt_200ms(rate);
     let mut sc = DumbbellScenario::new_with_reverse(42, topo, built.forward, built.reverse, tcp);
-    let (slices, erased) = shared(SliceThroughput::new(
+    let slices = sc.sim.add_monitor(Box::new(SliceThroughput::new(
         sc.db.bottleneck,
         SimDuration::from_secs(20),
-    ));
-    sc.sim.add_monitor(erased);
-    let (evo, erased) = shared(EvolutionTracker::new(
+    )));
+    let evo = sc.sim.add_monitor(Box::new(EvolutionTracker::new(
         sc.db.bottleneck,
         SimDuration::from_secs(2),
-    ));
-    sc.sim.add_monitor(erased);
+    )));
     sc.add_bulk_clients(flows, BULK_BYTES, SimDuration::from_secs(2));
     sc.run_until(duration);
     let n = (duration.as_nanos() / SimDuration::from_secs(20).as_nanos()) as usize;
-    let jain = slices.borrow().mean_jain(2, n, flows);
-    let series = evo.borrow().series();
+    let jain = sc
+        .sim
+        .monitor::<SliceThroughput>(slices)
+        .expect("slice monitor")
+        .mean_jain(2, n, flows);
+    let series = sc
+        .sim
+        .monitor::<EvolutionTracker>(evo)
+        .expect("evolution monitor")
+        .series();
     let from = series.len() / 4;
     let (mut stalled, mut total) = (0usize, 0usize);
     for c in &series[from..] {

@@ -7,34 +7,35 @@
 //! hang longer than 20 s; with 400 users about half see a hang longer
 //! than a minute. The TAQ column shows the same workload through TAQ.
 //!
-//! Usage: `sec23_user_hangs [--full]`
+//! The (users × discipline × seed) grid fans across the sweep pool;
+//! hang fractions are averaged over seeds per cell.
+//!
+//! Usage: `sec23_user_hangs [--seeds a,b,c | --runs N] [--threads N]
+//! [--full] [--smoke]`
 
-use taq_bench::{build_qdisc, scaled_duration, Discipline};
+use taq_bench::{build_qdisc, sweep_indexed, Discipline, SweepArgs};
 use taq_metrics::HangTracker;
-use taq_sim::{shared, Bandwidth, DumbbellConfig, SimDuration, SimRng, SimTime};
-use taq_tcp::TcpConfig;
-use taq_workloads::{generate_session, DumbbellScenario, SessionConfig};
+use taq_sim::{Bandwidth, DumbbellConfig, SimDuration, SimRng, SimTime};
+use taq_workloads::{generate_session, DumbbellSpec, SessionConfig};
 
-fn run(users: usize, discipline: Discipline, secs: u64) -> (f64, f64, usize) {
-    let rate = Bandwidth::from_mbps(1);
+fn run(
+    spec: &DumbbellSpec,
+    seed: u64,
+    users: usize,
+    discipline: Discipline,
+    secs: u64,
+) -> (f64, f64, usize) {
+    let rate = spec.topo.bottleneck_rate;
     let buffer = rate.packets_per(SimDuration::from_millis(200), 500);
-    let built = build_qdisc(discipline, rate, buffer, 42);
-    let topo = DumbbellConfig::with_rtt_200ms(rate);
-    let mut sc = DumbbellScenario::new_with_reverse(
-        42,
-        topo,
-        built.forward,
-        built.reverse,
-        TcpConfig::default(),
-    );
+    let built = build_qdisc(discipline, rate, buffer, seed);
+    let mut sc = spec.build_with_reverse(seed, built.forward, built.reverse);
     let horizon = SimTime::from_secs(secs);
-    let (hangs, erased) = shared(HangTracker::new(
+    let hangs = sc.sim.add_monitor(Box::new(HangTracker::new(
         sc.db.bottleneck,
         SimTime::from_secs(5),
         horizon,
-    ));
-    sc.sim.add_monitor(erased);
-    let mut rng = SimRng::new(99);
+    )));
+    let mut rng = SimRng::new(seed ^ 99);
     let session_cfg = SessionConfig {
         pages_per_user: 10_000, // Effectively continuous browsing.
         mean_think_time: SimDuration::from_secs(3),
@@ -61,24 +62,49 @@ fn run(users: usize, discipline: Discipline, secs: u64) -> (f64, f64, usize) {
         sc.add_scheduled_client(&entries, 4, SimTime::ZERO);
     }
     sc.run_until(horizon);
-    let hangs = hangs.borrow();
+    let hangs = sc.sim.monitor::<HangTracker>(hangs).expect("hang monitor");
     let over_20 = hangs.fraction_with_hang(SimDuration::from_secs(20));
     let over_60 = hangs.fraction_with_hang(SimDuration::from_secs(60));
     (over_20, over_60, hangs.users())
 }
 
 fn main() {
-    let secs = if taq_bench::full_scale() { 900 } else { 300 };
-    let _ = scaled_duration(0, 0);
+    let args = SweepArgs::parse(42);
+    let secs = args.secs(60, 300, 900);
+    let user_counts: &[usize] = if args.smoke { &[100] } else { &[200, 400] };
+    let spec = DumbbellSpec::new(DumbbellConfig::with_rtt_200ms(Bandwidth::from_mbps(1)));
+
+    // Grid order (users, discipline, seed) fixes the merged output.
+    let seeds = &args.seeds;
+    let cells: Vec<(usize, Discipline, u64)> = user_counts
+        .iter()
+        .flat_map(|&users| {
+            [Discipline::DropTail, Discipline::Taq]
+                .into_iter()
+                .flat_map(move |d| seeds.iter().map(move |&seed| (users, d, seed)))
+        })
+        .collect();
+    let results = sweep_indexed(&cells, args.threads, |_, &(users, d, seed)| {
+        run(&spec, seed, users, d, secs)
+    });
+
     println!("# §2.3 reproduction — user-perceived hangs (pool of 4 connections each)");
+    println!(
+        "# mean of {} seed(s) per cell; {} worker thread(s)",
+        args.seeds.len(),
+        args.threads
+    );
     println!("# users  discipline  frac_hang>20s  frac_hang>60s  users_seen");
-    for users in [200usize, 400] {
-        for d in [Discipline::DropTail, Discipline::Taq] {
-            let (h20, h60, seen) = run(users, d, secs);
-            println!(
-                "{users:>6} {:>11} {h20:>14.2} {h60:>14.2} {seen:>10}",
-                d.name()
-            );
-        }
+    let per_cell = args.seeds.len();
+    for (chunk, cells) in results.chunks(per_cell).zip(cells.chunks(per_cell)) {
+        let (users, d, _) = cells[0];
+        let n = chunk.len() as f64;
+        let h20 = chunk.iter().map(|r| r.0).sum::<f64>() / n;
+        let h60 = chunk.iter().map(|r| r.1).sum::<f64>() / n;
+        let seen = chunk.iter().map(|r| r.2).sum::<usize>() / chunk.len();
+        println!(
+            "{users:>6} {:>11} {h20:>14.2} {h60:>14.2} {seen:>10}",
+            d.name()
+        );
     }
 }

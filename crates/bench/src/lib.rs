@@ -12,15 +12,15 @@
 //! and default to shorter runs with the same shape.
 
 mod report;
+mod sweep;
 
 pub use report::{telemetry_report, DisciplineReport, TelemetryReport, TelemetryReportConfig};
+pub use sweep::{default_threads, sweep_indexed, sweep_seeds, SweepArgs};
 
 use taq::{SharedTaq, TaqConfig, TaqPair};
 use taq_metrics::{EvolutionTracker, SliceThroughput};
 use taq_queues::{DropTail, Red, RedConfig, Sfq};
-use taq_sim::{
-    shared, Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimRng, SimTime, UnboundedFifo,
-};
+use taq_sim::{Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimRng, SimTime, UnboundedFifo};
 use taq_tcp::TcpConfig;
 use taq_workloads::{DumbbellScenario, BULK_BYTES};
 
@@ -204,19 +204,22 @@ pub fn fairness_run(cfg: &FairnessRunConfig, discipline: Discipline) -> Fairness
         built.reverse,
         TcpConfig::default(),
     );
-    let (slices, erased) = shared(SliceThroughput::new(sc.db.bottleneck, cfg.slice));
-    sc.sim.add_monitor(erased);
-    let (evo, erased) = shared(EvolutionTracker::new(
+    let slices_id = sc
+        .sim
+        .add_monitor(Box::new(SliceThroughput::new(sc.db.bottleneck, cfg.slice)));
+    let evo_id = sc.sim.add_monitor(Box::new(EvolutionTracker::new(
         sc.db.bottleneck,
         cfg.evolution_window,
-    ));
-    sc.sim.add_monitor(erased);
+    )));
     sc.add_bulk_clients(cfg.flows, BULK_BYTES, SimDuration::from_secs(2));
     sc.run_until(cfg.duration);
 
     let n_slices = (cfg.duration.as_nanos() / cfg.slice.as_nanos()) as usize;
     let skip = 2.min(n_slices.saturating_sub(1));
-    let slices = slices.borrow();
+    let slices = sc
+        .sim
+        .monitor::<SliceThroughput>(slices_id)
+        .expect("slice monitor");
     let short_term_jain = slices.mean_jain(skip, n_slices, cfg.flows);
     let long_term_jain = slices.overall_jain(cfg.flows);
     let mut shutout = 0.0;
@@ -231,7 +234,10 @@ pub fn fairness_run(cfg: &FairnessRunConfig, discipline: Discipline) -> Fairness
         0.0
     };
 
-    let evo = evo.borrow();
+    let evo = sc
+        .sim
+        .monitor::<EvolutionTracker>(evo_id)
+        .expect("evolution monitor");
     let series = evo.series();
     let from = series.len() / 4;
     let mut sum = taq_metrics::EvolutionCounts::default();

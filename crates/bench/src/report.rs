@@ -6,12 +6,11 @@
 //! surface proving the summary numbers agree with the raw event stream.
 
 use crate::{build_qdisc, Discipline};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::{self, Write};
-use std::rc::Rc;
-use taq_sim::{shared, Bandwidth, DumbbellConfig, SimDuration, SimTime, TelemetryBridge};
+use std::sync::{Arc, Mutex};
+use taq_sim::{Bandwidth, DumbbellConfig, SimDuration, SimTime, TelemetryBridge};
 use taq_tcp::TcpConfig;
 use taq_telemetry::{
     shared_sink, JsonlSink, RingBufferSink, SummarySink, SummaryStats, Telemetry, Value,
@@ -150,11 +149,11 @@ impl TelemetryReport {
 /// An `io::Write` over a shared byte buffer, so a [`JsonlSink`]'s output
 /// can be read back without unwrapping the sink from the hub.
 #[derive(Clone, Default)]
-struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.0.borrow_mut().extend_from_slice(buf);
+        self.0.lock().unwrap().extend_from_slice(buf);
         Ok(buf.len())
     }
 
@@ -182,7 +181,7 @@ fn run_discipline(cfg: &TelemetryReportConfig, d: Discipline) -> DisciplineRepor
         }
     }
     if let Some(state) = &built.taq_state {
-        state.borrow_mut().attach_telemetry(telemetry.clone());
+        state.lock().unwrap().attach_telemetry(telemetry.clone());
     }
 
     let topo = DumbbellConfig::with_rtt_200ms(cfg.rate);
@@ -194,8 +193,7 @@ fn run_discipline(cfg: &TelemetryReportConfig, d: Discipline) -> DisciplineRepor
         TcpConfig::default(),
     );
     let bridge = TelemetryBridge::new(telemetry.clone()).only(sc.db.bottleneck);
-    let (_bridge, erased) = shared(bridge);
-    sc.sim.add_monitor(erased);
+    sc.sim.add_monitor(Box::new(bridge));
     sc.add_bulk_clients(cfg.flows, BULK_BYTES, SimDuration::from_secs(1));
 
     let wall = std::time::Instant::now();
@@ -209,11 +207,11 @@ fn run_discipline(cfg: &TelemetryReportConfig, d: Discipline) -> DisciplineRepor
     let stats_snapshot = built
         .taq_state
         .as_ref()
-        .map(|s| s.borrow().stats.snapshot());
-    let rendered = summary.borrow().render(d.name());
-    let summary = summary.borrow().stats().clone();
-    let ring = ring.borrow();
-    let jsonl = String::from_utf8_lossy(&buf.0.borrow())
+        .map(|s| s.lock().unwrap().stats.snapshot());
+    let rendered = summary.lock().unwrap().render(d.name());
+    let summary = summary.lock().unwrap().stats().clone();
+    let ring = ring.lock().unwrap();
+    let jsonl = String::from_utf8_lossy(&buf.0.lock().unwrap())
         .lines()
         .map(str::to_string)
         .collect();

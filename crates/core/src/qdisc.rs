@@ -16,8 +16,7 @@ use crate::admission::{AdmissionController, AdmissionDecision, LossRateMeter};
 use crate::config::TaqConfig;
 use crate::queues::{classify, fair_share_bps, QueueClass, TaqQueues};
 use crate::tracker::{flow_id, FlowTable};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use taq_sim::{EnqueueOutcome, Packet, PacketBuilder, Qdisc, SimDuration, SimTime, TcpFlags};
 use taq_telemetry::{Event, GaugeId, HistogramId, Telemetry, Value};
 
@@ -26,7 +25,10 @@ use taq_telemetry::{Event, GaugeId, HistogramId, Telemetry, Value};
 const DEPTH_SAMPLE_EVERY: u64 = 32;
 
 /// Aggregate statistics a TAQ instance maintains.
-#[derive(Debug, Default, Clone)]
+///
+/// `PartialEq` so determinism tests can compare snapshots between
+/// serial and sweep-pool runs.
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct TaqStats {
     /// Packets offered to the data-direction queue.
     pub offered: u64,
@@ -346,8 +348,14 @@ impl std::fmt::Debug for TaqState {
     }
 }
 
-/// Shared handle to the middlebox state.
-pub type SharedTaq = Rc<RefCell<TaqState>>;
+/// Shared handle to the middlebox state. The forward and reverse qdisc
+/// halves genuinely share one state (the reverse path's ACK/SYN
+/// observations drive the forward path's scheduling), so this is the
+/// one place the refactor keeps a shared handle rather than
+/// engine-owned state; `Arc<Mutex<…>>` keeps both halves `Send`. Each
+/// run drives the pair from a single engine thread, so the lock is
+/// uncontended and never held across a callback.
+pub type SharedTaq = Arc<Mutex<TaqState>>;
 
 /// The data-direction (congested) half of the middlebox.
 #[derive(Debug)]
@@ -378,7 +386,7 @@ pub struct TaqPair {
 impl TaqPair {
     /// Builds a middlebox: both qdisc halves over one shared state.
     pub fn new(cfg: TaqConfig) -> TaqPair {
-        let state: SharedTaq = Rc::new(RefCell::new(TaqState::new(cfg)));
+        let state: SharedTaq = Arc::new(Mutex::new(TaqState::new(cfg)));
         TaqPair {
             forward: TaqQdisc {
                 state: state.clone(),
@@ -395,26 +403,26 @@ impl TaqPair {
     /// Wires a telemetry hub through the shared state (see
     /// [`TaqState::attach_telemetry`]).
     pub fn attach_telemetry(&self, telemetry: Telemetry) {
-        self.state.borrow_mut().attach_telemetry(telemetry);
+        self.state.lock().unwrap().attach_telemetry(telemetry);
     }
 }
 
 impl Qdisc for TaqQdisc {
     fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
-        self.state.borrow_mut().enqueue_forward(pkt, now)
+        self.state.lock().unwrap().enqueue_forward(pkt, now)
     }
 
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
-        self.state.borrow_mut().dequeue_forward(now)
+        self.state.lock().unwrap().dequeue_forward(now)
     }
 
     fn len(&self) -> usize {
-        let st = self.state.borrow();
+        let st = self.state.lock().unwrap();
         st.queues.len() + st.pending_rejects.len()
     }
 
     fn byte_len(&self) -> usize {
-        let st = self.state.borrow();
+        let st = self.state.lock().unwrap();
         st.queues.byte_len()
             + st.pending_rejects
                 .iter()
@@ -429,7 +437,7 @@ impl Qdisc for TaqQdisc {
 
 impl Qdisc for TaqReverseQdisc {
     fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
-        let decision = self.state.borrow_mut().observe_reverse(&pkt, now);
+        let decision = self.state.lock().unwrap().observe_reverse(&pkt, now);
         if decision == AdmissionDecision::Reject {
             return EnqueueOutcome::rejected(pkt);
         }
@@ -498,8 +506,8 @@ mod tests {
         }
         assert_eq!(seen, 10);
         assert_eq!(q.len(), 0);
-        assert_eq!(pair.state.borrow().stats.offered, 10);
-        assert_eq!(pair.state.borrow().stats.dropped, 0);
+        assert_eq!(pair.state.lock().unwrap().stats.offered, 10);
+        assert_eq!(pair.state.lock().unwrap().stats.dropped, 0);
     }
 
     #[test]
@@ -515,7 +523,7 @@ mod tests {
         }
         assert_eq!(q.len(), 4);
         assert_eq!(dropped, 8);
-        assert_eq!(pair.state.borrow().stats.dropped, 8);
+        assert_eq!(pair.state.lock().unwrap().stats.dropped, 8);
     }
 
     #[test]
@@ -526,10 +534,18 @@ mod tests {
         q.enqueue(data(1, 461, 2), t(5));
         // This queue drops the flow's packet, so the re-sent sequence
         // is a true repair and rides the Recovery class.
-        pair.state.borrow_mut().flows.on_drop(&key(1), false, t(6));
+        pair.state
+            .lock()
+            .unwrap()
+            .flows
+            .on_drop(&key(1), false, t(6));
         q.enqueue(data(1, 1, 3), t(10)); // seq reuse = retransmission
         assert_eq!(
-            pair.state.borrow().stats.class_count(QueueClass::Recovery),
+            pair.state
+                .lock()
+                .unwrap()
+                .stats
+                .class_count(QueueClass::Recovery),
             1
         );
     }
@@ -544,7 +560,11 @@ mod tests {
         // elsewhere) and must not jump the line.
         q.enqueue(data(1, 1, 3), t(10));
         assert_eq!(
-            pair.state.borrow().stats.class_count(QueueClass::Recovery),
+            pair.state
+                .lock()
+                .unwrap()
+                .stats
+                .class_count(QueueClass::Recovery),
             0
         );
     }
@@ -584,7 +604,7 @@ mod tests {
         assert_eq!(rev.len(), 1);
         assert!(rev.dequeue(t(401)).is_some());
         // The tracker's epoch moved off the floor thanks to the sample.
-        let state = pair.state.borrow();
+        let state = pair.state.lock().unwrap();
         let flow = state.flows.get(&key(1)).unwrap();
         assert!(flow.epoch_len > SimDuration::from_millis(100));
     }
@@ -598,7 +618,7 @@ mod tests {
         // Manufacture heavy loss: tiny buffer is simpler — instead drive
         // the meter directly through overflow drops.
         {
-            let mut st = pair.state.borrow_mut();
+            let mut st = pair.state.lock().unwrap();
             for i in 0..200 {
                 st.loss_meter.record(i % 2 == 0, t(100));
             }
@@ -613,7 +633,7 @@ mod tests {
         .build();
         let out = rev.enqueue(syn.clone(), t(200));
         assert_eq!(out.dropped.len(), 1, "SYN rejected at 50% loss");
-        assert_eq!(pair.state.borrow().stats.syns_rejected, 1);
+        assert_eq!(pair.state.lock().unwrap().stats.syns_rejected, 1);
         // Data for existing flows still flows normally.
         assert!(fwd.enqueue(data(1, 1, 1), t(200)).dropped.is_empty());
         // Once the loss clears (meter window rolls), the SYN is let in.
@@ -626,7 +646,7 @@ mod tests {
         let pair = TaqPair::new(cfg());
         let mut rev = pair.reverse;
         {
-            let mut st = pair.state.borrow_mut();
+            let mut st = pair.state.lock().unwrap();
             for _ in 0..100 {
                 st.loss_meter.record(true, t(0));
             }

@@ -5,25 +5,30 @@
 //! ordered event queue. Agents interact with the world only through the
 //! [`Ctx`] handed to their callbacks: sending packets, setting and
 //! cancelling timers, and drawing deterministic random numbers. The
-//! engine is single-threaded; determinism is guaranteed by the
-//! `(time, schedule-order)` event ordering and the single seeded RNG.
+//! engine is single-threaded *per run*; determinism is guaranteed by
+//! the `(time, schedule-order)` event ordering and the single seeded
+//! RNG. A fully built [`Simulator`] is `Send`, so independent runs can
+//! be fanned out across worker threads (see DESIGN.md's "Concurrency
+//! model").
 
 use crate::events::{EventKind, EventQueue, TimerId, TimerTable};
 use crate::link::{Link, LinkStats};
-use crate::monitor::SharedMonitor;
+use crate::monitor::{AsAny, LinkMonitor, MonitorId};
 use crate::packet::{LinkId, NodeId, Packet};
 use crate::qdisc::Qdisc;
 use crate::rng::SimRng;
 use crate::time::{Bandwidth, SimDuration, SimTime};
-use std::any::Any;
 use std::collections::HashMap;
 
 /// A simulated process attached to a node: a TCP host, a router, a
 /// traffic source.
 ///
-/// Implementations must provide `as_any`/`as_any_mut` (returning `self`)
-/// so experiment harnesses can recover the concrete type after a run.
-pub trait Agent {
+/// The [`AsAny`] supertrait is blanket-implemented for every `'static`
+/// type, so implementations get `as_any`/`as_any_mut` (and with them
+/// [`Simulator::agent`] / [`Simulator::agent_mut`] downcasting) for
+/// free. `Send` is required so a populated simulator can move into a
+/// sweep worker thread.
+pub trait Agent: AsAny + Send {
     /// Called once when the agent's start event fires (see
     /// [`Simulator::schedule_start`]).
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -39,12 +44,6 @@ pub trait Agent {
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         let _ = (token, ctx);
     }
-
-    /// Upcast for post-run inspection.
-    fn as_any(&self) -> &dyn Any;
-
-    /// Mutable upcast for post-run inspection.
-    fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
 /// A router that forwards every packet toward its flow's destination.
@@ -59,14 +58,6 @@ impl Agent for ForwardingRouter {
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
         let dst = pkt.flow.dst;
         ctx.forward(dst, pkt);
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 
@@ -84,7 +75,7 @@ struct World {
     timers: TimerTable,
     links: Vec<Link>,
     routes: Vec<RouteTable>,
-    monitors: Vec<SharedMonitor>,
+    monitors: Vec<Box<dyn LinkMonitor>>,
     rng: SimRng,
     next_packet_id: u64,
     events_processed: u64,
@@ -99,8 +90,8 @@ impl World {
     /// Offers `pkt` to `link`'s queue and starts transmission if idle.
     fn offer(&mut self, link_id: LinkId, pkt: Packet) {
         let now = self.now;
-        for m in &self.monitors {
-            m.borrow_mut().on_enqueue(link_id, &pkt, now);
+        for m in &mut self.monitors {
+            m.on_enqueue(link_id, &pkt, now);
         }
         let link = &mut self.links[link_id.0 as usize];
         link.stats.offered_pkts += 1;
@@ -109,8 +100,8 @@ impl World {
         for dropped in outcome.dropped {
             link.stats.dropped_pkts += 1;
             link.stats.dropped_bytes += u64::from(dropped.wire_len());
-            for m in &self.monitors {
-                m.borrow_mut().on_drop(link_id, &dropped, now);
+            for m in &mut self.monitors {
+                m.on_drop(link_id, &dropped, now);
             }
         }
         self.try_transmit(link_id);
@@ -139,8 +130,8 @@ impl World {
         if link.loss_rate > 0.0 && self.rng.chance(link.loss_rate) {
             let link = &mut self.links[link_id.0 as usize];
             link.stats.wire_lost_pkts += 1;
-            for m in &self.monitors {
-                m.borrow_mut().on_drop(link_id, &pkt, now);
+            for m in &mut self.monitors {
+                m.on_drop(link_id, &pkt, now);
             }
             return;
         }
@@ -150,8 +141,8 @@ impl World {
         let to = link.to;
         // Monitors see the transmit with its completion timestamp so
         // time-sliced byte accounting is exact.
-        for m in &self.monitors {
-            m.borrow_mut().on_transmit(link_id, &pkt, done);
+        for m in &mut self.monitors {
+            m.on_transmit(link_id, &pkt, done);
         }
         self.queue
             .push(arrive, EventKind::Arrival { node: to, pkt });
@@ -310,9 +301,40 @@ impl Simulator {
         self.world.links[link.0 as usize].loss_rate = rate;
     }
 
-    /// Registers a monitor observing every link.
-    pub fn add_monitor(&mut self, monitor: SharedMonitor) {
+    /// Registers a monitor observing every link. The engine owns the
+    /// monitor; read it back (during or after the run) with
+    /// [`Simulator::monitor`] / [`Simulator::monitor_mut`] using the
+    /// returned id.
+    pub fn add_monitor(&mut self, monitor: Box<dyn LinkMonitor>) -> MonitorId {
+        let id = MonitorId(self.world.monitors.len() as u32);
         self.world.monitors.push(monitor);
+        id
+    }
+
+    /// Downcasts a registered monitor to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this simulator's
+    /// [`Simulator::add_monitor`].
+    pub fn monitor<T: 'static>(&self, id: MonitorId) -> Option<&T> {
+        self.world.monitors[id.0 as usize]
+            .as_ref()
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`Simulator::monitor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this simulator's
+    /// [`Simulator::add_monitor`].
+    pub fn monitor_mut<T: 'static>(&mut self, id: MonitorId) -> Option<&mut T> {
+        self.world.monitors[id.0 as usize]
+            .as_mut()
+            .as_any_mut()
+            .downcast_mut::<T>()
     }
 
     /// Schedules `agent`'s `on_start` at time `at`.
@@ -349,7 +371,7 @@ impl Simulator {
     /// callback (its slot is temporarily empty).
     pub fn agent<T: 'static>(&self, node: NodeId) -> Option<&T> {
         self.agents[node.0 as usize]
-            .as_ref()
+            .as_deref()
             .expect("agent is executing")
             .as_any()
             .downcast_ref::<T>()
@@ -363,7 +385,7 @@ impl Simulator {
     /// callback.
     pub fn agent_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
         self.agents[node.0 as usize]
-            .as_mut()
+            .as_deref_mut()
             .expect("agent is executing")
             .as_any_mut()
             .downcast_mut::<T>()
@@ -472,13 +494,13 @@ mod tests {
     use crate::packet::{FlowKey, PacketBuilder, TcpFlags};
     use crate::qdisc::UnboundedFifo;
     use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     /// Sends `count` packets to `peer` at start; records arrivals.
     struct Chatter {
         peer: NodeId,
         count: u32,
-        received: Rc<RefCell<Vec<(SimTime, u64)>>>,
+        received: Arc<Mutex<Vec<(SimTime, u64)>>>,
         timer_fires: Vec<u64>,
     }
 
@@ -499,30 +521,23 @@ mod tests {
         }
 
         fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
-            self.received.borrow_mut().push((ctx.now(), pkt.id));
+            self.received.lock().unwrap().push((ctx.now(), pkt.id));
         }
 
         fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
             self.timer_fires.push(token);
         }
-
-        fn as_any(&self) -> &dyn Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn Any {
-            self
-        }
     }
 
-    type Received = Rc<RefCell<Vec<(SimTime, u64)>>>;
+    type Received = Arc<Mutex<Vec<(SimTime, u64)>>>;
 
     fn two_node_sim(count: u32) -> (Simulator, NodeId, NodeId, Received) {
         let mut sim = Simulator::new(1);
-        let received = Rc::new(RefCell::new(Vec::new()));
+        let received = Arc::new(Mutex::new(Vec::new()));
         let a = sim.add_agent(Box::new(Chatter {
             peer: NodeId(1),
             count,
-            received: Rc::new(RefCell::new(Vec::new())),
+            received: Arc::new(Mutex::new(Vec::new())),
             timer_fires: Vec::new(),
         }));
         let b = sim.add_agent(Box::new(Chatter {
@@ -548,7 +563,7 @@ mod tests {
     fn packets_arrive_after_tx_plus_delay() {
         let (mut sim, _a, _b, received) = two_node_sim(1);
         sim.run();
-        let got = received.borrow();
+        let got = received.lock().unwrap();
         assert_eq!(got.len(), 1);
         // 540 bytes at 1 Mbps = 4.32 ms; +10 ms propagation.
         assert_eq!(got[0].0, SimTime::from_micros(14_320));
@@ -558,7 +573,7 @@ mod tests {
     fn serialization_spaces_back_to_back_packets() {
         let (mut sim, _a, _b, received) = two_node_sim(3);
         sim.run();
-        let got = received.borrow();
+        let got = received.lock().unwrap();
         assert_eq!(got.len(), 3);
         let gap = got[1].0 - got[0].0;
         // Successive arrivals separated by one serialization time.
@@ -599,13 +614,6 @@ mod tests {
         fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
             FIRED.with(|f| f.borrow_mut().push(token));
         }
-
-        fn as_any(&self) -> &dyn Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn Any {
-            self
-        }
     }
 
     #[test]
@@ -624,19 +632,19 @@ mod tests {
         let end = sim.run_until(SimTime::from_millis(15));
         assert_eq!(end, SimTime::from_millis(15));
         // Only the first packet has arrived by 15 ms.
-        assert_eq!(received.borrow().len(), 1);
+        assert_eq!(received.lock().unwrap().len(), 1);
         sim.run();
-        assert_eq!(received.borrow().len(), 3);
+        assert_eq!(received.lock().unwrap().len(), 3);
     }
 
     #[test]
     fn forwarding_router_relays_by_destination() {
         let mut sim = Simulator::new(3);
-        let received = Rc::new(RefCell::new(Vec::new()));
+        let received = Arc::new(Mutex::new(Vec::new()));
         let src = sim.add_agent(Box::new(Chatter {
             peer: NodeId(2),
             count: 2,
-            received: Rc::new(RefCell::new(Vec::new())),
+            received: Arc::new(Mutex::new(Vec::new())),
             timer_fires: Vec::new(),
         }));
         let router = sim.add_agent(Box::new(ForwardingRouter));
@@ -664,7 +672,7 @@ mod tests {
         sim.add_route(router, dst, l2);
         sim.schedule_start(src, SimTime::ZERO);
         sim.run();
-        assert_eq!(received.borrow().len(), 2);
+        assert_eq!(received.lock().unwrap().len(), 2);
     }
 
     #[test]
@@ -673,7 +681,7 @@ mod tests {
             let (mut sim, _a, _b, received) = two_node_sim(5);
             let _ = seed;
             sim.run();
-            let v: Vec<(SimTime, u64)> = received.borrow().clone();
+            let v: Vec<(SimTime, u64)> = received.lock().unwrap().clone();
             v
         };
         assert_eq!(run(7), run(7));
@@ -686,7 +694,7 @@ mod tests {
         let a = sim.add_agent(Box::new(Chatter {
             peer: NodeId(0),
             count: 1,
-            received: Rc::new(RefCell::new(Vec::new())),
+            received: Arc::new(Mutex::new(Vec::new())),
             timer_fires: Vec::new(),
         }));
         sim.schedule_start(a, SimTime::ZERO);

@@ -52,8 +52,8 @@ pub use engine::{Agent, Ctx, ForwardingRouter, Simulator};
 pub use events::TimerId;
 pub use link::LinkStats;
 pub use monitor::{
-    shared, telemetry_flow_id, EventRecorder, LinkMonitor, RecordedEvent, RecordedKind,
-    SharedMonitor, TelemetryBridge,
+    telemetry_flow_id, AsAny, EventRecorder, LinkMonitor, MonitorId, RecordedEvent, RecordedKind,
+    TelemetryBridge,
 };
 pub use packet::{
     seq_reuse_is_retransmission, FlowKey, LinkId, NodeId, Packet, PacketBuilder, SackBlocks,

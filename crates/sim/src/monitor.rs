@@ -1,22 +1,61 @@
 //! Observation hooks for experiments.
 //!
 //! Metrics collectors attach to links as [`LinkMonitor`]s; the engine
-//! invokes them on enqueue, drop, and transmit. Monitors are shared
-//! `Rc<RefCell<..>>` handles so the experiment harness keeps its own
-//! reference and reads the collected data after the run — the simulator
-//! is single-threaded, making this pattern safe and allocation-cheap.
+//! invokes them on enqueue, drop, and transmit. Monitors are **owned by
+//! the engine**: [`crate::Simulator::add_monitor`] takes a boxed monitor
+//! and returns a [`MonitorId`], and the harness reads the collected data
+//! back after (or during) the run with [`crate::Simulator::monitor`] /
+//! [`crate::Simulator::monitor_mut`]. Owned state is what keeps a fully
+//! built simulator `Send`, so whole runs can move into sweep worker
+//! threads.
 
 use crate::packet::{FlowKey, LinkId, Packet};
 use crate::time::SimTime;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::any::Any;
 use taq_telemetry::{Event, FlowId, Telemetry};
+
+/// Upcast support for trait objects that need post-run downcasting.
+///
+/// Blanket-implemented for every `'static` type, so trait objects whose
+/// traits list `AsAny` as a supertrait (here [`crate::Agent`] and
+/// [`LinkMonitor`]) get `as_any`/`as_any_mut` for free — no hand-written
+/// boilerplate in each implementation.
+///
+/// When calling through a `Box<dyn …>`, deref to the trait object first
+/// (`box.as_ref().as_any()`): the blanket impl also covers the box
+/// itself, and downcasting that to a concrete type always fails.
+pub trait AsAny {
+    /// `self` as `&dyn Any`, typed at the concrete implementation.
+    fn as_any(&self) -> &dyn Any;
+
+    /// `self` as `&mut dyn Any`, typed at the concrete implementation.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Identifies a monitor registered with
+/// [`crate::Simulator::add_monitor`]; pass it back to
+/// [`crate::Simulator::monitor`] to read results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MonitorId(pub u32);
 
 /// Observer of packet-level events on a link.
 ///
 /// All methods have empty default bodies so monitors implement only what
-/// they need.
-pub trait LinkMonitor {
+/// they need. The `AsAny` supertrait gives every monitor a free
+/// `as_any`/`as_any_mut`, which is how the engine's typed accessors
+/// recover the concrete type; `Send` is required so the owning
+/// simulator stays `Send`.
+pub trait LinkMonitor: AsAny + Send {
     /// A packet was offered to the link's queue (before any drop
     /// decision).
     fn on_enqueue(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
@@ -32,18 +71,6 @@ pub trait LinkMonitor {
     fn on_transmit(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
         let _ = (link, pkt, now);
     }
-}
-
-/// Shared handle to a monitor.
-pub type SharedMonitor = Rc<RefCell<dyn LinkMonitor>>;
-
-/// Wraps a concrete monitor in the shared handle form, returning both the
-/// typed handle (for the caller to read results) and the erased handle
-/// (for the engine).
-pub fn shared<M: LinkMonitor + 'static>(monitor: M) -> (Rc<RefCell<M>>, SharedMonitor) {
-    let typed = Rc::new(RefCell::new(monitor));
-    let erased: SharedMonitor = typed.clone();
-    (typed, erased)
 }
 
 /// Converts a simulator flow key into the telemetry layer's flow
@@ -196,8 +223,8 @@ mod tests {
     }
 
     #[test]
-    fn shared_gives_two_handles_to_same_monitor() {
-        let (typed, erased) = shared(EventRecorder::default());
+    fn erased_monitor_downcasts_through_as_any() {
+        let mut erased: Box<dyn LinkMonitor> = Box::new(EventRecorder::default());
         let pkt = PacketBuilder::new(FlowKey {
             src: NodeId(0),
             src_port: 1,
@@ -205,8 +232,18 @@ mod tests {
             dst_port: 2,
         })
         .build();
-        erased.borrow_mut().on_drop(LinkId(3), &pkt, SimTime::ZERO);
-        assert_eq!(typed.borrow().events.len(), 1);
-        assert_eq!(typed.borrow().events[0].kind, RecordedKind::Drop);
+        erased.on_drop(LinkId(3), &pkt, SimTime::ZERO);
+        let typed = erased
+            .as_ref()
+            .as_any()
+            .downcast_ref::<EventRecorder>()
+            .expect("downcast to the concrete monitor");
+        assert_eq!(typed.events.len(), 1);
+        assert_eq!(typed.events[0].kind, RecordedKind::Drop);
+        assert!(erased
+            .as_mut()
+            .as_any_mut()
+            .downcast_mut::<TelemetryBridge>()
+            .is_none());
     }
 }

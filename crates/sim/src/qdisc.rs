@@ -44,7 +44,7 @@ impl EnqueueOutcome {
 /// 2. **Non-idling**: if `len() > 0`, `dequeue` returns `Some`. The
 ///    engine polls the queue exactly once per transmission-complete
 ///    event, so an idling queue would stall the link forever.
-pub trait Qdisc {
+pub trait Qdisc: Send {
     /// Offers a packet to the queue at time `now`.
     fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome;
 

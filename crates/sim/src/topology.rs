@@ -184,13 +184,11 @@ mod tests {
     use crate::engine::{Agent, Ctx};
     use crate::packet::{FlowKey, Packet, PacketBuilder};
     use crate::time::SimTime;
-    use std::any::Any;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     struct Echoer {
         peer: Option<NodeId>,
-        log: Rc<RefCell<Vec<SimTime>>>,
+        log: Arc<Mutex<Vec<SimTime>>>,
     }
 
     impl Agent for Echoer {
@@ -209,20 +207,13 @@ mod tests {
         }
 
         fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
-            self.log.borrow_mut().push(ctx.now());
+            self.log.lock().unwrap().push(ctx.now());
             if self.peer.is_none() {
                 // Echo back to the sender.
                 let reply = PacketBuilder::new(pkt.flow.reversed()).payload(500).build();
                 let dst = pkt.flow.src;
                 ctx.send(dst, reply);
             }
-        }
-
-        fn as_any(&self) -> &dyn Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn Any {
-            self
         }
     }
 
@@ -232,8 +223,8 @@ mod tests {
         let cfg = DumbbellConfig::with_rtt_200ms(Bandwidth::from_mbps(1));
         assert_eq!(cfg.prop_rtt(), SimDuration::from_millis(196));
         let db = Dumbbell::build_simple(&mut sim, cfg, Box::new(UnboundedFifo::new()));
-        let sender_log = Rc::new(RefCell::new(Vec::new()));
-        let receiver_log = Rc::new(RefCell::new(Vec::new()));
+        let sender_log = Arc::new(Mutex::new(Vec::new()));
+        let receiver_log = Arc::new(Mutex::new(Vec::new()));
         let receiver = sim.add_agent(Box::new(Echoer {
             peer: None,
             log: receiver_log.clone(),
@@ -246,9 +237,9 @@ mod tests {
         db.attach_right(&mut sim, receiver);
         sim.schedule_start(sender, SimTime::ZERO);
         sim.run();
-        assert_eq!(receiver_log.borrow().len(), 1);
-        assert_eq!(sender_log.borrow().len(), 1);
-        let rtt = sender_log.borrow()[0];
+        assert_eq!(receiver_log.lock().unwrap().len(), 1);
+        assert_eq!(sender_log.lock().unwrap().len(), 1);
+        let rtt = sender_log.lock().unwrap()[0];
         // Propagation 196 ms + serialization of two 540-byte crossings of
         // the 1 Mbps bottleneck (4.32 ms each) + fast-link serialization.
         let rtt_s = rtt.as_secs_f64();
@@ -260,11 +251,11 @@ mod tests {
         let mut sim = Simulator::new(2);
         let cfg = DumbbellConfig::with_rtt_200ms(Bandwidth::from_mbps(1));
         let db = Dumbbell::build_simple(&mut sim, cfg, Box::new(UnboundedFifo::new()));
-        let log_fast = Rc::new(RefCell::new(Vec::new()));
-        let log_slow = Rc::new(RefCell::new(Vec::new()));
+        let log_fast = Arc::new(Mutex::new(Vec::new()));
+        let log_slow = Arc::new(Mutex::new(Vec::new()));
         let recv = sim.add_agent(Box::new(Echoer {
             peer: None,
-            log: Rc::new(RefCell::new(Vec::new())),
+            log: Arc::new(Mutex::new(Vec::new())),
         }));
         let fast = sim.add_agent(Box::new(Echoer {
             peer: Some(recv),
@@ -280,8 +271,8 @@ mod tests {
         sim.schedule_start(fast, SimTime::ZERO);
         sim.schedule_start(slow, SimTime::ZERO);
         sim.run();
-        let rtt_fast = log_fast.borrow()[0].as_secs_f64();
-        let rtt_slow = log_slow.borrow()[0].as_secs_f64();
+        let rtt_fast = log_fast.lock().unwrap()[0].as_secs_f64();
+        let rtt_slow = log_slow.lock().unwrap()[0].as_secs_f64();
         // The slow host's RTT is ~98 ms longer (49 ms extra each way).
         assert!(rtt_slow - rtt_fast > 0.09, "{rtt_fast} vs {rtt_slow}");
     }

@@ -18,16 +18,17 @@ use crate::config::TcpConfig;
 use crate::io::{TcpIo, TimerKind};
 use crate::receiver::TcpReceiver;
 use crate::sender::TcpSender;
-use std::any::Any;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use taq_sim::{
     Agent, Ctx, FlowKey, NodeId, Packet, PacketBuilder, SimDuration, SimTime, TcpFlags, TimerId,
 };
 
 /// Completion record for one requested object.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` so determinism tests can compare whole record sets
+/// byte-for-byte between serial and sweep-pool runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowRecord {
     /// Which client host downloaded it.
     pub client: NodeId,
@@ -70,12 +71,17 @@ pub struct FlowLog {
     pub records: Vec<FlowRecord>,
 }
 
-/// Shared handle to a [`FlowLog`].
-pub type SharedFlowLog = Rc<RefCell<FlowLog>>;
+/// Shared handle to a [`FlowLog`]: every client host in a scenario
+/// appends to the same log, preserving global completion order, and the
+/// harness keeps a clone to read afterwards. `Arc<Mutex<…>>` (not
+/// `Rc<RefCell<…>>`) so hosts — and with them a whole populated
+/// simulator — are `Send`; each run is still single-threaded, so the
+/// lock is uncontended.
+pub type SharedFlowLog = Arc<Mutex<FlowLog>>;
 
 /// Creates an empty shared flow log.
 pub fn new_flow_log() -> SharedFlowLog {
-    Rc::new(RefCell::new(FlowLog::default()))
+    Arc::new(Mutex::new(FlowLog::default()))
 }
 
 /// Application-protocol encoding carried in [`Packet::meta`]
@@ -279,14 +285,6 @@ impl Agent for ServerHost {
             conn.sender.on_timer(kind, &mut io);
         }
     }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
 }
 
 // ---------------------------------------------------------------------
@@ -419,7 +417,7 @@ impl ClientHost {
     /// after the run, via `Simulator::agent_mut`).
     pub fn flush_incomplete(&mut self) {
         for conn in self.conns.iter().flatten() {
-            self.log.borrow_mut().records.push(conn.record.clone());
+            self.log.lock().unwrap().records.push(conn.record.clone());
         }
     }
 
@@ -512,7 +510,7 @@ impl ClientHost {
             if conn.record.completed_at.is_none() {
                 conn.record.completed_at = Some(ctx.now());
                 self.completed += 1;
-                self.log.borrow_mut().records.push(conn.record.clone());
+                self.log.lock().unwrap().records.push(conn.record.clone());
             }
             match self.pending.pop_front() {
                 Some((queued_at, req)) => {
@@ -578,7 +576,7 @@ impl ClientHost {
         if let Some(conn) = self.conns[slot].take() {
             self.by_port.remove(&conn.local_port);
             self.free.push(slot);
-            self.log.borrow_mut().records.push(conn.record);
+            self.log.lock().unwrap().records.push(conn.record);
         }
         self.start_next(ctx);
     }
@@ -730,14 +728,6 @@ impl Agent for ClientHost {
             }
             TimerKind::Rto => {} // Clients run no sender-side RTO.
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

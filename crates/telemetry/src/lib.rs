@@ -23,7 +23,7 @@
 //! let (ring, erased) = shared_sink(RingBufferSink::new(64));
 //! telemetry.add_shared_sink(erased);
 //! telemetry.emit(5, || Event::PoolWaiting { src: 9 });
-//! assert_eq!(ring.borrow().count("pool_waiting"), 1);
+//! assert_eq!(ring.lock().unwrap().count("pool_waiting"), 1);
 //! ```
 
 mod event;
@@ -39,13 +39,22 @@ pub use sink::{
 };
 pub use value::Value;
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 struct Hub {
     sinks: Vec<SharedSink>,
     registry: MetricRegistry,
+}
+
+/// The shared half behind a [`Telemetry`] handle: the mutex-guarded hub
+/// plus a lock-free mirror of "does any sink listen?" so the per-packet
+/// `emit`/`scoped` calls on a sinkless hub cost one atomic load, not a
+/// mutex acquisition.
+struct HubShared {
+    has_sinks: AtomicBool,
+    hub: Mutex<Hub>,
 }
 
 /// Cheaply clonable handle to a telemetry hub, or to nothing at all.
@@ -57,12 +66,14 @@ struct Hub {
 /// explicit — components expose an `attach_telemetry`-style seam and
 /// default to disabled, keeping the data path honest about its costs.
 ///
-/// Handles are `Rc`-based (the whole stack is single-threaded per
-/// component); a thread constructs its own hub, as the testbed
-/// middlebox does inside its packet-forwarding thread.
+/// Handles are `Arc`-based and `Send`: a fully-wired hub (sinks and
+/// all) can be built on one thread and moved into a sweep worker along
+/// with the simulator that feeds it. Each run still drives its hub from
+/// a single thread, so the mutex is uncontended; see DESIGN.md's
+/// "Concurrency model".
 #[derive(Clone, Default)]
 pub struct Telemetry {
-    inner: Option<Rc<RefCell<Hub>>>,
+    inner: Option<Arc<HubShared>>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -77,10 +88,13 @@ impl Telemetry {
     /// An active hub with no sinks yet.
     pub fn new() -> Self {
         Telemetry {
-            inner: Some(Rc::new(RefCell::new(Hub {
-                sinks: Vec::new(),
-                registry: MetricRegistry::new(),
-            }))),
+            inner: Some(Arc::new(HubShared {
+                has_sinks: AtomicBool::new(false),
+                hub: Mutex::new(Hub {
+                    sinks: Vec::new(),
+                    registry: MetricRegistry::new(),
+                }),
+            })),
         }
     }
 
@@ -97,6 +111,26 @@ impl Telemetry {
         self.inner.is_some()
     }
 
+    /// Locks the hub. The lock never crosses a user callback except the
+    /// sink `emit`/`flush` calls, and sinks never call back into the
+    /// hub, so this cannot deadlock (std mutexes are not reentrant).
+    #[inline]
+    fn hub(&self) -> Option<MutexGuard<'_, Hub>> {
+        self.inner.as_ref().map(|shared| shared.hub.lock().unwrap())
+    }
+
+    /// Lock-free "would an emit reach anyone?" check — the fast path
+    /// for the per-packet calls. `Acquire` pairs with the `Release`
+    /// store in [`add_shared_sink`](Self::add_shared_sink); in the
+    /// common single-threaded-per-run discipline it is simply a cached
+    /// load.
+    #[inline]
+    fn listening(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|shared| shared.has_sinks.load(Ordering::Acquire))
+    }
+
     /// Attaches an owned sink.
     pub fn add_sink<S: TelemetrySink + 'static>(&self, sink: S) {
         let (_, erased) = shared_sink(sink);
@@ -106,8 +140,9 @@ impl Telemetry {
     /// Attaches a shared sink (keep the typed half to inspect later).
     /// No-op on a disabled handle.
     pub fn add_shared_sink(&self, sink: SharedSink) {
-        if let Some(hub) = &self.inner {
-            hub.borrow_mut().sinks.push(sink);
+        if let Some(shared) = &self.inner {
+            shared.hub.lock().unwrap().sinks.push(sink);
+            shared.has_sinks.store(true, Ordering::Release);
         }
     }
 
@@ -116,23 +151,22 @@ impl Telemetry {
     /// the event costs nothing when telemetry is off or nobody listens.
     #[inline]
     pub fn emit(&self, at_ns: u64, build: impl FnOnce() -> Event) {
-        if let Some(hub) = &self.inner {
-            let hub = hub.borrow();
-            if hub.sinks.is_empty() {
-                return;
-            }
+        if !self.listening() {
+            return;
+        }
+        if let Some(hub) = self.hub() {
             let event = build();
             for sink in &hub.sinks {
-                sink.borrow_mut().emit(at_ns, &event);
+                sink.lock().unwrap().emit(at_ns, &event);
             }
         }
     }
 
     /// Flushes every sink.
     pub fn flush(&self) {
-        if let Some(hub) = &self.inner {
-            for sink in &hub.borrow().sinks {
-                sink.borrow_mut().flush();
+        if let Some(hub) = self.hub() {
+            for sink in &hub.sinks {
+                sink.lock().unwrap().flush();
             }
         }
     }
@@ -140,32 +174,32 @@ impl Telemetry {
     /// Registers (or finds) a counter. Returns a dead handle on a
     /// disabled hub — `inc` on it is a no-op.
     pub fn counter(&self, name: &'static str) -> CounterId {
-        match &self.inner {
-            Some(hub) => hub.borrow_mut().registry.counter(name),
+        match self.hub() {
+            Some(mut hub) => hub.registry.counter(name),
             None => MetricRegistry::new().counter(name),
         }
     }
 
     /// Registers (or finds) a gauge.
     pub fn gauge(&self, name: &'static str) -> GaugeId {
-        match &self.inner {
-            Some(hub) => hub.borrow_mut().registry.gauge(name),
+        match self.hub() {
+            Some(mut hub) => hub.registry.gauge(name),
             None => MetricRegistry::new().gauge(name),
         }
     }
 
     /// Registers (or finds) a labeled gauge.
     pub fn gauge_with(&self, name: &'static str, labels: &[(&'static str, &str)]) -> GaugeId {
-        match &self.inner {
-            Some(hub) => hub.borrow_mut().registry.gauge_with(name, labels),
+        match self.hub() {
+            Some(mut hub) => hub.registry.gauge_with(name, labels),
             None => MetricRegistry::new().gauge_with(name, labels),
         }
     }
 
     /// Registers (or finds) a histogram.
     pub fn histogram(&self, name: &'static str) -> HistogramId {
-        match &self.inner {
-            Some(hub) => hub.borrow_mut().registry.histogram(name),
+        match self.hub() {
+            Some(mut hub) => hub.registry.histogram(name),
             None => MetricRegistry::new().histogram(name),
         }
     }
@@ -176,8 +210,8 @@ impl Telemetry {
         name: &'static str,
         labels: &[(&'static str, &str)],
     ) -> HistogramId {
-        match &self.inner {
-            Some(hub) => hub.borrow_mut().registry.histogram_with(name, labels),
+        match self.hub() {
+            Some(mut hub) => hub.registry.histogram_with(name, labels),
             None => MetricRegistry::new().histogram_with(name, labels),
         }
     }
@@ -185,24 +219,24 @@ impl Telemetry {
     /// Adds to a counter (no-op when disabled).
     #[inline]
     pub fn inc(&self, id: CounterId, by: u64) {
-        if let Some(hub) = &self.inner {
-            hub.borrow_mut().registry.inc(id, by);
+        if let Some(mut hub) = self.hub() {
+            hub.registry.inc(id, by);
         }
     }
 
     /// Sets a gauge (no-op when disabled).
     #[inline]
     pub fn set_gauge(&self, id: GaugeId, v: f64) {
-        if let Some(hub) = &self.inner {
-            hub.borrow_mut().registry.set(id, v);
+        if let Some(mut hub) = self.hub() {
+            hub.registry.set(id, v);
         }
     }
 
     /// Records a histogram sample (no-op when disabled).
     #[inline]
     pub fn record(&self, id: HistogramId, v: u64) {
-        if let Some(hub) = &self.inner {
-            hub.borrow_mut().registry.record(id, v);
+        if let Some(mut hub) = self.hub() {
+            hub.registry.record(id, v);
         }
     }
 
@@ -214,35 +248,31 @@ impl Telemetry {
     /// the cost an idle deployment must not pay.
     #[inline]
     pub fn scoped(&self, id: HistogramId) -> ScopedTimer<'_> {
-        let armed = self
-            .inner
-            .as_ref()
-            .is_some_and(|hub| !hub.borrow().sinks.is_empty());
         ScopedTimer {
-            armed: armed.then(|| (Instant::now(), self, id)),
+            armed: self.listening().then(|| (Instant::now(), self, id)),
         }
     }
 
     /// Reads a counter's current value (0 when disabled).
     pub fn counter_value(&self, id: CounterId) -> u64 {
-        match &self.inner {
-            Some(hub) => hub.borrow().registry.counter_value(id),
+        match self.hub() {
+            Some(hub) => hub.registry.counter_value(id),
             None => 0,
         }
     }
 
     /// Clones out a histogram's current state (empty when disabled).
     pub fn histogram_value(&self, id: HistogramId) -> LogHistogram {
-        match &self.inner {
-            Some(hub) => hub.borrow().registry.histogram_value(id),
+        match self.hub() {
+            Some(hub) => hub.registry.histogram_value(id),
             None => LogHistogram::new(),
         }
     }
 
     /// Serializes the whole metric registry (Null when disabled).
     pub fn metrics_snapshot(&self) -> Value {
-        match &self.inner {
-            Some(hub) => hub.borrow().registry.snapshot(),
+        match self.hub() {
+            Some(hub) => hub.registry.snapshot(),
             None => Value::Null,
         }
     }
@@ -294,8 +324,19 @@ mod tests {
         let (ring_b, erased) = shared_sink(RingBufferSink::new(8));
         t.add_shared_sink(erased);
         t.emit(3, || Event::PoolAdmitted { src: 7 });
-        assert_eq!(ring_a.borrow().count("pool_admitted"), 1);
-        assert_eq!(ring_b.borrow().count("pool_admitted"), 1);
+        assert_eq!(ring_a.lock().unwrap().count("pool_admitted"), 1);
+        assert_eq!(ring_b.lock().unwrap().count("pool_admitted"), 1);
+    }
+
+    #[test]
+    fn wired_hub_is_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let t = Telemetry::new();
+        t.add_sink(RingBufferSink::new(8));
+        assert_send(&t);
+        std::thread::scope(|s| {
+            s.spawn(|| t.emit(1, || Event::PoolWaiting { src: 2 }));
+        });
     }
 
     #[test]

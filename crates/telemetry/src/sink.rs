@@ -4,15 +4,17 @@
 
 use crate::event::Event;
 use crate::registry::LogHistogram;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::{self, Write};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Consumes timestamped events. `at_ns` is nanoseconds of simulated
 /// (or scaled-real) time, matching the emitting layer's clock.
-pub trait TelemetrySink {
+///
+/// Sinks are `Send` so a fully-wired [`crate::Telemetry`] hub can move
+/// into a sweep worker thread along with the simulator that feeds it.
+pub trait TelemetrySink: Send {
     /// Handles one event.
     fn emit(&mut self, at_ns: u64, event: &Event);
 
@@ -21,14 +23,16 @@ pub trait TelemetrySink {
 }
 
 /// A sink handle shareable between the telemetry hub and a harness that
-/// wants to inspect the sink afterwards (same pattern as the
-/// simulator's shared monitors).
-pub type SharedSink = Rc<RefCell<dyn TelemetrySink>>;
+/// wants to inspect the sink afterwards (same pattern as the TAQ
+/// forward/reverse pair's shared state). The mutex is uncontended in
+/// practice — each run is single-threaded; `Arc<Mutex<…>>` is what
+/// makes the handle `Send` so whole runs can move across threads.
+pub type SharedSink = Arc<Mutex<dyn TelemetrySink>>;
 
 /// Wraps a sink so the caller keeps a typed handle while the telemetry
 /// hub holds a type-erased one.
-pub fn shared_sink<S: TelemetrySink + 'static>(sink: S) -> (Rc<RefCell<S>>, SharedSink) {
-    let typed = Rc::new(RefCell::new(sink));
+pub fn shared_sink<S: TelemetrySink + 'static>(sink: S) -> (Arc<Mutex<S>>, SharedSink) {
+    let typed = Arc::new(Mutex::new(sink));
     let erased: SharedSink = typed.clone();
     (typed, erased)
 }
@@ -133,7 +137,7 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
-impl<W: Write> TelemetrySink for JsonlSink<W> {
+impl<W: Write + Send> TelemetrySink for JsonlSink<W> {
     fn emit(&mut self, at_ns: u64, event: &Event) {
         let mut line = event.to_value(at_ns).to_json();
         line.push('\n');

@@ -15,7 +15,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 use taq_sim::{telemetry_flow_id, Bandwidth, NodeId, Packet, Qdisc, SimDuration, SimTime};
-use taq_telemetry::{Event, JsonlSink, Telemetry};
+use taq_telemetry::{Event, Telemetry};
 
 /// Link id the middlebox uses for its forward (congested) direction in
 /// telemetry events — the testbed has exactly one bottleneck, so its
@@ -89,17 +89,21 @@ impl Pacer {
     }
 }
 
-/// Runs the middlebox loop until `shutdown` closes. Generic over the
-/// discipline constructors so non-`Send` qdiscs (TAQ's shared-state
-/// pair) can be built inside the thread.
+/// Runs the middlebox loop until `shutdown` closes. The discipline
+/// constructor runs inside this thread so the qdiscs live where they
+/// are driven (all qdiscs are `Send`, so this is a locality choice,
+/// not a constraint).
 ///
-/// Telemetry is constructed *inside* this thread (the handles are
-/// `Rc`-based and not `Send`): when `telemetry_jsonl` names a file, an
-/// active hub with a [`JsonlSink`] is built and handed to `make_qdiscs`
-/// so the discipline can attach — a TAQ pair then streams the same
-/// flow-state / classification / drop events the simulator produces.
-/// The middlebox itself contributes forward-direction [`Event::Link`]
-/// records and a closing [`Event::LinkSummary`].
+/// `telemetry` is built by the caller and moved in — the hub is
+/// `Send`, so [`run_testbed`] wires sinks up front and hands the
+/// finished handle across the thread boundary. `make_qdiscs` receives
+/// a reference so the discipline can attach its instrumentation — a
+/// TAQ pair then streams the same flow-state / classification / drop
+/// events the simulator produces. The middlebox itself contributes
+/// forward-direction [`Event::Link`] records and a closing
+/// [`Event::LinkSummary`].
+///
+/// [`run_testbed`]: crate::run_testbed
 #[allow(clippy::too_many_arguments)]
 pub fn run_middlebox(
     clock: ScaledClock,
@@ -109,19 +113,8 @@ pub fn run_middlebox(
     input: Receiver<MbInput>,
     hosts: HashMap<NodeId, Sender<Packet>>,
     stats_out: Sender<MiddleboxStats>,
-    telemetry_jsonl: Option<std::path::PathBuf>,
+    telemetry: Telemetry,
 ) {
-    let telemetry = match &telemetry_jsonl {
-        Some(path) => {
-            let t = Telemetry::new();
-            match JsonlSink::create(path) {
-                Ok(sink) => t.add_sink(sink),
-                Err(e) => eprintln!("middlebox: cannot write {}: {e}", path.display()),
-            }
-            t
-        }
-        None => Telemetry::disabled(),
-    };
     let (fwd, rev) = make_qdiscs(&telemetry);
     let mut forward = Pacer {
         qdisc: fwd,
@@ -290,7 +283,7 @@ mod tests {
                 in_rx,
                 hosts,
                 stats_tx,
-                None,
+                Telemetry::disabled(),
             );
         });
         let start = std::time::Instant::now();
@@ -347,7 +340,7 @@ mod tests {
                 in_rx,
                 hosts,
                 stats_tx,
-                None,
+                Telemetry::disabled(),
             );
         });
         // Blast 20 packets instantly into a 2-packet buffer on a slow

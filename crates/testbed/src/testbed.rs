@@ -33,12 +33,13 @@ pub struct TestbedConfig {
     pub speedup: f64,
     /// Experiment horizon in simulated time.
     pub horizon: SimTime,
-    /// When set, the middlebox thread builds a telemetry hub with a
-    /// JSONL sink writing to this file and hands it to the qdisc
-    /// constructor — a TAQ pair that attaches then produces the same
-    /// event stream (flow states, classification, drops, link records)
-    /// as an instrumented simulator run. `None` keeps telemetry fully
-    /// disabled.
+    /// When set, the testbed builds a telemetry hub with a JSONL sink
+    /// writing to this file on the caller thread and moves it into the
+    /// middlebox thread (the hub is `Send`), where the qdisc
+    /// constructor receives it — a TAQ pair that attaches then produces
+    /// the same event stream (flow states, classification, drops, link
+    /// records) as an instrumented simulator run. `None` keeps
+    /// telemetry fully disabled.
     pub telemetry_jsonl: Option<std::path::PathBuf>,
 }
 
@@ -62,13 +63,13 @@ pub struct TestbedReport {
 }
 
 /// Runs a complete testbed experiment. `make_qdiscs` is called inside
-/// the middlebox thread (so non-`Send` disciplines like [`taq::TaqPair`]
-/// work) and must return the (forward, reverse) pair. It receives the
+/// the middlebox thread — all disciplines (including `taq::TaqPair`,
+/// whose halves share an `Arc<Mutex<_>>` core) are `Send`, so this is
+/// a locality choice that keeps the queues on the thread that drives
+/// them. It must return the (forward, reverse) pair and receives the
 /// middlebox's [`taq_telemetry::Telemetry`] handle — active when
 /// [`TestbedConfig::telemetry_jsonl`] is set, disabled otherwise — so
-/// the discipline can attach its instrumentation in-thread.
-///
-/// [`taq::TaqPair`]: https://docs.rs/taq
+/// the discipline can attach its instrumentation.
 pub fn run_testbed(
     cfg: TestbedConfig,
     make_qdiscs: impl FnOnce(&taq_telemetry::Telemetry) -> (Box<dyn Qdisc>, Box<dyn Qdisc>)
@@ -118,7 +119,19 @@ pub fn run_testbed(
     let mb_clock = clock.clone();
     let rate = cfg.rate;
     let delay = cfg.one_way_delay;
-    let telemetry_jsonl = cfg.telemetry_jsonl.clone();
+    // The hub is Send: build it (and its sink) here, move it into the
+    // middlebox thread fully wired.
+    let telemetry = match &cfg.telemetry_jsonl {
+        Some(path) => {
+            let t = taq_telemetry::Telemetry::new();
+            match taq_telemetry::JsonlSink::create(path) {
+                Ok(sink) => t.add_sink(sink),
+                Err(e) => eprintln!("testbed: cannot write {}: {e}", path.display()),
+            }
+            t
+        }
+        None => taq_telemetry::Telemetry::disabled(),
+    };
     let middlebox = std::thread::spawn(move || {
         run_middlebox(
             mb_clock,
@@ -128,7 +141,7 @@ pub fn run_testbed(
             mb_rx,
             host_channels,
             stats_tx,
-            telemetry_jsonl,
+            telemetry,
         );
     });
 

@@ -21,6 +21,6 @@ mod sessions;
 mod sizes;
 pub mod weblog;
 
-pub use scenario::{flows_for_fair_share, DumbbellScenario, BULK_BYTES};
+pub use scenario::{flows_for_fair_share, DumbbellScenario, DumbbellSpec, BULK_BYTES};
 pub use sessions::{generate_session, Session, SessionConfig};
 pub use sizes::ObjectSizeModel;

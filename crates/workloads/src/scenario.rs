@@ -15,6 +15,73 @@ use taq_sim::{
 };
 use taq_tcp::{new_flow_log, ClientHost, Request, ServerHost, SharedFlowLog, TcpConfig};
 
+/// Plain, `Clone + Send` description of a dumbbell experiment: topology
+/// plus TCP parameters, everything except the discipline under test and
+/// the seed. A sweep worker thread clones the spec, builds its qdisc
+/// locally, and calls [`DumbbellSpec::build`] — so scenario
+/// construction never has to cross a thread boundary, only the spec
+/// does.
+///
+/// ```
+/// use taq_sim::{Bandwidth, DumbbellConfig, UnboundedFifo};
+/// use taq_workloads::DumbbellSpec;
+///
+/// let spec = DumbbellSpec::new(DumbbellConfig::with_rtt_200ms(Bandwidth::from_kbps(600)));
+/// std::thread::scope(|scope| {
+///     scope.spawn(|| {
+///         let sc = spec.build(7, Box::new(UnboundedFifo::new()));
+///         assert!(sc.clients.is_empty());
+///     });
+/// });
+/// ```
+#[derive(Debug, Clone)]
+pub struct DumbbellSpec {
+    /// Dumbbell link rates and delays.
+    pub topo: DumbbellConfig,
+    /// TCP stack parameters for every host.
+    pub tcp: TcpConfig,
+}
+
+impl DumbbellSpec {
+    /// A spec over `topo` with default TCP parameters.
+    pub fn new(topo: DumbbellConfig) -> Self {
+        DumbbellSpec {
+            topo,
+            tcp: TcpConfig::default(),
+        }
+    }
+
+    /// Replaces the TCP parameters.
+    #[must_use]
+    pub fn tcp(mut self, tcp: TcpConfig) -> Self {
+        self.tcp = tcp;
+        self
+    }
+
+    /// Builds the scenario for `seed` with the given bottleneck
+    /// discipline and an uncongested FIFO reverse path.
+    pub fn build(&self, seed: u64, forward_qdisc: Box<dyn Qdisc>) -> DumbbellScenario {
+        DumbbellScenario::new(seed, self.topo.clone(), forward_qdisc, self.tcp.clone())
+    }
+
+    /// Builds the scenario for `seed` with explicit forward and reverse
+    /// disciplines (TAQ's admission control needs its reverse half).
+    pub fn build_with_reverse(
+        &self,
+        seed: u64,
+        forward_qdisc: Box<dyn Qdisc>,
+        reverse_qdisc: Box<dyn Qdisc>,
+    ) -> DumbbellScenario {
+        DumbbellScenario::new_with_reverse(
+            seed,
+            self.topo.clone(),
+            forward_qdisc,
+            reverse_qdisc,
+            self.tcp.clone(),
+        )
+    }
+}
+
 /// A constructed experiment: simulator, topology, server, and the
 /// shared flow log.
 pub struct DumbbellScenario {
@@ -242,10 +309,11 @@ mod tests {
         let stats = sc.sim.link_stats(sc.db.bottleneck);
         assert!(stats.transmitted_pkts > 500, "link carried traffic");
         // All six transfers are in-flight (none complete) and logged.
-        assert_eq!(sc.log.borrow().records.len(), 6);
+        assert_eq!(sc.log.lock().unwrap().records.len(), 6);
         assert!(sc
             .log
-            .borrow()
+            .lock()
+            .unwrap()
             .records
             .iter()
             .all(|r| r.completed_at.is_none()));
@@ -275,7 +343,7 @@ mod tests {
         ];
         sc.add_scheduled_client(&schedule, 4, SimTime::ZERO);
         sc.run_until(SimTime::from_secs(60));
-        let log = sc.log.borrow();
+        let log = sc.log.lock().unwrap();
         assert_eq!(log.records.len(), 2);
         let r100 = log.records.iter().find(|r| r.tag == 100).unwrap();
         let r101 = log.records.iter().find(|r| r.tag == 101).unwrap();
@@ -308,7 +376,7 @@ mod tests {
         let reqs = (0..6).map(|tag| Request { tag, bytes: 10_000 }).collect();
         sc.add_pool_client(reqs, 2, SimTime::ZERO);
         sc.run_until(SimTime::from_secs(120));
-        let log = sc.log.borrow();
+        let log = sc.log.lock().unwrap();
         assert_eq!(log.records.len(), 6);
         assert!(log.records.iter().all(|r| r.completed_at.is_some()));
     }

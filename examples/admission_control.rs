@@ -82,7 +82,7 @@ fn run(admission: bool) -> Outcome {
     let horizon = SimTime::from_secs(330);
     sc.run_until(horizon);
 
-    let records = sc.log.borrow();
+    let records = sc.log.lock().unwrap();
     let times = Distribution::from_samples(
         records
             .records
@@ -94,7 +94,7 @@ fn run(admission: bool) -> Outcome {
         completed: times.len(),
         total: records.records.len(),
         times,
-        syns_rejected: state.map_or(0, |s| s.borrow().stats.syns_rejected),
+        syns_rejected: state.map_or(0, |s| s.lock().unwrap().stats.syns_rejected),
     }
 }
 

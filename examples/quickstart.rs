@@ -12,7 +12,7 @@
 use taq::{TaqConfig, TaqPair};
 use taq_metrics::SliceThroughput;
 use taq_queues::DropTail;
-use taq_sim::{shared, Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimTime};
+use taq_sim::{Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimTime};
 use taq_tcp::TcpConfig;
 use taq_workloads::{DumbbellScenario, BULK_BYTES};
 
@@ -23,11 +23,10 @@ fn run(label: &str, qdisc: Box<dyn Qdisc>) {
     let mut scenario = DumbbellScenario::new(42, topo, qdisc, TcpConfig::default());
 
     // Observe per-flow throughput in 20-second slices at the bottleneck.
-    let (slices, monitor) = shared(SliceThroughput::new(
+    let slices = scenario.sim.add_monitor(Box::new(SliceThroughput::new(
         scenario.db.bottleneck,
         SimDuration::from_secs(20),
-    ));
-    scenario.sim.add_monitor(monitor);
+    )));
 
     scenario.add_bulk_clients(FLOWS, BULK_BYTES, SimDuration::from_secs(2));
     scenario.run_until(SimTime::from_secs(200));
@@ -35,7 +34,11 @@ fn run(label: &str, qdisc: Box<dyn Qdisc>) {
     let stats = scenario.sim.link_stats(scenario.db.bottleneck);
     println!(
         "{label:>9}: short-term Jain = {:.3}, utilization = {:.3}, loss = {:.1}%",
-        slices.borrow().mean_jain(2, 10, FLOWS),
+        scenario
+            .sim
+            .monitor::<SliceThroughput>(slices)
+            .expect("slice monitor")
+            .mean_jain(2, 10, FLOWS),
         stats.utilization(SimDuration::from_secs(200)),
         100.0 * stats.drop_rate(),
     );

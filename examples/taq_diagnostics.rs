@@ -11,7 +11,7 @@
 use taq::{QueueClass, TaqConfig, TaqPair};
 use taq_metrics::{EvolutionTracker, SliceThroughput};
 use taq_queues::DropTail;
-use taq_sim::{shared, Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimTime, TelemetryBridge};
+use taq_sim::{Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimTime, TelemetryBridge};
 use taq_tcp::{ServerHost, TcpConfig};
 use taq_telemetry::{shared_sink, SummarySink, Telemetry};
 use taq_workloads::{DumbbellScenario, BULK_BYTES};
@@ -35,23 +35,20 @@ fn run(name: &str, qdisc: Box<dyn Qdisc>, taq_state: Option<taq::SharedTaq>) {
     let (summary, erased) = shared_sink(SummarySink::new());
     telemetry.add_shared_sink(erased);
     if let Some(state) = &taq_state {
-        state.borrow_mut().attach_telemetry(telemetry.clone());
+        state.lock().unwrap().attach_telemetry(telemetry.clone());
     }
 
     let mut sc = DumbbellScenario::new(42, topo, qdisc, tcp);
     let bridge = TelemetryBridge::new(telemetry.clone()).only(sc.db.bottleneck);
-    let (_bridge, erased) = shared(bridge);
-    sc.sim.add_monitor(erased);
-    let (slices, erased) = shared(SliceThroughput::new(
+    sc.sim.add_monitor(Box::new(bridge));
+    let slices = sc.sim.add_monitor(Box::new(SliceThroughput::new(
         sc.db.bottleneck,
         SimDuration::from_secs(20),
-    ));
-    sc.sim.add_monitor(erased);
-    let (evo, erased) = shared(EvolutionTracker::new(
+    )));
+    let evo = sc.sim.add_monitor(Box::new(EvolutionTracker::new(
         sc.db.bottleneck,
         SimDuration::from_millis(env_or("EVO_WIN_MS", 1000)),
-    ));
-    sc.sim.add_monitor(erased);
+    )));
     let flows = env_or("FLOWS", 60);
     sc.add_bulk_clients(flows, BULK_BYTES, SimDuration::from_secs(2));
     let wall = std::time::Instant::now();
@@ -62,9 +59,16 @@ fn run(name: &str, qdisc: Box<dyn Qdisc>, taq_state: Option<taq::SharedTaq>) {
     let stats = sc.sim.link_stats(sc.db.bottleneck);
     let srv = sc.sim.agent::<ServerHost>(sc.server).unwrap();
     let agg = srv.aggregate_stats();
-    let slices = slices.borrow();
+    let slices = sc
+        .sim
+        .monitor::<SliceThroughput>(slices)
+        .expect("slice monitor");
     let jain = slices.mean_jain(2, 15, flows);
-    let series = evo.borrow().series();
+    let series = sc
+        .sim
+        .monitor::<EvolutionTracker>(evo)
+        .expect("evolution monitor")
+        .series();
     let (mut stalled, mut total) = (0, 0);
     for c in &series[series.len() / 4..] {
         stalled += c.stalled;
@@ -84,7 +88,7 @@ fn run(name: &str, qdisc: Box<dyn Qdisc>, taq_state: Option<taq::SharedTaq>) {
     );
     println!("  stalled_frac={:.3}", stalled as f64 / total.max(1) as f64);
     if let Some(state) = taq_state {
-        let st = state.borrow();
+        let st = state.lock().unwrap();
         println!("  taq stats snapshot: {}", st.stats.snapshot().to_json());
         println!(
             "    flows tracked={} fair_share={:.0}bps",
@@ -108,7 +112,7 @@ fn run(name: &str, qdisc: Box<dyn Qdisc>, taq_state: Option<taq::SharedTaq>) {
         );
     }
     println!();
-    print!("{}", summary.borrow().render(name));
+    print!("{}", summary.lock().unwrap().render(name));
 }
 
 fn main() {

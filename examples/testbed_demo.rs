@@ -50,7 +50,10 @@ fn main() {
         cfg,
         move |telemetry| {
             let pair = TaqPair::new(TaqConfig::for_link(rate));
-            pair.state.borrow_mut().attach_telemetry(telemetry.clone());
+            pair.state
+                .lock()
+                .unwrap()
+                .attach_telemetry(telemetry.clone());
             (Box::new(pair.forward) as _, Box::new(pair.reverse) as _)
         },
         clients,

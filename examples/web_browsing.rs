@@ -31,7 +31,7 @@ fn run(label: &str, forward: Box<dyn Qdisc>, reverse: Box<dyn Qdisc>) {
     let horizon = SimTime::ZERO + log_cfg.duration + SimDuration::from_secs(90);
     sc.run_until(horizon);
 
-    let records = sc.log.borrow();
+    let records = sc.log.lock().unwrap();
     let times = |lo: u64, hi: u64| {
         Distribution::from_samples(
             records

@@ -7,5 +7,11 @@ cd "$(dirname "$0")/.."
 
 cargo build --offline --release
 cargo test --offline -q
+# The Send-clean guarantee, enforced at compile time (plus the
+# cross-thread determinism check riding in the same suites).
+cargo test --offline -q --test send_assertions --test sweep_determinism
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check
+# Sweep smoke: 2 seeds x 2 worker threads through the parallel runner.
+cargo run --offline --release -p taq-bench --bin fig03_buffer_tradeoff -- --smoke --seeds 1,2 --threads 2
+cargo run --offline --release -p taq-bench --bin model_tipping_point -- --threads 2

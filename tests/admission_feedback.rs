@@ -37,7 +37,7 @@ fn run(feedback: bool) -> (u64, u64, bool) {
     // arrives (the external-loss entry point; the admission example
     // exercises the organic overload path).
     {
-        let mut st = state.borrow_mut();
+        let mut st = state.lock().unwrap();
         for _ in 0..200 {
             st.record_external_loss(SimTime::ZERO);
         }
@@ -47,9 +47,10 @@ fn run(feedback: bool) -> (u64, u64, bool) {
 
     let client_ref = sim.agent::<ClientHost>(node).unwrap();
     let rejections = client_ref.rejections_seen;
-    let st = state.borrow();
+    let st = state.lock().unwrap();
     let done = log
-        .borrow()
+        .lock()
+        .unwrap()
         .records
         .iter()
         .any(|r| r.completed_at.is_some());

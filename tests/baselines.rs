@@ -2,7 +2,7 @@
 //! diagnostics, end to end.
 
 use taq_bench::{fairness_run, Discipline, FairnessRunConfig};
-use taq_sim::{shared, Bandwidth, DumbbellConfig, PacketTrace, SimDuration, SimTime};
+use taq_sim::{Bandwidth, DumbbellConfig, PacketTrace, SimDuration, SimTime};
 use taq_tcp::TcpConfig;
 use taq_workloads::{DumbbellScenario, BULK_BYTES};
 
@@ -54,11 +54,13 @@ fn packet_traces_expose_silences_and_retransmissions() {
             built.reverse,
             TcpConfig::default(),
         );
-        let (trace, erased) = shared(PacketTrace::new(Some(sc.db.bottleneck), 2_000_000));
-        sc.sim.add_monitor(erased);
+        let trace = sc.sim.add_monitor(Box::new(PacketTrace::new(
+            Some(sc.db.bottleneck),
+            2_000_000,
+        )));
         sc.add_bulk_clients(60, BULK_BYTES, SimDuration::from_secs(2));
         sc.run_until(SimTime::from_secs(120));
-        let trace = trace.borrow();
+        let trace = sc.sim.monitor::<PacketTrace>(trace).expect("trace monitor");
         assert!(!trace.truncated(), "capture buffer sized generously");
         trace.flow_summaries()
     };

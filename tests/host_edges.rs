@@ -4,7 +4,7 @@
 
 use taq_queues::DropTail;
 use taq_sim::{
-    shared, Bandwidth, Dumbbell, DumbbellConfig, LinkId, LinkMonitor, Packet, SimDuration, SimTime,
+    Bandwidth, Dumbbell, DumbbellConfig, LinkId, LinkMonitor, Packet, SimDuration, SimTime,
     Simulator,
 };
 use taq_tcp::{new_flow_log, ClientHost, Request, ServerHost, TcpConfig};
@@ -81,7 +81,7 @@ fn lost_syn_is_retried_and_transfer_completes() {
     sim.schedule_start(node, SimTime::ZERO);
     sim.run_until(SimTime::from_secs(60));
 
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let rec = &log.records[0];
     assert!(rec.completed_at.is_some(), "completes despite SYN losses");
     assert!(rec.syn_retries >= 2, "retried at least twice: {rec:?}");
@@ -116,7 +116,8 @@ fn lost_syn_ack_is_covered_by_server_rto() {
     sim.schedule_start(node, SimTime::ZERO);
     sim.run_until(SimTime::from_secs(60));
 
-    let rec = &log.borrow().records[0];
+    let records = log.lock().unwrap();
+    let rec = &records.records[0];
     assert!(rec.completed_at.is_some());
     // The server must have accepted exactly one connection despite the
     // client's SYN retry racing the retransmitted SYN-ACK.
@@ -154,7 +155,7 @@ fn abandoned_attempts_are_logged_unfinished() {
     sim.schedule_start(node, SimTime::ZERO);
     sim.run_until(SimTime::from_secs(120));
 
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert_eq!(log.records.len(), 1, "the failure is recorded");
     let rec = &log.records[0];
     assert!(rec.completed_at.is_none());
@@ -195,13 +196,6 @@ impl taq_sim::Agent for StaleInjector {
     }
 
     fn on_packet(&mut self, _pkt: Packet, _ctx: &mut taq_sim::Ctx<'_>) {}
-
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
 }
 
 #[test]
@@ -210,8 +204,7 @@ fn late_packets_after_close_are_ignored_gracefully() {
     // closed connection: it must not panic, resurrect state, or create
     // new log records.
     let (mut sim, db, server) = setup(8);
-    let (_counter, erased) = shared(ArrivalCounter::default());
-    sim.add_monitor(erased);
+    sim.add_monitor(Box::new(ArrivalCounter::default()));
     let log = new_flow_log();
     let mut client = ClientHost::new(TcpConfig::default(), server, 80, 1, log.clone());
     client.push_request(Request {
@@ -224,12 +217,12 @@ fn late_packets_after_close_are_ignored_gracefully() {
     db.attach_left(&mut sim, injector);
     sim.schedule_start(node, SimTime::ZERO);
     sim.run_until(SimTime::from_secs(30));
-    assert!(log.borrow().records[0].completed_at.is_some());
+    assert!(log.lock().unwrap().records[0].completed_at.is_some());
     // Fire the stale packet well after closure.
     sim.schedule_start(injector, SimTime::from_secs(30));
     sim.run_until(SimTime::from_secs(35));
     // Nothing panicked, nothing new was logged.
-    assert_eq!(log.borrow().records.len(), 1);
+    assert_eq!(log.lock().unwrap().records.len(), 1);
     assert_eq!(
         sim.agent::<ClientHost>(node).unwrap().completed,
         1,

@@ -9,7 +9,7 @@
 
 use taq_metrics::EpochActivity;
 use taq_model::{FullModel, PartialModel};
-use taq_sim::{shared, Bandwidth, DumbbellConfig, SimDuration, SimTime, UnboundedFifo};
+use taq_sim::{Bandwidth, DumbbellConfig, SimDuration, SimTime, UnboundedFifo};
 use taq_tcp::TcpConfig;
 use taq_workloads::{DumbbellScenario, BULK_BYTES};
 
@@ -29,15 +29,20 @@ fn simulate(p: f64, flows: usize, secs: u64) -> (Vec<f64>, f64) {
     let mut sc = DumbbellScenario::new(9, topo, Box::new(UnboundedFifo::new()), tcp);
     sc.sim.set_link_loss(sc.db.bottleneck, p);
     let epoch = SimDuration::from_millis(200);
-    let (activity, erased) = shared(EpochActivity::new(sc.db.bottleneck, epoch, WMAX));
-    sc.sim.add_monitor(erased);
+    let activity = sc
+        .sim
+        .add_monitor(Box::new(EpochActivity::new(sc.db.bottleneck, epoch, WMAX)));
     sc.add_bulk_clients(flows, BULK_BYTES, SimDuration::from_secs(1));
     let horizon = SimTime::from_secs(secs);
     sc.run_until(horizon);
     let stats = sc.sim.link_stats(sc.db.bottleneck);
     let realized =
         stats.wire_lost_pkts as f64 / (stats.wire_lost_pkts + stats.transmitted_pkts) as f64;
-    let dist = activity.borrow_mut().distribution(horizon);
+    let dist = sc
+        .sim
+        .monitor_mut::<EpochActivity>(activity)
+        .expect("epoch monitor")
+        .distribution(horizon);
     (dist, realized)
 }
 

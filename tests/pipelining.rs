@@ -29,7 +29,7 @@ fn pipelined_objects_complete_in_order_on_one_connection() {
     sim.schedule_start(node, SimTime::ZERO);
     sim.run_until(SimTime::from_secs(120));
 
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let done: Vec<_> = log
         .records
         .iter()
@@ -85,7 +85,7 @@ fn scheduled_requests_reuse_idle_keepalive_connections() {
     sim.schedule_start(node, SimTime::ZERO);
     sim.run_until(SimTime::from_secs(120));
 
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let done = log
         .records
         .iter()
@@ -134,9 +134,9 @@ fn idle_keepalive_connection_tracks_as_dummy_silence_at_taq() {
     // Run past completion so idle epochs accumulate (but well short of
     // the tracker's GC horizon), then roll the tracker's clock forward.
     sim.run_until(SimTime::from_secs(5));
-    state.borrow_mut().flows.tick(SimTime::from_secs(5));
+    state.lock().unwrap().flows.tick(SimTime::from_secs(5));
 
-    let st = state.borrow();
+    let st = state.lock().unwrap();
     let states: Vec<FlowState> = st.flows.iter().map(|f| f.state).collect();
     assert!(
         states.contains(&FlowState::DummySilence),

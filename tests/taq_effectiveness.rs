@@ -5,7 +5,7 @@
 use taq::{TaqConfig, TaqPair};
 use taq_metrics::{EvolutionTracker, SliceThroughput};
 use taq_queues::DropTail;
-use taq_sim::{shared, Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimTime};
+use taq_sim::{Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimTime};
 use taq_tcp::TcpConfig;
 use taq_telemetry::{shared_sink, RingBufferSink, Telemetry};
 use taq_workloads::{DumbbellScenario, BULK_BYTES};
@@ -22,25 +22,29 @@ fn run(qdisc: Box<dyn Qdisc>, seed: u64, rate_kbps: u64, flows: usize, secs: u64
     let rate = Bandwidth::from_kbps(rate_kbps);
     let topo = DumbbellConfig::with_rtt_200ms(rate);
     let mut sc = DumbbellScenario::new(seed, topo, qdisc, TcpConfig::default());
-    let (slices, erased) = shared(SliceThroughput::new(
+    let slices = sc.sim.add_monitor(Box::new(SliceThroughput::new(
         sc.db.bottleneck,
         SimDuration::from_secs(20),
-    ));
-    sc.sim.add_monitor(erased);
-    let (evo, erased) = shared(EvolutionTracker::new(
+    )));
+    let evo = sc.sim.add_monitor(Box::new(EvolutionTracker::new(
         sc.db.bottleneck,
         SimDuration::from_secs(2),
-    ));
-    sc.sim.add_monitor(erased);
+    )));
     sc.add_bulk_clients(flows, BULK_BYTES, SimDuration::from_secs(2));
     sc.run_until(SimTime::from_secs(secs));
 
     // Skip the first two slices (startup transient).
     let n_slices = (secs / 20) as usize;
-    let slices = slices.borrow();
+    let slices = sc
+        .sim
+        .monitor::<SliceThroughput>(slices)
+        .expect("slice monitor");
     let short_term_jain = slices.mean_jain(2, n_slices, flows);
-    let evo = evo.borrow();
-    let series = evo.series();
+    let series = sc
+        .sim
+        .monitor::<EvolutionTracker>(evo)
+        .expect("evolution monitor")
+        .series();
     let from = series.len() / 4;
     let (mut stalled, mut total) = (0usize, 0usize);
     for c in &series[from..] {
@@ -79,15 +83,15 @@ fn taq_beats_droptail_on_short_term_fairness() {
     let telemetry = Telemetry::new();
     let (ring, erased) = shared_sink(RingBufferSink::new(1024));
     telemetry.add_shared_sink(erased);
-    pair.state.borrow_mut().attach_telemetry(telemetry);
+    pair.state.lock().unwrap().attach_telemetry(telemetry);
     let tq = run(Box::new(pair.forward), 42, 600, flows, 300);
 
     // The stats snapshot and the sink-observed event stream are two
     // views of the same run: one Classified event per offered packet,
     // one Dropped event per drop, drop_rate consistent with both.
     {
-        let st = pair.state.borrow();
-        let ring = ring.borrow();
+        let st = pair.state.lock().unwrap();
+        let ring = ring.lock().unwrap();
         assert_eq!(st.stats.offered, ring.count("classified"));
         assert_eq!(st.stats.dropped, ring.count("dropped"));
         let snapshot = st.stats.snapshot();

@@ -28,7 +28,7 @@ fn single_download_completes_uncongested() {
     sim.schedule_start(client_node, SimTime::ZERO);
     sim.run_until(SimTime::from_secs(60));
 
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert_eq!(log.records.len(), 1, "one transfer recorded");
     let rec = &log.records[0];
     assert_eq!(rec.bytes, 50_000);
@@ -54,7 +54,7 @@ fn parallel_pool_respects_limit_and_finishes() {
     sim.schedule_start(client_node, SimTime::ZERO);
     sim.run_until(SimTime::from_secs(120));
 
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert_eq!(log.records.len(), 10, "all ten objects downloaded");
     assert!(log.records.iter().all(|r| r.completed_at.is_some()));
     // Tags must cover 0..10 (completion order may vary).
@@ -93,7 +93,8 @@ fn congested_link_loses_packets_but_transfers_complete() {
     let stats = sim.link_stats(db.bottleneck);
     assert!(stats.dropped_pkts > 0, "congestion should cause drops");
     let done: Vec<_> = log
-        .borrow()
+        .lock()
+        .unwrap()
         .records
         .iter()
         .filter_map(|r| r.completed_at)
@@ -135,7 +136,8 @@ fn sack_variant_also_completes_under_loss() {
     }
     sim.run_until(SimTime::from_secs(300));
     let done = log
-        .borrow()
+        .lock()
+        .unwrap()
         .records
         .iter()
         .filter(|r| r.completed_at.is_some())
@@ -160,7 +162,8 @@ fn determinism_same_seed_same_flow_log() {
         }
         sim.run_until(SimTime::from_secs(120));
         let out: Vec<_> = log
-            .borrow()
+            .lock()
+            .unwrap()
             .records
             .iter()
             .map(|r| (r.tag, r.completed_at))

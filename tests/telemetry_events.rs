@@ -57,7 +57,7 @@ fn scripted_flow_emits_exact_transition_sequence() {
     // A clean epoch of fresh data completes the recovery into SlowStart.
     tab.observe_forward(&data(seq), t(560));
 
-    let ring = ring.borrow();
+    let ring = ring.lock().unwrap();
     let transitions: Vec<(&str, &str, &str)> = ring
         .events()
         .filter_map(|(_, e)| match e {
