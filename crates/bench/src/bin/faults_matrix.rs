@@ -1,0 +1,179 @@
+//! Robustness matrix: fault intensity × queue discipline.
+//!
+//! Sweeps the deterministic fault-injection layer (`taq-faults`) over
+//! the standard long-lived-flows fairness run: each row is one fault
+//! intensity (from the clean link up to severe burst loss with
+//! reordering, flapping, and bandwidth jitter), each discipline reports
+//! short-term Jain fairness, utilization, shutout fraction, and the
+//! number of injected faults. The per-run numbers come from the
+//! telemetry layer: a `SummarySink` attached to each run aggregates the
+//! emitted `fault` events, and its per-class counts are printed in the
+//! trailing breakdown.
+//!
+//! Expected shape: TAQ's fairness degrades gracefully (bounded Jain
+//! drop, no total shutouts) while DropTail's short-term fairness
+//! collapses faster as faults intensify.
+//!
+//! Usage: `faults_matrix [--seeds 1,2,3 | --runs N] [--threads N]
+//! [--smoke | --full]`
+
+use taq_bench::{fairness_run, sweep_indexed, Discipline, FairnessRunConfig, SweepArgs};
+use taq_faults::{FaultPlan, GilbertElliott};
+use taq_sim::{Bandwidth, SimDuration, SimTime};
+use taq_telemetry::{shared_sink, SummarySink, Telemetry};
+
+/// One row of the matrix: a named fault intensity. The plan is built
+/// per run because blackout windows and jitter need the horizon.
+fn plan_for(intensity: &str, horizon: SimTime) -> FaultPlan {
+    match intensity {
+        "none" => FaultPlan::none(),
+        "mild" => FaultPlan::none()
+            .with_burst_loss(GilbertElliott::bursts(0.002, 4.0))
+            .with_reorder(0.005, 3),
+        "moderate" => FaultPlan::none()
+            .with_burst_loss(GilbertElliott::bursts(0.01, 6.0))
+            .with_reorder(0.02, 4)
+            .with_duplicate(0.005)
+            .with_rate_jitter(SimDuration::from_secs(2), 0.7, 1.2, horizon),
+        "severe" => FaultPlan::none()
+            .with_burst_loss(GilbertElliott::bursts(0.03, 8.0))
+            .with_reorder(0.05, 5)
+            .with_duplicate(0.01)
+            .with_corrupt(0.01)
+            .with_flaps(
+                3,
+                SimTime::from_secs(10),
+                SimDuration::from_secs(15),
+                SimDuration::from_millis(800),
+            )
+            .with_rate_jitter(SimDuration::from_secs(1), 0.5, 1.1, horizon),
+        other => unreachable!("unknown intensity {other}"),
+    }
+}
+
+struct Cell {
+    intensity: &'static str,
+    discipline: Discipline,
+    jain: f64,
+    util: f64,
+    shutout: f64,
+    faults: u64,
+    breakdown: Vec<(&'static str, u64)>,
+}
+
+fn main() {
+    let args = SweepArgs::parse(7);
+    let duration = args.duration(20, 120, 400);
+    let flows = if args.smoke { 6 } else { 20 };
+    let rate = Bandwidth::from_kbps(600);
+
+    let intensities: &[&'static str] = if args.smoke {
+        &["none", "severe"]
+    } else {
+        &["none", "mild", "moderate", "severe"]
+    };
+    let disciplines = [Discipline::DropTail, Discipline::Taq];
+
+    // One work item per (intensity, discipline, seed); the sweep fans
+    // the whole matrix across threads and merges in input order, so the
+    // table is deterministic for a fixed seed list at any --threads.
+    let mut grid: Vec<(&'static str, Discipline, u64)> = Vec::new();
+    for &intensity in intensities {
+        for &discipline in &disciplines {
+            for &seed in &args.seeds {
+                grid.push((intensity, discipline, seed));
+            }
+        }
+    }
+
+    let runs = sweep_indexed(&grid, args.threads, |_, &(intensity, discipline, seed)| {
+        let telemetry = Telemetry::new();
+        let (summary, sink) = shared_sink(SummarySink::new());
+        telemetry.add_shared_sink(sink);
+        let cfg = FairnessRunConfig::new(seed, rate, flows, duration)
+            .faults(plan_for(intensity, duration))
+            .telemetry(telemetry);
+        let r = fairness_run(&cfg, discipline);
+        let stats = summary.lock().unwrap();
+        let breakdown: Vec<(&'static str, u64)> =
+            stats.stats().faults.iter().map(|(&k, &n)| (k, n)).collect();
+        let faults = r.fault_stats.as_ref().map_or(0, |f| f.total());
+        (
+            intensity,
+            discipline,
+            r.short_term_jain,
+            r.utilization,
+            r.shutout_fraction,
+            faults,
+            breakdown,
+        )
+    });
+
+    // Average the per-seed runs into one cell per (intensity, discipline).
+    let mut cells: Vec<Cell> = Vec::new();
+    for &intensity in intensities {
+        for &discipline in &disciplines {
+            let mine: Vec<_> = runs
+                .iter()
+                .filter(|r| r.0 == intensity && r.1 == discipline)
+                .collect();
+            let n = mine.len() as f64;
+            let mut breakdown: std::collections::BTreeMap<&'static str, u64> =
+                std::collections::BTreeMap::new();
+            for r in &mine {
+                for &(k, c) in &r.6 {
+                    *breakdown.entry(k).or_insert(0) += c;
+                }
+            }
+            cells.push(Cell {
+                intensity,
+                discipline,
+                jain: mine.iter().map(|r| r.2).sum::<f64>() / n,
+                util: mine.iter().map(|r| r.3).sum::<f64>() / n,
+                shutout: mine.iter().map(|r| r.4).sum::<f64>() / n,
+                faults: mine.iter().map(|r| r.5).sum::<u64>() / mine.len() as u64,
+                breakdown: breakdown.into_iter().collect(),
+            });
+        }
+    }
+
+    println!("# Robustness matrix — fault intensity x discipline");
+    println!(
+        "# {} flows at {} Kbps, {} s horizon, seeds {:?}, {} threads",
+        flows,
+        rate.bps() / 1_000,
+        duration.as_secs_f64(),
+        args.seeds,
+        args.threads
+    );
+    println!("# intensity  discipline  jain_short  link_util  shutout  faults/run");
+    for c in &cells {
+        println!(
+            "{:>10} {:>11} {:>11.3} {:>10.3} {:>8.3} {:>11}",
+            c.intensity,
+            c.discipline.name(),
+            c.jain,
+            c.util,
+            c.shutout,
+            c.faults
+        );
+    }
+    println!("#");
+    println!("# telemetry fault-event breakdown (summed over seeds):");
+    for c in &cells {
+        if c.breakdown.is_empty() {
+            continue;
+        }
+        let detail: Vec<String> = c
+            .breakdown
+            .iter()
+            .map(|(k, n)| format!("{k}={n}"))
+            .collect();
+        println!(
+            "# {:>10}/{:<9} {}",
+            c.intensity,
+            c.discipline.name(),
+            detail.join(" ")
+        );
+    }
+}

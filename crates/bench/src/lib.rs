@@ -18,11 +18,11 @@ pub use report::{telemetry_report, DisciplineReport, TelemetryReport, TelemetryR
 pub use sweep::{default_threads, sweep_indexed, sweep_seeds, SweepArgs};
 
 use taq::{SharedTaq, TaqConfig, TaqPair};
+use taq_faults::{FaultPlan, FaultStats};
 use taq_metrics::{EvolutionTracker, SliceThroughput};
 use taq_queues::{DropTail, Red, RedConfig, Sfq};
 use taq_sim::{Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimRng, SimTime, UnboundedFifo};
-use taq_tcp::TcpConfig;
-use taq_workloads::{DumbbellScenario, BULK_BYTES};
+use taq_workloads::{DumbbellSpec, BULK_BYTES};
 
 /// Hand-rolled microbenchmark loop (the workspace builds offline, so no
 /// external bench harness): runs `f` `warmup` times untimed, then
@@ -157,6 +157,11 @@ pub struct FairnessRunConfig {
     pub slice: SimDuration,
     /// Evolution-tracker window.
     pub evolution_window: SimDuration,
+    /// Faults injected on the bottleneck (defaults to the clean link).
+    pub faults: FaultPlan,
+    /// Telemetry handle handed to the fault layer (fault injections
+    /// emit events). Defaults to disabled.
+    pub telemetry: taq_telemetry::Telemetry,
 }
 
 impl FairnessRunConfig {
@@ -171,7 +176,23 @@ impl FairnessRunConfig {
             duration,
             slice: SimDuration::from_secs(20),
             evolution_window: SimDuration::from_secs(2),
+            faults: FaultPlan::none(),
+            telemetry: taq_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Replaces the fault plan.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the telemetry handle.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: taq_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
@@ -190,6 +211,8 @@ pub struct FairnessRunResult {
     pub evolution: taq_metrics::EvolutionCounts,
     /// Mean fraction of flows completely silent per slice.
     pub shutout_fraction: f64,
+    /// Fault-injection counters, when the run had a fault plan.
+    pub fault_stats: Option<FaultStats>,
 }
 
 /// Runs `flows` long-lived flows through `discipline` and measures
@@ -197,13 +220,10 @@ pub struct FairnessRunResult {
 pub fn fairness_run(cfg: &FairnessRunConfig, discipline: Discipline) -> FairnessRunResult {
     let built = build_qdisc(discipline, cfg.rate, cfg.buffer_pkts, cfg.seed);
     let topo = DumbbellConfig::with_rtt_200ms(cfg.rate);
-    let mut sc = DumbbellScenario::new_with_reverse(
-        cfg.seed,
-        topo,
-        built.forward,
-        built.reverse,
-        TcpConfig::default(),
-    );
+    let spec = DumbbellSpec::new(topo)
+        .faults(cfg.faults.clone())
+        .telemetry(cfg.telemetry.clone());
+    let mut sc = spec.build_with_reverse(cfg.seed, built.forward, built.reverse);
     let slices_id = sc
         .sim
         .add_monitor(Box::new(SliceThroughput::new(sc.db.bottleneck, cfg.slice)));
@@ -267,6 +287,7 @@ pub fn fairness_run(cfg: &FairnessRunConfig, discipline: Discipline) -> Fairness
         drop_rate: stats.drop_rate(),
         evolution,
         shutout_fraction,
+        fault_stats: sc.fault_stats.map(|s| s.lock().unwrap().clone()),
     }
 }
 

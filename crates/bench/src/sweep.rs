@@ -257,6 +257,41 @@ mod tests {
     }
 
     #[test]
+    fn empty_seed_list_is_a_no_op_at_any_thread_count() {
+        let none: Vec<u64> = Vec::new();
+        for threads in [1, 2, 16] {
+            assert!(sweep_seeds(&none, threads, |s| s).is_empty());
+            assert!(sweep_indexed(&none, threads, |i, &s| (i, s)).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_item_grid_identical_at_any_thread_count() {
+        // threads is clamped to the item count, so a grid of one runs
+        // serially even under --threads N — and yields the same bytes.
+        let grid = [123u64];
+        let f = |s: u64| s.wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let serial = sweep_seeds(&grid, 1, f);
+        for threads in [2, 8, 64] {
+            assert_eq!(sweep_seeds(&grid, threads, f), serial);
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_failure_not_a_hang() {
+        // scope() re-raises a worker panic at join, so a dying run
+        // fails the sweep instead of deadlocking the merge.
+        let result = std::panic::catch_unwind(|| {
+            let items: Vec<u64> = (0..8).collect();
+            sweep_seeds(&items, 4, |seed| {
+                assert!(seed != 5, "worker died on seed {seed}");
+                seed
+            })
+        });
+        assert!(result.is_err(), "panic must propagate to the caller");
+    }
+
+    #[test]
     fn parses_seed_list_and_threads() {
         let a = SweepArgs::from_args(42, &args(&["--seeds", "1,2,3", "--threads", "2"])).unwrap();
         assert_eq!(a.seeds, vec![1, 2, 3]);

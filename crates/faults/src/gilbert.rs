@@ -1,0 +1,160 @@
+//! Gilbert–Elliott two-state Markov loss model.
+//!
+//! i.i.d. Bernoulli drop (what `Link::loss_rate` gives) underestimates
+//! how badly TCP behaves near the timeout cliff: real paths lose packets
+//! in *bursts*, and a burst that eats a whole window forces an RTO where
+//! scattered single losses would have been repaired by fast retransmit.
+//! The Gilbert–Elliott chain is the standard minimal model of that
+//! correlation: the channel alternates between a Good state (low loss)
+//! and a Bad state (high loss), with geometric sojourn times.
+
+use taq_sim::SimRng;
+
+/// Parameters of the two-state chain. All probabilities are per-packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// P(Good -> Bad) evaluated on each packet arrival.
+    pub p_enter_bad: f64,
+    /// P(Bad -> Good) evaluated on each packet arrival.
+    pub p_exit_bad: f64,
+    /// Loss probability while in the Good state (often 0).
+    pub loss_good: f64,
+    /// Loss probability while in the Bad state (often near 1).
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A convenient parameterisation: bursts begin with probability
+    /// `p_enter_bad` per packet, last `mean_burst_pkts` packets on
+    /// average, and lose every packet while active. The Good state is
+    /// loss-free, so *all* loss is burst-correlated.
+    pub fn bursts(p_enter_bad: f64, mean_burst_pkts: f64) -> Self {
+        assert!(mean_burst_pkts >= 1.0, "bursts shorter than one packet");
+        GilbertElliott {
+            p_enter_bad,
+            p_exit_bad: 1.0 / mean_burst_pkts,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        }
+    }
+
+    /// Stationary probability of being in the Bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        let denom = self.p_enter_bad + self.p_exit_bad;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.p_enter_bad / denom
+        }
+    }
+
+    /// Long-run average loss rate implied by the parameters.
+    pub fn mean_loss_rate(&self) -> f64 {
+        let pb = self.stationary_bad();
+        pb * self.loss_bad + (1.0 - pb) * self.loss_good
+    }
+}
+
+/// The running chain: parameters plus current state. One instance per
+/// faulty link, stepped once per packet arrival.
+#[derive(Debug, Clone)]
+pub struct GilbertChain {
+    params: GilbertElliott,
+    in_bad: bool,
+}
+
+impl GilbertChain {
+    /// Starts the chain in the Good state.
+    pub fn new(params: GilbertElliott) -> Self {
+        GilbertChain {
+            params,
+            in_bad: false,
+        }
+    }
+
+    /// Advances the chain one packet and reports whether that packet is
+    /// lost. The transition is evaluated before the loss draw so a
+    /// freshly entered Bad state already eats the triggering packet —
+    /// this is what makes bursts start abruptly.
+    pub fn step(&mut self, rng: &mut SimRng) -> bool {
+        let flip = if self.in_bad {
+            self.params.p_exit_bad
+        } else {
+            self.params.p_enter_bad
+        };
+        if rng.chance(flip) {
+            self.in_bad = !self.in_bad;
+        }
+        let p_loss = if self.in_bad {
+            self.params.loss_bad
+        } else {
+            self.params.loss_good
+        };
+        rng.chance(p_loss)
+    }
+
+    /// `true` while the chain sits in the Bad state.
+    pub fn in_bad(&self) -> bool {
+        self.in_bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_parameterisation_round_trips() {
+        let ge = GilbertElliott::bursts(0.01, 5.0);
+        assert!((ge.p_exit_bad - 0.2).abs() < 1e-12);
+        assert!((ge.stationary_bad() - 0.01 / 0.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_loss_matches_stationary_rate() {
+        let ge = GilbertElliott::bursts(0.02, 4.0);
+        let mut chain = GilbertChain::new(ge);
+        let mut rng = SimRng::new(7);
+        let n = 200_000;
+        let losses = (0..n).filter(|_| chain.step(&mut rng)).count();
+        let observed = losses as f64 / n as f64;
+        let expected = ge.mean_loss_rate();
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "observed {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn losses_are_burstier_than_bernoulli() {
+        // Compare the number of loss "runs" at equal mean loss: the GE
+        // chain should pack its losses into fewer, longer runs.
+        let ge = GilbertElliott::bursts(0.02, 8.0);
+        let mut chain = GilbertChain::new(ge);
+        let mut rng = SimRng::new(11);
+        let n = 100_000;
+        let trace: Vec<bool> = (0..n).map(|_| chain.step(&mut rng)).collect();
+        let p = trace.iter().filter(|&&l| l).count() as f64 / n as f64;
+        let runs = |t: &[bool]| t.windows(2).filter(|w| w[1] && !w[0]).count();
+        let ge_runs = runs(&trace);
+        let mut rng2 = SimRng::new(11);
+        let bern: Vec<bool> = (0..n).map(|_| rng2.chance(p)).collect();
+        let bern_runs = runs(&bern);
+        assert!(
+            (ge_runs as f64) < 0.5 * bern_runs as f64,
+            "GE runs {ge_runs} vs Bernoulli runs {bern_runs}"
+        );
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let ge = GilbertElliott::bursts(0.05, 3.0);
+        let run = |seed| {
+            let mut chain = GilbertChain::new(ge);
+            let mut rng = SimRng::new(seed);
+            (0..1_000).map(|_| chain.step(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,41 @@
+//! # taq-faults — deterministic, seed-reproducible fault injection
+//!
+//! TAQ's value proposition is behavior under adversity: small-packet
+//! flows living near the timeout cliff. Clean links with i.i.d. drop
+//! (the simulator's built-in `loss_rate`) miss the dynamics that
+//! actually hurt there — burst-correlated loss, reordering, flapping
+//! links — so this crate provides a first-class fault layer the whole
+//! stack shares:
+//!
+//! - [`FaultPlan`]: a composable, `Clone + Send` recipe of fault
+//!   classes for one link. Plain data, no RNG state, so it rides
+//!   inside scenario specs across sweep-worker threads.
+//! - [`GilbertElliott`] / [`GilbertChain`]: the two-state Markov model
+//!   of burst loss.
+//! - [`FaultyLink`]: a [`taq_sim::Qdisc`] wrapper injecting the
+//!   per-packet faults (burst loss, corruption, duplication,
+//!   hold-back reordering, blackout windows) in front of any real
+//!   discipline, emitting one telemetry [`taq_telemetry::Event::Fault`]
+//!   per injection.
+//! - [`FaultDriver`]: a [`taq_sim::Agent`] applying bandwidth/delay
+//!   schedules and periodic jitter to the link itself.
+//! - [`FaultStats`]: shared counters of everything injected.
+//!
+//! ## Determinism
+//!
+//! Every fault trace is a pure function of `(plan, seed)`. Each fault
+//! source draws from its own RNG stream derived as
+//! `SimRng::new(seed).split(SALT)` (see [`salt`]), so enabling
+//! one class never perturbs another's draws, and the same plan replays
+//! byte-identically at any sweep `--threads` count. Nothing in this
+//! crate reads wall-clock time.
+
+mod driver;
+mod gilbert;
+mod plan;
+mod qdisc;
+
+pub use driver::FaultDriver;
+pub use gilbert::{GilbertChain, GilbertElliott};
+pub use plan::{rng_for, salt, Blackout, DelayStep, FaultPlan, JitterSpec, RateStep, ReorderSpec};
+pub use qdisc::{shared_fault_stats, FaultStats, FaultyLink, SharedFaultStats};

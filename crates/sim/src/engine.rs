@@ -219,6 +219,30 @@ impl Ctx<'_> {
     pub fn cancel_timer(&mut self, id: TimerId) -> bool {
         self.world.timers.cancel(id)
     }
+
+    /// Changes a link's rate mid-run. Takes effect from the next packet
+    /// serialization; an in-flight transmission keeps the rate it
+    /// started with. Fault drivers use this for bandwidth jitter
+    /// schedules.
+    pub fn set_link_rate(&mut self, link: LinkId, rate: Bandwidth) {
+        self.world.links[link.0 as usize].rate = rate;
+    }
+
+    /// Changes a link's propagation delay mid-run. Packets already
+    /// propagating keep their original arrival time.
+    pub fn set_link_delay(&mut self, link: LinkId, delay: SimDuration) {
+        self.world.links[link.0 as usize].delay = delay;
+    }
+
+    /// A link's current rate.
+    pub fn link_rate(&self, link: LinkId) -> Bandwidth {
+        self.world.links[link.0 as usize].rate
+    }
+
+    /// A link's current propagation delay.
+    pub fn link_delay(&self, link: LinkId) -> SimDuration {
+        self.world.links[link.0 as usize].delay
+    }
 }
 
 /// The discrete-event simulator.
@@ -286,6 +310,27 @@ impl Simulator {
     /// Installs `link` as `node`'s default route.
     pub fn set_default_route(&mut self, node: NodeId, link: LinkId) {
         self.world.routes[node.0 as usize].default = Some(link);
+    }
+
+    /// Changes a link's rate (the construction-time counterpart of
+    /// [`Ctx::set_link_rate`]; both mutate the same field).
+    pub fn set_link_rate(&mut self, link: LinkId, rate: Bandwidth) {
+        self.world.links[link.0 as usize].rate = rate;
+    }
+
+    /// Changes a link's propagation delay.
+    pub fn set_link_delay(&mut self, link: LinkId, delay: SimDuration) {
+        self.world.links[link.0 as usize].delay = delay;
+    }
+
+    /// A link's current rate.
+    pub fn link_rate(&self, link: LinkId) -> Bandwidth {
+        self.world.links[link.0 as usize].rate
+    }
+
+    /// A link's current propagation delay.
+    pub fn link_delay(&self, link: LinkId) -> SimDuration {
+        self.world.links[link.0 as usize].delay
     }
 
     /// Sets a Bernoulli wire-loss probability on a link: each serialized
@@ -614,6 +659,24 @@ mod tests {
         fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
             FIRED.with(|f| f.borrow_mut().push(token));
         }
+    }
+
+    #[test]
+    fn mid_run_link_mutation_applies_to_later_serializations() {
+        let (mut sim, _a, _b, received) = two_node_sim(2);
+        assert_eq!(sim.link_rate(LinkId(0)), Bandwidth::from_mbps(1));
+        assert_eq!(sim.link_delay(LinkId(0)), SimDuration::from_millis(10));
+        // The first packet is already on the wire when the link degrades.
+        sim.run_until(SimTime::from_millis(1));
+        sim.set_link_rate(LinkId(0), Bandwidth::from_kbps(100));
+        sim.set_link_delay(LinkId(0), SimDuration::from_millis(20));
+        sim.run();
+        let got = received.lock().unwrap();
+        // First packet: the original 4.32 ms serialization + 10 ms delay.
+        assert_eq!(got[0].0, SimTime::from_micros(14_320));
+        // Second packet began serializing after the change: 43.2 ms at
+        // 100 Kbps starting at 4.32 ms, plus the new 20 ms delay.
+        assert_eq!(got[1].0, SimTime::from_micros(4_320 + 43_200 + 20_000));
     }
 
     #[test]

@@ -95,6 +95,18 @@ pub enum Event {
         flow: FlowId,
         bytes: u64,
     },
+    /// The fault-injection layer perturbed traffic. `kind` names the
+    /// fault class ("burst_loss", "reorder", "duplicate", "corrupt",
+    /// "blackout", "rate_change", "delay_change", "restart"); `flow` is
+    /// present for per-packet faults and absent for link-level ones;
+    /// `value` carries the class-specific detail (bytes affected, new
+    /// rate in bps, new delay in ns, packets discarded by a restart).
+    Fault {
+        link: u32,
+        kind: &'static str,
+        flow: Option<FlowId>,
+        value: f64,
+    },
     /// Per-link aggregate counters at the end of a run.
     LinkSummary {
         link: u32,
@@ -133,6 +145,7 @@ impl Event {
             Event::PoolWaiting { .. } => "pool_waiting",
             Event::PoolAdmitted { .. } => "pool_admitted",
             Event::Link { .. } => "link",
+            Event::Fault { .. } => "fault",
             Event::LinkSummary { .. } => "link_summary",
             Event::EngineSummary { .. } => "engine_summary",
             Event::Custom { name, .. } => name,
@@ -223,6 +236,19 @@ impl Event {
                 push("flow", flow.to_value());
                 push("bytes", Value::UInt(*bytes));
             }
+            Event::Fault {
+                link,
+                kind,
+                flow,
+                value,
+            } => {
+                push("link", Value::from(*link));
+                push("kind", Value::from(*kind));
+                if let Some(flow) = flow {
+                    push("flow", flow.to_value());
+                }
+                push("value", Value::Float(*value));
+            }
             Event::LinkSummary {
                 link,
                 offered_pkts,
@@ -292,6 +318,42 @@ mod tests {
         assert_eq!(v.get("t_ns").and_then(Value::as_u64), Some(12_345));
         assert_eq!(v.get("event").and_then(Value::as_str), Some("dropped"));
         assert_eq!(v.get("stage").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn fault_renders_optional_flow() {
+        let link_level = Event::Fault {
+            link: 0,
+            kind: "rate_change",
+            flow: None,
+            value: 300_000.0,
+        }
+        .to_value(9);
+        assert_eq!(
+            link_level.get("event").and_then(Value::as_str),
+            Some("fault")
+        );
+        assert_eq!(
+            link_level.get("kind").and_then(Value::as_str),
+            Some("rate_change")
+        );
+        assert!(link_level.get("flow").is_none());
+        let per_packet = Event::Fault {
+            link: 0,
+            kind: "burst_loss",
+            flow: Some(FlowId {
+                src: 1,
+                src_port: 2,
+                dst: 3,
+                dst_port: 4,
+            }),
+            value: 500.0,
+        }
+        .to_value(9);
+        assert_eq!(
+            per_packet.get("flow").and_then(Value::as_str),
+            Some("1:2->3:4")
+        );
     }
 
     #[test]

@@ -179,6 +179,8 @@ pub struct SummaryStats {
     pub depth: LogHistogram,
     /// Link packet-lifecycle events by kind ("enqueue"/"drop"/"transmit").
     pub link_events: BTreeMap<&'static str, u64>,
+    /// Injected faults by class ("burst_loss", "reorder", "restart"...).
+    pub faults: BTreeMap<&'static str, u64>,
     /// Final link summaries, by link id.
     pub links: BTreeMap<u32, (u64, u64, u64, f64)>,
 }
@@ -277,6 +279,13 @@ impl SummarySink {
             }
             let _ = writeln!(out);
         }
+        if !s.faults.is_empty() {
+            let _ = write!(out, "  faults injected:");
+            for (kind, n) in &s.faults {
+                let _ = write!(out, " {kind}={n}");
+            }
+            let _ = writeln!(out);
+        }
         // A full topology has a summary per edge link; show the busiest
         // few (the bottleneck always leads) and fold the rest into one
         // line so the table stays readable.
@@ -339,6 +348,9 @@ impl TelemetrySink for SummarySink {
             Event::PoolAdmitted { .. } => s.pools_admitted += 1,
             Event::Link { kind, .. } => {
                 *s.link_events.entry(kind).or_insert(0) += 1;
+            }
+            Event::Fault { kind, .. } => {
+                *s.faults.entry(kind).or_insert(0) += 1;
             }
             Event::LinkSummary {
                 link,

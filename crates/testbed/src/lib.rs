@@ -27,4 +27,4 @@ pub use hosts::{run_client, run_server, RtRequest};
 pub use middlebox::{
     run_middlebox, Crossing, Direction, MbInput, MiddleboxStats, TELEMETRY_FORWARD_LINK,
 };
-pub use testbed::{run_testbed, ClientSpec, TestbedConfig, TestbedReport};
+pub use testbed::{run_testbed, ClientSpec, RestartDrill, TestbedConfig, TestbedReport};

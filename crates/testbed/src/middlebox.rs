@@ -45,6 +45,13 @@ pub struct Crossing {
 pub enum MbInput {
     /// A packet to queue.
     Packet(Crossing),
+    /// Crash-restart drill: discard everything buffered in both
+    /// directions, rebuild the disciplines from scratch (losing all
+    /// per-flow TAQ state), and stall both pacers for `stall` of
+    /// simulated time — the window in which a real middlebox would be
+    /// rebooting. Traffic arriving during the stall is still offered to
+    /// the (fresh) queues; it drains once the stall ends.
+    Restart { stall: SimDuration },
     /// Orderly shutdown: report stats and exit. Needed because the
     /// server host holds a sender into the middlebox while the
     /// middlebox holds the server's inbound channel — without an
@@ -65,6 +72,10 @@ pub struct MiddleboxStats {
     pub fwd_bytes: u64,
     /// Reverse packets dropped (admission-control SYN rejections).
     pub rev_dropped: u64,
+    /// Crash-restart drills executed.
+    pub restarts: u64,
+    /// Packets discarded from the queues by restarts (both directions).
+    pub restart_discarded: u64,
 }
 
 /// Per-direction pacing state.
@@ -99,9 +110,12 @@ impl Pacer {
 /// finished handle across the thread boundary. `make_qdiscs` receives
 /// a reference so the discipline can attach its instrumentation — a
 /// TAQ pair then streams the same flow-state / classification / drop
-/// events the simulator produces. The middlebox itself contributes
-/// forward-direction [`Event::Link`] records and a closing
-/// [`Event::LinkSummary`].
+/// events the simulator produces. It is `FnMut` because a
+/// [`MbInput::Restart`] drill rebuilds the disciplines mid-run; every
+/// invocation must return a *fresh* pair (rebuilding is what loses the
+/// per-flow state). The middlebox itself contributes forward-direction
+/// [`Event::Link`] records, an [`Event::Fault`] per restart, and a
+/// closing [`Event::LinkSummary`].
 ///
 /// [`run_testbed`]: crate::run_testbed
 #[allow(clippy::too_many_arguments)]
@@ -109,7 +123,7 @@ pub fn run_middlebox(
     clock: ScaledClock,
     rate: Bandwidth,
     delay: SimDuration,
-    make_qdiscs: impl FnOnce(&Telemetry) -> (Box<dyn Qdisc>, Box<dyn Qdisc>),
+    mut make_qdiscs: impl FnMut(&Telemetry) -> (Box<dyn Qdisc>, Box<dyn Qdisc>),
     input: Receiver<MbInput>,
     hosts: HashMap<NodeId, Sender<Packet>>,
     stats_out: Sender<MiddleboxStats>,
@@ -214,6 +228,33 @@ pub fn run_middlebox(
                         stats.rev_dropped += outcome.dropped.len() as u64;
                     }
                 }
+            }
+            Ok(MbInput::Restart { stall }) => {
+                let now = clock.now();
+                // Everything buffered dies with the crash.
+                let mut discarded = 0u64;
+                while forward.qdisc.dequeue(now).is_some() {
+                    discarded += 1;
+                }
+                while reverse.qdisc.dequeue(now).is_some() {
+                    discarded += 1;
+                }
+                // Fresh disciplines: all per-flow state (TAQ trackers,
+                // classifications, admission history) is gone.
+                let (fwd, rev) = make_qdiscs(&telemetry);
+                forward.qdisc = fwd;
+                reverse.qdisc = rev;
+                // The box is down for `stall`: nothing transmits.
+                forward.busy_until = now + stall;
+                reverse.busy_until = now + stall;
+                stats.restarts += 1;
+                stats.restart_discarded += discarded;
+                telemetry.emit(now.as_nanos(), || Event::Fault {
+                    link: TELEMETRY_FORWARD_LINK,
+                    kind: "restart",
+                    flow: None,
+                    value: discarded as f64,
+                });
             }
             Ok(MbInput::Shutdown) => break,
             Err(RecvTimeoutError::Timeout) => {}

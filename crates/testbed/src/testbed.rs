@@ -41,6 +41,22 @@ pub struct TestbedConfig {
     /// records) as an instrumented simulator run. `None` keeps
     /// telemetry fully disabled.
     pub telemetry_jsonl: Option<std::path::PathBuf>,
+    /// When set, a crash-restart drill fires mid-run: at
+    /// [`RestartDrill::at`] (simulated time) the middlebox discards
+    /// everything buffered, rebuilds its disciplines from scratch —
+    /// losing all per-flow TAQ state — and stalls for
+    /// [`RestartDrill::stall`]. Flows must reconverge on their own.
+    pub restart: Option<RestartDrill>,
+}
+
+/// Parameters of the middlebox crash-restart drill.
+#[derive(Debug, Clone, Copy)]
+pub struct RestartDrill {
+    /// Simulated time at which the middlebox "crashes". Should be
+    /// before the horizon, or the drill never fires.
+    pub at: SimTime,
+    /// Simulated downtime before the rebuilt middlebox transmits again.
+    pub stall: SimDuration,
 }
 
 /// One client's workload specification.
@@ -72,7 +88,7 @@ pub struct TestbedReport {
 /// the discipline can attach its instrumentation.
 pub fn run_testbed(
     cfg: TestbedConfig,
-    make_qdiscs: impl FnOnce(&taq_telemetry::Telemetry) -> (Box<dyn Qdisc>, Box<dyn Qdisc>)
+    make_qdiscs: impl FnMut(&taq_telemetry::Telemetry) -> (Box<dyn Qdisc>, Box<dyn Qdisc>)
         + Send
         + 'static,
     clients: Vec<ClientSpec>,
@@ -152,6 +168,18 @@ pub fn run_testbed(
         run_server(server_clock, server_tcp, server_in_rx, server_out);
     });
 
+    // The restart drill runs on its own thread: sleep (in real time)
+    // until the drill instant, then signal the middlebox. If the run
+    // finishes first the send lands in a closed channel, harmlessly.
+    let drill = cfg.restart.map(|drill| {
+        let drill_clock = clock.clone();
+        let drill_tx = mb_tx.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(drill_clock.real_until(drill.at));
+            let _ = drill_tx.send(MbInput::Restart { stall: drill.stall });
+        })
+    });
+
     // Clients exit when done or at the horizon; collect their records.
     let mut records = Vec::new();
     for handle in client_handles {
@@ -164,6 +192,9 @@ pub fn run_testbed(
     // (the server still holds an input sender, so channel closure alone
     // would never fire); dropping the middlebox's host channels then
     // stops the server.
+    if let Some(handle) = drill {
+        handle.join().expect("restart drill thread panicked");
+    }
     let _ = mb_tx.send(MbInput::Shutdown);
     drop(mb_tx);
     middlebox.join().expect("middlebox thread panicked");
@@ -187,6 +218,7 @@ mod tests {
             speedup: 20.0,
             horizon: SimTime::from_secs(120),
             telemetry_jsonl: None,
+            restart: None,
         }
     }
 
@@ -215,6 +247,49 @@ mod tests {
         let dl = r.download_time().unwrap().as_secs_f64();
         assert!((0.3..30.0).contains(&dl), "download time {dl}");
         assert!(report.stats.fwd_transmitted > 60);
+    }
+
+    #[test]
+    fn restart_drill_drops_state_and_flows_reconverge() {
+        use taq::{TaqConfig, TaqPair};
+        let rate = Bandwidth::from_kbps(600);
+        let mut cfg = base_cfg();
+        cfg.rate = rate;
+        cfg.horizon = SimTime::from_secs(240);
+        // Crash 15 s in — mid-transfer for every client — and stay down
+        // for 2 s of simulated time.
+        cfg.restart = Some(RestartDrill {
+            at: SimTime::from_secs(15),
+            stall: SimDuration::from_secs(2),
+        });
+        let specs: Vec<ClientSpec> = (0..4)
+            .map(|i| ClientSpec {
+                requests: vec![RtRequest {
+                    tag: i,
+                    bytes: 40_000,
+                }],
+                max_parallel: 1,
+            })
+            .collect();
+        let report = run_testbed(
+            cfg,
+            move |_| {
+                // Each invocation builds a *fresh* TAQ pair: the restart
+                // really does lose all per-flow state.
+                let pair = TaqPair::new(TaqConfig::for_link(rate));
+                (Box::new(pair.forward) as _, Box::new(pair.reverse) as _)
+            },
+            specs,
+        );
+        assert_eq!(report.stats.restarts, 1, "drill fired exactly once");
+        // Every flow survived the state loss and finished.
+        assert_eq!(report.records.len(), 4);
+        let done = report
+            .records
+            .iter()
+            .filter(|r| r.completed_at.is_some())
+            .count();
+        assert_eq!(done, 4, "flows reconverge after restart: {report:?}");
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! (Figures 1, 12, §2.3).
 
 use crate::weblog::LogEntry;
+use taq_faults::{FaultDriver, FaultPlan, FaultyLink, SharedFaultStats};
 use taq_sim::{
     Bandwidth, Dumbbell, DumbbellConfig, NodeId, Qdisc, SimDuration, SimRng, SimTime, Simulator,
 };
 use taq_tcp::{new_flow_log, ClientHost, Request, ServerHost, SharedFlowLog, TcpConfig};
+use taq_telemetry::Telemetry;
 
 /// Plain, `Clone + Send` description of a dumbbell experiment: topology
 /// plus TCP parameters, everything except the discipline under test and
@@ -40,14 +42,23 @@ pub struct DumbbellSpec {
     pub topo: DumbbellConfig,
     /// TCP stack parameters for every host.
     pub tcp: TcpConfig,
+    /// Faults injected on the bottleneck link. Defaults to the clean
+    /// link; part of the spec so a sweep can fan fault grids across
+    /// worker threads exactly like any other parameter.
+    pub faults: FaultPlan,
+    /// Telemetry handle cloned into the fault layer (fault events are
+    /// emitted per injection). Defaults to disabled.
+    pub telemetry: Telemetry,
 }
 
 impl DumbbellSpec {
-    /// A spec over `topo` with default TCP parameters.
+    /// A spec over `topo` with default TCP parameters and no faults.
     pub fn new(topo: DumbbellConfig) -> Self {
         DumbbellSpec {
             topo,
             tcp: TcpConfig::default(),
+            faults: FaultPlan::none(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -58,10 +69,27 @@ impl DumbbellSpec {
         self
     }
 
+    /// Replaces the bottleneck fault plan.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the telemetry handle seen by the fault layer.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Builds the scenario for `seed` with the given bottleneck
     /// discipline and an uncongested FIFO reverse path.
     pub fn build(&self, seed: u64, forward_qdisc: Box<dyn Qdisc>) -> DumbbellScenario {
-        DumbbellScenario::new(seed, self.topo.clone(), forward_qdisc, self.tcp.clone())
+        let (fwd, stats) = self.wrap_forward(seed, forward_qdisc);
+        let mut sc = DumbbellScenario::new(seed, self.topo.clone(), fwd, self.tcp.clone());
+        self.install_faults(&mut sc, seed, stats);
+        sc
     }
 
     /// Builds the scenario for `seed` with explicit forward and reverse
@@ -72,13 +100,69 @@ impl DumbbellSpec {
         forward_qdisc: Box<dyn Qdisc>,
         reverse_qdisc: Box<dyn Qdisc>,
     ) -> DumbbellScenario {
-        DumbbellScenario::new_with_reverse(
+        let (fwd, stats) = self.wrap_forward(seed, forward_qdisc);
+        let mut sc = DumbbellScenario::new_with_reverse(
             seed,
             self.topo.clone(),
-            forward_qdisc,
+            fwd,
             reverse_qdisc,
             self.tcp.clone(),
-        )
+        );
+        self.install_faults(&mut sc, seed, stats);
+        sc
+    }
+
+    /// Wraps the forward qdisc in a [`FaultyLink`] when the plan has
+    /// per-packet faults, allocating the shared stats that the driver
+    /// half (if any) will also use.
+    fn wrap_forward(
+        &self,
+        seed: u64,
+        forward_qdisc: Box<dyn Qdisc>,
+    ) -> (Box<dyn Qdisc>, Option<SharedFaultStats>) {
+        if self.faults.is_none() {
+            return (forward_qdisc, None);
+        }
+        let stats = taq_faults::shared_fault_stats();
+        if !self.faults.has_packet_faults() {
+            return (forward_qdisc, Some(stats));
+        }
+        // The bottleneck is the first link the dumbbell creates, so the
+        // telemetry label 0 matches its LinkId.
+        let wrapped = FaultyLink::new(
+            forward_qdisc,
+            &self.faults,
+            0,
+            seed,
+            self.telemetry.clone(),
+            stats.clone(),
+        );
+        (Box::new(wrapped), Some(stats))
+    }
+
+    /// Installs the [`FaultDriver`] agent for the link-schedule half of
+    /// the plan and records the shared stats on the scenario.
+    fn install_faults(
+        &self,
+        sc: &mut DumbbellScenario,
+        seed: u64,
+        stats: Option<SharedFaultStats>,
+    ) {
+        if let Some(stats) = &stats {
+            if let Some(driver) = FaultDriver::from_plan(
+                &self.faults,
+                sc.db.bottleneck,
+                self.topo.bottleneck_rate,
+                self.topo.bottleneck_delay,
+                seed,
+                self.telemetry.clone(),
+                stats.clone(),
+            ) {
+                let node = sc.sim.add_agent(Box::new(driver));
+                sc.sim.schedule_start(node, SimTime::ZERO);
+            }
+        }
+        sc.fault_stats = stats;
     }
 }
 
@@ -95,6 +179,9 @@ pub struct DumbbellScenario {
     pub log: SharedFlowLog,
     /// Client hosts in creation order.
     pub clients: Vec<NodeId>,
+    /// Fault counters when the scenario was built from a
+    /// [`DumbbellSpec`] with a non-empty fault plan.
+    pub fault_stats: Option<SharedFaultStats>,
     tcp: TcpConfig,
     /// Workload-level randomness (start jitter, RTT jitter), seeded
     /// from the scenario seed so runs stay reproducible.
@@ -141,6 +228,7 @@ impl DumbbellScenario {
             server,
             log: new_flow_log(),
             clients: Vec::new(),
+            fault_stats: None,
             tcp,
             rng,
         }
@@ -363,6 +451,37 @@ mod tests {
             1,
             "share above capacity still yields one flow"
         );
+    }
+
+    #[test]
+    fn faulty_spec_injects_and_reports() {
+        use taq_faults::GilbertElliott;
+        let spec = DumbbellSpec::new(topo()).faults(
+            FaultPlan::none()
+                .with_burst_loss(GilbertElliott::bursts(0.01, 5.0))
+                .with_rate_jitter(
+                    SimDuration::from_millis(500),
+                    0.7,
+                    1.3,
+                    SimTime::from_secs(20),
+                ),
+        );
+        let mut sc = spec.build(5, Box::new(DropTail::with_packets(30)));
+        sc.add_bulk_clients(4, BULK_BYTES, SimDuration::from_secs(1));
+        sc.run_until(SimTime::from_secs(30));
+        let stats = sc.fault_stats.as_ref().expect("fault stats present");
+        let s = stats.lock().unwrap();
+        assert!(s.burst_losses > 0, "GE chain never fired: {s:?}");
+        assert_eq!(s.rate_changes, 40, "jitter ticks at 500ms through 20s");
+        // Traffic still flowed despite the faults.
+        assert!(sc.sim.link_stats(sc.db.bottleneck).transmitted_pkts > 100);
+    }
+
+    #[test]
+    fn clean_spec_has_no_fault_stats() {
+        let spec = DumbbellSpec::new(topo());
+        let sc = spec.build(5, Box::new(DropTail::with_packets(30)));
+        assert!(sc.fault_stats.is_none());
     }
 
     #[test]

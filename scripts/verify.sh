@@ -1,17 +1,94 @@
 #!/usr/bin/env sh
-# The full local gate, offline-safe (no crates.io access needed):
-# release build, test suite, clippy as errors, formatting.
-set -eux
+# The local gate, tiered so CI and pre-push hooks can pick their depth.
+#
+#   VERIFY_TIER=quick   fast correctness gate (< 5 min): build, tests,
+#                       clippy, fmt. The default.
+#   VERIFY_TIER=full    quick + release smoke runs of the sweep and
+#                       fault-matrix binaries.
+#   VERIFY_OFFLINE=0    drop the --offline flags (e.g. on a CI runner
+#                       with a warm crates.io mirror). Default is 1:
+#                       fully offline, no network access needed.
+#
+# Each tier is a shell function; CI jobs call them by name via
+#   scripts/verify.sh <function>
+# so the workflow's job names and the local entry points stay in sync.
+set -eu
 
 cd "$(dirname "$0")/.."
 
-cargo build --offline --release
-cargo test --offline -q
-# The Send-clean guarantee, enforced at compile time (plus the
-# cross-thread determinism check riding in the same suites).
-cargo test --offline -q --test send_assertions --test sweep_determinism
-cargo clippy --offline --workspace --all-targets -- -D warnings
-cargo fmt --check
+VERIFY_TIER="${VERIFY_TIER:-quick}"
+VERIFY_OFFLINE="${VERIFY_OFFLINE:-1}"
+
+if [ "$VERIFY_OFFLINE" = "1" ]; then
+    OFFLINE="--offline"
+else
+    OFFLINE=""
+fi
+
+run() {
+    echo "+ $*" >&2
+    "$@"
+}
+
+fmt_check() {
+    run cargo fmt --check
+}
+
+lint() {
+    run cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
+}
+
+build_release() {
+    run cargo build $OFFLINE --release
+}
+
+# The whole test suite. `cargo test` already runs every target —
+# including tests/send_assertions.rs (the Send-clean guarantee),
+# tests/sweep_determinism.rs and tests/fault_invariants.rs (cross-thread
+# determinism, with and without faults) — so there is no separate
+# per-test invocation.
+test_suite() {
+    run cargo test $OFFLINE -q
+}
+
 # Sweep smoke: 2 seeds x 2 worker threads through the parallel runner.
-cargo run --offline --release -p taq-bench --bin fig03_buffer_tradeoff -- --smoke --seeds 1,2 --threads 2
-cargo run --offline --release -p taq-bench --bin model_tipping_point -- --threads 2
+sweep_smoke() {
+    run cargo run $OFFLINE --release -p taq-bench --bin fig03_buffer_tradeoff -- --smoke --seeds 1,2 --threads 2
+    run cargo run $OFFLINE --release -p taq-bench --bin model_tipping_point -- --threads 2
+}
+
+# Fault smoke: the robustness matrix at smoke scale exercises the
+# fault-injection layer end to end (burst loss, reordering, corruption,
+# flaps, jitter) under the parallel sweep runner.
+fault_smoke() {
+    run cargo run $OFFLINE --release -p taq-bench --bin faults_matrix -- --smoke --seeds 1,2 --threads 2
+}
+
+quick() {
+    fmt_check
+    lint
+    build_release
+    test_suite
+}
+
+full() {
+    quick
+    sweep_smoke
+    fault_smoke
+}
+
+if [ "$#" -gt 0 ]; then
+    # Explicit entry points: scripts/verify.sh lint test_suite ...
+    for target in "$@"; do
+        "$target"
+    done
+else
+    case "$VERIFY_TIER" in
+        quick) quick ;;
+        full) full ;;
+        *)
+            echo "verify.sh: unknown VERIFY_TIER '$VERIFY_TIER' (want quick|full)" >&2
+            exit 2
+            ;;
+    esac
+fi
