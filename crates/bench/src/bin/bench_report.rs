@@ -1,0 +1,255 @@
+//! `bench_report` — the tracked hot-path benchmark. Writes
+//! `BENCH_sim.json` with the numbers that bound experiment runtime.
+//!
+//! Two canonical scenarios:
+//!
+//! * **fig01_weblog_churn** — the Figure 1 campus web-log replay
+//!   (scaled to 5 simulated minutes) with TAQ on the bottleneck. Heavy
+//!   flow churn: exercises flow-id interning, table GC, and the NewFlow
+//!   path.
+//! * **fig08_manyflow** — the Figure 8 many-flow fairness point
+//!   (600 kbps, 2 kbps fair share → 300 long-lived flows, 60 simulated
+//!   seconds). Steady-state small-packet regime: exercises
+//!   classification, the class rings, and eviction.
+//!
+//! Each scenario runs twice. The telemetry-off pass measures the hot
+//! path exactly as experiments run it (wall-clock, events/second, best
+//! of `--iters` runs). The telemetry-on pass attaches a metric registry
+//! and reads the `taq_enqueue_ns` / `taq_classify_ns` histograms and the
+//! peak sampled queue depth.
+//!
+//! Usage: `bench_report [--out PATH] [--iters N] [--no-baseline]`
+//!
+//! The emitted JSON carries a `baseline` section with the same
+//! scenarios measured at the pre-overhaul commit (binary-heap event
+//! queue, `HashMap<FlowKey, _>` state) so regressions are visible in
+//! review; `--no-baseline` drops it (e.g. when re-baselining).
+
+use std::time::Instant;
+use taq_bench::{build_qdisc, Discipline};
+use taq_sim::{Bandwidth, DumbbellConfig, SimDuration, SimRng, SimTime};
+use taq_telemetry::{shared_sink, Event, Telemetry, TelemetrySink, Value};
+use taq_workloads::{flows_for_fair_share, weblog, DumbbellSpec, BULK_BYTES};
+
+/// Sink tracking the maximum sampled queue depth.
+struct PeakDepth {
+    peak: u64,
+}
+
+impl TelemetrySink for PeakDepth {
+    fn emit(&mut self, _at_ns: u64, event: &Event) {
+        if let Event::QueueDepth { pkts, .. } = event {
+            self.peak = self.peak.max(*pkts);
+        }
+    }
+}
+
+/// One scenario's measurements.
+struct ScenarioResult {
+    name: &'static str,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    ns_per_enqueue: f64,
+    ns_per_classify: f64,
+    peak_queue_depth: u64,
+}
+
+impl ScenarioResult {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("name", Value::Str(self.name.to_string())),
+            ("wall_ms", Value::Float(self.wall_ms)),
+            ("events", Value::UInt(self.events)),
+            ("events_per_sec", Value::Float(self.events_per_sec)),
+            ("ns_per_enqueue", Value::Float(self.ns_per_enqueue)),
+            ("ns_per_classify", Value::Float(self.ns_per_classify)),
+            ("peak_queue_depth", Value::UInt(self.peak_queue_depth)),
+        ])
+    }
+}
+
+/// Runs one scenario body and returns the simulator's event count.
+/// `telemetry` is attached to the TAQ state (and the links) when given.
+fn run_scenario(name: &str, telemetry: Option<&Telemetry>) -> u64 {
+    let rate = if name == "fig01_weblog_churn" {
+        Bandwidth::from_mbps(2)
+    } else {
+        Bandwidth::from_kbps(600)
+    };
+    let buffer = rate.packets_per(SimDuration::from_millis(200), 500);
+    let built = build_qdisc(Discipline::Taq, rate, buffer, 42);
+    if let (Some(t), Some(state)) = (telemetry, &built.taq_state) {
+        state.lock().unwrap().attach_telemetry(t.clone());
+    }
+    let topo = DumbbellConfig::with_rtt_200ms(rate);
+    let mut spec = DumbbellSpec::new(topo);
+    if let Some(t) = telemetry {
+        spec = spec.telemetry(t.clone());
+    }
+    let mut sc = spec.build(42, built.forward);
+    match name {
+        "fig01_weblog_churn" => {
+            // Figure 1's campus trace, scaled 24× down to 5 simulated
+            // minutes (same offered load per second, fewer requests).
+            let cfg = weblog::WebLogConfig::campus_two_hour(24);
+            let mut rng = SimRng::new(42 ^ 7);
+            let log = weblog::generate(&cfg, &mut rng);
+            for (_client, entries) in weblog::by_client(&log) {
+                sc.add_scheduled_client(&entries, 4, SimTime::ZERO);
+            }
+            sc.run_until(SimTime::ZERO + cfg.duration + SimDuration::from_secs(60));
+        }
+        "fig08_manyflow" => {
+            let flows = flows_for_fair_share(rate, 2_000).clamp(4, 400);
+            sc.add_bulk_clients(flows, BULK_BYTES, SimDuration::from_secs(2));
+            sc.run_until(SimTime::from_secs(60));
+        }
+        other => panic!("unknown scenario {other}"),
+    }
+    sc.sim.events_processed()
+}
+
+/// Measures one scenario: best-of-`iters` telemetry-off pass for
+/// wall-clock and throughput, one telemetry-on pass for histograms and
+/// peak depth.
+fn measure_scenario(name: &'static str, iters: u32) -> ScenarioResult {
+    // Hot-path pass: telemetry fully detached, exactly as experiments run.
+    let mut best_ns = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        events = run_scenario(name, None);
+        best_ns = best_ns.min(start.elapsed().as_nanos() as f64);
+    }
+    // Instrumented pass: histograms and depth samples.
+    let telemetry = Telemetry::new();
+    let (peak, erased) = shared_sink(PeakDepth { peak: 0 });
+    telemetry.add_shared_sink(erased);
+    let enq = telemetry.histogram("taq_enqueue_ns");
+    let cls = telemetry.histogram("taq_classify_ns");
+    run_scenario(name, Some(&telemetry));
+    let enq_h = telemetry.histogram_value(enq);
+    let cls_h = telemetry.histogram_value(cls);
+    let result = ScenarioResult {
+        name,
+        wall_ms: best_ns / 1e6,
+        events,
+        events_per_sec: events as f64 / (best_ns / 1e9),
+        ns_per_enqueue: enq_h.mean(),
+        ns_per_classify: cls_h.mean(),
+        peak_queue_depth: peak.lock().unwrap().peak,
+    };
+    println!(
+        "{:<20} {:>10.1} ms  {:>9} events  {:>12.0} events/s  {:>8.0} ns/enq  {:>6.0} ns/cls  depth {}",
+        result.name,
+        result.wall_ms,
+        result.events,
+        result.events_per_sec,
+        result.ns_per_enqueue,
+        result.ns_per_classify,
+        result.peak_queue_depth
+    );
+    result
+}
+
+/// Pre-overhaul numbers for the same scenarios, measured at the parent
+/// commit of the hot-path overhaul (binary-heap event queue,
+/// `HashMap<FlowKey, _>` flow state, per-call config/telemetry clones)
+/// with this same binary, `--iters 5`, on the CI container class.
+/// Fields: (name, wall_ms, events, events/s, ns/enqueue, ns/classify,
+/// peak depth).
+const BASELINE: &[(&str, f64, u64, f64, f64, f64, u64)] = &[
+    (
+        "fig01_weblog_churn",
+        730.7,
+        2_492_028,
+        3_410_253.0,
+        1056.0,
+        41.0,
+        100,
+    ),
+    (
+        "fig08_manyflow",
+        99.4,
+        149_015,
+        1_498_981.0,
+        2811.0,
+        55.0,
+        30,
+    ),
+];
+
+fn baseline_value() -> Value {
+    let scenarios = BASELINE
+        .iter()
+        .map(|&(name, wall_ms, events, eps, enq, cls, depth)| {
+            Value::object(vec![
+                ("name", Value::Str(name.to_string())),
+                ("wall_ms", Value::Float(wall_ms)),
+                ("events", Value::UInt(events)),
+                ("events_per_sec", Value::Float(eps)),
+                ("ns_per_enqueue", Value::Float(enq)),
+                ("ns_per_classify", Value::Float(cls)),
+                ("peak_queue_depth", Value::UInt(depth)),
+            ])
+        })
+        .collect();
+    Value::object(vec![
+        (
+            "label",
+            Value::Str("pre-overhaul: binary-heap queue, HashMap flow state".to_string()),
+        ),
+        ("scenarios", Value::Array(scenarios)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().position(|a| a == name);
+    let out_path = flag("--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let iters: u32 = flag("--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let with_baseline = flag("--no-baseline").is_none();
+
+    println!("# bench_report — TAQ hot-path benchmark (best of {iters})");
+    let scenarios = [
+        measure_scenario("fig01_weblog_churn", iters),
+        measure_scenario("fig08_manyflow", iters),
+    ];
+
+    let mut pairs = vec![
+        ("schema", Value::Str("taq-bench-report-v1".to_string())),
+        (
+            "label",
+            Value::Str("timer-wheel queue, interned flow ids".to_string()),
+        ),
+        ("iters", Value::UInt(u64::from(iters))),
+        (
+            "scenarios",
+            Value::Array(scenarios.iter().map(ScenarioResult::to_value).collect()),
+        ),
+    ];
+    if with_baseline {
+        pairs.push(("baseline", baseline_value()));
+        for s in &scenarios {
+            if let Some(&(_, _, _, base_eps, ..)) =
+                BASELINE.iter().find(|(name, ..)| *name == s.name)
+            {
+                println!(
+                    "#   {}: {:.2}x events/s vs pre-overhaul baseline",
+                    s.name,
+                    s.events_per_sec / base_eps
+                );
+            }
+        }
+    }
+    let json = Value::object(pairs).to_json();
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("# wrote {out_path}");
+}

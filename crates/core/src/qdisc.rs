@@ -125,6 +125,17 @@ pub struct TaqState {
     /// Aggregate counters.
     pub stats: TaqStats,
     telemetry: Telemetry,
+    /// Next sim-time at which the flow table runs epoch-roll + GC.
+    /// Ticking every packet is O(flows) and dominates the enqueue path
+    /// at hundreds of flows; once per `min_epoch` is as often as the
+    /// per-epoch state machine can change anything.
+    next_gc_at: SimTime,
+    /// Fair share memoized over a short sim-time window (a quarter of
+    /// `min_epoch`): `active_flows` is an O(flows) scan, far too hot to
+    /// run per packet. Keyed by sim time, so every scheduler backend
+    /// and thread count computes the identical sequence.
+    fair_share_cache: f64,
+    fair_share_expires: SimTime,
     /// Hot-path latency histograms (dead handles until telemetry is
     /// attached).
     enqueue_ns: HistogramId,
@@ -150,6 +161,9 @@ impl TaqState {
             cfg,
             stats: TaqStats::default(),
             telemetry: disabled,
+            next_gc_at: SimTime::ZERO,
+            fair_share_cache: 0.0,
+            fair_share_expires: SimTime::ZERO,
             enqueue_ns: dead_hist,
             classify_ns: dead_hist,
             dequeue_ns: dead_hist,
@@ -207,29 +221,43 @@ impl TaqState {
         )
     }
 
+    /// [`TaqState::fair_share`] memoized over a quarter-epoch window.
+    fn fair_share_cached(&mut self, now: SimTime) -> f64 {
+        if now >= self.fair_share_expires {
+            self.fair_share_cache = self.fair_share(now);
+            self.fair_share_expires = now + self.cfg.min_epoch / 4;
+        }
+        self.fair_share_cache
+    }
+
     /// Pools currently waiting for admission.
     pub fn waiting_pools(&self) -> usize {
         self.admission.waiting_pools()
     }
 
     fn enqueue_forward(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
-        let telemetry = self.telemetry.clone();
-        let _enq_timer = telemetry.scoped(self.enqueue_ns);
+        let _enq_timer = self.telemetry.scoped(self.enqueue_ns);
         self.stats.offered += 1;
-        self.flows.tick(now);
+        if now >= self.next_gc_at {
+            self.next_gc_at = now + self.cfg.min_epoch;
+            // A flow whose packets are still buffered must keep its id:
+            // the queue slab indexes by it.
+            let queues = &self.queues;
+            self.flows.tick(now, |id| queues.holds(id));
+        }
         let obs = self.flows.observe_forward(&pkt, now);
-        let fair = self.fair_share(now);
+        let fair = self.fair_share_cached(now);
         // How many packets one fair share amounts to per flow epoch
         // (floored at 1 below): the backlog threshold for the
         // above-share signal.
         let share_pkts = (fair * obs.epoch_len.as_secs_f64()
             / (8.0 * f64::from(pkt.wire_len().max(1)))) as usize;
-        let backlog = self.queues.flow_backlog(&pkt.flow);
+        let backlog = self.queues.flow_backlog(obs.id);
         let class = {
-            let _cls_timer = telemetry.scoped(self.classify_ns);
+            let _cls_timer = self.telemetry.scoped(self.classify_ns);
             classify(&obs, backlog, share_pkts, fair)
         };
-        telemetry.emit(now.as_nanos(), || Event::Classified {
+        self.telemetry.emit(now.as_nanos(), || Event::Classified {
             flow: flow_id(&pkt.flow),
             class: class.name(),
             retransmission: obs.retransmission,
@@ -248,7 +276,7 @@ impl TaqState {
         }
 
         self.stats.per_class[TaqStats::class_index(class)] += 1;
-        self.queues.push(class, pkt, &obs);
+        self.queues.push(obs.id, class, pkt, &obs);
 
         // Enforce total buffer capacity by evicting per policy.
         while self.queues.len() > self.cfg.buffer_pkts {
@@ -261,7 +289,7 @@ impl TaqState {
         }
         // Everything that stayed counts as a non-drop observation.
         self.loss_meter.record(false, now);
-        if telemetry.is_active() && self.stats.offered % DEPTH_SAMPLE_EVERY == 1 {
+        if self.telemetry.is_active() && self.stats.offered % DEPTH_SAMPLE_EVERY == 1 {
             self.sample_depth(now);
         }
         outcome
@@ -300,8 +328,7 @@ impl TaqState {
     }
 
     fn dequeue_forward(&mut self, now: SimTime) -> Option<Packet> {
-        let telemetry = self.telemetry.clone();
-        let _deq_timer = telemetry.scoped(self.dequeue_ns);
+        let _deq_timer = self.telemetry.scoped(self.dequeue_ns);
         // Rejection notices are tiny and latency-sensitive: inject them
         // ahead of buffered data.
         if let Some(rst) = self.pending_rejects.pop_front() {

@@ -40,8 +40,8 @@
 //! recovering flow's packets only when nothing else is buffered.
 
 use crate::tracker::Observation;
-use std::collections::{HashMap, VecDeque};
-use taq_sim::{Bandwidth, FlowKey, Packet, SimDuration, SimTime};
+use std::collections::VecDeque;
+use taq_sim::{Bandwidth, FlowId, Packet, SimDuration, SimTime};
 
 /// Which TAQ class a flow is assigned to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -151,14 +151,16 @@ struct FlowQueue {
     bytes: usize,
 }
 
-/// The five queues plus scheduler state.
+/// The five queues plus scheduler state. Flows are identified by their
+/// dense [`FlowId`] (handed out by the flow table's interner) and live
+/// in a slab indexed by it — the queue layer never hashes a flow key.
 #[derive(Debug)]
 pub struct TaqQueues {
-    flows: HashMap<FlowKey, FlowQueue>,
-    /// Round-robin rotation per class (by flow key). The Recovery class
+    flows: Vec<Option<FlowQueue>>,
+    /// Round-robin rotation per class (by flow id). The Recovery class
     /// ring is unused for ordering (priority scan) but tracks
     /// membership.
-    rings: [VecDeque<FlowKey>; 5],
+    rings: [VecDeque<FlowId>; 5],
     len: usize,
     bytes: usize,
     // Level-1 token bucket.
@@ -176,7 +178,7 @@ impl TaqQueues {
     pub fn new(link_rate: Bandwidth, recovery_fraction: f64) -> Self {
         let rate = link_rate.bps() as f64 * recovery_fraction;
         TaqQueues {
-            flows: HashMap::new(),
+            flows: Vec::new(),
             rings: Default::default(),
             len: 0,
             bytes: 0,
@@ -204,16 +206,36 @@ impl TaqQueues {
         self.bytes
     }
 
+    /// The slab entry for `id` (`None` when the flow buffers nothing).
+    fn flow(&self, id: FlowId) -> Option<&FlowQueue> {
+        self.flows.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// The live slab entry for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow holds no packets.
+    fn flow_ref(&self, id: FlowId) -> &FlowQueue {
+        self.flows[id.index()].as_ref().expect("flow exists")
+    }
+
+    /// `true` while `id` has packets buffered here — the flow table's
+    /// GC must not recycle the id as long as this holds.
+    pub fn holds(&self, id: FlowId) -> bool {
+        self.flow(id).is_some()
+    }
+
     /// Buffered packets of one flow.
-    pub fn flow_backlog(&self, key: &FlowKey) -> usize {
-        self.flows.get(key).map_or(0, |f| f.packets.len())
+    pub fn flow_backlog(&self, id: FlowId) -> usize {
+        self.flow(id).map_or(0, |f| f.packets.len())
     }
 
     /// Packets buffered under a given class (tests, metrics).
     pub fn class_len(&self, class: QueueClass) -> usize {
         self.rings[class.index()]
             .iter()
-            .map(|k| self.flows[k].packets.len())
+            .map(|&id| self.flow_ref(id).packets.len())
             .sum()
     }
 
@@ -231,15 +253,15 @@ impl TaqQueues {
             .collect()
     }
 
-    fn migrate(&mut self, key: FlowKey, to: QueueClass) {
-        let flow = self.flows.get_mut(&key).expect("flow exists");
+    fn migrate(&mut self, id: FlowId, to: QueueClass) {
+        let flow = self.flows[id.index()].as_mut().expect("flow exists");
         if flow.class == to {
             return;
         }
         let from = flow.class;
         flow.class = to;
-        self.rings[from.index()].retain(|k| *k != key);
-        self.rings[to.index()].push_back(key);
+        self.rings[from.index()].retain(|k| *k != id);
+        self.rings[to.index()].push_back(id);
     }
 
     /// Enqueues a packet, assigning (or migrating) its flow to `class`.
@@ -249,10 +271,12 @@ impl TaqQueues {
     /// packets while its retransmissions are still buffered — the
     /// paper's protection extends to "existing packets within the
     /// sliding window" that follow a retransmission.
-    pub fn push(&mut self, class: QueueClass, pkt: Packet, obs: &Observation) {
-        let key = pkt.flow;
+    pub fn push(&mut self, id: FlowId, class: QueueClass, pkt: Packet, obs: &Observation) {
         let wire = pkt.wire_len() as usize;
-        match self.flows.get_mut(&key) {
+        if id.index() >= self.flows.len() {
+            self.flows.resize_with(id.index() + 1, || None);
+        }
+        match self.flows[id.index()].as_mut() {
             Some(flow) => {
                 flow.score = obs.window_estimate;
                 if class == QueueClass::Recovery {
@@ -264,24 +288,21 @@ impl TaqQueues {
                 let keep_recovery =
                     flow.class == QueueClass::Recovery && class != QueueClass::Recovery;
                 if !keep_recovery {
-                    self.migrate(key, class);
+                    self.migrate(id, class);
                 }
             }
             None => {
                 let mut packets = VecDeque::with_capacity(4);
                 packets.push_back(pkt);
-                self.flows.insert(
-                    key,
-                    FlowQueue {
-                        packets,
-                        class,
-                        score: obs.window_estimate,
-                        silence: obs.silent_epochs,
-                        last_normal_at: obs.last_normal_at,
-                        bytes: wire,
-                    },
-                );
-                self.rings[class.index()].push_back(key);
+                self.flows[id.index()] = Some(FlowQueue {
+                    packets,
+                    class,
+                    score: obs.window_estimate,
+                    silence: obs.silent_epochs,
+                    last_normal_at: obs.last_normal_at,
+                    bytes: wire,
+                });
+                self.rings[class.index()].push_back(id);
             }
         }
         self.len += 1;
@@ -295,32 +316,32 @@ impl TaqQueues {
             (self.recovery_tokens + dt * self.recovery_rate_bps).min(self.token_cap);
     }
 
-    /// Pops the head packet of `key`'s queue, cleaning up if drained.
-    fn pop_head(&mut self, key: FlowKey) -> Packet {
-        let flow = self.flows.get_mut(&key).expect("flow exists");
+    /// Pops the head packet of `id`'s queue, cleaning up if drained.
+    fn pop_head(&mut self, id: FlowId) -> Packet {
+        let flow = self.flows[id.index()].as_mut().expect("flow exists");
         let pkt = flow.packets.pop_front().expect("flow queue non-empty");
         let wire = pkt.wire_len() as usize;
         flow.bytes -= wire;
         if flow.packets.is_empty() {
             let class = flow.class;
-            self.flows.remove(&key);
-            self.rings[class.index()].retain(|k| *k != key);
+            self.flows[id.index()] = None;
+            self.rings[class.index()].retain(|k| *k != id);
         }
         self.len -= 1;
         self.bytes -= wire;
         pkt
     }
 
-    /// Removes the packet at `idx` in `key`'s queue.
-    fn remove_at(&mut self, key: FlowKey, idx: usize) -> Packet {
-        let flow = self.flows.get_mut(&key).expect("flow exists");
+    /// Removes the packet at `idx` in `id`'s queue.
+    fn remove_at(&mut self, id: FlowId, idx: usize) -> Packet {
+        let flow = self.flows[id.index()].as_mut().expect("flow exists");
         let pkt = flow.packets.remove(idx).expect("valid index");
         let wire = pkt.wire_len() as usize;
         flow.bytes -= wire;
         if flow.packets.is_empty() {
             let class = flow.class;
-            self.flows.remove(&key);
-            self.rings[class.index()].retain(|k| *k != key);
+            self.flows[id.index()] = None;
+            self.rings[class.index()].retain(|k| *k != id);
         }
         self.len -= 1;
         self.bytes -= wire;
@@ -328,13 +349,13 @@ impl TaqQueues {
     }
 
     /// The Recovery flow with the highest priority: longest silence,
-    /// then least-recent normal transmission, then key.
-    fn best_recovery(&self) -> Option<FlowKey> {
+    /// then least-recent normal transmission, then id.
+    fn best_recovery(&self) -> Option<FlowId> {
         self.rings[QueueClass::Recovery.index()]
             .iter()
             .max_by(|a, b| {
-                let fa = &self.flows[*a];
-                let fb = &self.flows[*b];
+                let fa = self.flow_ref(**a);
+                let fb = self.flow_ref(**b);
                 fa.silence
                     .cmp(&fb.silence)
                     .then(fb.last_normal_at.cmp(&fa.last_normal_at))
@@ -345,12 +366,12 @@ impl TaqQueues {
 
     /// Serves the next flow of `class` in rotation.
     fn pop_rr(&mut self, class: QueueClass) -> Option<Packet> {
-        let key = self.rings[class.index()].pop_front()?;
+        let id = self.rings[class.index()].pop_front()?;
         // The flow may still have packets after this pop; `pop_head`
         // removes it from the ring only when drained, so re-append
         // first and let `pop_head`'s cleanup run against the tail slot.
-        self.rings[class.index()].push_back(key);
-        Some(self.pop_head(key))
+        self.rings[class.index()].push_back(id);
+        Some(self.pop_head(id))
     }
 
     /// Removes the next packet to transmit under the 3-level policy.
@@ -359,12 +380,12 @@ impl TaqQueues {
         let recovery_pkts = self.class_len(QueueClass::Recovery);
         // Level 1: recovery, if within its rate budget (or alone).
         if recovery_pkts > 0 {
-            let key = self.best_recovery().expect("non-empty");
-            let bits = f64::from(self.flows[&key].packets[0].wire_len()) * 8.0;
+            let id = self.best_recovery().expect("non-empty");
+            let bits = f64::from(self.flow_ref(id).packets[0].wire_len()) * 8.0;
             let others_waiting = self.len > recovery_pkts;
             if self.recovery_tokens >= bits || !others_waiting {
                 self.recovery_tokens = (self.recovery_tokens - bits).max(0.0);
-                return Some(self.pop_head(key));
+                return Some(self.pop_head(id));
             }
             // Rate-capped and other classes have packets: fall through.
         }
@@ -395,31 +416,31 @@ impl TaqQueues {
         None
     }
 
-    /// Head index of the first non-SYN-ACK packet of `key`'s queue.
-    fn first_data_idx(&self, key: &FlowKey) -> Option<usize> {
-        self.flows[key]
+    /// Head index of the first non-SYN-ACK packet of `id`'s queue.
+    fn first_data_idx(&self, id: FlowId) -> Option<usize> {
+        self.flow_ref(id)
             .packets
             .iter()
             .position(|p| !(p.flags.syn && p.flags.ack))
     }
 
     /// Victim flow within `class` by maximum score, ties by backlog
-    /// then key.
-    fn victim_by_score(&self, class: QueueClass) -> Option<FlowKey> {
+    /// then id.
+    fn victim_by_score(&self, class: QueueClass) -> Option<FlowId> {
         self.rings[class.index()]
             .iter()
             .max_by_key(|k| {
-                let f = &self.flows[*k];
+                let f = self.flow_ref(**k);
                 (f.score, f.packets.len(), std::cmp::Reverse(**k))
             })
             .copied()
     }
 
     /// Victim flow within `class` by maximum backlog.
-    fn victim_by_backlog(&self, class: QueueClass) -> Option<FlowKey> {
+    fn victim_by_backlog(&self, class: QueueClass) -> Option<FlowId> {
         self.rings[class.index()]
             .iter()
-            .max_by_key(|k| (self.flows[*k].packets.len(), std::cmp::Reverse(**k)))
+            .max_by_key(|k| (self.flow_ref(**k).packets.len(), std::cmp::Reverse(**k)))
             .copied()
     }
 
@@ -431,27 +452,27 @@ impl TaqQueues {
         by_score: bool,
         spare_synack: bool,
     ) -> Option<Packet> {
-        let key = if by_score {
+        let id = if by_score {
             self.victim_by_score(class)?
         } else {
             self.victim_by_backlog(class)?
         };
         if spare_synack {
-            if let Some(idx) = self.first_data_idx(&key) {
-                return Some(self.remove_at(key, idx));
+            if let Some(idx) = self.first_data_idx(id) {
+                return Some(self.remove_at(id, idx));
             }
             // This flow holds only SYN-ACKs; look for any flow in the
             // class with data before sacrificing a handshake.
             let fallback = self.rings[class.index()]
                 .iter()
-                .find(|k| self.first_data_idx(k).is_some())
+                .find(|k| self.first_data_idx(**k).is_some())
                 .copied();
             if let Some(k) = fallback {
-                let idx = self.first_data_idx(&k).expect("checked");
+                let idx = self.first_data_idx(k).expect("checked");
                 return Some(self.remove_at(k, idx));
             }
         }
-        Some(self.pop_head(key))
+        Some(self.pop_head(id))
     }
 
     /// Chooses and removes a victim to make room, per the policy in the
@@ -472,7 +493,7 @@ impl TaqQueues {
         //    leaves the flow alive.
         let below_burst = self.rings[QueueClass::BelowFairShare.index()]
             .iter()
-            .any(|k| self.flows[k].packets.len() >= 2);
+            .any(|&k| self.flow_ref(k).packets.len() >= 2);
         if below_burst {
             if let Some(pkt) = self.evict_from(QueueClass::BelowFairShare, false, true) {
                 return Some((pkt, false, 2));
@@ -495,15 +516,15 @@ impl TaqQueues {
         let victim = self.rings[QueueClass::Recovery.index()]
             .iter()
             .min_by(|a, b| {
-                let fa = &self.flows[*a];
-                let fb = &self.flows[*b];
+                let fa = self.flow_ref(**a);
+                let fb = self.flow_ref(**b);
                 fa.silence
                     .cmp(&fb.silence)
                     .then(fb.last_normal_at.cmp(&fa.last_normal_at))
                     .then(a.cmp(b))
             })
             .copied();
-        victim.map(|key| (self.pop_head(key), true, 6))
+        victim.map(|id| (self.pop_head(id), true, 6))
     }
 
     /// Internal consistency check used by tests and debug assertions.
@@ -511,8 +532,12 @@ impl TaqQueues {
     pub fn check_invariants(&self) {
         let mut len = 0;
         let mut bytes = 0;
-        for (key, flow) in &self.flows {
-            assert!(!flow.packets.is_empty(), "empty flow {key} retained");
+        let mut live = 0;
+        for (idx, slot) in self.flows.iter().enumerate() {
+            let Some(flow) = slot.as_ref() else { continue };
+            let id = FlowId(idx as u32);
+            assert!(!flow.packets.is_empty(), "empty flow {id} retained");
+            live += 1;
             len += flow.packets.len();
             bytes += flow.bytes;
             assert_eq!(
@@ -523,8 +548,8 @@ impl TaqQueues {
                     .sum::<usize>()
             );
             assert!(
-                self.rings[flow.class.index()].contains(key),
-                "flow {key} missing from its class ring"
+                self.rings[flow.class.index()].contains(&id),
+                "flow {id} missing from its class ring"
             );
         }
         assert_eq!(len, self.len);
@@ -533,7 +558,7 @@ impl TaqQueues {
             .iter()
             .map(|c| self.rings[c.index()].len())
             .sum();
-        assert_eq!(ring_total, self.flows.len(), "ring membership is exact");
+        assert_eq!(ring_total, live, "ring membership is exact");
     }
 }
 
@@ -561,7 +586,8 @@ pub fn fair_share_bps(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use taq_sim::{NodeId, PacketBuilder, TcpFlags};
+    use std::collections::HashMap;
+    use taq_sim::{FlowKey, NodeId, PacketBuilder, TcpFlags};
 
     fn key(port: u16) -> FlowKey {
         FlowKey {
@@ -570,6 +596,12 @@ mod tests {
             dst: NodeId(2),
             dst_port: port,
         }
+    }
+
+    /// Tests identify flows by port; the dense id mirrors it directly
+    /// (no interner in the loop, ordering matches key order).
+    fn fid(port: u16) -> FlowId {
+        FlowId(u32::from(port))
     }
 
     fn pkt(port: u16, id: u64) -> Packet {
@@ -588,6 +620,7 @@ mod tests {
 
     fn obs(retx: bool, silence: u32) -> Observation {
         Observation {
+            id: FlowId(0),
             retransmission: retx,
             repairs_our_drop: retx,
             state: crate::tracker::FlowState::Normal,
@@ -681,8 +714,13 @@ mod tests {
     #[test]
     fn recovery_has_strict_priority_within_budget() {
         let mut q = queues();
-        q.push(QueueClass::BelowFairShare, pkt(1, 1), &obs(false, 0));
-        q.push(QueueClass::Recovery, pkt(2, 2), &obs(true, 1));
+        q.push(
+            fid(1),
+            QueueClass::BelowFairShare,
+            pkt(1, 1),
+            &obs(false, 0),
+        );
+        q.push(fid(2), QueueClass::Recovery, pkt(2, 2), &obs(true, 1));
         let first = q.pop(SimTime::from_secs(1)).unwrap();
         assert_eq!(first.id, 2, "recovery packet served first");
         assert_eq!(q.pop(SimTime::from_secs(1)).unwrap().id, 1);
@@ -692,9 +730,9 @@ mod tests {
     #[test]
     fn recovery_ordered_by_silence_length() {
         let mut q = queues();
-        q.push(QueueClass::Recovery, pkt(1, 1), &obs(true, 1));
-        q.push(QueueClass::Recovery, pkt(2, 2), &obs(true, 5));
-        q.push(QueueClass::Recovery, pkt(3, 3), &obs(true, 3));
+        q.push(fid(1), QueueClass::Recovery, pkt(1, 1), &obs(true, 1));
+        q.push(fid(2), QueueClass::Recovery, pkt(2, 2), &obs(true, 5));
+        q.push(fid(3), QueueClass::Recovery, pkt(3, 3), &obs(true, 3));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop(SimTime::from_secs(10)))
             .map(|p| p.id)
             .collect();
@@ -705,10 +743,20 @@ mod tests {
     fn recovery_rate_cap_yields_to_level_two() {
         let mut q = TaqQueues::new(Bandwidth::from_kbps(600), 0.05);
         for i in 0..20 {
-            q.push(QueueClass::Recovery, pkt((i % 4) as u16, i), &obs(true, 1));
+            q.push(
+                fid((i % 4) as u16),
+                QueueClass::Recovery,
+                pkt((i % 4) as u16, i),
+                &obs(true, 1),
+            );
         }
         for i in 20..25 {
-            q.push(QueueClass::BelowFairShare, pkt(10, i), &obs(false, 0));
+            q.push(
+                fid(10),
+                QueueClass::BelowFairShare,
+                pkt(10, i),
+                &obs(false, 0),
+            );
         }
         let mut popped = Vec::new();
         for _ in 0..10 {
@@ -723,7 +771,7 @@ mod tests {
     #[test]
     fn work_conserving_when_only_recovery_remains() {
         let mut q = TaqQueues::new(Bandwidth::from_kbps(600), 0.0);
-        q.push(QueueClass::Recovery, pkt(1, 7), &obs(true, 2));
+        q.push(fid(1), QueueClass::Recovery, pkt(1, 7), &obs(true, 2));
         assert_eq!(q.pop(SimTime::ZERO).unwrap().id, 7);
         assert!(q.is_empty());
     }
@@ -734,12 +782,17 @@ mod tests {
         // Flow 1's first packet lands in AboveFairShare; its second in
         // OverPenalized (protection kicked in). Despite OverPenalized's
         // higher service level, packet 1 must still leave first.
-        q.push(QueueClass::AboveFairShare, pkt(1, 1), &obs(false, 0));
+        q.push(
+            fid(1),
+            QueueClass::AboveFairShare,
+            pkt(1, 1),
+            &obs(false, 0),
+        );
         let protected = Observation {
             protected: true,
             ..obs(false, 0)
         };
-        q.push(QueueClass::OverPenalized, pkt(1, 2), &protected);
+        q.push(fid(1), QueueClass::OverPenalized, pkt(1, 2), &protected);
         let order: Vec<u64> = (0..2).map(|_| q.pop(SimTime::ZERO).unwrap().id).collect();
         assert_eq!(order, vec![1, 2], "no intra-flow reordering");
         q.check_invariants();
@@ -748,16 +801,26 @@ mod tests {
     #[test]
     fn recovery_class_is_sticky_until_drained() {
         let mut q = queues();
-        q.push(QueueClass::Recovery, pkt(1, 1), &obs(true, 3));
+        q.push(fid(1), QueueClass::Recovery, pkt(1, 1), &obs(true, 3));
         // New data of the same flow arrives classified Below: the flow
         // stays in Recovery (protection extends to in-window packets).
-        q.push(QueueClass::BelowFairShare, pkt(1, 2), &obs(false, 0));
+        q.push(
+            fid(1),
+            QueueClass::BelowFairShare,
+            pkt(1, 2),
+            &obs(false, 0),
+        );
         assert_eq!(q.class_len(QueueClass::Recovery), 2);
         assert_eq!(q.class_len(QueueClass::BelowFairShare), 0);
         // Once drained, a fresh packet lands in its new class.
         q.pop(SimTime::from_secs(1));
         q.pop(SimTime::from_secs(1));
-        q.push(QueueClass::BelowFairShare, pkt(1, 3), &obs(false, 0));
+        q.push(
+            fid(1),
+            QueueClass::BelowFairShare,
+            pkt(1, 3),
+            &obs(false, 0),
+        );
         assert_eq!(q.class_len(QueueClass::BelowFairShare), 1);
         q.check_invariants();
     }
@@ -767,10 +830,15 @@ mod tests {
         let mut q = queues();
         // OverPenalized has 6 packets; Below has 2.
         for i in 0..6 {
-            q.push(QueueClass::OverPenalized, pkt(1, i), &obs(false, 0));
+            q.push(fid(1), QueueClass::OverPenalized, pkt(1, i), &obs(false, 0));
         }
         for i in 6..8 {
-            q.push(QueueClass::BelowFairShare, pkt(2, i), &obs(false, 0));
+            q.push(
+                fid(2),
+                QueueClass::BelowFairShare,
+                pkt(2, i),
+                &obs(false, 0),
+            );
         }
         let first = q.pop(SimTime::ZERO).unwrap();
         assert_eq!(
@@ -783,10 +851,20 @@ mod tests {
     fn flows_within_a_class_round_robin() {
         let mut q = queues();
         for i in 0..4 {
-            q.push(QueueClass::BelowFairShare, pkt(1, i), &obs(false, 0));
+            q.push(
+                fid(1),
+                QueueClass::BelowFairShare,
+                pkt(1, i),
+                &obs(false, 0),
+            );
         }
         for i in 4..6 {
-            q.push(QueueClass::BelowFairShare, pkt(2, i), &obs(false, 0));
+            q.push(
+                fid(2),
+                QueueClass::BelowFairShare,
+                pkt(2, i),
+                &obs(false, 0),
+            );
         }
         let order: Vec<u16> = (0..6)
             .map(|_| q.pop(SimTime::ZERO).unwrap().flow.dst_port)
@@ -797,9 +875,19 @@ mod tests {
     #[test]
     fn above_fair_share_served_last() {
         let mut q = queues();
-        q.push(QueueClass::AboveFairShare, pkt(1, 1), &obs(false, 0));
-        q.push(QueueClass::BelowFairShare, pkt(2, 2), &obs(false, 0));
-        q.push(QueueClass::NewFlow, pkt(3, 3), &obs(false, 0));
+        q.push(
+            fid(1),
+            QueueClass::AboveFairShare,
+            pkt(1, 1),
+            &obs(false, 0),
+        );
+        q.push(
+            fid(2),
+            QueueClass::BelowFairShare,
+            pkt(2, 2),
+            &obs(false, 0),
+        );
+        q.push(fid(3), QueueClass::NewFlow, pkt(3, 3), &obs(false, 0));
         let order: Vec<u64> = (0..3).map(|_| q.pop(SimTime::ZERO).unwrap().id).collect();
         assert_eq!(*order.last().unwrap(), 1, "hog drains last: {order:?}");
     }
@@ -808,10 +896,10 @@ mod tests {
     fn eviction_prefers_biggest_window_hog() {
         let mut q = queues();
         for i in 0..2 {
-            q.push(QueueClass::AboveFairShare, pkt(1, i), &obs_win(5));
+            q.push(fid(1), QueueClass::AboveFairShare, pkt(1, i), &obs_win(5));
         }
-        q.push(QueueClass::AboveFairShare, pkt(2, 99), &obs_win(1));
-        q.push(QueueClass::Recovery, pkt(3, 100), &obs(true, 4));
+        q.push(fid(2), QueueClass::AboveFairShare, pkt(2, 99), &obs_win(1));
+        q.push(fid(3), QueueClass::Recovery, pkt(3, 100), &obs(true, 4));
         let (victim, was_retx) = q.evict().unwrap();
         assert!(!was_retx);
         assert_eq!(
@@ -827,9 +915,19 @@ mod tests {
     fn eviction_trims_bursts_before_singletons() {
         let mut q = queues();
         for i in 0..3 {
-            q.push(QueueClass::BelowFairShare, pkt(1, i), &obs(false, 0));
+            q.push(
+                fid(1),
+                QueueClass::BelowFairShare,
+                pkt(1, i),
+                &obs(false, 0),
+            );
         }
-        q.push(QueueClass::BelowFairShare, pkt(2, 9), &obs(false, 0));
+        q.push(
+            fid(2),
+            QueueClass::BelowFairShare,
+            pkt(2, 9),
+            &obs(false, 0),
+        );
         let (victim, _) = q.evict().unwrap();
         assert_eq!(victim.flow.dst_port, 1, "burst trimmed first");
         assert_eq!(victim.id, 0, "head drop");
@@ -838,9 +936,9 @@ mod tests {
     #[test]
     fn eviction_spares_synacks_while_data_exists() {
         let mut q = queues();
-        q.push(QueueClass::NewFlow, synack(1, 1), &obs(false, 0));
-        q.push(QueueClass::NewFlow, pkt(1, 2), &obs(false, 0));
-        q.push(QueueClass::NewFlow, pkt(1, 3), &obs(false, 0));
+        q.push(fid(1), QueueClass::NewFlow, synack(1, 1), &obs(false, 0));
+        q.push(fid(1), QueueClass::NewFlow, pkt(1, 2), &obs(false, 0));
+        q.push(fid(1), QueueClass::NewFlow, pkt(1, 3), &obs(false, 0));
         let (victim, _) = q.evict().unwrap();
         assert_eq!(victim.id, 2, "first data packet evicted, SYN-ACK spared");
         let (victim, _) = q.evict().unwrap();
@@ -855,8 +953,8 @@ mod tests {
     #[test]
     fn eviction_takes_recovery_only_as_last_resort() {
         let mut q = queues();
-        q.push(QueueClass::Recovery, pkt(1, 1), &obs(true, 5));
-        q.push(QueueClass::Recovery, pkt(2, 2), &obs(true, 1));
+        q.push(fid(1), QueueClass::Recovery, pkt(1, 1), &obs(true, 5));
+        q.push(fid(2), QueueClass::Recovery, pkt(2, 2), &obs(true, 1));
         let (victim, was_retx) = q.evict().unwrap();
         assert!(was_retx);
         assert_eq!(victim.id, 2, "shortest-silence flow dropped first");
@@ -871,9 +969,14 @@ mod tests {
     fn byte_and_packet_accounting_balance() {
         let mut q = queues();
         for i in 0..4 {
-            q.push(QueueClass::BelowFairShare, pkt(1, i), &obs(false, 0));
+            q.push(
+                fid(1),
+                QueueClass::BelowFairShare,
+                pkt(1, i),
+                &obs(false, 0),
+            );
         }
-        q.push(QueueClass::Recovery, pkt(2, 9), &obs(true, 1));
+        q.push(fid(2), QueueClass::Recovery, pkt(2, 9), &obs(true, 1));
         assert_eq!(q.len(), 5);
         assert_eq!(q.byte_len(), 5 * 500);
         q.evict();
@@ -898,6 +1001,7 @@ mod tests {
         for i in 0..5_000u64 {
             let class = classes[rng.next_below(5) as usize];
             q.push(
+                fid((i % 17) as u16),
                 class,
                 pkt((i % 17) as u16, i),
                 &obs(class == QueueClass::Recovery, 1),
@@ -946,7 +1050,12 @@ mod tests {
                 *n
             };
             let class = classes[rng.next_below(5) as usize];
-            q.push(class, pkt(port, id), &obs(class == QueueClass::Recovery, 0));
+            q.push(
+                fid(port),
+                class,
+                pkt(port, id),
+                &obs(class == QueueClass::Recovery, 0),
+            );
             if rng.chance(0.6) {
                 if let Some(p) = q.pop(SimTime::from_millis(i)) {
                     let prev = last_out.insert(p.flow, p.id);

@@ -17,14 +17,15 @@
 //!   silence).
 
 use crate::config::TaqConfig;
-use std::collections::HashMap;
-use taq_sim::{seq_reuse_is_retransmission, FlowKey, Packet, SimDuration, SimTime};
-use taq_telemetry::{Event, FlowId, Telemetry};
+use taq_sim::{
+    seq_reuse_is_retransmission, FlowId, FlowInterner, FlowKey, Packet, SimDuration, SimTime,
+};
+use taq_telemetry::{Event, Telemetry};
 
 /// Converts a simulator flow key into the telemetry layer's flow
 /// identity (the telemetry crate sits below `taq-sim` in the dependency
 /// graph, so it has its own 4-tuple type).
-pub fn flow_id(key: &FlowKey) -> FlowId {
+pub fn flow_id(key: &FlowKey) -> taq_telemetry::FlowId {
     taq_sim::telemetry_flow_id(key)
 }
 
@@ -320,12 +321,16 @@ impl FlowInfo {
     }
 }
 
-/// The flow table: every flow traversing the middlebox, keyed by its
-/// data-direction 4-tuple.
+/// The flow table: every flow traversing the middlebox. The
+/// data-direction 4-tuple is interned into a dense [`FlowId`] at first
+/// sight; all per-flow state lives in a slab indexed by that id, so the
+/// hot path pays one Fx hash at the edge and plain array indexing after
+/// it.
 #[derive(Debug)]
 pub struct FlowTable {
     cfg: TaqConfig,
-    flows: HashMap<FlowKey, FlowInfo>,
+    interner: FlowInterner,
+    slots: Vec<Option<FlowInfo>>,
     telemetry: Telemetry,
     /// Total data packets observed (all flows), for loss-rate
     /// accounting.
@@ -338,7 +343,8 @@ impl FlowTable {
         cfg.validate();
         FlowTable {
             cfg,
-            flows: HashMap::new(),
+            interner: FlowInterner::new(),
+            slots: Vec::new(),
             telemetry: Telemetry::disabled(),
             total_observed: 0,
         }
@@ -355,26 +361,38 @@ impl FlowTable {
         &self.cfg
     }
 
-    /// Looks up a flow.
+    /// Looks up a flow by key.
     pub fn get(&self, key: &FlowKey) -> Option<&FlowInfo> {
-        self.flows.get(key)
+        let id = self.interner.get(key)?;
+        self.slots[id.index()].as_ref()
+    }
+
+    /// Looks up a flow by its dense id.
+    pub fn by_id(&self, id: FlowId) -> Option<&FlowInfo> {
+        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// The dense id of an already-tracked flow.
+    pub fn id_of(&self, key: &FlowKey) -> Option<FlowId> {
+        self.interner.get(key)
     }
 
     /// Number of tracked flows.
     pub fn len(&self) -> usize {
-        self.flows.len()
+        self.interner.len()
     }
 
     /// `true` if no flows are tracked.
     pub fn is_empty(&self) -> bool {
-        self.flows.is_empty()
+        self.interner.is_empty()
     }
 
     /// Flows considered *active* for fair-share purposes: seen within
     /// the last few epochs and not in dummy silence.
     pub fn active_flows(&self, now: SimTime) -> usize {
-        self.flows
-            .values()
+        self.slots
+            .iter()
+            .flatten()
             .filter(|f| {
                 f.state != FlowState::DummySilence
                     && now.saturating_since(f.last_packet_at) <= f.epoch_len * 4
@@ -387,26 +405,36 @@ impl FlowTable {
     /// before this packet (classification input).
     pub fn observe_forward(&mut self, pkt: &Packet, now: SimTime) -> Observation {
         self.total_observed += 1;
-        let cfg_min_epoch = self.cfg.min_epoch;
-        let flow = self
-            .flows
-            .entry(pkt.flow)
-            .or_insert_with(|| FlowInfo::new(pkt.flow, now, &self.cfg));
-        flow.roll_epochs(now, &self.cfg, &self.telemetry);
+        let (id, fresh) = self.interner.intern(pkt.flow);
+        if id.index() >= self.slots.len() {
+            self.slots.resize_with(id.index() + 1, || None);
+        }
+        if fresh {
+            self.slots[id.index()] = Some(FlowInfo::new(pkt.flow, now, &self.cfg));
+        }
+        let FlowTable {
+            cfg,
+            slots,
+            telemetry,
+            ..
+        } = self;
+        let cfg_min_epoch = cfg.min_epoch;
+        let flow = slots[id.index()].as_mut().expect("interned flow has state");
+        flow.roll_epochs(now, cfg, telemetry);
 
         // One-way epoch refinement: a gap longer than half the current
         // estimate, followed by a burst, marks an epoch boundary; take
         // the gap between burst starts as an epoch sample.
         if let Some(prev) = flow.prev_packet_at {
             let gap = now.saturating_since(prev);
-            if gap > flow.epoch_len / 2 && gap <= self.cfg.max_epoch {
-                let alpha = self.cfg.epoch_alpha;
+            if gap > flow.epoch_len / 2 && gap <= cfg.max_epoch {
+                let alpha = cfg.epoch_alpha;
                 let sample = gap.as_secs_f64();
                 let cur = flow.epoch_len.as_secs_f64();
                 let blended = (1.0 - alpha) * cur + alpha * sample;
                 flow.epoch_len = SimDuration::from_secs_f64(blended)
                     .max(cfg_min_epoch)
-                    .min(self.cfg.max_epoch);
+                    .min(cfg.max_epoch);
             }
         }
         flow.prev_packet_at = Some(now);
@@ -434,7 +462,7 @@ impl FlowTable {
             flow.last_normal_at = now;
         }
         if retransmission {
-            self.telemetry.emit(now.as_nanos(), || Event::Retransmit {
+            telemetry.emit(now.as_nanos(), || Event::Retransmit {
                 flow: flow_id(&pkt.flow),
                 repairs_local_drop: repairs_our_drop,
             });
@@ -446,35 +474,44 @@ impl FlowTable {
             let from = flow.state.name();
             flow.state = FlowState::TimeoutRecovery;
             flow.silent_epochs = 0;
-            self.telemetry
-                .emit(now.as_nanos(), || Event::FlowStateChanged {
-                    flow: flow_id(&pkt.flow),
-                    from,
-                    to: FlowState::TimeoutRecovery.name(),
-                    trigger: "retransmit-after-silence",
-                });
+            telemetry.emit(now.as_nanos(), || Event::FlowStateChanged {
+                flow: flow_id(&pkt.flow),
+                from,
+                to: FlowState::TimeoutRecovery.name(),
+                trigger: "retransmit-after-silence",
+            });
         }
         Observation {
+            id,
             retransmission,
             repairs_our_drop,
             state: flow.state,
             silent_epochs: flow.silent_epochs,
-            is_new: flow.is_new(&self.cfg),
+            is_new: flow.is_new(cfg),
             recent_drops: flow.recent_drops(),
             rate_bps: flow.rate_bps(),
             epoch_len: flow.epoch_len,
             last_normal_at: flow.last_normal_at,
             window_estimate: flow.window_estimate(),
             protected: flow.is_protected(),
-            fq_only: self.cfg.fq_mode,
+            fq_only: cfg.fq_mode,
         }
     }
 
     /// Records that a packet of `key` was forwarded onto the link (rate
     /// accounting).
     pub fn on_forwarded(&mut self, key: &FlowKey, bytes: u32, now: SimTime) {
-        if let Some(flow) = self.flows.get_mut(key) {
-            flow.roll_epochs(now, &self.cfg, &self.telemetry);
+        let Some(id) = self.interner.get(key) else {
+            return;
+        };
+        let FlowTable {
+            cfg,
+            slots,
+            telemetry,
+            ..
+        } = self;
+        if let Some(flow) = slots[id.index()].as_mut() {
+            flow.roll_epochs(now, cfg, telemetry);
             flow.bytes_this_epoch += u64::from(bytes);
             // Arm a two-way RTT probe if none outstanding.
             if flow.rtt_probe.is_none() {
@@ -487,8 +524,17 @@ impl FlowTable {
     /// Updates the flow's expected next state (paper §4.1: the middlebox
     /// knows which losses it inflicted and adjusts its prediction).
     pub fn on_drop(&mut self, key: &FlowKey, retransmission: bool, now: SimTime) {
-        if let Some(flow) = self.flows.get_mut(key) {
-            flow.roll_epochs(now, &self.cfg, &self.telemetry);
+        let Some(id) = self.interner.get(key) else {
+            return;
+        };
+        let FlowTable {
+            cfg,
+            slots,
+            telemetry,
+            ..
+        } = self;
+        if let Some(flow) = slots[id.index()].as_mut() {
+            flow.roll_epochs(now, cfg, telemetry);
             flow.current.drops += 1;
             flow.pending_repairs += 1;
             let old = flow.state;
@@ -506,17 +552,16 @@ impl FlowTable {
             };
             if flow.state != old {
                 let (from, to) = (old.name(), flow.state.name());
-                self.telemetry
-                    .emit(now.as_nanos(), || Event::FlowStateChanged {
-                        flow: flow_id(key),
-                        from,
-                        to,
-                        trigger: if retransmission {
-                            "dropped-retransmission"
-                        } else {
-                            "local-drop"
-                        },
-                    });
+                telemetry.emit(now.as_nanos(), || Event::FlowStateChanged {
+                    flow: flow_id(key),
+                    from,
+                    to,
+                    trigger: if retransmission {
+                        "dropped-retransmission"
+                    } else {
+                        "local-drop"
+                    },
+                });
             }
         }
     }
@@ -528,7 +573,11 @@ impl FlowTable {
             return;
         }
         let data_key = pkt.flow.reversed();
-        let Some(flow) = self.flows.get_mut(&data_key) else {
+        let Some(id) = self.interner.get(&data_key) else {
+            return;
+        };
+        let FlowTable { cfg, slots, .. } = self;
+        let Some(flow) = slots[id.index()].as_mut() else {
             return;
         };
         let Some((probe_end, sent)) = flow.rtt_probe else {
@@ -536,13 +585,13 @@ impl FlowTable {
         };
         if pkt.ack >= probe_end {
             let sample = now.saturating_since(sent);
-            if sample >= SimDuration::from_millis(1) && sample <= self.cfg.max_epoch {
-                let alpha = self.cfg.epoch_alpha;
+            if sample >= SimDuration::from_millis(1) && sample <= cfg.max_epoch {
+                let alpha = cfg.epoch_alpha;
                 let blended =
                     (1.0 - alpha) * flow.epoch_len.as_secs_f64() + alpha * sample.as_secs_f64();
                 flow.epoch_len = SimDuration::from_secs_f64(blended)
-                    .max(self.cfg.min_epoch)
-                    .min(self.cfg.max_epoch);
+                    .max(cfg.min_epoch)
+                    .min(cfg.max_epoch);
             }
             flow.rtt_probe = None;
         }
@@ -550,19 +599,36 @@ impl FlowTable {
 
     /// Advances every flow's epoch window to `now` and drops flows idle
     /// past the GC horizon. Called periodically by the queue layer.
-    pub fn tick(&mut self, now: SimTime) {
+    ///
+    /// `in_use` guards id recycling: a flow whose [`FlowId`] some other
+    /// structure still indexes by (e.g. packets buffered in the TAQ
+    /// queues) is kept alive even past the horizon, because releasing
+    /// the id would let a later flow reuse it while the old state is
+    /// still addressable. Pass `|_| false` when no such structure
+    /// exists.
+    pub fn tick(&mut self, now: SimTime, in_use: impl Fn(FlowId) -> bool) {
         let gc = self.cfg.flow_gc_epochs;
-        let cfg = self.cfg.clone();
-        let telemetry = self.telemetry.clone();
-        self.flows.retain(|_, flow| {
-            flow.roll_epochs(now, &cfg, &telemetry);
-            flow.silent_epochs < gc
-        });
+        let FlowTable {
+            cfg,
+            slots,
+            telemetry,
+            interner,
+            ..
+        } = self;
+        for (idx, slot) in slots.iter_mut().enumerate() {
+            let Some(flow) = slot.as_mut() else { continue };
+            flow.roll_epochs(now, cfg, telemetry);
+            let id = FlowId(idx as u32);
+            if flow.silent_epochs >= gc && !in_use(id) {
+                *slot = None;
+                interner.release(id);
+            }
+        }
     }
 
-    /// Iterates over tracked flows (diagnostics, metrics).
+    /// Iterates over tracked flows in id order (diagnostics, metrics).
     pub fn iter(&self) -> impl Iterator<Item = &FlowInfo> {
-        self.flows.values()
+        self.slots.iter().flatten()
     }
 }
 
@@ -570,6 +636,8 @@ impl FlowTable {
 /// time.
 #[derive(Debug, Clone, Copy)]
 pub struct Observation {
+    /// The flow's dense id (slab index for every downstream structure).
+    pub id: FlowId,
     /// The packet re-sends data already seen.
     pub retransmission: bool,
     /// The packet repairs a drop this queue inflicted (as opposed to a
@@ -726,7 +794,7 @@ mod tests {
         }
         tab.on_drop(&key(1), false, t(310));
         // Nothing for many epochs; tick rolls the window.
-        tab.tick(t(900));
+        tab.tick(t(900), |_| false);
         let flow = tab.get(&key(1)).unwrap();
         assert_eq!(flow.state, FlowState::ExtendedSilence);
         assert!(flow.silent_epochs >= 2);
@@ -748,7 +816,7 @@ mod tests {
         }
         // No losses; the flow just stops sending (e.g. between objects
         // on a persistent connection).
-        tab.tick(t(1_000));
+        tab.tick(t(1_000), |_| false);
         assert_eq!(tab.get(&key(1)).unwrap().state, FlowState::DummySilence);
     }
 
@@ -763,7 +831,7 @@ mod tests {
             }
         }
         tab.on_drop(&key(1), false, t(310));
-        tab.tick(t(700)); // Silence: timeout.
+        tab.tick(t(700), |_| false); // Silence: timeout.
         assert!(tab.get(&key(1)).unwrap().state.is_timeout());
         // The retransmission repairs the loss...
         tab.observe_forward(&data(1, seq - 460), t(750));
@@ -805,7 +873,7 @@ mod tests {
         for i in 1..80u64 {
             tab.observe_forward(&data(2, 1 + i * 460), t(i * 100));
         }
-        tab.tick(t(8_000));
+        tab.tick(t(8_000), |_| false);
         assert_eq!(tab.len(), 1);
         assert!(tab.get(&key(2)).is_some());
     }

@@ -9,18 +9,24 @@
 //! empirical distribution of counts — directly comparable to
 //! `taq_model::PartialModel::n_sent_distribution`.
 
-use std::collections::HashMap;
-use taq_sim::{FlowKey, LinkId, LinkMonitor, Packet, SimDuration, SimTime};
+use taq_sim::{FlowInterner, LinkId, LinkMonitor, Packet, SimDuration, SimTime};
 
 /// Collects per-flow epoch activity histograms.
+///
+/// Flow keys are interned into dense ids at the edge (one Fx hash per
+/// data packet); the per-flow windows live in a `Vec` indexed by id.
+/// Monitors never release ids — every flow ever seen stays in the final
+/// census.
 #[derive(Debug)]
 pub struct EpochActivity {
     link: LinkId,
     epoch: SimDuration,
     max_count: usize,
-    /// Per flow: (first packet time, last seen epoch index, count in
-    /// that epoch, histogram of closed-epoch counts).
-    flows: HashMap<FlowKey, FlowEpochs>,
+    interner: FlowInterner,
+    /// Per flow (indexed by interned id): (first packet time, last seen
+    /// epoch index, count in that epoch, histogram of closed-epoch
+    /// counts).
+    flows: Vec<FlowEpochs>,
 }
 
 #[derive(Debug)]
@@ -42,7 +48,8 @@ impl EpochActivity {
             link,
             epoch,
             max_count,
-            flows: HashMap::new(),
+            interner: FlowInterner::new(),
+            flows: Vec::new(),
         }
     }
 
@@ -52,7 +59,7 @@ impl EpochActivity {
     /// `max_count`.
     pub fn distribution(&mut self, end: SimTime) -> Vec<f64> {
         let mut totals = vec![0u64; self.max_count + 1];
-        for fe in self.flows.values_mut() {
+        for fe in self.flows.iter_mut() {
             let final_epoch = end.saturating_since(fe.anchor).as_nanos() / self.epoch.as_nanos();
             while fe.current_epoch < final_epoch {
                 let bucket = fe.current_count.min(self.max_count);
@@ -84,12 +91,17 @@ impl LinkMonitor for EpochActivity {
         }
         let epoch_len = self.epoch;
         let max = self.max_count;
-        let fe = self.flows.entry(pkt.flow).or_insert_with(|| FlowEpochs {
-            anchor: now,
-            current_epoch: 0,
-            current_count: 0,
-            histogram: vec![0; max + 1],
-        });
+        let (id, fresh) = self.interner.intern(pkt.flow);
+        if fresh {
+            debug_assert_eq!(id.index(), self.flows.len(), "monitors never release ids");
+            self.flows.push(FlowEpochs {
+                anchor: now,
+                current_epoch: 0,
+                current_count: 0,
+                histogram: vec![0; max + 1],
+            });
+        }
+        let fe = &mut self.flows[id.index()];
         let idx = now.saturating_since(fe.anchor).as_nanos() / epoch_len.as_nanos();
         while fe.current_epoch < idx {
             let bucket = fe.current_count.min(max);
@@ -104,7 +116,7 @@ impl LinkMonitor for EpochActivity {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use taq_sim::{NodeId, PacketBuilder};
+    use taq_sim::{FlowKey, NodeId, PacketBuilder};
 
     fn pkt(port: u16) -> Packet {
         PacketBuilder::new(FlowKey {

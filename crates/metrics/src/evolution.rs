@@ -15,8 +15,7 @@
 //! explicitly marked finished (a finished flow's silence is not a
 //! stall).
 
-use std::collections::HashMap;
-use taq_sim::{FlowKey, LinkId, LinkMonitor, Packet, SimDuration, SimTime};
+use taq_sim::{FlowInterner, FlowKey, LinkId, LinkMonitor, Packet, SimDuration, SimTime};
 
 /// Per-window counts of the four evolution categories.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,14 +39,21 @@ impl EvolutionCounts {
 
 /// Collects per-window activity from bottleneck transmissions and
 /// classifies flow evolution.
+///
+/// Flow keys are interned into dense ids; per-window activity and
+/// per-flow lifespans are `Vec`s indexed by id (ids are never released,
+/// as every flow stays in the census until marked finished).
 #[derive(Debug)]
 pub struct EvolutionTracker {
     link: LinkId,
     window: SimDuration,
-    /// Window index -> set of active flows (as a map for dedup).
-    activity: Vec<HashMap<FlowKey, u32>>,
-    /// First and last window in which each flow may be counted.
-    lifespan: HashMap<FlowKey, (usize, Option<usize>)>,
+    interner: FlowInterner,
+    /// Window index -> per-flow packet counts, indexed by interned id
+    /// (zero = silent; windows may be shorter than the flow roster).
+    activity: Vec<Vec<u32>>,
+    /// First and last window in which each flow may be counted,
+    /// indexed by interned id.
+    lifespan: Vec<(usize, Option<usize>)>,
 }
 
 impl EvolutionTracker {
@@ -58,8 +64,9 @@ impl EvolutionTracker {
         EvolutionTracker {
             link,
             window,
+            interner: FlowInterner::new(),
             activity: Vec::new(),
-            lifespan: HashMap::new(),
+            lifespan: Vec::new(),
         }
     }
 
@@ -74,8 +81,8 @@ impl EvolutionTracker {
     /// [`taq_tcp::FlowRecord`]: https://docs.rs/taq-tcp
     pub fn mark_finished(&mut self, flow: FlowKey, t: SimTime) {
         let w = self.window_of(t);
-        if let Some((_, end)) = self.lifespan.get_mut(&flow) {
-            *end = Some(w);
+        if let Some(id) = self.interner.get(&flow) {
+            self.lifespan[id.index()].1 = Some(w);
         }
     }
 
@@ -90,7 +97,8 @@ impl EvolutionTracker {
         if w == 0 || w >= self.activity.len() {
             return c;
         }
-        for (flow, &(first, last)) in &self.lifespan {
+        let active_in = |window: &Vec<u32>, idx: usize| window.get(idx).is_some_and(|&c| c > 0);
+        for (idx, &(first, last)) in self.lifespan.iter().enumerate() {
             if first >= w {
                 continue; // Not yet born at the previous window.
             }
@@ -99,8 +107,8 @@ impl EvolutionTracker {
                     continue; // Finished before this window.
                 }
             }
-            let was = self.activity[w - 1].contains_key(flow);
-            let is = self.activity[w].contains_key(flow);
+            let was = active_in(&self.activity[w - 1], idx);
+            let is = active_in(&self.activity[w], idx);
             match (was, is) {
                 (true, true) => c.maintained += 1,
                 (true, false) => c.dropped += 1,
@@ -124,10 +132,22 @@ impl LinkMonitor for EvolutionTracker {
         }
         let w = self.window_of(now);
         while self.activity.len() <= w {
-            self.activity.push(HashMap::new());
+            self.activity.push(Vec::new());
         }
-        *self.activity[w].entry(pkt.flow).or_default() += 1;
-        self.lifespan.entry(pkt.flow).or_insert((w, None));
+        let (id, fresh) = self.interner.intern(pkt.flow);
+        if fresh {
+            debug_assert_eq!(
+                id.index(),
+                self.lifespan.len(),
+                "monitors never release ids"
+            );
+            self.lifespan.push((w, None));
+        }
+        let window = &mut self.activity[w];
+        if window.len() <= id.index() {
+            window.resize(id.index() + 1, 0);
+        }
+        window[id.index()] += 1;
     }
 }
 

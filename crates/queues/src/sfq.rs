@@ -12,7 +12,7 @@
 //! DropTail.
 
 use std::collections::VecDeque;
-use taq_sim::{EnqueueOutcome, FlowKey, Packet, Qdisc, SimTime};
+use taq_sim::{fx_hash_key, EnqueueOutcome, FlowKey, Packet, Qdisc, SimTime};
 
 /// Stochastic Fairness Queueing discipline.
 #[derive(Debug)]
@@ -53,17 +53,8 @@ impl Sfq {
     }
 
     fn bucket_of(&self, flow: &FlowKey) -> usize {
-        // FNV-1a over the 4-tuple, salted.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.perturbation;
-        let mut eat = |v: u64| {
-            h ^= v;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        };
-        eat(u64::from(flow.src.0));
-        eat(u64::from(flow.src_port));
-        eat(u64::from(flow.dst.0));
-        eat(u64::from(flow.dst_port));
-        (h % self.buckets.len() as u64) as usize
+        // Shared salted Fx hash (same one the flow interner uses).
+        (fx_hash_key(flow, self.perturbation) % self.buckets.len() as u64) as usize
     }
 
     /// Index of the longest bucket (ties broken by lowest index, which is

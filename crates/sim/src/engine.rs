@@ -11,7 +11,7 @@
 //! be fanned out across worker threads (see DESIGN.md's "Concurrency
 //! model").
 
-use crate::events::{EventKind, EventQueue, TimerId, TimerTable};
+use crate::events::{EventKind, EventQueue, SchedulerKind, TimerId, TimerTable};
 use crate::link::{Link, LinkStats};
 use crate::monitor::{AsAny, LinkMonitor, MonitorId};
 use crate::packet::{LinkId, NodeId, Packet};
@@ -253,13 +253,21 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Creates an empty simulator with the given RNG seed.
+    /// Creates an empty simulator with the given RNG seed, scheduling
+    /// events on the default timer-wheel backend.
     pub fn new(seed: u64) -> Self {
+        Simulator::with_scheduler(seed, SchedulerKind::default())
+    }
+
+    /// Creates an empty simulator with an explicit scheduler backend.
+    /// Both backends produce identical event orderings; the non-default
+    /// [`SchedulerKind::BinaryHeap`] exists for equivalence testing.
+    pub fn with_scheduler(seed: u64, scheduler: SchedulerKind) -> Self {
         Simulator {
             agents: Vec::new(),
             world: World {
                 now: SimTime::ZERO,
-                queue: EventQueue::new(),
+                queue: EventQueue::with_scheduler(scheduler),
                 timers: TimerTable::new(),
                 links: Vec::new(),
                 routes: Vec::new(),
@@ -541,11 +549,15 @@ mod tests {
     use std::cell::RefCell;
     use std::sync::{Arc, Mutex};
 
-    /// Sends `count` packets to `peer` at start; records arrivals.
+    /// Shared arrival log: `(arrival time, packet id)` per packet.
+    type ArrivalLog = Arc<Mutex<Vec<(SimTime, u64)>>>;
+
+    /// Sends `count` packets to `peer` at start; records arrivals when
+    /// a sink is attached (pure senders carry no sink at all).
     struct Chatter {
         peer: NodeId,
         count: u32,
-        received: Arc<Mutex<Vec<(SimTime, u64)>>>,
+        received: Option<ArrivalLog>,
         timer_fires: Vec<u64>,
     }
 
@@ -566,7 +578,9 @@ mod tests {
         }
 
         fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
-            self.received.lock().unwrap().push((ctx.now(), pkt.id));
+            if let Some(received) = &self.received {
+                received.lock().unwrap().push((ctx.now(), pkt.id));
+            }
         }
 
         fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
@@ -582,13 +596,13 @@ mod tests {
         let a = sim.add_agent(Box::new(Chatter {
             peer: NodeId(1),
             count,
-            received: Arc::new(Mutex::new(Vec::new())),
+            received: None,
             timer_fires: Vec::new(),
         }));
         let b = sim.add_agent(Box::new(Chatter {
             peer: NodeId(0),
             count: 0,
-            received: received.clone(),
+            received: Some(received.clone()),
             timer_fires: Vec::new(),
         }));
         // 1 Mbps, 10 ms delay: a 540-byte packet serializes in 4.32 ms.
@@ -707,14 +721,14 @@ mod tests {
         let src = sim.add_agent(Box::new(Chatter {
             peer: NodeId(2),
             count: 2,
-            received: Arc::new(Mutex::new(Vec::new())),
+            received: None,
             timer_fires: Vec::new(),
         }));
         let router = sim.add_agent(Box::new(ForwardingRouter));
         let dst = sim.add_agent(Box::new(Chatter {
             peer: NodeId(0),
             count: 0,
-            received: received.clone(),
+            received: Some(received.clone()),
             timer_fires: Vec::new(),
         }));
         let l1 = sim.add_link(
@@ -744,10 +758,54 @@ mod tests {
             let (mut sim, _a, _b, received) = two_node_sim(5);
             let _ = seed;
             sim.run();
-            let v: Vec<(SimTime, u64)> = received.lock().unwrap().clone();
-            v
+            // Dropping the simulator releases the receiver's handle, so
+            // the trace moves out of the Arc without a copy.
+            drop(sim);
+            Arc::try_unwrap(received)
+                .expect("sole owner after drop")
+                .into_inner()
+                .unwrap()
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn schedulers_produce_identical_traces() {
+        let run = |scheduler| {
+            let mut sim = Simulator::with_scheduler(1, scheduler);
+            let received = Arc::new(Mutex::new(Vec::new()));
+            let a = sim.add_agent(Box::new(Chatter {
+                peer: NodeId(1),
+                count: 16,
+                received: None,
+                timer_fires: Vec::new(),
+            }));
+            let b = sim.add_agent(Box::new(Chatter {
+                peer: NodeId(0),
+                count: 0,
+                received: Some(received.clone()),
+                timer_fires: Vec::new(),
+            }));
+            let link = sim.add_link(
+                a,
+                b,
+                Bandwidth::from_mbps(1),
+                SimDuration::from_millis(10),
+                Box::new(UnboundedFifo::new()),
+            );
+            sim.set_default_route(a, link);
+            sim.schedule_start(a, SimTime::ZERO);
+            sim.run();
+            drop(sim);
+            Arc::try_unwrap(received)
+                .expect("sole owner after drop")
+                .into_inner()
+                .unwrap()
+        };
+        let wheel = run(SchedulerKind::TimerWheel);
+        let heap = run(SchedulerKind::BinaryHeap);
+        assert_eq!(wheel, heap);
+        assert_eq!(wheel.len(), 16);
     }
 
     #[test]
@@ -757,7 +815,7 @@ mod tests {
         let a = sim.add_agent(Box::new(Chatter {
             peer: NodeId(0),
             count: 1,
-            received: Arc::new(Mutex::new(Vec::new())),
+            received: None,
             timer_fires: Vec::new(),
         }));
         sim.schedule_start(a, SimTime::ZERO);

@@ -5,6 +5,22 @@
 //! in the order they were scheduled. This removes the nondeterminism a
 //! plain binary heap would introduce for equal keys and is what makes
 //! whole-simulation runs reproducible.
+//!
+//! Two interchangeable scheduler backends implement that contract:
+//!
+//! - [`SchedulerKind::TimerWheel`] (the default): a hierarchical timer
+//!   wheel bucketing events by quantized `SimTime` tick. Push is O(1)
+//!   (a shift, a mask, a `Vec` push); pop amortizes the per-level
+//!   cascades over every event's lifetime. Slot vectors are recycled,
+//!   so steady-state operation performs no per-event allocation.
+//! - [`SchedulerKind::BinaryHeap`]: the original `BinaryHeap`
+//!   scheduler, kept selectable so equivalence tests can pin the wheel
+//!   against it event for event.
+//!
+//! Both backends pop the exact same `(time, seq)` sequence; the wheel
+//! only changes *how* the minimum is found, never *which* event is the
+//! minimum. The equivalence suite in `tests/sweep_determinism.rs`
+//! asserts byte-identical whole-simulation traces across the two.
 
 use crate::packet::{LinkId, NodeId, Packet};
 use crate::time::SimTime;
@@ -28,6 +44,16 @@ impl TimerId {
             generation: u32::MAX,
         }
     }
+}
+
+/// Which event-scheduler backend a simulation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Hierarchical timer wheel (the fast default).
+    #[default]
+    TimerWheel,
+    /// The reference `BinaryHeap` scheduler (equivalence testing).
+    BinaryHeap,
 }
 
 /// What a fired event does.
@@ -75,52 +101,281 @@ impl Ord for ScheduledEvent {
     }
 }
 
-/// Min-heap of pending events keyed by `(time, seq)`.
-#[derive(Debug, Default)]
+/// Nanoseconds per wheel tick, as a shift: 2^16 ns ≈ 65.5 µs. Fine
+/// enough that few unrelated events share a tick, coarse enough that a
+/// multi-second RTO lands within the wheel's six levels.
+const GRANULARITY_SHIFT: u32 = 16;
+/// log2 of the slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels; together they cover `2^(6*6)` ticks ≈ 52 days of
+/// simulated time ahead of the cursor. Events beyond that horizon go to
+/// the overflow heap (e.g. sentinel timers at `SimTime::MAX`).
+const LEVELS: usize = 6;
+
+/// The tick an absolute time falls into.
+fn tick_of(t: SimTime) -> u64 {
+    t.as_nanos() >> GRANULARITY_SHIFT
+}
+
+/// Hierarchical timer wheel, keyed by quantized tick.
+///
+/// Invariants (see DESIGN.md §11 for the full argument):
+///
+/// - `current_tick` never exceeds the tick of any pending event;
+/// - every event stored at level `l` agrees with `current_tick` on all
+///   bits above `6·(l+1)` of its tick, and its level-`l` slot index is
+///   strictly greater than the cursor's — so a forward scan of the
+///   occupancy bitmaps finds the earliest slot without wraparound;
+/// - `ready` holds exactly the events whose tick is `<= current_tick`,
+///   sorted by `(time, seq)` descending so `pop` is a `Vec::pop`;
+/// - the cursor only ever advances onto a slot *boundary* (cascade) or
+///   an exact level-0 tick, both of which empty the slot they land on.
+#[derive(Debug)]
+struct TimerWheel {
+    current_tick: u64,
+    /// Due events, sorted descending by `(time, seq)`; pop from the back.
+    ready: Vec<ScheduledEvent>,
+    levels: Vec<Vec<Vec<ScheduledEvent>>>,
+    /// Per-level slot-occupancy bitmaps (bit `s` = slot `s` non-empty).
+    occupied: [u64; LEVELS],
+    /// Events beyond the wheel horizon.
+    overflow: BinaryHeap<ScheduledEvent>,
+    /// Recycled slot buffer for cascades (allocation pooling).
+    scratch: Vec<ScheduledEvent>,
+    len: usize,
+}
+
+impl TimerWheel {
+    fn new() -> Self {
+        TimerWheel {
+            current_tick: 0,
+            ready: Vec::new(),
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            scratch: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Sorted insert into the descending `ready` buffer.
+    fn ready_insert(&mut self, ev: ScheduledEvent) {
+        let key = (ev.time, ev.seq);
+        // Descending order: find the first element strictly smaller.
+        let pos = self.ready.partition_point(|e| (e.time, e.seq) > key);
+        self.ready.insert(pos, ev);
+    }
+
+    /// Places an event relative to the current cursor.
+    fn place(&mut self, ev: ScheduledEvent) {
+        let t = tick_of(ev.time);
+        if t <= self.current_tick {
+            self.ready_insert(ev);
+            return;
+        }
+        let diff = t ^ self.current_tick;
+        let level = ((63 - diff.leading_zeros()) / SLOT_BITS) as usize;
+        if level >= LEVELS {
+            self.overflow.push(ev);
+            return;
+        }
+        let slot = ((t >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.levels[level][slot].push(ev);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    fn push(&mut self, ev: ScheduledEvent) {
+        self.place(ev);
+        self.len += 1;
+    }
+
+    /// Smallest occupied slot index strictly above `above`, if any.
+    fn next_slot(bitmap: u64, above: u64) -> Option<u32> {
+        let mask = if above >= 63 {
+            0
+        } else {
+            bitmap & !((1u64 << (above + 1)) - 1)
+        };
+        (mask != 0).then(|| mask.trailing_zeros())
+    }
+
+    /// Ensures `ready` holds the earliest pending events (or the wheel
+    /// is empty), advancing the cursor and cascading as needed.
+    fn advance(&mut self) {
+        loop {
+            // Overflow events become due when the cursor catches up.
+            while self
+                .overflow
+                .peek()
+                .is_some_and(|e| tick_of(e.time) <= self.current_tick)
+            {
+                let ev = self.overflow.pop().expect("peeked");
+                self.ready_insert(ev);
+            }
+            if !self.ready.is_empty() || self.len == 0 {
+                return;
+            }
+            // Find the earliest candidate: an exact level-0 tick, the
+            // base of a higher-level slot (a lower bound on its
+            // contents), or the overflow minimum. Distinct levels can
+            // never tie (their bases differ in the level's own bit
+            // range), so `min` by (tick, level) picks a unique action;
+            // preferring the wheel over overflow on a tie is handled by
+            // the cursor advance plus the loop-top overflow drain.
+            let mut best: Option<(u64, usize, u32)> = None;
+            for level in 0..LEVELS {
+                let cur_slot =
+                    (self.current_tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1);
+                if let Some(s) = Self::next_slot(self.occupied[level], cur_slot) {
+                    let shift = SLOT_BITS * level as u32;
+                    let upper = self.current_tick >> (shift + SLOT_BITS);
+                    let tick = ((upper << SLOT_BITS) | u64::from(s)) << shift;
+                    if best.is_none_or(|(t, _, _)| tick < t) {
+                        best = Some((tick, level, s));
+                    }
+                }
+            }
+            if let Some(ov) = self.overflow.peek() {
+                let t = tick_of(ov.time);
+                if best.is_none_or(|(bt, _, _)| t < bt) {
+                    // Jump the cursor; the loop top drains the overflow.
+                    self.current_tick = t;
+                    continue;
+                }
+            }
+            let Some((tick, level, slot)) = best else {
+                // Only possible if len drifted; treat as empty.
+                return;
+            };
+            self.current_tick = tick;
+            let slot = slot as usize;
+            self.occupied[level] &= !(1u64 << slot);
+            if level == 0 {
+                // Every event in a level-0 slot shares the exact tick
+                // the cursor just reached: move them all to `ready`.
+                let bucket = &mut self.levels[0][slot];
+                self.ready.append(bucket);
+                self.ready
+                    .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+            } else {
+                // Cascade: re-place the slot's events now that the
+                // cursor shares their upper bits. The buffer swap keeps
+                // both vectors' capacity alive across cascades.
+                let mut buf = std::mem::replace(
+                    &mut self.levels[level][slot],
+                    std::mem::take(&mut self.scratch),
+                );
+                for ev in buf.drain(..) {
+                    self.place(ev);
+                }
+                self.scratch = buf;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.advance();
+        let ev = self.ready.pop()?;
+        self.len -= 1;
+        Some(ev)
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.advance();
+        self.ready.last().map(|e| e.time)
+    }
+}
+
+/// Min-queue of pending events keyed by `(time, seq)`, over a
+/// selectable backend.
+#[derive(Debug)]
+enum QueueImpl {
+    Wheel(Box<TimerWheel>),
+    Heap(BinaryHeap<ScheduledEvent>),
+}
+
+#[derive(Debug)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
+    backend: QueueImpl,
     next_seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
 }
 
 impl EventQueue {
     pub fn new() -> Self {
-        EventQueue::default()
+        EventQueue::with_scheduler(SchedulerKind::TimerWheel)
+    }
+
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
+        let backend = match kind {
+            SchedulerKind::TimerWheel => QueueImpl::Wheel(Box::new(TimerWheel::new())),
+            SchedulerKind::BinaryHeap => QueueImpl::Heap(BinaryHeap::new()),
+        };
+        EventQueue {
+            backend,
+            next_seq: 0,
+        }
     }
 
     /// Schedules `kind` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent {
+        let ev = ScheduledEvent {
             time: at,
             seq,
             kind,
-        });
+        };
+        match &mut self.backend {
+            QueueImpl::Wheel(w) => w.push(ev),
+            QueueImpl::Heap(h) => h.push(ev),
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        self.heap.pop()
+        match &mut self.backend {
+            QueueImpl::Wheel(w) => w.pop(),
+            QueueImpl::Heap(h) => h.pop(),
+        }
     }
 
-    /// Time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    /// Time of the earliest pending event. (`&mut` because the wheel
+    /// backend may advance its cursor to locate the minimum; the set of
+    /// pending events is unchanged.)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.backend {
+            QueueImpl::Wheel(w) => w.peek_time(),
+            QueueImpl::Heap(h) => h.peek().map(|e| e.time),
+        }
     }
 
     #[cfg(test)]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        match &self.backend {
+            QueueImpl::Wheel(w) => w.len == 0,
+            QueueImpl::Heap(h) => h.is_empty(),
+        }
     }
 }
 
 /// Timer liveness table.
 ///
-/// Timers fire as heap events, which cannot be removed from the middle of
-/// a heap; cancellation instead bumps a per-slot generation counter so the
-/// stale event is discarded when it surfaces. Slots are recycled through
-/// a free list, keeping the table size proportional to the number of
-/// *live* timers, not the number ever created.
+/// Timers fire as queued events, which cannot be removed from the middle
+/// of a scheduler backend; cancellation instead bumps a per-slot
+/// generation counter so the stale event is discarded when it surfaces.
+/// Slots are recycled through a free list, keeping the table size
+/// proportional to the number of *live* timers, not the number ever
+/// created.
 #[derive(Debug, Default)]
 pub(crate) struct TimerTable {
     generations: Vec<u32>,
@@ -178,25 +433,96 @@ impl TimerTable {
 mod tests {
     use super::*;
     use crate::packet::NodeId;
+    use crate::rng::SimRng;
+    use crate::time::SimDuration;
 
     #[test]
     fn events_pop_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(3), EventKind::Start { node: NodeId(3) });
-        q.push(SimTime::from_secs(1), EventKind::Start { node: NodeId(1) });
-        q.push(SimTime::from_secs(2), EventKind::Start { node: NodeId(2) });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| e.time.as_nanos() / 1_000_000_000)
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for kind in [SchedulerKind::TimerWheel, SchedulerKind::BinaryHeap] {
+            let mut q = EventQueue::with_scheduler(kind);
+            q.push(SimTime::from_secs(3), EventKind::Start { node: NodeId(3) });
+            q.push(SimTime::from_secs(1), EventKind::Start { node: NodeId(1) });
+            q.push(SimTime::from_secs(2), EventKind::Start { node: NodeId(2) });
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|e| e.time.as_nanos() / 1_000_000_000)
+                .collect();
+            assert_eq!(order, vec![1, 2, 3], "{kind:?}");
+        }
     }
 
     #[test]
     fn ties_break_by_schedule_order() {
+        for kind in [SchedulerKind::TimerWheel, SchedulerKind::BinaryHeap] {
+            let mut q = EventQueue::with_scheduler(kind);
+            let t = SimTime::from_secs(1);
+            for n in 0..10 {
+                q.push(t, EventKind::Start { node: NodeId(n) });
+            }
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+                .map(|e| match e.kind {
+                    EventKind::Start { node } => node.0,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, (0..10).collect::<Vec<_>>(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        for kind in [SchedulerKind::TimerWheel, SchedulerKind::BinaryHeap] {
+            let mut q = EventQueue::with_scheduler(kind);
+            assert!(q.peek_time().is_none());
+            q.push(SimTime::from_secs(5), EventKind::Start { node: NodeId(0) });
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+            assert!(q.pop().is_some());
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn wheel_handles_far_future_and_sentinel_times() {
         let mut q = EventQueue::new();
-        let t = SimTime::from_secs(1);
-        for n in 0..10 {
-            q.push(t, EventKind::Start { node: NodeId(n) });
+        // Beyond the wheel horizon (> 52 days) and the MAX sentinel.
+        q.push(SimTime::MAX, EventKind::Start { node: NodeId(9) });
+        q.push(
+            SimTime::from_secs(100 * 24 * 3600),
+            EventKind::Start { node: NodeId(2) },
+        );
+        q.push(
+            SimTime::from_millis(5),
+            EventKind::Start { node: NodeId(1) },
+        );
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Start { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 9]);
+    }
+
+    #[test]
+    fn wheel_cascades_across_levels() {
+        let mut q = EventQueue::new();
+        // Spread events across every level: 1 tick ≈ 65.5 µs, so these
+        // spans hit levels 0 through 4 plus overflow.
+        let times = [
+            SimDuration::from_micros(70),
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(400),
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(1_500),
+            SimDuration::from_secs(90_000),
+            SimDuration::from_secs(7_000_000),
+        ];
+        for (i, d) in times.iter().enumerate() {
+            q.push(
+                SimTime::ZERO + *d,
+                EventKind::Start {
+                    node: NodeId(i as u32),
+                },
+            );
         }
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
@@ -204,17 +530,83 @@ mod tests {
                 _ => unreachable!(),
             })
             .collect();
-        assert_eq!(order, (0..10).collect::<Vec<_>>());
+        assert_eq!(order, (0..times.len() as u32).collect::<Vec<_>>());
     }
 
     #[test]
-    fn peek_time_matches_pop() {
+    fn interleaved_push_pop_keeps_order() {
+        // Pops interleaved with pushes near the cursor: the regression
+        // shape for cursor-advance bugs (same-tick inserts must join the
+        // ready buffer in (time, seq) position).
         let mut q = EventQueue::new();
-        assert!(q.peek_time().is_none());
-        q.push(SimTime::from_secs(5), EventKind::Start { node: NodeId(0) });
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
-        assert!(q.pop().is_some());
-        assert!(q.is_empty());
+        q.push(
+            SimTime::from_micros(100),
+            EventKind::Start { node: NodeId(0) },
+        );
+        let first = q.pop().unwrap();
+        assert_eq!(first.time, SimTime::from_micros(100));
+        // Same tick as the popped event, later time.
+        q.push(
+            SimTime::from_micros(110),
+            EventKind::Start { node: NodeId(1) },
+        );
+        // Same tick, even later; then a far one.
+        q.push(
+            SimTime::from_micros(115),
+            EventKind::Start { node: NodeId(2) },
+        );
+        q.push(SimTime::from_secs(2), EventKind::Start { node: NodeId(3) });
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Start { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wheel_matches_heap_under_random_churn() {
+        // Drive both backends with an identical random push/pop script
+        // and require the exact same pop sequence — the wheel must be
+        // indistinguishable from the reference heap.
+        let mut rng = SimRng::new(0xBEE5);
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::with_scheduler(SchedulerKind::BinaryHeap);
+        let mut now = 0u64;
+        for step in 0..20_000u64 {
+            if rng.chance(0.6) {
+                // Mostly near-future, occasionally far-future pushes.
+                let delta = if rng.chance(0.02) {
+                    rng.range_u64(0, 1 << 53)
+                } else {
+                    rng.range_u64(0, 200_000_000)
+                };
+                let at = SimTime::from_nanos(now + delta);
+                let node = NodeId(step as u32);
+                wheel.push(at, EventKind::Start { node });
+                heap.push(at, EventKind::Start { node });
+            } else {
+                let a = wheel.pop();
+                let b = heap.pop();
+                match (&a, &b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.time, x.seq), (y.time, y.seq), "step {step}");
+                        now = x.time.as_nanos();
+                    }
+                    (None, None) => {}
+                    _ => panic!("backends disagree on emptiness at step {step}"),
+                }
+            }
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            match (&a, &b) {
+                (Some(x), Some(y)) => assert_eq!((x.time, x.seq), (y.time, y.seq)),
+                (None, None) => break,
+                _ => panic!("backends disagree on drain length"),
+            }
+        }
     }
 
     #[test]

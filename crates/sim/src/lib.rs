@@ -39,6 +39,7 @@
 
 mod engine;
 mod events;
+mod intern;
 mod link;
 mod monitor;
 mod packet;
@@ -49,7 +50,8 @@ mod topology;
 mod trace;
 
 pub use engine::{Agent, Ctx, ForwardingRouter, Simulator};
-pub use events::TimerId;
+pub use events::{SchedulerKind, TimerId};
+pub use intern::{fx_hash_key, FlowId, FlowInterner, FxBuildHasher, FxHasher};
 pub use link::LinkStats;
 pub use monitor::{
     telemetry_flow_id, AsAny, EventRecorder, LinkMonitor, MonitorId, RecordedEvent, RecordedKind,

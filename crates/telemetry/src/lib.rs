@@ -247,9 +247,9 @@ impl Telemetry {
     /// listener, and two `Instant::now()` calls per packet are exactly
     /// the cost an idle deployment must not pay.
     #[inline]
-    pub fn scoped(&self, id: HistogramId) -> ScopedTimer<'_> {
+    pub fn scoped(&self, id: HistogramId) -> ScopedTimer {
         ScopedTimer {
-            armed: self.listening().then(|| (Instant::now(), self, id)),
+            armed: self.listening().then(|| (Instant::now(), self.clone(), id)),
         }
     }
 
@@ -279,12 +279,15 @@ impl Telemetry {
 }
 
 /// Guard returned by [`Telemetry::scoped`]; records the elapsed time on
-/// drop. Inert (no clock reads at all) when telemetry is disabled.
-pub struct ScopedTimer<'a> {
-    armed: Option<(Instant, &'a Telemetry, HistogramId)>,
+/// drop. Inert (no clock reads, no handle clone) when telemetry is
+/// disabled or sinkless — the guard owns its handle only while someone
+/// is listening, so callers holding `&mut self` state never need a
+/// per-call `Telemetry` clone just to satisfy the borrow checker.
+pub struct ScopedTimer {
+    armed: Option<(Instant, Telemetry, HistogramId)>,
 }
 
-impl Drop for ScopedTimer<'_> {
+impl Drop for ScopedTimer {
     fn drop(&mut self) {
         if let Some((start, telemetry, id)) = self.armed.take() {
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);

@@ -12,7 +12,8 @@
 use crate::weblog::LogEntry;
 use taq_faults::{FaultDriver, FaultPlan, FaultyLink, SharedFaultStats};
 use taq_sim::{
-    Bandwidth, Dumbbell, DumbbellConfig, NodeId, Qdisc, SimDuration, SimRng, SimTime, Simulator,
+    Bandwidth, Dumbbell, DumbbellConfig, NodeId, Qdisc, SchedulerKind, SimDuration, SimRng,
+    SimTime, Simulator,
 };
 use taq_tcp::{new_flow_log, ClientHost, Request, ServerHost, SharedFlowLog, TcpConfig};
 use taq_telemetry::Telemetry;
@@ -49,6 +50,10 @@ pub struct DumbbellSpec {
     /// Telemetry handle cloned into the fault layer (fault events are
     /// emitted per injection). Defaults to disabled.
     pub telemetry: Telemetry,
+    /// Event-queue scheduler backend. Defaults to the timer wheel; the
+    /// binary heap is kept as a reference backend for equivalence
+    /// testing.
+    pub scheduler: SchedulerKind,
 }
 
 impl DumbbellSpec {
@@ -59,6 +64,7 @@ impl DumbbellSpec {
             tcp: TcpConfig::default(),
             faults: FaultPlan::none(),
             telemetry: Telemetry::disabled(),
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -83,11 +89,20 @@ impl DumbbellSpec {
         self
     }
 
+    /// Replaces the event-queue scheduler backend.
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// Builds the scenario for `seed` with the given bottleneck
     /// discipline and an uncongested FIFO reverse path.
     pub fn build(&self, seed: u64, forward_qdisc: Box<dyn Qdisc>) -> DumbbellScenario {
         let (fwd, stats) = self.wrap_forward(seed, forward_qdisc);
-        let mut sc = DumbbellScenario::new(seed, self.topo.clone(), fwd, self.tcp.clone());
+        let mut sim = Simulator::with_scheduler(seed, self.scheduler);
+        let db = Dumbbell::build_simple(&mut sim, self.topo.clone(), fwd);
+        let mut sc = DumbbellScenario::finish(sim, db, self.tcp.clone(), seed);
         self.install_faults(&mut sc, seed, stats);
         sc
     }
@@ -101,13 +116,9 @@ impl DumbbellSpec {
         reverse_qdisc: Box<dyn Qdisc>,
     ) -> DumbbellScenario {
         let (fwd, stats) = self.wrap_forward(seed, forward_qdisc);
-        let mut sc = DumbbellScenario::new_with_reverse(
-            seed,
-            self.topo.clone(),
-            fwd,
-            reverse_qdisc,
-            self.tcp.clone(),
-        );
+        let mut sim = Simulator::with_scheduler(seed, self.scheduler);
+        let db = Dumbbell::build(&mut sim, self.topo.clone(), fwd, reverse_qdisc);
+        let mut sc = DumbbellScenario::finish(sim, db, self.tcp.clone(), seed);
         self.install_faults(&mut sc, seed, stats);
         sc
     }

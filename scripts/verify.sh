@@ -64,6 +64,14 @@ fault_smoke() {
     run cargo run $OFFLINE --release -p taq-bench --bin faults_matrix -- --smoke --seeds 1,2 --threads 2
 }
 
+# Bench tier: regenerates BENCH_sim.json (fig01 churn + fig08 many-flow
+# hot-path numbers, with the tracked pre-overhaul baseline embedded) so
+# CI can archive it and reviewers can diff events/sec against the
+# committed copy.
+bench_report() {
+    run cargo run $OFFLINE --release -p taq-bench --bin bench_report -- --iters 3 --out BENCH_sim.json
+}
+
 quick() {
     fmt_check
     lint
@@ -75,6 +83,7 @@ full() {
     quick
     sweep_smoke
     fault_smoke
+    bench_report
 }
 
 if [ "$#" -gt 0 ]; then

@@ -134,7 +134,11 @@ fn idle_keepalive_connection_tracks_as_dummy_silence_at_taq() {
     // Run past completion so idle epochs accumulate (but well short of
     // the tracker's GC horizon), then roll the tracker's clock forward.
     sim.run_until(SimTime::from_secs(5));
-    state.lock().unwrap().flows.tick(SimTime::from_secs(5));
+    state
+        .lock()
+        .unwrap()
+        .flows
+        .tick(SimTime::from_secs(5), |_| false);
 
     let st = state.lock().unwrap();
     let states: Vec<FlowState> = st.flows.iter().map(|f| f.state).collect();

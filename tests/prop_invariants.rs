@@ -251,6 +251,7 @@ fn classification_is_total() {
         let retx = rng.chance(0.5);
         let repairs = rng.chance(0.5);
         let obs = taq::Observation {
+            id: taq_sim::FlowId(0),
             retransmission: retx,
             repairs_our_drop: repairs && retx,
             state: taq::FlowState::Normal,

@@ -8,9 +8,10 @@
 //! order must match the input seed order regardless of scheduling.
 
 use taq_bench::{build_qdisc, sweep_seeds, Discipline};
-use taq_sim::{Bandwidth, DumbbellConfig, SimDuration, SimTime};
+use taq_faults::{FaultPlan, FaultStats, GilbertElliott};
+use taq_sim::{Bandwidth, DumbbellConfig, SchedulerKind, SimDuration, SimRng, SimTime};
 use taq_tcp::FlowRecord;
-use taq_workloads::DumbbellSpec;
+use taq_workloads::{weblog, DumbbellSpec, ObjectSizeModel};
 
 /// One run's comparable outputs: every flow-log record plus the TAQ
 /// counter snapshot. Both types derive `PartialEq`, so equality here
@@ -62,4 +63,114 @@ fn serial_and_parallel_sweeps_agree_exactly() {
     // Distinct seeds genuinely differ — the equality above is not
     // comparing trivially identical runs.
     assert_ne!(serial[0].records, serial[1].records);
+}
+
+/// The three scenario shapes the scheduler-equivalence suite pins:
+/// Figure 1-style flow churn, the Figure 8 many-flow regime, and a
+/// faulty link.
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    /// Short web downloads with heavy flow churn (fig01 shape).
+    Churn,
+    /// Many long-lived flows squeezed below one packet per RTT
+    /// (fig08 shape).
+    ManyFlow,
+    /// Bulk flows through a bursty-loss, duplicating link.
+    Faults,
+}
+
+/// Every output the run produces that experiments consume.
+#[derive(Debug, PartialEq)]
+struct FullFingerprint {
+    records: Vec<FlowRecord>,
+    taq: taq::TaqStats,
+    faults: Option<FaultStats>,
+    events: u64,
+}
+
+fn run_shape(shape: Shape, scheduler: SchedulerKind, seed: u64) -> FullFingerprint {
+    let rate = Bandwidth::from_kbps(400);
+    let buffer = rate.packets_per(SimDuration::from_millis(200), 500);
+    let built = build_qdisc(Discipline::Taq, rate, buffer, seed);
+    let mut spec = DumbbellSpec::new(DumbbellConfig::with_rtt_200ms(rate)).scheduler(scheduler);
+    if matches!(shape, Shape::Faults) {
+        spec = spec.faults(
+            FaultPlan::none()
+                .with_burst_loss(GilbertElliott::bursts(0.02, 6.0))
+                .with_duplicate(0.02),
+        );
+    }
+    let mut sc = spec.build_with_reverse(seed, built.forward, built.reverse);
+    match shape {
+        Shape::Churn => {
+            let cfg = weblog::WebLogConfig {
+                duration: SimDuration::from_secs(30),
+                clients: 20,
+                requests_per_sec: 4.0,
+                sizes: ObjectSizeModel::web_default(),
+            };
+            let mut rng = SimRng::new(seed ^ 7);
+            let log = weblog::generate(&cfg, &mut rng);
+            for (_client, entries) in weblog::by_client(&log) {
+                sc.add_scheduled_client(&entries, 4, SimTime::ZERO);
+            }
+            sc.run_until(SimTime::from_secs(40));
+        }
+        Shape::ManyFlow => {
+            sc.add_bulk_clients(40, 20_000, SimDuration::from_secs(1));
+            sc.run_until(SimTime::from_secs(30));
+        }
+        Shape::Faults => {
+            sc.add_bulk_clients(10, 40_000, SimDuration::from_secs(1));
+            sc.run_until(SimTime::from_secs(40));
+        }
+    }
+    let records = sc.log.lock().unwrap().records.clone();
+    let taq = built
+        .taq_state
+        .expect("taq run")
+        .lock()
+        .unwrap()
+        .stats
+        .clone();
+    let faults = sc.fault_stats.as_ref().map(|s| s.lock().unwrap().clone());
+    let events = sc.sim.events_processed();
+    FullFingerprint {
+        records,
+        taq,
+        faults,
+        events,
+    }
+}
+
+/// The timer wheel is a drop-in replacement for the binary heap: for
+/// every scenario shape, both schedulers produce byte-identical flow
+/// logs, TAQ counters, and fault counters, across sweep thread counts.
+#[test]
+fn timer_wheel_matches_binary_heap_across_scenarios() {
+    for shape in [Shape::Churn, Shape::ManyFlow, Shape::Faults] {
+        let seeds = [3u64, 11];
+        for threads in [1usize, 2] {
+            let wheel = sweep_seeds(&seeds, threads, |seed| {
+                run_shape(shape, SchedulerKind::TimerWheel, seed)
+            });
+            let heap = sweep_seeds(&seeds, threads, |seed| {
+                run_shape(shape, SchedulerKind::BinaryHeap, seed)
+            });
+            for ((w, h), seed) in wheel.iter().zip(&heap).zip(seeds) {
+                assert!(
+                    !w.records.is_empty() && w.taq.offered > 0,
+                    "{shape:?} seed {seed} produced work"
+                );
+                if matches!(shape, Shape::Faults) {
+                    let f = w.faults.as_ref().expect("fault stats present");
+                    assert!(f.total() > 0, "{shape:?} seed {seed} injected faults");
+                }
+                assert_eq!(
+                    w, h,
+                    "{shape:?} seed {seed} threads {threads}: schedulers diverged"
+                );
+            }
+        }
+    }
 }

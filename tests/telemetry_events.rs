@@ -50,7 +50,7 @@ fn scripted_flow_emits_exact_transition_sequence() {
     tab.on_drop(&key(), false, t(310));
     // One fully silent epoch with the repair outstanding: the sender is
     // waiting out its RTO.
-    tab.tick(t(450));
+    tab.tick(t(450), |_| false);
     // The retransmission arrives — timeout recovery, immediately.
     let obs = tab.observe_forward(&data(seq - 460), t(460));
     assert!(obs.retransmission);
