@@ -17,12 +17,11 @@ mod sweep;
 pub use report::{telemetry_report, DisciplineReport, TelemetryReport, TelemetryReportConfig};
 pub use sweep::{default_threads, sweep_indexed, sweep_seeds, SweepArgs};
 
-use taq::{SharedTaq, TaqConfig, TaqPair};
+use taq::SharedTaq;
 use taq_faults::{FaultPlan, FaultStats};
 use taq_metrics::{EvolutionTracker, SliceThroughput};
-use taq_queues::{DropTail, Red, RedConfig, Sfq};
-use taq_sim::{Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimRng, SimTime, UnboundedFifo};
-use taq_workloads::{DumbbellSpec, BULK_BYTES};
+use taq_sim::{Bandwidth, DumbbellConfig, Qdisc, SimDuration, SimTime};
+use taq_workloads::{DumbbellSpec, QdiscSpec, BULK_BYTES};
 
 /// Hand-rolled microbenchmark loop (the workspace builds offline, so no
 /// external bench harness): runs `f` `warmup` times untimed, then
@@ -83,6 +82,23 @@ impl Discipline {
             Discipline::TaqFq => "taq-fq",
         }
     }
+
+    /// The buildable [`QdiscSpec`] for this discipline with
+    /// `buffer_pkts` of buffering.
+    pub fn spec(self, buffer_pkts: usize) -> QdiscSpec {
+        match self {
+            Discipline::DropTail => QdiscSpec::DropTail { buffer_pkts },
+            Discipline::Red => QdiscSpec::Red { buffer_pkts },
+            Discipline::Sfq => QdiscSpec::Sfq { buffer_pkts },
+            Discipline::Taq => QdiscSpec::taq(buffer_pkts),
+            Discipline::TaqAdmission => QdiscSpec::taq_admission(buffer_pkts),
+            Discipline::TaqFq => QdiscSpec::Taq {
+                buffer_pkts,
+                admission: false,
+                fq_mode: true,
+            },
+        }
+    }
 }
 
 /// A constructed discipline pair plus (for TAQ) the shared state handle.
@@ -97,46 +113,17 @@ pub struct BuiltQdisc {
 
 /// Builds a discipline for a bottleneck of `rate` with `buffer_pkts` of
 /// buffering (500-byte packets assumed for RED's mean-packet-time).
+///
+/// Delegates to [`QdiscSpec::build`], the same construction the
+/// topology specs use per pipe — one code path, so the
+/// dumbbell-equivalence conformance suite compares genuinely identical
+/// disciplines.
 pub fn build_qdisc(d: Discipline, rate: Bandwidth, buffer_pkts: usize, seed: u64) -> BuiltQdisc {
-    match d {
-        Discipline::DropTail => BuiltQdisc {
-            forward: Box::new(DropTail::with_packets(buffer_pkts)),
-            reverse: Box::new(UnboundedFifo::new()),
-            taq_state: None,
-        },
-        Discipline::Red => {
-            let mean_pkt_time = 500.0 * 8.0 / rate.bps() as f64;
-            BuiltQdisc {
-                forward: Box::new(Red::new(
-                    RedConfig::conventional(buffer_pkts, mean_pkt_time),
-                    SimRng::new(seed ^ 0xDEAD),
-                )),
-                reverse: Box::new(UnboundedFifo::new()),
-                taq_state: None,
-            }
-        }
-        Discipline::Sfq => BuiltQdisc {
-            forward: Box::new(Sfq::new(1024, buffer_pkts)),
-            reverse: Box::new(UnboundedFifo::new()),
-            taq_state: None,
-        },
-        Discipline::Taq | Discipline::TaqAdmission | Discipline::TaqFq => {
-            let mut cfg = TaqConfig::for_link(rate);
-            cfg.buffer_pkts = buffer_pkts;
-            cfg.newflow_cap_pkts = cfg.newflow_cap_pkts.min(buffer_pkts);
-            if d == Discipline::TaqAdmission {
-                cfg.admission_control = true;
-            }
-            if d == Discipline::TaqFq {
-                cfg.fq_mode = true;
-            }
-            let pair = TaqPair::new(cfg);
-            BuiltQdisc {
-                forward: Box::new(pair.forward),
-                reverse: Box::new(pair.reverse),
-                taq_state: Some(pair.state),
-            }
-        }
+    let built = d.spec(buffer_pkts).build(rate, seed);
+    BuiltQdisc {
+        forward: built.forward,
+        reverse: built.reverse,
+        taq_state: built.taq,
     }
 }
 

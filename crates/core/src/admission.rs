@@ -262,6 +262,106 @@ mod tests {
         assert_eq!(ac.waiting_pools(), 0);
     }
 
+    /// The admit threshold is `p_thresh × headroom = 0.09` and the
+    /// comparison is strict: a loss rate epsilon below admits, the exact
+    /// boundary rejects, epsilon above rejects. Each probe uses a fresh
+    /// controller so the wait queue cannot mask the comparison.
+    #[test]
+    fn threshold_boundary_is_exclusive_from_both_sides() {
+        let c = cfg();
+        assert_eq!(c.p_thresh, 0.1, "paper's tipping point");
+        let effective = c.p_thresh * c.p_thresh_headroom;
+        assert!((effective - 0.09).abs() < 1e-12);
+        let probe = |loss: f64| AdmissionController::new(cfg()).on_syn(NodeId(1), loss, t(0));
+        assert_eq!(probe(effective - 1e-9), AdmissionDecision::Admit);
+        assert_eq!(
+            probe(effective),
+            AdmissionDecision::Reject,
+            "boundary itself rejects: the comparison is strict"
+        );
+        assert_eq!(probe(effective + 1e-9), AdmissionDecision::Reject);
+    }
+
+    /// Crossing the threshold is hysteretic in both directions: an
+    /// admitted pool is never re-evaluated while its session lives, and
+    /// a rejected pool does not auto-admit when loss falls — it admits
+    /// on its next SYN, from the head of the wait queue.
+    #[test]
+    fn threshold_crossings_are_hysteretic() {
+        let mut ac = AdmissionController::new(cfg());
+        // Below → above: the commitment holds at arbitrarily bad loss.
+        assert_eq!(ac.on_syn(NodeId(1), 0.089, t(0)), AdmissionDecision::Admit);
+        assert_eq!(ac.on_syn(NodeId(1), 0.091, t(1)), AdmissionDecision::Admit);
+        assert_eq!(ac.on_syn(NodeId(1), 0.99, t(2)), AdmissionDecision::Admit);
+        // Above → below: a waiting pool stays waiting until it re-SYNs.
+        assert_eq!(ac.on_syn(NodeId(2), 0.091, t(2)), AdmissionDecision::Reject);
+        assert_eq!(ac.waiting_pools(), 1);
+        assert_eq!(ac.on_syn(NodeId(2), 0.089, t(3)), AdmissionDecision::Admit);
+        assert_eq!(ac.waiting_pools(), 0);
+        assert_eq!(ac.admitted_pools, 2);
+    }
+
+    /// Pool admit/evict ordering: an admitted pool whose session expires
+    /// (evicted by the pool window) re-enters the wait queue *behind*
+    /// pools already waiting — eviction does not let a source jump the
+    /// line it once passed.
+    #[test]
+    fn evicted_pool_rejoins_the_wait_queue_behind_existing_waiters() {
+        let mut ac = AdmissionController::new(cfg());
+        assert_eq!(ac.on_syn(NodeId(1), 0.01, t(0)), AdmissionDecision::Admit);
+        // Pool 2 starts waiting while loss is high.
+        assert_eq!(ac.on_syn(NodeId(2), 0.5, t(4)), AdmissionDecision::Reject);
+        // Pool 1's session expires (silent past the pool window); its
+        // next SYN under high loss is a new pool and queues behind 2.
+        assert_eq!(ac.on_syn(NodeId(1), 0.5, t(10)), AdmissionDecision::Reject);
+        assert_eq!(ac.waiting_pools(), 2);
+        // Loss clears. Pool 1 retries first but is not head of line.
+        assert_eq!(ac.on_syn(NodeId(1), 0.01, t(11)), AdmissionDecision::Reject);
+        assert_eq!(ac.on_syn(NodeId(2), 0.01, t(11)), AdmissionDecision::Admit);
+        assert_eq!(ac.on_syn(NodeId(1), 0.01, t(11)), AdmissionDecision::Admit);
+        assert_eq!(ac.waiting_pools(), 0);
+    }
+
+    /// End-to-end across the meter: the measured loss rate crossing
+    /// `p_thresh` upward flips new-pool decisions to reject, and the bad
+    /// window rolling out flips them back to admit.
+    #[test]
+    fn meter_driven_decisions_cross_the_threshold_both_ways() {
+        let mut ac = AdmissionController::new(cfg());
+        let mut m = LossRateMeter::new(5, SimDuration::from_secs(1));
+        // Clean traffic: ~2% loss, well under the threshold.
+        for i in 0..100 {
+            m.record(i % 50 == 0, t(0));
+        }
+        assert_eq!(
+            ac.on_syn(NodeId(1), m.rate(t(0)), t(0)),
+            AdmissionDecision::Admit
+        );
+        // Congestion spike pushes the windowed rate past 0.1.
+        for _ in 0..100 {
+            m.record(true, t(1));
+        }
+        let spiked = m.rate(t(1));
+        assert!(spiked > 0.1, "rate {spiked}");
+        assert_eq!(
+            ac.on_syn(NodeId(2), spiked, t(1)),
+            AdmissionDecision::Reject
+        );
+        // Clean seconds roll the spike out of the window; the waiting
+        // pool's next SYN is admitted from the head of the line.
+        for s in 2..=7u64 {
+            for _ in 0..200 {
+                m.record(false, t(s));
+            }
+        }
+        let recovered = m.rate(t(7));
+        assert!(recovered < 0.09, "rate {recovered}");
+        assert_eq!(
+            ac.on_syn(NodeId(2), recovered, t(7)),
+            AdmissionDecision::Admit
+        );
+    }
+
     #[test]
     fn session_expiry_forms_new_pool() {
         let mut ac = AdmissionController::new(cfg());

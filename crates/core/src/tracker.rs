@@ -878,6 +878,65 @@ mod tests {
         assert!(tab.get(&key(2)).is_some());
     }
 
+    /// Regression: a flow rotten past the GC horizon must keep its id
+    /// while any downstream structure (e.g. a different hop's TAQ
+    /// buffer, modelled here by the `in_use` closure) still indexes by
+    /// it. Releasing early would hand the id to the next flow while old
+    /// state is still addressable under it.
+    #[test]
+    fn gc_defers_id_release_while_queues_hold_packets() {
+        let mut tab = FlowTable::new(cfg());
+        tab.observe_forward(&data(1, 1), t(0));
+        let dead = tab.id_of(&key(1)).unwrap();
+        // Far past the horizon, but the queue still buffers packets.
+        tab.tick(t(60_000), |id| id == dead);
+        assert_eq!(tab.len(), 1, "in-use id survives the horizon");
+        assert_eq!(tab.by_id(dead).unwrap().key, key(1));
+        // While deferred, a brand-new flow must not steal the id.
+        let obs = tab.observe_forward(&data(2, 1), t(60_001));
+        assert_ne!(obs.id, dead, "live id handed to a second flow");
+        // The queue drains; the next tick releases the slot.
+        tab.tick(t(120_000), |_| false);
+        assert!(tab.get(&key(1)).is_none());
+        assert!(tab.by_id(dead).is_none());
+    }
+
+    /// Regression: a recycled id starts from a blank `FlowInfo`. If any
+    /// state aliased across reuse, the new flow's first packet (low seq)
+    /// would be misread as a retransmission against the old flow's
+    /// high-water mark, and the old flow's drop history would follow it.
+    #[test]
+    fn recycled_id_carries_no_state_from_the_old_flow() {
+        let mut tab = FlowTable::new(cfg());
+        // Old flow accumulates history: packets, bytes, a local drop.
+        tab.observe_forward(&data(1, 1), t(0));
+        tab.observe_forward(&data(1, 461), t(10));
+        tab.observe_forward(&data(1, 921), t(20));
+        tab.on_forwarded(&key(1), 500, t(20));
+        tab.on_drop(&key(1), false, t(30));
+        let dead = tab.id_of(&key(1)).unwrap();
+        assert!(tab.by_id(dead).unwrap().recent_drops() > 0);
+        assert!(tab.by_id(dead).unwrap().pending_repairs > 0);
+        tab.tick(t(60_000), |_| false);
+        assert!(tab.by_id(dead).is_none());
+        // A different flow interns next and takes the freed slot.
+        let obs = tab.observe_forward(&data(9, 1), t(60_010));
+        assert_eq!(obs.id, dead, "freed slot is recycled, slab stays dense");
+        assert!(
+            !obs.retransmission,
+            "old high-water mark leaked into the new flow"
+        );
+        assert!(obs.is_new);
+        assert_eq!(obs.state, FlowState::SlowStart);
+        assert_eq!(obs.recent_drops, 0, "old drop history leaked");
+        let flow = tab.by_id(dead).unwrap();
+        assert_eq!(flow.key, key(9));
+        assert_eq!(flow.pending_repairs, 0);
+        assert_eq!(flow.silent_epochs, 0);
+        assert_eq!(flow.total_packets, 1);
+        assert_eq!(flow.bytes_prev_epoch, 0);
+    }
+
     #[test]
     fn active_flow_count_excludes_idle() {
         let mut tab = FlowTable::new(cfg());

@@ -565,6 +565,94 @@ mod tests {
         assert_eq!(order, vec![1, 2, 3]);
     }
 
+    /// Absolute time of wheel tick `n`.
+    fn at_tick(n: u64) -> SimTime {
+        SimTime::from_nanos(n << GRANULARITY_SHIFT)
+    }
+
+    fn start(n: u32) -> EventKind {
+        EventKind::Start { node: NodeId(n) }
+    }
+
+    fn drain_nodes(q: &mut EventQueue) -> Vec<u32> {
+        std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Start { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    /// Events exactly at the level-0/level-1 slot boundary (tick 64 =
+    /// `SLOTS`) and the level-1/level-2 boundary (tick 4096 = `SLOTS²`):
+    /// the slot index of a boundary tick is 0 at the lower level, so an
+    /// off-by-one in the level pick or the cursor scan would misfile or
+    /// skip these. Includes times offset *within* a boundary tick and a
+    /// same-tick seq tie.
+    #[test]
+    fn wheel_slot_boundary_events_fire_in_order() {
+        let mut q = EventQueue::new();
+        // Last level-0 slot, both level-1 boundary ticks, one offset
+        // inside the boundary tick, and the level-2 boundary.
+        q.push(at_tick(SLOTS as u64 - 1), start(0)); // tick 63, level 0
+        q.push(at_tick(SLOTS as u64), start(1)); // tick 64: first level-1 slot
+        q.push(
+            at_tick(SLOTS as u64) + SimDuration::from_nanos(17),
+            start(2),
+        ); // same tick, later time
+        q.push(at_tick(SLOTS as u64), start(10)); // tick 64 again: seq tie with node 1
+        q.push(at_tick(SLOTS as u64 + 1), start(3)); // tick 65
+        q.push(at_tick((SLOTS * SLOTS) as u64 - 1), start(4)); // tick 4095, level 1
+        q.push(at_tick((SLOTS * SLOTS) as u64), start(5)); // tick 4096: first level-2 slot
+                                                           // Same-time events tie-break by push order: node 1 before 10.
+        assert_eq!(drain_nodes(&mut q), vec![0, 1, 10, 2, 3, 4, 5]);
+        assert!(q.is_empty());
+    }
+
+    /// Events on either side of the 6-level horizon (tick `2^36`): one
+    /// tick below lands in level 5, the boundary tick and everything
+    /// past it land in the overflow heap, and both drain in time order.
+    #[test]
+    fn wheel_horizon_boundary_splits_into_overflow() {
+        let horizon = 1u64 << (SLOT_BITS * LEVELS as u32); // 2^36 ticks
+        let mut q = EventQueue::new();
+        q.push(at_tick(horizon), start(1)); // first overflow tick
+        q.push(at_tick(horizon - 1), start(0)); // last wheel tick (level 5)
+        q.push(at_tick(horizon + 1), start(2)); // clearly past the horizon
+        q.push(at_tick(horizon) + SimDuration::from_nanos(3), start(10)); // inside the boundary tick
+        assert_eq!(drain_nodes(&mut q), vec![0, 1, 10, 2]);
+        assert!(q.is_empty());
+    }
+
+    /// A wheel drain and an overflow drain colliding at the same
+    /// timestamp must still pop in seq order. The far event enters the
+    /// overflow heap; after the cursor advances to within horizon range,
+    /// a second event is pushed at the *exact same time* and lands in a
+    /// level-0 wheel slot. When that slot drains, the loop-top overflow
+    /// drain merges the far event into `ready`, and the earlier seq
+    /// must surface first.
+    #[test]
+    fn overflow_and_wheel_drain_tie_break_at_same_timestamp() {
+        let horizon = 1u64 << (SLOT_BITS * LEVELS as u32);
+        let far = horizon + 5;
+        let mut q = EventQueue::new();
+        q.push(at_tick(far), start(1)); // overflow, seq 0
+        q.push(at_tick(horizon + 1), start(0)); // overflow, seq 1
+                                                // Popping the nearer event jumps the cursor to tick horizon+1.
+        let first = q.pop().unwrap();
+        assert_eq!(first.time, at_tick(horizon + 1));
+        // Same absolute time as the far event, but now within wheel
+        // range of the cursor: lands in a level-0 slot. Seq 2 > seq 0.
+        q.push(at_tick(far), start(2));
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        assert_eq!(a.time, b.time, "both events share the timestamp");
+        assert!(a.seq < b.seq, "earlier schedule pops first");
+        assert!(matches!(a.kind, EventKind::Start { node: NodeId(1) }));
+        assert!(matches!(b.kind, EventKind::Start { node: NodeId(2) }));
+        assert!(q.is_empty());
+    }
+
     #[test]
     fn wheel_matches_heap_under_random_churn() {
         // Drive both backends with an identical random push/pop script

@@ -10,7 +10,8 @@
 //! - rate-limited, delayed, queue-buffered unidirectional [links],
 //! - the [`Qdisc`] trait that DropTail, RED, SFQ and TAQ all implement,
 //! - [`Agent`]s (hosts, routers) driven by packet and timer callbacks,
-//! - the paper's dumbbell topology ([`Dumbbell`]), and
+//! - the paper's dumbbell topology ([`Dumbbell`]) and general
+//!   multi-bottleneck graphs ([`Topology`]) with static routing, and
 //! - [`LinkMonitor`] hooks that the metrics crate uses to observe the
 //!   bottleneck, including a pcap-style [`PacketTrace`] recorder.
 //!
@@ -46,6 +47,7 @@ mod packet;
 mod qdisc;
 mod rng;
 mod time;
+mod topo;
 mod topology;
 mod trace;
 
@@ -64,5 +66,6 @@ pub use packet::{
 pub use qdisc::{EnqueueOutcome, Qdisc, UnboundedFifo};
 pub use rng::SimRng;
 pub use time::{Bandwidth, SimDuration, SimTime};
+pub use topo::{TopoLinkConfig, Topology, TopologyConfig};
 pub use topology::{Dumbbell, DumbbellConfig};
 pub use trace::{FlowTraceSummary, PacketTrace, TraceEvent, TraceEventKind};

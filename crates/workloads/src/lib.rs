@@ -6,6 +6,10 @@
 //!   experiment (server, clients, discipline under test), with helpers
 //!   for bulk flows, short-flow mixes, connection pools, and scheduled
 //!   log replay;
+//! - [`TopologySpec`] / [`TopoScenario`] — the multi-bottleneck
+//!   generalization: arbitrary router graphs with a per-pipe
+//!   discipline ([`QdiscSpec`]) and fault plan, plus the
+//!   [`ParkingLotSpec`] and [`AccessTreeSpec`] recipes;
 //! - [`ObjectSizeModel`] — heavy-tailed web object sizes (log-normal
 //!   body + Pareto tail), the stand-in for the unavailable real traces;
 //! - [`weblog`] — synthetic access logs with Poisson arrivals,
@@ -19,8 +23,13 @@
 mod scenario;
 mod sessions;
 mod sizes;
+mod topo_spec;
 pub mod weblog;
 
 pub use scenario::{flows_for_fair_share, DumbbellScenario, DumbbellSpec, BULK_BYTES};
 pub use sessions::{generate_session, Session, SessionConfig};
 pub use sizes::ObjectSizeModel;
+pub use topo_spec::{
+    pipe_seed, AccessTreeSpec, BuiltPipe, ParkingLotSpec, PipeSpec, QdiscSpec, TopoScenario,
+    TopologySpec,
+};

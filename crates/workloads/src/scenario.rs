@@ -96,6 +96,29 @@ impl DumbbellSpec {
         self
     }
 
+    /// The equivalent [`crate::TopologySpec`]: two routers, one pipe
+    /// carrying `qdisc`, server on router 0. The spec-level conformance
+    /// suite asserts the two code paths replay byte-identically.
+    pub fn to_topology(&self, qdisc: crate::QdiscSpec) -> crate::TopologySpec {
+        let mut topo = crate::TopologySpec::new(
+            2,
+            vec![crate::PipeSpec::new(
+                0,
+                1,
+                self.topo.bottleneck_rate,
+                self.topo.bottleneck_delay,
+                qdisc,
+            )
+            .faults(self.faults.clone())],
+        );
+        topo.access_rate = self.topo.access_rate;
+        topo.access_delay = self.topo.access_delay;
+        topo.tcp = self.tcp.clone();
+        topo.telemetry = self.telemetry.clone();
+        topo.scheduler = self.scheduler;
+        topo
+    }
+
     /// Builds the scenario for `seed` with the given bottleneck
     /// discipline and an uncongested FIFO reverse path.
     pub fn build(&self, seed: u64, forward_qdisc: Box<dyn Qdisc>) -> DumbbellScenario {

@@ -52,9 +52,12 @@ test_suite() {
 }
 
 # Sweep smoke: 2 seeds x 2 worker threads through the parallel runner.
+# topo_placement rides along to exercise the multi-bottleneck topology
+# engine (parking lot + access tree) under the same runner.
 sweep_smoke() {
     run cargo run $OFFLINE --release -p taq-bench --bin fig03_buffer_tradeoff -- --smoke --seeds 1,2 --threads 2
     run cargo run $OFFLINE --release -p taq-bench --bin model_tipping_point -- --threads 2
+    run cargo run $OFFLINE --release -p taq-bench --bin topo_placement -- --smoke --seeds 1,2 --threads 2
 }
 
 # Fault smoke: the robustness matrix at smoke scale exercises the
@@ -70,6 +73,22 @@ fault_smoke() {
 # committed copy.
 bench_report() {
     run cargo run $OFFLINE --release -p taq-bench --bin bench_report -- --iters 3 --out BENCH_sim.json
+}
+
+# Coverage: workspace line coverage via cargo-llvm-cov, written to
+# coverage/ as an lcov trace plus a human-readable summary. Never a
+# gate — CI archives the directory so reviewers can eyeball the trend.
+# Skips itself when the tool is missing (it needs a network install),
+# so offline dev boxes lose nothing.
+coverage() {
+    if ! cargo llvm-cov --version >/dev/null 2>&1; then
+        echo "coverage: cargo-llvm-cov not installed; skipping" >&2
+        return 0
+    fi
+    mkdir -p coverage
+    run cargo llvm-cov $OFFLINE --workspace --lcov --output-path coverage/lcov.info
+    run cargo llvm-cov report --summary-only > coverage/summary.txt
+    cat coverage/summary.txt
 }
 
 quick() {

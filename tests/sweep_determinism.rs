@@ -11,7 +11,7 @@ use taq_bench::{build_qdisc, sweep_seeds, Discipline};
 use taq_faults::{FaultPlan, FaultStats, GilbertElliott};
 use taq_sim::{Bandwidth, DumbbellConfig, SchedulerKind, SimDuration, SimRng, SimTime};
 use taq_tcp::FlowRecord;
-use taq_workloads::{weblog, DumbbellSpec, ObjectSizeModel};
+use taq_workloads::{weblog, DumbbellSpec, ObjectSizeModel, QdiscSpec};
 
 /// One run's comparable outputs: every flow-log record plus the TAQ
 /// counter snapshot. Both types derive `PartialEq`, so equality here
@@ -39,6 +39,115 @@ fn run(spec: &DumbbellSpec, seed: u64) -> RunFingerprint {
         .stats
         .clone();
     RunFingerprint { seed, records, taq }
+}
+
+/// The same workload as [`run`], but through the generic topology
+/// engine: the dumbbell expressed as a two-router `TopologySpec`, with
+/// the TAQ pipe built from a `QdiscSpec` instead of the bench helper.
+fn run_topo(spec: &DumbbellSpec, seed: u64) -> RunFingerprint {
+    let rate = spec.topo.bottleneck_rate;
+    let buffer = rate.packets_per(SimDuration::from_millis(200), 500);
+    let mut sc = spec.to_topology(QdiscSpec::taq(buffer)).build(seed);
+    sc.add_bulk_clients_at(1, 10, 40_000, SimDuration::from_secs(1));
+    sc.run_until(SimTime::from_secs(40));
+    let records = sc.log.lock().unwrap().records.clone();
+    let taq = sc
+        .taq_state(0)
+        .expect("taq pipe")
+        .lock()
+        .unwrap()
+        .stats
+        .clone();
+    RunFingerprint { seed, records, taq }
+}
+
+/// Conformance: the dumbbell expressed as a `TopologySpec` is
+/// byte-identical to the `DumbbellSpec` code path — same `FlowLog`
+/// records, same `TaqStats` — on both scheduler backends and at every
+/// sweep thread count. This pins the topology engine as a strict
+/// generalization of everything measured on the dumbbell.
+#[test]
+fn dumbbell_as_topology_is_byte_identical() {
+    let seeds = [3u64, 7, 11];
+    for scheduler in [SchedulerKind::TimerWheel, SchedulerKind::BinaryHeap] {
+        let spec = DumbbellSpec::new(DumbbellConfig::with_rtt_200ms(Bandwidth::from_kbps(400)))
+            .scheduler(scheduler);
+        for threads in [1usize, 2, 4] {
+            let dumbbell = sweep_seeds(&seeds, threads, |seed| run(&spec, seed));
+            let topo = sweep_seeds(&seeds, threads, |seed| run_topo(&spec, seed));
+            for (d, t) in dumbbell.iter().zip(&topo) {
+                assert!(
+                    !d.records.is_empty() && d.taq.offered > 0,
+                    "seed {} produced work",
+                    d.seed
+                );
+                assert_eq!(
+                    d, t,
+                    "seed {} {scheduler:?} threads {threads}: topology diverged from dumbbell",
+                    d.seed
+                );
+            }
+        }
+    }
+}
+
+/// Conformance under faults: packet faults (burst loss + duplication)
+/// and the link-schedule fault driver replay identically through both
+/// code paths, including the `FaultStats` counters and the total event
+/// count.
+#[test]
+fn faulty_dumbbell_as_topology_is_byte_identical() {
+    let plan = FaultPlan::none()
+        .with_burst_loss(GilbertElliott::bursts(0.02, 6.0))
+        .with_duplicate(0.02)
+        .with_rate_jitter(
+            SimDuration::from_millis(500),
+            0.7,
+            1.3,
+            SimTime::from_secs(20),
+        );
+    let rate = Bandwidth::from_kbps(400);
+    let buffer = rate.packets_per(SimDuration::from_millis(200), 500);
+    let spec = DumbbellSpec::new(DumbbellConfig::with_rtt_200ms(rate)).faults(plan);
+
+    for seed in [3u64, 11] {
+        let built = build_qdisc(Discipline::Taq, rate, buffer, seed);
+        let mut db_sc = spec.build_with_reverse(seed, built.forward, built.reverse);
+        db_sc.add_bulk_clients(10, 40_000, SimDuration::from_secs(1));
+        db_sc.run_until(SimTime::from_secs(40));
+        let db_fp = FullFingerprint {
+            records: db_sc.log.lock().unwrap().records.clone(),
+            taq: built.taq_state.unwrap().lock().unwrap().stats.clone(),
+            faults: db_sc
+                .fault_stats
+                .as_ref()
+                .map(|s| s.lock().unwrap().clone()),
+            events: db_sc.sim.events_processed(),
+        };
+
+        let mut topo_sc = spec.to_topology(QdiscSpec::taq(buffer)).build(seed);
+        topo_sc.add_bulk_clients_at(1, 10, 40_000, SimDuration::from_secs(1));
+        topo_sc.run_until(SimTime::from_secs(40));
+        let topo_fp = FullFingerprint {
+            records: topo_sc.log.lock().unwrap().records.clone(),
+            taq: topo_sc
+                .taq_state(0)
+                .expect("taq pipe")
+                .lock()
+                .unwrap()
+                .stats
+                .clone(),
+            faults: topo_sc.pipe_faults[0]
+                .as_ref()
+                .map(|s| s.lock().unwrap().clone()),
+            events: topo_sc.sim.events_processed(),
+        };
+
+        let f = db_fp.faults.as_ref().expect("fault stats present");
+        assert!(f.total() > 0, "seed {seed} injected faults");
+        assert!(f.rate_changes > 0, "seed {seed} drove the link schedule");
+        assert_eq!(db_fp, topo_fp, "seed {seed}: faulty topology diverged");
+    }
 }
 
 #[test]
