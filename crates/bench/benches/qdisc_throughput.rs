@@ -1,15 +1,19 @@
 //! Microbenchmark: enqueue/dequeue throughput of each discipline under a
 //! steady multi-flow packet stream, plus the telemetry-overhead check —
 //! TAQ with no telemetry attached vs an attached hub with no sinks vs a
-//! live ring-buffer sink. The "no sinks" column is the cost the
-//! instrumentation adds to every deployment whether or not anyone is
-//! listening; the acceptance bar is ≤ 5% over the detached baseline.
+//! live ring-buffer sink vs a live trace collector. The "no sinks"
+//! column is the cost the instrumentation adds to every deployment
+//! whether or not anyone is listening — tracing included, since the
+//! trace collector is just another sink; the bench *asserts* it stays
+//! under 3% over the detached baseline (one retry to damp scheduler
+//! noise).
 //!
 //! Run with `cargo bench --bench qdisc_throughput`.
 
 use taq_bench::{build_qdisc, measure, BuiltQdisc, Discipline};
 use taq_sim::{Bandwidth, FlowKey, NodeId, Packet, PacketBuilder, SimTime};
 use taq_telemetry::{shared_sink, RingBufferSink, Telemetry};
+use taq_trace::{TraceCollector, TraceConfig};
 
 fn packets(n: usize) -> Vec<Packet> {
     (0..n)
@@ -66,22 +70,45 @@ fn main() {
         bench_discipline(d, "", None);
     }
 
-    println!("# telemetry overhead (TAQ) — acceptance bar: nosink ≤ 5% over detached");
-    let baseline = bench_discipline(Discipline::Taq, "", None);
+    println!("# telemetry overhead (TAQ) — acceptance bar: nosink < 3% over detached");
+    let mut baseline = bench_discipline(Discipline::Taq, "", None);
     // A hub with no sinks: handles are registered but event closures are
-    // skipped; only the latency histograms are recorded.
+    // skipped; only the latency histograms are recorded. This is the
+    // tracing-disabled path: a TraceCollector never attached costs the
+    // same single atomic check as any other absent sink.
     let nosink = Telemetry::new();
-    let nosink_ns = bench_discipline(Discipline::Taq, "+hub_nosink", Some(&nosink));
+    let mut nosink_ns = bench_discipline(Discipline::Taq, "+hub_nosink", Some(&nosink));
     // A live ring sink: full event construction and delivery.
     let live = Telemetry::new();
     let (_ring, erased) = shared_sink(RingBufferSink::new(1 << 14));
     live.add_shared_sink(erased);
     let live_ns = bench_discipline(Discipline::Taq, "+ring_sink", Some(&live));
+    // A live trace collector: spans assembled from the same stream.
+    let traced = Telemetry::new();
+    let (_collector, erased) = shared_sink(TraceCollector::new(TraceConfig::default()));
+    traced.add_shared_sink(erased);
+    let traced_ns = bench_discipline(Discipline::Taq, "+trace_collector", Some(&traced));
 
-    let pct = |x: f64| (x / baseline - 1.0) * 100.0;
+    let pct = |x: f64, base: f64| (x / base - 1.0) * 100.0;
     println!(
-        "# overhead: nosink {:+.2}%   live ring sink {:+.2}%",
-        pct(nosink_ns),
-        pct(live_ns)
+        "# overhead: nosink {:+.2}%   live ring sink {:+.2}%   live trace {:+.2}%",
+        pct(nosink_ns, baseline),
+        pct(live_ns, baseline),
+        pct(traced_ns, baseline)
     );
+
+    // The disabled-path budget is a tracked acceptance criterion, not
+    // just a printout. Microbenchmark noise can fake a failure, so one
+    // clean re-measure of both sides earns a second opinion.
+    if pct(nosink_ns, baseline) >= 3.0 {
+        println!("# nosink over budget; re-measuring once to rule out noise");
+        baseline = bench_discipline(Discipline::Taq, "", None);
+        nosink_ns = bench_discipline(Discipline::Taq, "+hub_nosink", Some(&nosink));
+    }
+    let overhead = pct(nosink_ns, baseline);
+    assert!(
+        overhead < 3.0,
+        "telemetry-disabled overhead {overhead:+.2}% breaches the <3% budget"
+    );
+    println!("# disabled-path overhead {overhead:+.2}% — within the <3% budget");
 }

@@ -27,6 +27,7 @@ fn run(rate_kbps: u64, taq: bool, secs: u64) -> (f64, f64) {
         speedup: 10.0,
         horizon: SimTime::from_secs(secs),
         telemetry_jsonl: None,
+        trace_dump: None,
         restart: None,
     };
     // 40 clients each streaming 15 KB objects over two parallel

@@ -258,6 +258,7 @@ impl TaqState {
             classify(&obs, backlog, share_pkts, fair)
         };
         self.telemetry.emit(now.as_nanos(), || Event::Classified {
+            packet: pkt.id,
             flow: flow_id(&pkt.flow),
             class: class.name(),
             retransmission: obs.retransmission,
@@ -319,6 +320,7 @@ impl TaqState {
             self.stats.retransmissions_dropped += 1;
         }
         self.telemetry.emit(now.as_nanos(), || Event::Dropped {
+            packet: pkt.id,
             flow: flow_id(&pkt.flow),
             stage,
             retransmission: was_retransmission,

@@ -82,6 +82,7 @@ impl FaultDriver {
         self.telemetry.emit(now.as_nanos(), || Event::Fault {
             link,
             kind,
+            packet: None,
             flow: None,
             value,
         });

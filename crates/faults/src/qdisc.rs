@@ -131,11 +131,13 @@ impl FaultyLink {
 
     fn emit(&self, kind: &'static str, pkt: &Packet, now: SimTime) {
         let link = self.link;
+        let packet = pkt.id;
         let flow = telemetry_flow_id(&pkt.flow);
         let value = f64::from(pkt.wire_len());
         self.telemetry.emit(now.as_nanos(), || Event::Fault {
             link,
             kind,
+            packet: Some(packet),
             flow: Some(flow),
             value,
         });

@@ -459,6 +459,13 @@ impl Simulator {
         );
         match ev.kind {
             EventKind::Arrival { node, pkt } => {
+                // Delivery is observed before the receiving agent runs,
+                // so monitors see the packet's end-to-end latency even
+                // when the agent consumes (or re-sends) it.
+                let now = self.world.now;
+                for m in &mut self.world.monitors {
+                    m.on_deliver(node.0, &pkt, now);
+                }
                 self.with_agent(node, |agent, ctx| agent.on_packet(pkt, ctx));
             }
             EventKind::Timer { node, timer, token } => {

@@ -71,6 +71,12 @@ pub trait LinkMonitor: AsAny + Send {
     fn on_transmit(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
         let _ = (link, pkt, now);
     }
+
+    /// A packet reached its destination agent (the end of the link's
+    /// propagation delay — the point where end-to-end latency is known).
+    fn on_deliver(&mut self, node: u32, pkt: &Packet, now: SimTime) {
+        let _ = (node, pkt, now);
+    }
 }
 
 /// Converts a simulator flow key into the telemetry layer's flow
@@ -116,6 +122,7 @@ impl TelemetryBridge {
         }
         self.telemetry.emit(now.as_nanos(), || Event::Link {
             link: link.0,
+            packet: pkt.id,
             kind,
             flow: telemetry_flow_id(&pkt.flow),
             bytes: u64::from(pkt.wire_len()),
@@ -134,6 +141,23 @@ impl LinkMonitor for TelemetryBridge {
 
     fn on_transmit(&mut self, link: LinkId, pkt: &Packet, now: SimTime) {
         self.emit("transmit", link, pkt, now);
+    }
+
+    fn on_deliver(&mut self, node: u32, pkt: &Packet, now: SimTime) {
+        // Intermediate-hop arrivals are forwarding steps, not
+        // deliveries: only the flow's destination terminates a span.
+        if node != pkt.flow.dst.0 {
+            return;
+        }
+        // Delivery is node-scoped, not link-scoped, so the `only` filter
+        // does not apply: a span traced through the filtered link still
+        // wants its terminal latency record.
+        self.telemetry.emit(now.as_nanos(), || Event::Delivered {
+            packet: pkt.id,
+            flow: telemetry_flow_id(&pkt.flow),
+            bytes: u64::from(pkt.wire_len()),
+            latency_ns: now.saturating_since(pkt.sent_at).as_nanos(),
+        });
     }
 }
 

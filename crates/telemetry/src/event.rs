@@ -57,16 +57,22 @@ pub enum Event {
         /// itself inflicted (the TAQ "recovery" fast path).
         repairs_local_drop: bool,
     },
-    /// TAQ placed an arriving packet into a priority class.
+    /// TAQ placed an arriving packet into a priority class. `packet` is
+    /// the emitting layer's dense per-packet id (stamped at ingress), so
+    /// trace sinks can stitch classification into the packet's lifecycle
+    /// span.
     Classified {
+        packet: u64,
         flow: FlowId,
         class: &'static str,
         retransmission: bool,
     },
     /// A packet was dropped by the queue discipline. `stage` is the TAQ
     /// eviction stage (1-6), 7 for the NewFlow cap, 0 for non-staged
-    /// drops.
+    /// drops. `packet` identifies the victim (which, for staged
+    /// eviction, is usually not the packet that just arrived).
     Dropped {
+        packet: u64,
         flow: FlowId,
         stage: u8,
         retransmission: bool,
@@ -88,22 +94,35 @@ pub enum Event {
     /// A waiting source pool was granted admission.
     PoolAdmitted { src: u32 },
     /// A packet entered, left, or was lost on a link (kind is
-    /// "enqueue", "drop", or "transmit").
+    /// "enqueue", "drop", or "transmit"). `packet` is the packet's
+    /// dense id.
     Link {
         link: u32,
         kind: &'static str,
+        packet: u64,
         flow: FlowId,
         bytes: u64,
     },
+    /// A packet reached its final destination. `latency_ns` is the
+    /// sim-time (or scaled-real-time) span from the original send to
+    /// delivery — the end of the packet's lifecycle span.
+    Delivered {
+        packet: u64,
+        flow: FlowId,
+        bytes: u64,
+        latency_ns: u64,
+    },
     /// The fault-injection layer perturbed traffic. `kind` names the
     /// fault class ("burst_loss", "reorder", "duplicate", "corrupt",
-    /// "blackout", "rate_change", "delay_change", "restart"); `flow` is
-    /// present for per-packet faults and absent for link-level ones;
-    /// `value` carries the class-specific detail (bytes affected, new
-    /// rate in bps, new delay in ns, packets discarded by a restart).
+    /// "blackout", "rate_change", "delay_change", "restart"); `packet`
+    /// and `flow` are present for per-packet faults and absent for
+    /// link-level ones; `value` carries the class-specific detail
+    /// (bytes affected, new rate in bps, new delay in ns, packets
+    /// discarded by a restart).
     Fault {
         link: u32,
         kind: &'static str,
+        packet: Option<u64>,
         flow: Option<FlowId>,
         value: f64,
     },
@@ -145,6 +164,7 @@ impl Event {
             Event::PoolWaiting { .. } => "pool_waiting",
             Event::PoolAdmitted { .. } => "pool_admitted",
             Event::Link { .. } => "link",
+            Event::Delivered { .. } => "delivered",
             Event::Fault { .. } => "fault",
             Event::LinkSummary { .. } => "link_summary",
             Event::EngineSummary { .. } => "engine_summary",
@@ -180,19 +200,23 @@ impl Event {
                 push("repairs_local_drop", Value::Bool(*repairs_local_drop));
             }
             Event::Classified {
+                packet,
                 flow,
                 class,
                 retransmission,
             } => {
+                push("packet", Value::UInt(*packet));
                 push("flow", flow.to_value());
                 push("class", Value::from(*class));
                 push("retransmission", Value::Bool(*retransmission));
             }
             Event::Dropped {
+                packet,
                 flow,
                 stage,
                 retransmission,
             } => {
+                push("packet", Value::UInt(*packet));
                 push("flow", flow.to_value());
                 push("stage", Value::UInt(u64::from(*stage)));
                 push("retransmission", Value::Bool(*retransmission));
@@ -228,22 +252,39 @@ impl Event {
             Event::Link {
                 link,
                 kind,
+                packet,
                 flow,
                 bytes,
             } => {
                 push("link", Value::from(*link));
                 push("kind", Value::from(*kind));
+                push("packet", Value::UInt(*packet));
                 push("flow", flow.to_value());
                 push("bytes", Value::UInt(*bytes));
+            }
+            Event::Delivered {
+                packet,
+                flow,
+                bytes,
+                latency_ns,
+            } => {
+                push("packet", Value::UInt(*packet));
+                push("flow", flow.to_value());
+                push("bytes", Value::UInt(*bytes));
+                push("latency_ns", Value::UInt(*latency_ns));
             }
             Event::Fault {
                 link,
                 kind,
+                packet,
                 flow,
                 value,
             } => {
                 push("link", Value::from(*link));
                 push("kind", Value::from(*kind));
+                if let Some(packet) = packet {
+                    push("packet", Value::UInt(*packet));
+                }
                 if let Some(flow) = flow {
                     push("flow", flow.to_value());
                 }
@@ -305,6 +346,7 @@ mod tests {
     #[test]
     fn event_renders_kind_and_timestamp() {
         let ev = Event::Dropped {
+            packet: 77,
             flow: FlowId {
                 src: 0,
                 src_port: 1,
@@ -318,6 +360,29 @@ mod tests {
         assert_eq!(v.get("t_ns").and_then(Value::as_u64), Some(12_345));
         assert_eq!(v.get("event").and_then(Value::as_str), Some("dropped"));
         assert_eq!(v.get("stage").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("packet").and_then(Value::as_u64), Some(77));
+    }
+
+    #[test]
+    fn delivered_renders_latency_and_packet() {
+        let v = Event::Delivered {
+            packet: 5,
+            flow: FlowId {
+                src: 1,
+                src_port: 2,
+                dst: 3,
+                dst_port: 4,
+            },
+            bytes: 540,
+            latency_ns: 14_320_000,
+        }
+        .to_value(20_000_000);
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("delivered"));
+        assert_eq!(v.get("packet").and_then(Value::as_u64), Some(5));
+        assert_eq!(
+            v.get("latency_ns").and_then(Value::as_u64),
+            Some(14_320_000)
+        );
     }
 
     #[test]
@@ -325,6 +390,7 @@ mod tests {
         let link_level = Event::Fault {
             link: 0,
             kind: "rate_change",
+            packet: None,
             flow: None,
             value: 300_000.0,
         }
@@ -338,9 +404,11 @@ mod tests {
             Some("rate_change")
         );
         assert!(link_level.get("flow").is_none());
+        assert!(link_level.get("packet").is_none());
         let per_packet = Event::Fault {
             link: 0,
             kind: "burst_loss",
+            packet: Some(42),
             flow: Some(FlowId {
                 src: 1,
                 src_port: 2,
@@ -354,6 +422,7 @@ mod tests {
             per_packet.get("flow").and_then(Value::as_str),
             Some("1:2->3:4")
         );
+        assert_eq!(per_packet.get("packet").and_then(Value::as_u64), Some(42));
     }
 
     #[test]

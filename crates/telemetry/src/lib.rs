@@ -37,7 +37,7 @@ pub use sink::{
     jsonl_event_kind, shared_sink, JsonlSink, RingBufferSink, SharedSink, SummarySink,
     SummaryStats, TelemetrySink,
 };
-pub use value::Value;
+pub use value::{ParseError, Value};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};

@@ -102,9 +102,15 @@ impl TelemetrySink for RingBufferSink {
 
 /// Writes each event as one line of JSON to any `io::Write` — a file
 /// for offline analysis, or a `Vec<u8>` in tests.
+///
+/// I/O errors never take down the data path: failed writes are counted
+/// in [`JsonlSink::write_errors`] and reported (once, to stderr) at
+/// flush time instead of being silently dropped.
 pub struct JsonlSink<W: Write> {
     out: io::BufWriter<W>,
     lines: u64,
+    write_errors: u64,
+    errors_reported: bool,
 }
 
 impl JsonlSink<std::fs::File> {
@@ -120,12 +126,23 @@ impl<W: Write> JsonlSink<W> {
         JsonlSink {
             out: io::BufWriter::new(out),
             lines: 0,
+            write_errors: 0,
+            errors_reported: false,
         }
     }
 
-    /// Lines written so far.
+    /// Lines written so far (attempted; see [`JsonlSink::write_errors`]
+    /// for how many of those failed at the I/O layer).
     pub fn lines(&self) -> u64 {
         self.lines
+    }
+
+    /// Write or flush failures accumulated so far. Telemetry must never
+    /// take down the data path, so the sink keeps accepting events after
+    /// an error; this counter is how harnesses find out the trace on
+    /// disk is incomplete.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
     }
 
     /// Flushes and returns the inner writer.
@@ -141,14 +158,23 @@ impl<W: Write + Send> TelemetrySink for JsonlSink<W> {
     fn emit(&mut self, at_ns: u64, event: &Event) {
         let mut line = event.to_value(at_ns).to_json();
         line.push('\n');
-        // Telemetry must never take down the data path: swallow I/O
-        // errors here, surface them at flush time if the caller cares.
-        let _ = self.out.write_all(line.as_bytes());
+        if self.out.write_all(line.as_bytes()).is_err() {
+            self.write_errors += 1;
+        }
         self.lines += 1;
     }
 
     fn flush(&mut self) {
-        let _ = self.out.flush();
+        if self.out.flush().is_err() {
+            self.write_errors += 1;
+        }
+        if self.write_errors > 0 && !self.errors_reported {
+            self.errors_reported = true;
+            eprintln!(
+                "telemetry: jsonl sink lost {} of {} lines to I/O errors",
+                self.write_errors, self.lines
+            );
+        }
     }
 }
 
@@ -177,6 +203,9 @@ pub struct SummaryStats {
     pub pools_admitted: u64,
     /// Queue-depth samples (packets).
     pub depth: LogHistogram,
+    /// Packets delivered end-to-end / their sim-time latency (ns).
+    pub delivered: u64,
+    pub delivery_latency: LogHistogram,
     /// Link packet-lifecycle events by kind ("enqueue"/"drop"/"transmit").
     pub link_events: BTreeMap<&'static str, u64>,
     /// Injected faults by class ("burst_loss", "reorder", "restart"...).
@@ -272,6 +301,16 @@ impl SummarySink {
                 s.depth.max()
             );
         }
+        if s.delivered > 0 {
+            let _ = writeln!(
+                out,
+                "  delivered: {} (latency ns p50={} p99={} max={})",
+                s.delivered,
+                s.delivery_latency.quantile(0.5),
+                s.delivery_latency.quantile(0.99),
+                s.delivery_latency.max()
+            );
+        }
         if !s.link_events.is_empty() {
             let _ = write!(out, "  link events:");
             for (kind, n) in &s.link_events {
@@ -336,6 +375,10 @@ impl TelemetrySink for SummarySink {
             }
             Event::QueueDepth { pkts, .. } => {
                 s.depth.record(*pkts);
+            }
+            Event::Delivered { latency_ns, .. } => {
+                s.delivered += 1;
+                s.delivery_latency.record(*latency_ns);
             }
             Event::Admission { decision, .. } => {
                 if *decision == "admit" {
@@ -404,6 +447,7 @@ mod tests {
             ring.emit(
                 i,
                 &Event::Dropped {
+                    packet: i + 1,
                     flow: flow(),
                     stage: 1,
                     retransmission: false,
@@ -462,6 +506,7 @@ mod tests {
         sink.emit(
             1,
             &Event::Dropped {
+                packet: 9,
                 flow: flow(),
                 stage: 3,
                 retransmission: true,
@@ -483,5 +528,61 @@ mod tests {
         let rendered = sink.render("test");
         assert!(rendered.contains("SlowStart -> Normal"));
         assert!(rendered.contains("stage 3: 1"));
+    }
+
+    #[test]
+    fn summary_tracks_delivery_latency() {
+        let mut sink = SummarySink::new();
+        for latency_ns in [1_000u64, 2_000, 4_000] {
+            sink.emit(
+                latency_ns,
+                &Event::Delivered {
+                    packet: latency_ns,
+                    flow: flow(),
+                    bytes: 500,
+                    latency_ns,
+                },
+            );
+        }
+        assert_eq!(sink.stats().delivered, 3);
+        assert_eq!(sink.stats().delivery_latency.count(), 3);
+        assert!(sink.render("test").contains("delivered: 3"));
+    }
+
+    /// A writer that fails every call, standing in for a full disk.
+    struct BrokenWriter;
+
+    impl Write for BrokenWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::other("disk full"))
+        }
+    }
+
+    #[test]
+    fn jsonl_counts_write_errors_instead_of_swallowing() {
+        // A tiny BufWriter forces every emit through the broken writer.
+        let mut sink = JsonlSink {
+            out: io::BufWriter::with_capacity(1, BrokenWriter),
+            lines: 0,
+            write_errors: 0,
+            errors_reported: false,
+        };
+        for i in 0..3u64 {
+            sink.emit(
+                i,
+                &Event::QueueDepth {
+                    pkts: 1,
+                    bytes: 40,
+                    per_class: vec![],
+                },
+            );
+        }
+        assert_eq!(sink.lines(), 3);
+        assert_eq!(sink.write_errors(), 3, "every failed write is counted");
+        sink.flush();
+        assert!(sink.write_errors() >= 3);
     }
 }

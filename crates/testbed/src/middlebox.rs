@@ -145,6 +145,11 @@ pub fn run_middlebox(
     // two nearly-sorted streams is fine to scan).
     let mut in_flight: VecDeque<(SimTime, Packet)> = VecDeque::new();
     let mut stats = MiddleboxStats::default();
+    // The middlebox is the testbed's ingress point, so it plays the
+    // role `Ctx::send` plays in the simulator: stamp every arriving
+    // packet with a dense id and its arrival time, so traced spans and
+    // delivery latency work identically in both harnesses.
+    let mut next_packet_id: u64 = 1;
 
     loop {
         let now = clock.now();
@@ -154,6 +159,12 @@ pub fn run_middlebox(
             if in_flight[i].0 <= now {
                 let (_, pkt) = in_flight.remove(i).expect("index checked");
                 if let Some(tx) = hosts.get(&pkt.flow.dst) {
+                    telemetry.emit(now.as_nanos(), || Event::Delivered {
+                        packet: pkt.id,
+                        flow: telemetry_flow_id(&pkt.flow),
+                        bytes: u64::from(pkt.wire_len()),
+                        latency_ns: now.saturating_since(pkt.sent_at).as_nanos(),
+                    });
                     // A closed host channel means that host finished;
                     // late packets for it are simply dropped on the
                     // floor, as on a real NIC.
@@ -169,6 +180,7 @@ pub fn run_middlebox(
             stats.fwd_bytes += u64::from(pkt.wire_len());
             telemetry.emit(now.as_nanos(), || Event::Link {
                 link: TELEMETRY_FORWARD_LINK,
+                packet: pkt.id,
                 kind: "transmit",
                 flow: telemetry_flow_id(&pkt.flow),
                 bytes: u64::from(pkt.wire_len()),
@@ -201,13 +213,17 @@ pub fn run_middlebox(
             clock.real_until(next).min(Duration::from_millis(20))
         };
         match input.recv_timeout(timeout) {
-            Ok(MbInput::Packet(Crossing { dir, pkt })) => {
+            Ok(MbInput::Packet(Crossing { dir, mut pkt })) => {
                 let now = clock.now();
+                pkt.id = next_packet_id;
+                next_packet_id += 1;
+                pkt.sent_at = now;
                 match dir {
                     Direction::Forward => {
                         stats.fwd_offered += 1;
                         telemetry.emit(now.as_nanos(), || Event::Link {
                             link: TELEMETRY_FORWARD_LINK,
+                            packet: pkt.id,
                             kind: "enqueue",
                             flow: telemetry_flow_id(&pkt.flow),
                             bytes: u64::from(pkt.wire_len()),
@@ -217,6 +233,7 @@ pub fn run_middlebox(
                         for victim in &outcome.dropped {
                             telemetry.emit(now.as_nanos(), || Event::Link {
                                 link: TELEMETRY_FORWARD_LINK,
+                                packet: victim.id,
                                 kind: "drop",
                                 flow: telemetry_flow_id(&victim.flow),
                                 bytes: u64::from(victim.wire_len()),
@@ -252,6 +269,7 @@ pub fn run_middlebox(
                 telemetry.emit(now.as_nanos(), || Event::Fault {
                     link: TELEMETRY_FORWARD_LINK,
                     kind: "restart",
+                    packet: None,
                     flow: None,
                     value: discarded as f64,
                 });

@@ -41,6 +41,14 @@ pub struct TestbedConfig {
     /// records) as an instrumented simulator run. `None` keeps
     /// telemetry fully disabled.
     pub telemetry_jsonl: Option<std::path::PathBuf>,
+    /// When set, a [`taq_trace::TraceCollector`] flight recorder rides
+    /// the middlebox's telemetry hub and writes its post-mortem span
+    /// dump (the last [`taq_trace::TraceConfig::flight_capacity`] packet
+    /// lifecycles plus the sim-time series) to this file — immediately
+    /// when a crash-restart drill fires, otherwise at shutdown. Feed the
+    /// dump to `trace_report --input` for analysis. Works with or
+    /// without `telemetry_jsonl`.
+    pub trace_dump: Option<std::path::PathBuf>,
     /// When set, a crash-restart drill fires mid-run: at
     /// [`RestartDrill::at`] (simulated time) the middlebox discards
     /// everything buffered, rebuilds its disciplines from scratch —
@@ -135,18 +143,28 @@ pub fn run_testbed(
     let mb_clock = clock.clone();
     let rate = cfg.rate;
     let delay = cfg.one_way_delay;
-    // The hub is Send: build it (and its sink) here, move it into the
+    // The hub is Send: build it (and its sinks) here, move it into the
     // middlebox thread fully wired.
-    let telemetry = match &cfg.telemetry_jsonl {
-        Some(path) => {
-            let t = taq_telemetry::Telemetry::new();
+    let telemetry = if cfg.telemetry_jsonl.is_some() || cfg.trace_dump.is_some() {
+        let t = taq_telemetry::Telemetry::new();
+        if let Some(path) = &cfg.telemetry_jsonl {
             match taq_telemetry::JsonlSink::create(path) {
                 Ok(sink) => t.add_sink(sink),
                 Err(e) => eprintln!("testbed: cannot write {}: {e}", path.display()),
             }
-            t
         }
-        None => taq_telemetry::Telemetry::disabled(),
+        if let Some(path) = &cfg.trace_dump {
+            // The restart drill emits a "restart" fault event, which
+            // trips the recorder and dumps the ring at the crash
+            // instant; an undisturbed run dumps at middlebox shutdown.
+            t.add_sink(taq_trace::TraceCollector::new(taq_trace::TraceConfig {
+                dump_path: Some(path.clone()),
+                ..taq_trace::TraceConfig::default()
+            }));
+        }
+        t
+    } else {
+        taq_telemetry::Telemetry::disabled()
     };
     let middlebox = std::thread::spawn(move || {
         run_middlebox(
@@ -218,6 +236,7 @@ mod tests {
             speedup: 20.0,
             horizon: SimTime::from_secs(120),
             telemetry_jsonl: None,
+            trace_dump: None,
             restart: None,
         }
     }
@@ -290,6 +309,53 @@ mod tests {
             .filter(|r| r.completed_at.is_some())
             .count();
         assert_eq!(done, 4, "flows reconverge after restart: {report:?}");
+    }
+
+    #[test]
+    fn restart_drill_writes_trace_dump() {
+        use taq::{TaqConfig, TaqPair};
+        let dump =
+            std::env::temp_dir().join(format!("taq_testbed_trace_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&dump);
+        let rate = Bandwidth::from_kbps(600);
+        let mut cfg = base_cfg();
+        cfg.rate = rate;
+        cfg.horizon = SimTime::from_secs(240);
+        cfg.trace_dump = Some(dump.clone());
+        cfg.restart = Some(RestartDrill {
+            at: SimTime::from_secs(15),
+            stall: SimDuration::from_secs(2),
+        });
+        let specs: Vec<ClientSpec> = (0..4)
+            .map(|i| ClientSpec {
+                requests: vec![RtRequest {
+                    tag: i,
+                    bytes: 40_000,
+                }],
+                max_parallel: 1,
+            })
+            .collect();
+        let report = run_testbed(
+            cfg,
+            move |telemetry| {
+                let pair = TaqPair::new(TaqConfig::for_link(rate));
+                pair.attach_telemetry(telemetry.clone());
+                (Box::new(pair.forward) as _, Box::new(pair.reverse) as _)
+            },
+            specs,
+        );
+        assert_eq!(report.stats.restarts, 1, "drill fired exactly once");
+        // The "restart" fault tripped the recorder: the post-mortem dump
+        // exists, parses, and holds real packet lifecycles.
+        let text = std::fs::read_to_string(&dump).expect("post-mortem dump written");
+        let parsed = taq_trace::TraceReport::parse(&text);
+        assert!(parsed.trip.is_some(), "restart tripped the flight recorder");
+        assert!(!parsed.spans.is_empty(), "dump holds spans");
+        assert!(
+            parsed.spans.iter().any(|s| s.outcome == "delivered"),
+            "spans carry delivery outcomes"
+        );
+        let _ = std::fs::remove_file(&dump);
     }
 
     #[test]

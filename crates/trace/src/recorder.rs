@@ -1,0 +1,129 @@
+//! The flight recorder: a fixed-capacity ring of the most recent
+//! completed spans, kept per link so a busy access link cannot evict
+//! the bottleneck's history.
+
+use crate::span::PacketSpan;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Bounded per-link span storage. Completed spans push in arrival
+/// order; once a link's ring is full, the oldest span on *that link*
+/// is evicted. `BTreeMap` keeps dump order deterministic.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    rings: BTreeMap<u32, VecDeque<PacketSpan>>,
+    total: u64,
+    evicted: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping at most `capacity` spans per link.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            rings: BTreeMap::new(),
+            total: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Records a completed span, evicting the oldest on its link if the
+    /// ring is full.
+    pub fn push(&mut self, span: PacketSpan) {
+        self.total += 1;
+        if self.capacity == 0 {
+            self.evicted += 1;
+            return;
+        }
+        let ring = self.rings.entry(span.link).or_default();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.evicted += 1;
+        }
+        ring.push_back(span);
+    }
+
+    /// Spans completed over the whole run (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Spans pushed out of their ring to respect `capacity`.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Spans currently retained, across all links.
+    pub fn len(&self) -> usize {
+        self.rings.values().map(VecDeque::len).sum()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Retained spans on one link, oldest first.
+    pub fn link(&self, link: u32) -> impl Iterator<Item = &PacketSpan> {
+        self.rings.get(&link).into_iter().flatten()
+    }
+
+    /// All retained spans, grouped by link id (ascending), oldest first
+    /// within a link.
+    pub fn iter(&self) -> impl Iterator<Item = &PacketSpan> {
+        self.rings.values().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taq_telemetry::FlowId;
+
+    fn span(packet: u64, link: u32) -> PacketSpan {
+        PacketSpan::begin(
+            packet,
+            FlowId {
+                src: 1,
+                src_port: 1,
+                dst: 2,
+                dst_port: 2,
+            },
+            link,
+            500,
+            packet * 10,
+            0,
+        )
+    }
+
+    #[test]
+    fn wraparound_keeps_exactly_last_n_per_link() {
+        let mut rec = FlightRecorder::new(3);
+        for packet in 1..=10u64 {
+            rec.push(span(packet, 0));
+        }
+        // A second link fills independently.
+        for packet in 11..=12u64 {
+            rec.push(span(packet, 1));
+        }
+        assert_eq!(rec.total(), 12);
+        assert_eq!(rec.evicted(), 7);
+        assert_eq!(rec.len(), 5);
+        let link0: Vec<u64> = rec.link(0).map(|s| s.packet).collect();
+        assert_eq!(link0, vec![8, 9, 10], "exactly the last 3 on link 0");
+        let link1: Vec<u64> = rec.link(1).map(|s| s.packet).collect();
+        assert_eq!(link1, vec![11, 12]);
+        // Global iteration groups by link id.
+        let all: Vec<u64> = rec.iter().map(|s| s.packet).collect();
+        assert_eq!(all, vec![8, 9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_storing() {
+        let mut rec = FlightRecorder::new(0);
+        rec.push(span(1, 0));
+        assert_eq!(rec.total(), 1);
+        assert_eq!(rec.evicted(), 1);
+        assert!(rec.is_empty());
+    }
+}

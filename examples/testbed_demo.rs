@@ -32,6 +32,7 @@ fn main() {
         speedup: 6.0,
         horizon: SimTime::from_secs(12),
         telemetry_jsonl: telemetry_jsonl.clone(),
+        trace_dump: None,
         restart: None,
     };
     let clients: Vec<ClientSpec> = (0..8)

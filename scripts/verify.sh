@@ -3,8 +3,10 @@
 #
 #   VERIFY_TIER=quick   fast correctness gate (< 5 min): build, tests,
 #                       clippy, fmt. The default.
-#   VERIFY_TIER=full    quick + release smoke runs of the sweep and
-#                       fault-matrix binaries.
+#   VERIFY_TIER=full    quick + release smoke runs of the sweep,
+#                       fault-matrix, and trace binaries, plus the
+#                       events/s regression gate against the committed
+#                       BENCH_sim.json.
 #   VERIFY_OFFLINE=0    drop the --offline flags (e.g. on a CI runner
 #                       with a warm crates.io mirror). Default is 1:
 #                       fully offline, no network access needed.
@@ -67,6 +69,23 @@ fault_smoke() {
     run cargo run $OFFLINE --release -p taq-bench --bin faults_matrix -- --smoke --seeds 1,2 --threads 2
 }
 
+# Trace smoke: the packet-lifecycle tracer end to end — runs the
+# faulted fig01 demo with the flight recorder attached, writes the span
+# dump, and re-analyzes it through the --input path (so both the
+# collector and the parser are exercised). CI archives the dump.
+trace_smoke() {
+    run cargo run $OFFLINE --release -p taq-bench --bin trace_report -- --out trace_dump.jsonl
+    run cargo run $OFFLINE --release -p taq-bench --bin trace_report -- --input trace_dump.jsonl
+}
+
+# Bench gate: re-measures the hot-path scenarios and fails if events/s
+# fell more than 10% below the committed BENCH_sim.json. Runs before
+# bench_report so the comparison is against the committed baseline, not
+# a freshly regenerated one.
+bench_gate() {
+    run cargo run $OFFLINE --release -p taq-bench --bin bench_report -- --check --iters 3
+}
+
 # Bench tier: regenerates BENCH_sim.json (fig01 churn + fig08 many-flow
 # hot-path numbers, with the tracked pre-overhaul baseline embedded) so
 # CI can archive it and reviewers can diff events/sec against the
@@ -102,6 +121,8 @@ full() {
     quick
     sweep_smoke
     fault_smoke
+    trace_smoke
+    bench_gate
     bench_report
 }
 
