@@ -10,7 +10,8 @@
 //! * `trace_report [--out PATH]` — run the built-in demo: the Figure 1
 //!   campus web-log replay on a 2 Mbps TAQ bottleneck with Gilbert–
 //!   Elliott burst loss and a mid-run blackout, tracing every packet
-//!   through the bottleneck; writes the dump, then analyzes it.
+//!   through the bottleneck; writes the dump (default
+//!   `results/trace_dump.jsonl`), then analyzes it.
 //!
 //! Flags: `--seed N`, `--silence-ms N` (silence threshold, default
 //! 2000), `--window-ms N` (Jain window, default 5000).
@@ -107,7 +108,14 @@ fn main() {
         None => {
             println!("# trace_report — faulted fig01 demo (seed {seed})");
             let dump = run_demo(seed, silence_ns, window_ns);
-            let out = value("--out").unwrap_or_else(|| "trace_dump.jsonl".to_string());
+            // Default under results/ so demo runs never litter the
+            // repository root (override with --out).
+            let out = value("--out").unwrap_or_else(|| "results/trace_dump.jsonl".to_string());
+            if let Some(dir) = std::path::Path::new(&out).parent() {
+                if !dir.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+            }
             match std::fs::write(&out, &dump) {
                 Ok(()) => println!("# wrote {out}"),
                 Err(e) => eprintln!("trace_report: cannot write {out}: {e}"),

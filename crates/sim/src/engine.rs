@@ -4,21 +4,37 @@
 //! unidirectional rate/delay links, and drives them from a totally
 //! ordered event queue. Agents interact with the world only through the
 //! [`Ctx`] handed to their callbacks: sending packets, setting and
-//! cancelling timers, and drawing deterministic random numbers. The
-//! engine is single-threaded *per run*; determinism is guaranteed by
-//! the `(time, schedule-order)` event ordering and the single seeded
-//! RNG. A fully built [`Simulator`] is `Send`, so independent runs can
-//! be fanned out across worker threads (see DESIGN.md's "Concurrency
-//! model").
+//! cancelling timers, and drawing deterministic random numbers.
+//! Determinism is guaranteed by the canonical `(time, event-key)`
+//! ordering (see `events::EventKey`) and per-entity seed-derived RNG
+//! streams. A fully built [`Simulator`] is `Send`, so independent runs
+//! can be fanned out across worker threads (see DESIGN.md's
+//! "Concurrency model").
+//!
+//! A single run executes either serially ([`Simulator::run_until`] /
+//! [`Simulator::run`]) or sharded across threads
+//! ([`Simulator::run_until_sharded`], implemented in `shard.rs`): the
+//! world is partitioned into per-shard sub-worlds that each reuse this
+//! module's event loop, with cut-link arrivals exchanged through
+//! bounded channels under a conservative lookahead barrier.
 
-use crate::events::{EventKind, EventQueue, SchedulerKind, TimerId, TimerTable};
+use crate::events::{EventKey, EventKind, EventQueue, SchedulerKind, TimerId, TimerTable};
 use crate::link::{Link, LinkStats};
 use crate::monitor::{AsAny, LinkMonitor, MonitorId};
 use crate::packet::{LinkId, NodeId, Packet};
 use crate::qdisc::Qdisc;
 use crate::rng::SimRng;
+use crate::shard::ShardCtx;
 use crate::time::{Bandwidth, SimDuration, SimTime};
 use std::collections::HashMap;
+
+/// Stream salt for per-node [`Ctx::rng`] derivation.
+const NODE_RNG_STREAM: u64 = 0x6E6F_6465_7267_6E73;
+/// Stream salt for per-link wire-loss draws.
+const LINK_LOSS_STREAM: u64 = 0x6C6F_7373_7267_6E73;
+
+/// Panic message for touching a link owned by another shard.
+const FOREIGN_LINK: &str = "link is owned by another shard";
 
 /// A simulated process attached to a node: a TCP host, a router, a
 /// traffic source.
@@ -61,24 +77,39 @@ impl Agent for ForwardingRouter {
     }
 }
 
-#[derive(Debug, Default)]
-struct RouteTable {
-    default: Option<LinkId>,
-    by_dst: HashMap<NodeId, LinkId>,
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RouteTable {
+    pub(crate) default: Option<LinkId>,
+    pub(crate) by_dst: HashMap<NodeId, LinkId>,
 }
 
 /// Everything in the simulator except the agents themselves; split out so
 /// an agent can be borrowed mutably while it manipulates the world.
-struct World {
-    now: SimTime,
-    queue: EventQueue,
-    timers: TimerTable,
-    links: Vec<Link>,
-    routes: Vec<RouteTable>,
-    monitors: Vec<Box<dyn LinkMonitor>>,
-    rng: SimRng,
-    next_packet_id: u64,
-    events_processed: u64,
+///
+/// In a sharded run every shard owns one `World`: `links` slots owned by
+/// other shards are `None`, and `shard` carries the cross-shard channel
+/// endpoints. The serial engine is the degenerate case — every slot
+/// `Some`, `shard` absent.
+pub(crate) struct World {
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue,
+    pub(crate) timers: TimerTable,
+    pub(crate) links: Vec<Option<Link>>,
+    pub(crate) routes: Vec<RouteTable>,
+    pub(crate) monitors: Vec<Box<dyn LinkMonitor>>,
+    /// The run seed; all RNG streams derive from it statelessly.
+    pub(crate) seed: u64,
+    pub(crate) scheduler: SchedulerKind,
+    /// Lazily derived per-node [`Ctx::rng`] streams.
+    pub(crate) node_rngs: Vec<Option<SimRng>>,
+    /// Per-node timer counters (canonical `Timer` event keys).
+    pub(crate) timer_seqs: Vec<u64>,
+    /// Global pre-run start counter (canonical `Start` event keys).
+    pub(crate) start_seq: u64,
+    pub(crate) next_packet_id: u64,
+    pub(crate) events_processed: u64,
+    /// Present only in a shard-local world during a sharded run.
+    pub(crate) shard: Option<Box<ShardCtx>>,
 }
 
 impl World {
@@ -87,13 +118,30 @@ impl World {
         table.by_dst.get(&dst).copied().or(table.default)
     }
 
+    pub(crate) fn link(&self, id: LinkId) -> &Link {
+        self.links[id.0 as usize].as_ref().expect(FOREIGN_LINK)
+    }
+
+    pub(crate) fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        self.links[id.0 as usize].as_mut().expect(FOREIGN_LINK)
+    }
+
+    /// Shared delay-mutation path: sharded runs pin a floor on cut-link
+    /// delays (the lookahead promised to the downstream shard).
+    pub(crate) fn set_link_delay(&mut self, link: LinkId, delay: SimDuration) {
+        if let Some(shard) = self.shard.as_deref() {
+            shard.assert_delay_floor(link, delay);
+        }
+        self.link_mut(link).delay = delay;
+    }
+
     /// Offers `pkt` to `link`'s queue and starts transmission if idle.
     fn offer(&mut self, link_id: LinkId, pkt: Packet) {
         let now = self.now;
         for m in &mut self.monitors {
             m.on_enqueue(link_id, &pkt, now);
         }
-        let link = &mut self.links[link_id.0 as usize];
+        let link = self.links[link_id.0 as usize].as_mut().expect(FOREIGN_LINK);
         link.stats.offered_pkts += 1;
         link.stats.offered_bytes += u64::from(pkt.wire_len());
         let outcome = link.qdisc.enqueue(pkt, now);
@@ -110,7 +158,7 @@ impl World {
     /// If the link is idle and has a queued packet, begins serializing it.
     fn try_transmit(&mut self, link_id: LinkId) {
         let now = self.now;
-        let link = &mut self.links[link_id.0 as usize];
+        let link = self.links[link_id.0 as usize].as_mut().expect(FOREIGN_LINK);
         if link.busy {
             return;
         }
@@ -122,20 +170,36 @@ impl World {
         let arrive = done + link.delay;
         link.busy = true;
         link.stats.busy_time += tx;
-        self.queue.push(done, EventKind::LinkFree { link: link_id });
+        let seq = link.tx_seq;
+        link.tx_seq += 1;
+        self.queue.push(
+            done,
+            EventKey::link_free(link_id, seq),
+            EventKind::LinkFree { link: link_id },
+        );
         // Bernoulli wire loss: the packet occupies the transmitter but
         // never arrives (a corrupted frame). Used to drive controlled,
         // contention-independent loss probabilities for model
-        // validation.
-        if link.loss_rate > 0.0 && self.rng.chance(link.loss_rate) {
-            let link = &mut self.links[link_id.0 as usize];
-            link.stats.wire_lost_pkts += 1;
-            for m in &mut self.monitors {
-                m.on_drop(link_id, &pkt, now);
+        // validation. Draws come from the link's own seed-derived
+        // stream, so they are identical no matter what any other
+        // component drew first.
+        let link = self.links[link_id.0 as usize].as_mut().expect(FOREIGN_LINK);
+        if link.loss_rate > 0.0 {
+            let loss_rate = link.loss_rate;
+            let lost = link
+                .loss_rng
+                .as_mut()
+                .expect("loss stream installed with the loss rate")
+                .chance(loss_rate);
+            if lost {
+                link.stats.wire_lost_pkts += 1;
+                for m in &mut self.monitors {
+                    m.on_drop(link_id, &pkt, now);
+                }
+                return;
             }
-            return;
         }
-        let link = &mut self.links[link_id.0 as usize];
+        let link = self.links[link_id.0 as usize].as_mut().expect(FOREIGN_LINK);
         link.stats.transmitted_pkts += 1;
         link.stats.transmitted_bytes += u64::from(pkt.wire_len());
         let to = link.to;
@@ -144,8 +208,19 @@ impl World {
         for m in &mut self.monitors {
             m.on_transmit(link_id, &pkt, done);
         }
+        let key = EventKey::arrival(link_id, seq);
+        // A cut link's arrival belongs to the downstream shard: ship it
+        // through the channel (with its canonical key, so the receiver
+        // merges it into the exact serial order) instead of the local
+        // queue.
+        if let Some(shard) = self.shard.as_deref_mut() {
+            if shard.is_cut_link(link_id) {
+                shard.send_arrival(link_id, now, arrive, key, to, pkt);
+                return;
+            }
+        }
         self.queue
-            .push(arrive, EventKind::Arrival { node: to, pkt });
+            .push(arrive, key, EventKind::Arrival { node: to, pkt });
     }
 }
 
@@ -166,9 +241,16 @@ impl Ctx<'_> {
         self.node
     }
 
-    /// The simulation RNG.
+    /// This node's own deterministic RNG stream, derived lazily from
+    /// the run seed and the node id. Per-node streams mean one agent's
+    /// draws never perturb another's — and a sharded run reproduces the
+    /// serial run's variates exactly.
     pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.world.rng
+        let idx = self.node.0 as usize;
+        let seed = self.world.seed;
+        let node = self.node.0;
+        self.world.node_rngs[idx]
+            .get_or_insert_with(|| SimRng::for_stream(seed, NODE_RNG_STREAM ^ u64::from(node)))
     }
 
     /// Sends a freshly created packet toward `dst`, stamping its unique
@@ -204,8 +286,12 @@ impl Ctx<'_> {
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
         let id = self.world.timers.allocate();
         let at = self.world.now + delay;
+        let idx = self.node.0 as usize;
+        let seq = self.world.timer_seqs[idx];
+        self.world.timer_seqs[idx] += 1;
         self.world.queue.push(
             at,
+            EventKey::timer(self.node, seq),
             EventKind::Timer {
                 node: self.node,
                 timer: id,
@@ -225,31 +311,37 @@ impl Ctx<'_> {
     /// started with. Fault drivers use this for bandwidth jitter
     /// schedules.
     pub fn set_link_rate(&mut self, link: LinkId, rate: Bandwidth) {
-        self.world.links[link.0 as usize].rate = rate;
+        self.world.link_mut(link).rate = rate;
     }
 
     /// Changes a link's propagation delay mid-run. Packets already
     /// propagating keep their original arrival time.
+    ///
+    /// # Panics
+    ///
+    /// In a sharded run, panics if `link` crosses a shard boundary and
+    /// `delay` is below the lookahead pinned at partition time — that
+    /// floor is the correctness basis of the synchronization barrier.
     pub fn set_link_delay(&mut self, link: LinkId, delay: SimDuration) {
-        self.world.links[link.0 as usize].delay = delay;
+        self.world.set_link_delay(link, delay);
     }
 
     /// A link's current rate.
     pub fn link_rate(&self, link: LinkId) -> Bandwidth {
-        self.world.links[link.0 as usize].rate
+        self.world.link(link).rate
     }
 
     /// A link's current propagation delay.
     pub fn link_delay(&self, link: LinkId) -> SimDuration {
-        self.world.links[link.0 as usize].delay
+        self.world.link(link).delay
     }
 }
 
 /// The discrete-event simulator.
 pub struct Simulator {
-    agents: Vec<Option<Box<dyn Agent>>>,
-    world: World,
-    max_events: u64,
+    pub(crate) agents: Vec<Option<Box<dyn Agent>>>,
+    pub(crate) world: World,
+    pub(crate) max_events: u64,
 }
 
 impl Simulator {
@@ -272,9 +364,14 @@ impl Simulator {
                 links: Vec::new(),
                 routes: Vec::new(),
                 monitors: Vec::new(),
-                rng: SimRng::new(seed),
+                seed,
+                scheduler,
+                node_rngs: Vec::new(),
+                timer_seqs: Vec::new(),
+                start_seq: 0,
                 next_packet_id: 1,
                 events_processed: 0,
+                shard: None,
             },
             max_events: u64::MAX,
         }
@@ -291,10 +388,14 @@ impl Simulator {
         let id = NodeId(self.agents.len() as u32);
         self.agents.push(Some(agent));
         self.world.routes.push(RouteTable::default());
+        self.world.node_rngs.push(None);
+        self.world.timer_seqs.push(0);
         id
     }
 
-    /// Adds a unidirectional link from `from` to `to`.
+    /// Adds a unidirectional link from `from` to `to`. The transmitting
+    /// endpoint determines which shard owns the link when the topology
+    /// is partitioned (see [`Simulator::run_until_sharded`]).
     pub fn add_link(
         &mut self,
         from: NodeId,
@@ -303,10 +404,10 @@ impl Simulator {
         delay: SimDuration,
         qdisc: Box<dyn Qdisc>,
     ) -> LinkId {
-        let _ = from; // Links are unidirectional; `from` documents intent
-                      // and is fixed by the route entries that use this link.
         let id = LinkId(self.world.links.len() as u32);
-        self.world.links.push(Link::new(id, to, rate, delay, qdisc));
+        self.world
+            .links
+            .push(Some(Link::new(id, from, to, rate, delay, qdisc)));
         id
     }
 
@@ -323,35 +424,66 @@ impl Simulator {
     /// Changes a link's rate (the construction-time counterpart of
     /// [`Ctx::set_link_rate`]; both mutate the same field).
     pub fn set_link_rate(&mut self, link: LinkId, rate: Bandwidth) {
-        self.world.links[link.0 as usize].rate = rate;
+        self.world.link_mut(link).rate = rate;
     }
 
     /// Changes a link's propagation delay.
     pub fn set_link_delay(&mut self, link: LinkId, delay: SimDuration) {
-        self.world.links[link.0 as usize].delay = delay;
+        self.world.set_link_delay(link, delay);
     }
 
     /// A link's current rate.
     pub fn link_rate(&self, link: LinkId) -> Bandwidth {
-        self.world.links[link.0 as usize].rate
+        self.world.link(link).rate
     }
 
     /// A link's current propagation delay.
     pub fn link_delay(&self, link: LinkId) -> SimDuration {
-        self.world.links[link.0 as usize].delay
+        self.world.link(link).delay
+    }
+
+    /// Number of nodes (agents) added so far.
+    pub fn node_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Number of links added so far.
+    pub fn link_count(&self) -> usize {
+        self.world.links.len()
+    }
+
+    /// A link's `(from, to)` endpoints. Partitioners use these to find
+    /// cut edges and to colocate helper nodes with a link's owner.
+    pub fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+        let l = self.world.link(link);
+        (l.from, l.to)
+    }
+
+    /// A node's default route, if one is installed.
+    pub fn default_route(&self, node: NodeId) -> Option<LinkId> {
+        self.world.routes[node.0 as usize].default
     }
 
     /// Sets a Bernoulli wire-loss probability on a link: each serialized
     /// packet is independently corrupted (and never arrives) with
     /// probability `rate`. This realizes the Markov model's own i.i.d.
-    /// loss assumption, independent of queue contention.
+    /// loss assumption, independent of queue contention. The draws come
+    /// from a per-link stream derived from the run seed and the link id.
     ///
     /// # Panics
     ///
     /// Panics unless `0.0 <= rate < 1.0`.
     pub fn set_link_loss(&mut self, link: LinkId, rate: f64) {
         assert!((0.0..1.0).contains(&rate), "loss rate out of range");
-        self.world.links[link.0 as usize].loss_rate = rate;
+        let seed = self.world.seed;
+        let l = self.world.link_mut(link);
+        l.loss_rate = rate;
+        if rate > 0.0 && l.loss_rng.is_none() {
+            l.loss_rng = Some(SimRng::for_stream(
+                seed,
+                LINK_LOSS_STREAM ^ u64::from(link.0),
+            ));
+        }
     }
 
     /// Registers a monitor observing every link. The engine owns the
@@ -392,7 +524,11 @@ impl Simulator {
 
     /// Schedules `agent`'s `on_start` at time `at`.
     pub fn schedule_start(&mut self, node: NodeId, at: SimTime) {
-        self.world.queue.push(at, EventKind::Start { node });
+        let seq = self.world.start_seq;
+        self.world.start_seq += 1;
+        self.world
+            .queue
+            .push(at, EventKey::start(node, seq), EventKind::Start { node });
     }
 
     /// Current simulation time.
@@ -407,13 +543,13 @@ impl Simulator {
 
     /// Statistics for a link.
     pub fn link_stats(&self, link: LinkId) -> &LinkStats {
-        &self.world.links[link.0 as usize].stats
+        &self.world.link(link).stats
     }
 
     /// Immutable access to a link's queue (for inspecting discipline
     /// state mid-run).
     pub fn link_qdisc(&self, link: LinkId) -> &dyn Qdisc {
-        self.world.links[link.0 as usize].qdisc.as_ref()
+        self.world.link(link).qdisc.as_ref()
     }
 
     /// Downcasts an agent to its concrete type for post-run inspection.
@@ -474,7 +610,7 @@ impl Simulator {
                 }
             }
             EventKind::LinkFree { link } => {
-                self.world.links[link.0 as usize].busy = false;
+                self.world.link_mut(link).busy = false;
                 self.world.try_transmit(link);
             }
             EventKind::Start { node } => {
@@ -530,7 +666,7 @@ impl Simulator {
     ) {
         let now_ns = self.world.now.as_nanos();
         let elapsed = self.world.now - SimTime::ZERO;
-        for link in &self.world.links {
+        for link in self.world.links.iter().flatten() {
             let stats = &link.stats;
             telemetry.emit(now_ns, || taq_telemetry::Event::LinkSummary {
                 link: link.id.0,

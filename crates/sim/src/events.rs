@@ -1,10 +1,16 @@
 //! The deterministic event queue.
 //!
-//! Events are totally ordered by `(time, sequence)`: the sequence number
-//! is assigned at scheduling time, so two events at the same instant fire
-//! in the order they were scheduled. This removes the nondeterminism a
-//! plain binary heap would introduce for equal keys and is what makes
-//! whole-simulation runs reproducible.
+//! Events are totally ordered by `(time, key)` where the key is a
+//! *content-derived* [`EventKey`] — event class, originating entity
+//! (node or link), and that entity's own event counter — rather than a
+//! global schedule-order sequence number. Content-derived keys give two
+//! events at the same instant an order that depends only on *what* they
+//! are, not on which executor happened to schedule them first, which is
+//! what lets the sharded engine (`shard.rs`) merge cross-shard event
+//! streams into the exact order the serial engine would have used. The
+//! total order removes the nondeterminism a plain binary heap would
+//! introduce for equal keys and is what makes whole-simulation runs
+//! reproducible.
 //!
 //! Two interchangeable scheduler backends implement that contract:
 //!
@@ -17,7 +23,7 @@
 //!   scheduler, kept selectable so equivalence tests can pin the wheel
 //!   against it event for event.
 //!
-//! Both backends pop the exact same `(time, seq)` sequence; the wheel
+//! Both backends pop the exact same `(time, key)` sequence; the wheel
 //! only changes *how* the minimum is found, never *which* event is the
 //! minimum. The equivalence suite in `tests/sweep_determinism.rs`
 //! asserts byte-identical whole-simulation traces across the two.
@@ -56,6 +62,70 @@ pub enum SchedulerKind {
     BinaryHeap,
 }
 
+/// Canonical identity of a scheduled event, shared by the serial and
+/// sharded engines.
+///
+/// Same-timestamp events order by `(class, origin, seq)`:
+///
+/// - `class` ranks the event kind (`Start < Timer < LinkFree <
+///   Arrival`);
+/// - `origin` is the entity the event belongs to — the node for
+///   `Start`/`Timer`, the link for `LinkFree`/`Arrival`;
+/// - `seq` is that entity's own monotone counter: the global start
+///   counter for `Start` (all scheduled before the run), the node's
+///   timer counter for `Timer`, and the link's transmission counter for
+///   `LinkFree`/`Arrival` (both events of one transmission share it).
+///
+/// Because every component is derived from simulation content, the key
+/// a cross-shard arrival carries is identical no matter which shard
+/// computed it or when — so a sharded run merges remote events into the
+/// same total order the serial engine produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct EventKey {
+    pub class: u8,
+    pub origin: u32,
+    pub seq: u64,
+}
+
+impl EventKey {
+    pub const CLASS_START: u8 = 0;
+    pub const CLASS_TIMER: u8 = 1;
+    pub const CLASS_LINK_FREE: u8 = 2;
+    pub const CLASS_ARRIVAL: u8 = 3;
+
+    pub fn start(node: NodeId, seq: u64) -> Self {
+        EventKey {
+            class: Self::CLASS_START,
+            origin: node.0,
+            seq,
+        }
+    }
+
+    pub fn timer(node: NodeId, seq: u64) -> Self {
+        EventKey {
+            class: Self::CLASS_TIMER,
+            origin: node.0,
+            seq,
+        }
+    }
+
+    pub fn link_free(link: LinkId, seq: u64) -> Self {
+        EventKey {
+            class: Self::CLASS_LINK_FREE,
+            origin: link.0,
+            seq,
+        }
+    }
+
+    pub fn arrival(link: LinkId, seq: u64) -> Self {
+        EventKey {
+            class: Self::CLASS_ARRIVAL,
+            origin: link.0,
+            seq,
+        }
+    }
+}
+
 /// What a fired event does.
 #[derive(Debug)]
 pub(crate) enum EventKind {
@@ -76,13 +146,13 @@ pub(crate) enum EventKind {
 #[derive(Debug)]
 pub(crate) struct ScheduledEvent {
     pub time: SimTime,
-    pub seq: u64,
+    pub key: EventKey,
     pub kind: EventKind,
 }
 
 impl PartialEq for ScheduledEvent {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key
     }
 }
 
@@ -97,7 +167,7 @@ impl PartialOrd for ScheduledEvent {
 impl Ord for ScheduledEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap and we want earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        (other.time, other.key).cmp(&(self.time, self.key))
     }
 }
 
@@ -129,13 +199,13 @@ fn tick_of(t: SimTime) -> u64 {
 ///   strictly greater than the cursor's — so a forward scan of the
 ///   occupancy bitmaps finds the earliest slot without wraparound;
 /// - `ready` holds exactly the events whose tick is `<= current_tick`,
-///   sorted by `(time, seq)` descending so `pop` is a `Vec::pop`;
+///   sorted by `(time, key)` descending so `pop` is a `Vec::pop`;
 /// - the cursor only ever advances onto a slot *boundary* (cascade) or
 ///   an exact level-0 tick, both of which empty the slot they land on.
 #[derive(Debug)]
 struct TimerWheel {
     current_tick: u64,
-    /// Due events, sorted descending by `(time, seq)`; pop from the back.
+    /// Due events, sorted descending by `(time, key)`; pop from the back.
     ready: Vec<ScheduledEvent>,
     levels: Vec<Vec<Vec<ScheduledEvent>>>,
     /// Per-level slot-occupancy bitmaps (bit `s` = slot `s` non-empty).
@@ -164,9 +234,9 @@ impl TimerWheel {
 
     /// Sorted insert into the descending `ready` buffer.
     fn ready_insert(&mut self, ev: ScheduledEvent) {
-        let key = (ev.time, ev.seq);
+        let key = (ev.time, ev.key);
         // Descending order: find the first element strictly smaller.
-        let pos = self.ready.partition_point(|e| (e.time, e.seq) > key);
+        let pos = self.ready.partition_point(|e| (e.time, e.key) > key);
         self.ready.insert(pos, ev);
     }
 
@@ -260,7 +330,7 @@ impl TimerWheel {
                 let bucket = &mut self.levels[0][slot];
                 self.ready.append(bucket);
                 self.ready
-                    .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+                    .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.key)));
             } else {
                 // Cascade: re-place the slot's events now that the
                 // cursor shares their upper bits. The buffer swap keeps
@@ -290,7 +360,7 @@ impl TimerWheel {
     }
 }
 
-/// Min-queue of pending events keyed by `(time, seq)`, over a
+/// Min-queue of pending events keyed by `(time, key)`, over a
 /// selectable backend.
 #[derive(Debug)]
 enum QueueImpl {
@@ -301,7 +371,6 @@ enum QueueImpl {
 #[derive(Debug)]
 pub(crate) struct EventQueue {
     backend: QueueImpl,
-    next_seq: u64,
 }
 
 impl Default for EventQueue {
@@ -320,19 +389,15 @@ impl EventQueue {
             SchedulerKind::TimerWheel => QueueImpl::Wheel(Box::new(TimerWheel::new())),
             SchedulerKind::BinaryHeap => QueueImpl::Heap(BinaryHeap::new()),
         };
-        EventQueue {
-            backend,
-            next_seq: 0,
-        }
+        EventQueue { backend }
     }
 
-    /// Schedules `kind` at absolute time `at`.
-    pub fn push(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+    /// Schedules `kind` at absolute time `at` under the caller-computed
+    /// canonical `key` (see [`EventKey`]).
+    pub fn push(&mut self, at: SimTime, key: EventKey, kind: EventKind) {
         let ev = ScheduledEvent {
             time: at,
-            seq,
+            key,
             kind,
         };
         match &mut self.backend {
@@ -432,17 +497,26 @@ impl TimerTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::NodeId;
+    use crate::packet::{LinkId, NodeId};
     use crate::rng::SimRng;
     use crate::time::SimDuration;
+
+    /// Pushes a `Start` for node `n` keyed by its canonical event key.
+    fn push_start(q: &mut EventQueue, at: SimTime, n: u32) {
+        q.push(
+            at,
+            EventKey::start(NodeId(n), 0),
+            EventKind::Start { node: NodeId(n) },
+        );
+    }
 
     #[test]
     fn events_pop_in_time_order() {
         for kind in [SchedulerKind::TimerWheel, SchedulerKind::BinaryHeap] {
             let mut q = EventQueue::with_scheduler(kind);
-            q.push(SimTime::from_secs(3), EventKind::Start { node: NodeId(3) });
-            q.push(SimTime::from_secs(1), EventKind::Start { node: NodeId(1) });
-            q.push(SimTime::from_secs(2), EventKind::Start { node: NodeId(2) });
+            push_start(&mut q, SimTime::from_secs(3), 3);
+            push_start(&mut q, SimTime::from_secs(1), 1);
+            push_start(&mut q, SimTime::from_secs(2), 2);
             let order: Vec<u64> = std::iter::from_fn(|| q.pop())
                 .map(|e| e.time.as_nanos() / 1_000_000_000)
                 .collect();
@@ -451,12 +525,14 @@ mod tests {
     }
 
     #[test]
-    fn ties_break_by_schedule_order() {
+    fn ties_break_by_event_key() {
         for kind in [SchedulerKind::TimerWheel, SchedulerKind::BinaryHeap] {
             let mut q = EventQueue::with_scheduler(kind);
             let t = SimTime::from_secs(1);
-            for n in 0..10 {
-                q.push(t, EventKind::Start { node: NodeId(n) });
+            // Pushed in reverse to prove the order comes from the key,
+            // not the insertion sequence.
+            for n in (0..10).rev() {
+                push_start(&mut q, t, n);
             }
             let order: Vec<u32> = std::iter::from_fn(|| q.pop())
                 .map(|e| match e.kind {
@@ -469,11 +545,48 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_by_class_before_origin() {
+        for kind in [SchedulerKind::TimerWheel, SchedulerKind::BinaryHeap] {
+            let mut q = EventQueue::with_scheduler(kind);
+            let t = SimTime::from_secs(1);
+            // A LinkFree on link 0 must still fire before an Arrival on
+            // link 0 and after a Timer on node 9 at the same instant.
+            q.push(
+                t,
+                EventKey::arrival(LinkId(0), 0),
+                EventKind::LinkFree { link: LinkId(0) },
+            );
+            q.push(
+                t,
+                EventKey::link_free(LinkId(0), 0),
+                EventKind::LinkFree { link: LinkId(0) },
+            );
+            q.push(
+                t,
+                EventKey::timer(NodeId(9), 3),
+                EventKind::Start { node: NodeId(9) },
+            );
+            let classes: Vec<u8> = std::iter::from_fn(|| q.pop())
+                .map(|e| e.key.class)
+                .collect();
+            assert_eq!(
+                classes,
+                vec![
+                    EventKey::CLASS_TIMER,
+                    EventKey::CLASS_LINK_FREE,
+                    EventKey::CLASS_ARRIVAL
+                ],
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
     fn peek_time_matches_pop() {
         for kind in [SchedulerKind::TimerWheel, SchedulerKind::BinaryHeap] {
             let mut q = EventQueue::with_scheduler(kind);
             assert!(q.peek_time().is_none());
-            q.push(SimTime::from_secs(5), EventKind::Start { node: NodeId(0) });
+            push_start(&mut q, SimTime::from_secs(5), 0);
             assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
             assert!(q.pop().is_some());
             assert!(q.is_empty());
@@ -484,15 +597,9 @@ mod tests {
     fn wheel_handles_far_future_and_sentinel_times() {
         let mut q = EventQueue::new();
         // Beyond the wheel horizon (> 52 days) and the MAX sentinel.
-        q.push(SimTime::MAX, EventKind::Start { node: NodeId(9) });
-        q.push(
-            SimTime::from_secs(100 * 24 * 3600),
-            EventKind::Start { node: NodeId(2) },
-        );
-        q.push(
-            SimTime::from_millis(5),
-            EventKind::Start { node: NodeId(1) },
-        );
+        push_start(&mut q, SimTime::MAX, 9);
+        push_start(&mut q, SimTime::from_secs(100 * 24 * 3600), 2);
+        push_start(&mut q, SimTime::from_millis(5), 1);
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Start { node } => node.0,
@@ -517,12 +624,7 @@ mod tests {
             SimDuration::from_secs(7_000_000),
         ];
         for (i, d) in times.iter().enumerate() {
-            q.push(
-                SimTime::ZERO + *d,
-                EventKind::Start {
-                    node: NodeId(i as u32),
-                },
-            );
+            push_start(&mut q, SimTime::ZERO + *d, i as u32);
         }
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
@@ -537,25 +639,16 @@ mod tests {
     fn interleaved_push_pop_keeps_order() {
         // Pops interleaved with pushes near the cursor: the regression
         // shape for cursor-advance bugs (same-tick inserts must join the
-        // ready buffer in (time, seq) position).
+        // ready buffer in (time, key) position).
         let mut q = EventQueue::new();
-        q.push(
-            SimTime::from_micros(100),
-            EventKind::Start { node: NodeId(0) },
-        );
+        push_start(&mut q, SimTime::from_micros(100), 0);
         let first = q.pop().unwrap();
         assert_eq!(first.time, SimTime::from_micros(100));
         // Same tick as the popped event, later time.
-        q.push(
-            SimTime::from_micros(110),
-            EventKind::Start { node: NodeId(1) },
-        );
+        push_start(&mut q, SimTime::from_micros(110), 1);
         // Same tick, even later; then a far one.
-        q.push(
-            SimTime::from_micros(115),
-            EventKind::Start { node: NodeId(2) },
-        );
-        q.push(SimTime::from_secs(2), EventKind::Start { node: NodeId(3) });
+        push_start(&mut q, SimTime::from_micros(115), 2);
+        push_start(&mut q, SimTime::from_secs(2), 3);
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Start { node } => node.0,
@@ -568,10 +661,6 @@ mod tests {
     /// Absolute time of wheel tick `n`.
     fn at_tick(n: u64) -> SimTime {
         SimTime::from_nanos(n << GRANULARITY_SHIFT)
-    }
-
-    fn start(n: u32) -> EventKind {
-        EventKind::Start { node: NodeId(n) }
     }
 
     fn drain_nodes(q: &mut EventQueue) -> Vec<u32> {
@@ -588,23 +677,24 @@ mod tests {
     /// the slot index of a boundary tick is 0 at the lower level, so an
     /// off-by-one in the level pick or the cursor scan would misfile or
     /// skip these. Includes times offset *within* a boundary tick and a
-    /// same-tick seq tie.
+    /// same-tick key tie.
     #[test]
     fn wheel_slot_boundary_events_fire_in_order() {
         let mut q = EventQueue::new();
         // Last level-0 slot, both level-1 boundary ticks, one offset
         // inside the boundary tick, and the level-2 boundary.
-        q.push(at_tick(SLOTS as u64 - 1), start(0)); // tick 63, level 0
-        q.push(at_tick(SLOTS as u64), start(1)); // tick 64: first level-1 slot
-        q.push(
+        push_start(&mut q, at_tick(SLOTS as u64 - 1), 0); // tick 63, level 0
+        push_start(&mut q, at_tick(SLOTS as u64), 1); // tick 64: first level-1 slot
+        push_start(
+            &mut q,
             at_tick(SLOTS as u64) + SimDuration::from_nanos(17),
-            start(2),
+            2,
         ); // same tick, later time
-        q.push(at_tick(SLOTS as u64), start(10)); // tick 64 again: seq tie with node 1
-        q.push(at_tick(SLOTS as u64 + 1), start(3)); // tick 65
-        q.push(at_tick((SLOTS * SLOTS) as u64 - 1), start(4)); // tick 4095, level 1
-        q.push(at_tick((SLOTS * SLOTS) as u64), start(5)); // tick 4096: first level-2 slot
-                                                           // Same-time events tie-break by push order: node 1 before 10.
+        push_start(&mut q, at_tick(SLOTS as u64), 10); // tick 64 again: key tie with node 1
+        push_start(&mut q, at_tick(SLOTS as u64 + 1), 3); // tick 65
+        push_start(&mut q, at_tick((SLOTS * SLOTS) as u64 - 1), 4); // tick 4095, level 1
+        push_start(&mut q, at_tick((SLOTS * SLOTS) as u64), 5); // tick 4096: first level-2 slot
+                                                                // Same-time events tie-break by key: node 1 before 10.
         assert_eq!(drain_nodes(&mut q), vec![0, 1, 10, 2, 3, 4, 5]);
         assert!(q.is_empty());
     }
@@ -616,38 +706,38 @@ mod tests {
     fn wheel_horizon_boundary_splits_into_overflow() {
         let horizon = 1u64 << (SLOT_BITS * LEVELS as u32); // 2^36 ticks
         let mut q = EventQueue::new();
-        q.push(at_tick(horizon), start(1)); // first overflow tick
-        q.push(at_tick(horizon - 1), start(0)); // last wheel tick (level 5)
-        q.push(at_tick(horizon + 1), start(2)); // clearly past the horizon
-        q.push(at_tick(horizon) + SimDuration::from_nanos(3), start(10)); // inside the boundary tick
+        push_start(&mut q, at_tick(horizon), 1); // first overflow tick
+        push_start(&mut q, at_tick(horizon - 1), 0); // last wheel tick (level 5)
+        push_start(&mut q, at_tick(horizon + 1), 2); // clearly past the horizon
+        push_start(&mut q, at_tick(horizon) + SimDuration::from_nanos(3), 10); // inside the boundary tick
         assert_eq!(drain_nodes(&mut q), vec![0, 1, 10, 2]);
         assert!(q.is_empty());
     }
 
     /// A wheel drain and an overflow drain colliding at the same
-    /// timestamp must still pop in seq order. The far event enters the
+    /// timestamp must still pop in key order. The far event enters the
     /// overflow heap; after the cursor advances to within horizon range,
     /// a second event is pushed at the *exact same time* and lands in a
     /// level-0 wheel slot. When that slot drains, the loop-top overflow
-    /// drain merges the far event into `ready`, and the earlier seq
+    /// drain merges the far event into `ready`, and the smaller key
     /// must surface first.
     #[test]
     fn overflow_and_wheel_drain_tie_break_at_same_timestamp() {
         let horizon = 1u64 << (SLOT_BITS * LEVELS as u32);
         let far = horizon + 5;
         let mut q = EventQueue::new();
-        q.push(at_tick(far), start(1)); // overflow, seq 0
-        q.push(at_tick(horizon + 1), start(0)); // overflow, seq 1
-                                                // Popping the nearer event jumps the cursor to tick horizon+1.
+        push_start(&mut q, at_tick(far), 1); // overflow
+        push_start(&mut q, at_tick(horizon + 1), 0); // overflow
+                                                     // Popping the nearer event jumps the cursor to tick horizon+1.
         let first = q.pop().unwrap();
         assert_eq!(first.time, at_tick(horizon + 1));
         // Same absolute time as the far event, but now within wheel
-        // range of the cursor: lands in a level-0 slot. Seq 2 > seq 0.
-        q.push(at_tick(far), start(2));
+        // range of the cursor: lands in a level-0 slot. Key 2 > key 1.
+        push_start(&mut q, at_tick(far), 2);
         let a = q.pop().unwrap();
         let b = q.pop().unwrap();
         assert_eq!(a.time, b.time, "both events share the timestamp");
-        assert!(a.seq < b.seq, "earlier schedule pops first");
+        assert!(a.key < b.key, "smaller key pops first");
         assert!(matches!(a.kind, EventKind::Start { node: NodeId(1) }));
         assert!(matches!(b.kind, EventKind::Start { node: NodeId(2) }));
         assert!(q.is_empty());
@@ -672,14 +762,15 @@ mod tests {
                 };
                 let at = SimTime::from_nanos(now + delta);
                 let node = NodeId(step as u32);
-                wheel.push(at, EventKind::Start { node });
-                heap.push(at, EventKind::Start { node });
+                let key = EventKey::start(node, step);
+                wheel.push(at, key, EventKind::Start { node });
+                heap.push(at, key, EventKind::Start { node });
             } else {
                 let a = wheel.pop();
                 let b = heap.pop();
                 match (&a, &b) {
                     (Some(x), Some(y)) => {
-                        assert_eq!((x.time, x.seq), (y.time, y.seq), "step {step}");
+                        assert_eq!((x.time, x.key), (y.time, y.key), "step {step}");
                         now = x.time.as_nanos();
                     }
                     (None, None) => {}
@@ -690,7 +781,7 @@ mod tests {
         loop {
             let (a, b) = (wheel.pop(), heap.pop());
             match (&a, &b) {
-                (Some(x), Some(y)) => assert_eq!((x.time, x.seq), (y.time, y.seq)),
+                (Some(x), Some(y)) => assert_eq!((x.time, x.key), (y.time, y.key)),
                 (None, None) => break,
                 _ => panic!("backends disagree on drain length"),
             }

@@ -6,18 +6,29 @@
 //!
 //! - a nanosecond integer clock ([`SimTime`], [`SimDuration`],
 //!   [`Bandwidth`]),
-//! - a totally ordered event queue with cancellable timers,
+//! - an event queue with cancellable timers over two interchangeable
+//!   scheduler backends ([`SchedulerKind`]): a hierarchical timer wheel
+//!   (the fast default) and a reference binary heap, both popping the
+//!   identical `(time, event-key)` order,
 //! - rate-limited, delayed, queue-buffered unidirectional [links],
 //! - the [`Qdisc`] trait that DropTail, RED, SFQ and TAQ all implement,
 //! - [`Agent`]s (hosts, routers) driven by packet and timer callbacks,
 //! - the paper's dumbbell topology ([`Dumbbell`]) and general
-//!   multi-bottleneck graphs ([`Topology`]) with static routing, and
+//!   multi-bottleneck graphs ([`Topology`]) with static routing,
 //! - [`LinkMonitor`] hooks that the metrics crate uses to observe the
-//!   bottleneck, including a pcap-style [`PacketTrace`] recorder.
+//!   bottleneck, including a pcap-style [`PacketTrace`] recorder, and
+//! - conservative parallel execution: [`Simulator::run_until_sharded`]
+//!   partitions a run across threads per a [`ShardPlan`], exchanging
+//!   cut-link arrivals through bounded channels under a
+//!   propagation-delay lookahead barrier, and reproduces the serial
+//!   event order exactly.
 //!
 //! Determinism: a simulation is a pure function of its construction and
-//! seed. Events at the same instant fire in scheduling order, and all
-//! randomness flows from one [`SimRng`].
+//! seed. Events at the same instant fire in canonical event-key order
+//! (which depends only on simulation content, never on executor
+//! scheduling), and all randomness derives from the seed through
+//! per-entity [`SimRng`] streams — so serial and sharded runs, at any
+//! shard count, produce identical results.
 //!
 //! [links]: crate::LinkStats
 //!
@@ -46,8 +57,8 @@ mod monitor;
 mod packet;
 mod qdisc;
 mod rng;
+mod shard;
 mod time;
-mod topo;
 mod topology;
 mod trace;
 
@@ -65,7 +76,7 @@ pub use packet::{
 };
 pub use qdisc::{EnqueueOutcome, Qdisc, UnboundedFifo};
 pub use rng::SimRng;
+pub use shard::{ShardError, ShardPlan};
 pub use time::{Bandwidth, SimDuration, SimTime};
-pub use topo::{TopoLinkConfig, Topology, TopologyConfig};
-pub use topology::{Dumbbell, DumbbellConfig};
+pub use topology::{Dumbbell, DumbbellConfig, TopoLinkConfig, Topology, TopologyConfig};
 pub use trace::{FlowTraceSummary, PacketTrace, TraceEvent, TraceEventKind};

@@ -9,10 +9,14 @@
 
 use crate::packet::{LinkId, NodeId};
 use crate::qdisc::Qdisc;
+use crate::rng::SimRng;
 use crate::time::{Bandwidth, SimDuration};
 
 /// Counters maintained per link by the engine.
-#[derive(Debug, Default, Clone)]
+///
+/// `PartialEq` so conformance tests can compare serial and sharded
+/// runs field-for-field.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct LinkStats {
     /// Packets offered to the link's queue.
     pub offered_pkts: u64,
@@ -56,20 +60,31 @@ impl LinkStats {
 /// One unidirectional link.
 pub(crate) struct Link {
     pub id: LinkId,
+    /// Transmitting endpoint; determines which shard owns the link when
+    /// a topology is partitioned.
+    pub from: NodeId,
     pub to: NodeId,
     pub rate: Bandwidth,
     pub delay: SimDuration,
     pub qdisc: Box<dyn Qdisc>,
     /// Probability each serialized packet is corrupted in flight.
     pub loss_rate: f64,
+    /// Dedicated wire-loss stream (derived from the run seed and the
+    /// link id when a loss rate is installed), so loss draws on one link
+    /// never perturb any other component's variates.
+    pub loss_rng: Option<SimRng>,
     /// `true` while a packet is being serialized.
     pub busy: bool,
+    /// Transmissions started on this link; seeds the canonical
+    /// `LinkFree`/`Arrival` event keys (see `events::EventKey`).
+    pub tx_seq: u64,
     pub stats: LinkStats,
 }
 
 impl Link {
     pub fn new(
         id: LinkId,
+        from: NodeId,
         to: NodeId,
         rate: Bandwidth,
         delay: SimDuration,
@@ -77,12 +92,15 @@ impl Link {
     ) -> Self {
         Link {
             id,
+            from,
             to,
             rate,
             delay,
             qdisc,
             loss_rate: 0.0,
+            loss_rng: None,
             busy: false,
+            tx_seq: 0,
             stats: LinkStats::default(),
         }
     }
@@ -92,6 +110,7 @@ impl std::fmt::Debug for Link {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Link")
             .field("id", &self.id)
+            .field("from", &self.from)
             .field("to", &self.to)
             .field("rate", &self.rate)
             .field("delay", &self.delay)

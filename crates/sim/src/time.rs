@@ -72,6 +72,13 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// Adds a duration, clamping at [`SimTime::MAX`] instead of
+    /// panicking. Used by the sharded engine when extending lookahead
+    /// promises past the end-of-run horizon.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
     /// Returns the later of two instants.
     pub fn max(self, other: SimTime) -> SimTime {
         if self.0 >= other.0 {

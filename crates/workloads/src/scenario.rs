@@ -12,8 +12,8 @@
 use crate::weblog::LogEntry;
 use taq_faults::{FaultDriver, FaultPlan, FaultyLink, SharedFaultStats};
 use taq_sim::{
-    Bandwidth, Dumbbell, DumbbellConfig, NodeId, Qdisc, SchedulerKind, SimDuration, SimRng,
-    SimTime, Simulator,
+    Bandwidth, Dumbbell, DumbbellConfig, NodeId, Qdisc, SchedulerKind, ShardPlan, SimDuration,
+    SimRng, SimTime, Simulator,
 };
 use taq_tcp::{new_flow_log, ClientHost, Request, ServerHost, SharedFlowLog, TcpConfig};
 use taq_telemetry::Telemetry;
@@ -54,6 +54,13 @@ pub struct DumbbellSpec {
     /// binary heap is kept as a reference backend for equivalence
     /// testing.
     pub scheduler: SchedulerKind,
+    /// Engine shard count (1 = serial). The dumbbell's two routers
+    /// share bottleneck state (TAQ pairs, fault drivers), so they form
+    /// a single coupling group: sharded dumbbell runs exercise the
+    /// sharded engine and its determinism contract without real
+    /// parallelism. Multi-router recipes ([`crate::TopologySpec`])
+    /// are where extra shards buy concurrency.
+    pub shards: u32,
 }
 
 impl DumbbellSpec {
@@ -65,6 +72,7 @@ impl DumbbellSpec {
             faults: FaultPlan::none(),
             telemetry: Telemetry::disabled(),
             scheduler: SchedulerKind::default(),
+            shards: 1,
         }
     }
 
@@ -96,6 +104,13 @@ impl DumbbellSpec {
         self
     }
 
+    /// Sets the engine shard count (values below 1 clamp to 1).
+    #[must_use]
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// The equivalent [`crate::TopologySpec`]: two routers, one pipe
     /// carrying `qdisc`, server on router 0. The spec-level conformance
     /// suite asserts the two code paths replay byte-identically.
@@ -116,6 +131,7 @@ impl DumbbellSpec {
         topo.tcp = self.tcp.clone();
         topo.telemetry = self.telemetry.clone();
         topo.scheduler = self.scheduler;
+        topo.shards = self.shards;
         topo
     }
 
@@ -126,6 +142,7 @@ impl DumbbellSpec {
         let mut sim = Simulator::with_scheduler(seed, self.scheduler);
         let db = Dumbbell::build_simple(&mut sim, self.topo.clone(), fwd);
         let mut sc = DumbbellScenario::finish(sim, db, self.tcp.clone(), seed);
+        sc.shards = self.shards;
         self.install_faults(&mut sc, seed, stats);
         sc
     }
@@ -142,6 +159,7 @@ impl DumbbellSpec {
         let mut sim = Simulator::with_scheduler(seed, self.scheduler);
         let db = Dumbbell::build(&mut sim, self.topo.clone(), fwd, reverse_qdisc);
         let mut sc = DumbbellScenario::finish(sim, db, self.tcp.clone(), seed);
+        sc.shards = self.shards;
         self.install_faults(&mut sc, seed, stats);
         sc
     }
@@ -216,6 +234,8 @@ pub struct DumbbellScenario {
     /// Fault counters when the scenario was built from a
     /// [`DumbbellSpec`] with a non-empty fault plan.
     pub fault_stats: Option<SharedFaultStats>,
+    /// Engine shard count the run will use (1 = serial).
+    pub shards: u32,
     tcp: TcpConfig,
     /// Workload-level randomness (start jitter, RTT jitter), seeded
     /// from the scenario seed so runs stay reproducible.
@@ -263,6 +283,7 @@ impl DumbbellScenario {
             log: new_flow_log(),
             clients: Vec::new(),
             fault_stats: None,
+            shards: 1,
             tcp,
             rng,
         }
@@ -386,13 +407,28 @@ impl DumbbellScenario {
     }
 
     /// Runs to the horizon and flushes unfinished transfers into the
-    /// log.
+    /// log. With `shards > 1` the run goes through the sharded engine;
+    /// the whole dumbbell is one coupling group (both routers touch the
+    /// bottleneck's shared state), so every node lands on shard 0 and
+    /// the run exercises the sharded machinery without real
+    /// parallelism. Results are identical either way; the flow log is
+    /// canonicalized to keep that contract exact.
     pub fn run_until(&mut self, horizon: SimTime) {
-        self.sim.run_until(horizon);
+        if self.shards > 1 {
+            let plan = ShardPlan::new(self.shards, vec![0; self.sim.node_count()]);
+            self.sim
+                .run_until_sharded(horizon, &plan)
+                .expect("sharded run failed");
+        } else {
+            self.sim.run_until(horizon);
+        }
         for &node in &self.clients {
             if let Some(c) = self.sim.agent_mut::<ClientHost>(node) {
                 c.flush_incomplete();
             }
+        }
+        if self.shards > 1 {
+            self.log.lock().unwrap().sort_canonical();
         }
     }
 }

@@ -74,8 +74,18 @@ fault_smoke() {
 # dump, and re-analyzes it through the --input path (so both the
 # collector and the parser are exercised). CI archives the dump.
 trace_smoke() {
-    run cargo run $OFFLINE --release -p taq-bench --bin trace_report -- --out trace_dump.jsonl
-    run cargo run $OFFLINE --release -p taq-bench --bin trace_report -- --input trace_dump.jsonl
+    run cargo run $OFFLINE --release -p taq-bench --bin trace_report -- --out results/trace_dump.jsonl
+    run cargo run $OFFLINE --release -p taq-bench --bin trace_report -- --input results/trace_dump.jsonl
+}
+
+# Shard matrix: the sharded engine's determinism contract at one shard
+# count (SHARDS env, default 2) — the randomized conformance suite plus
+# a release smoke sweep through --shards, so the CI matrix legs and a
+# local `SHARDS=4 scripts/verify.sh shard_matrix` run the same thing.
+# Output is pinned byte-identical to the serial engine at any count.
+shard_matrix() {
+    run cargo test $OFFLINE -q --test shard_conformance
+    run cargo run $OFFLINE --release -p taq-bench --bin topo_placement -- --smoke --seeds 1 --threads 2 --shards "${SHARDS:-2}"
 }
 
 # Bench gate: re-measures the hot-path scenarios and fails if events/s
@@ -122,6 +132,8 @@ full() {
     sweep_smoke
     fault_smoke
     trace_smoke
+    SHARDS=2 shard_matrix
+    SHARDS=4 shard_matrix
     bench_gate
     bench_report
 }

@@ -1,0 +1,157 @@
+//! Shard-conformance suite: the sharded engine is an *implementation
+//! detail*, never an observable one.
+//!
+//! Random small topologies (spanning tree over 3–6 routers, random
+//! per-pipe rates/delays/disciplines including TAQ, optionally one
+//! faulted pipe) run to the same horizon at 1, 2 and 4 shards on both
+//! scheduler backends. Every run must produce byte-identical
+//! observables:
+//!
+//! - the flow log (canonicalized: sharded client threads append in
+//!   nondeterministic order, the *set* of records is pinned),
+//! - per-link counters,
+//! - per-pipe TAQ statistics,
+//! - per-pipe fault-injection counters,
+//! - the total event count.
+//!
+//! A watchdog thread bounds each case's wall clock, so a lookahead bug
+//! that stalls the null-message protocol fails the suite as a plain
+//! test failure instead of hanging CI (the engine's own 10-second
+//! receive timeout usually fires first and panics with
+//! `ShardError::Deadlock`).
+
+use std::sync::mpsc;
+use std::time::Duration;
+use taq_faults::{FaultPlan, FaultStats, GilbertElliott};
+use taq_sim::{Bandwidth, LinkStats, SchedulerKind, SimDuration, SimRng, SimTime};
+use taq_tcp::FlowRecord;
+use taq_workloads::{PipeSpec, QdiscSpec, TopologySpec};
+
+/// Everything observable a run produces.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    records: Vec<FlowRecord>,
+    links: Vec<LinkStats>,
+    taq: Vec<Option<taq::TaqStats>>,
+    faults: Vec<Option<FaultStats>>,
+    events: u64,
+}
+
+/// Draws a connected spanning-tree topology: router `i` hangs off a
+/// uniformly random earlier router. Roughly a third of the pipes run
+/// TAQ; when `faulted`, one random pipe gets a Gilbert–Elliott burst
+/// plan on top.
+fn random_spec(rng: &mut SimRng, faulted: bool) -> TopologySpec {
+    let routers = 3 + rng.next_below(4) as usize; // 3..=6
+    let rates = [400u64, 600, 800];
+    let delays = [10u64, 24, 48];
+    let mut pipes = Vec::new();
+    for i in 1..routers {
+        let parent = rng.next_below(i as u64) as usize;
+        let rate = Bandwidth::from_kbps(rates[rng.next_below(3) as usize]);
+        let delay = SimDuration::from_millis(delays[rng.next_below(3) as usize]);
+        let buffer = rate.packets_per(SimDuration::from_millis(200), 500).max(8);
+        let qdisc = match rng.next_below(3) {
+            0 => QdiscSpec::DropTail {
+                buffer_pkts: buffer,
+            },
+            1 => QdiscSpec::Sfq {
+                buffer_pkts: buffer,
+            },
+            _ => QdiscSpec::taq(buffer),
+        };
+        pipes.push(PipeSpec::new(parent, i, rate, delay, qdisc));
+    }
+    if faulted {
+        let victim = rng.next_below(pipes.len() as u64) as usize;
+        pipes[victim] = pipes[victim]
+            .clone()
+            .faults(FaultPlan::none().with_burst_loss(GilbertElliott::bursts(0.02, 5.0)));
+    }
+    TopologySpec::new(routers, pipes)
+}
+
+/// Runs `spec` once and fingerprints every observable.
+fn run_case(spec: &TopologySpec, shards: u32, scheduler: SchedulerKind, seed: u64) -> Fingerprint {
+    let spec = spec.clone().scheduler(scheduler).shards(shards);
+    let mut sc = spec.build(seed);
+    for r in 1..spec.routers {
+        sc.add_bulk_clients_at(r, 2, 200_000, SimDuration::from_secs(1));
+    }
+    sc.run_until(SimTime::from_secs(15));
+    let mut log = std::mem::take(&mut *sc.log.lock().unwrap());
+    log.sort_canonical();
+    let links = (0..spec.pipes.len())
+        .flat_map(|i| [sc.pipe_link(i), sc.pipe_reverse(i)])
+        .map(|l| sc.sim.link_stats(l).clone())
+        .collect();
+    let taq = sc
+        .taq_states
+        .iter()
+        .map(|s| s.as_ref().map(|s| s.lock().unwrap().stats.clone()))
+        .collect();
+    let faults = sc
+        .pipe_faults
+        .iter()
+        .map(|s| s.as_ref().map(|s| s.lock().unwrap().clone()))
+        .collect();
+    Fingerprint {
+        records: log.records,
+        links,
+        taq,
+        faults,
+        events: sc.sim.events_processed(),
+    }
+}
+
+/// Runs `f` on a worker thread and fails the test if it neither
+/// finishes nor panics within the deadline.
+fn with_deadline(label: String, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        f();
+        tx.send(()).ok();
+    });
+    match rx.recv_timeout(Duration::from_secs(300)) {
+        Ok(()) => worker.join().expect("worker panicked after finishing"),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The worker panicked; join propagates the original message.
+            worker.join().expect("worker panicked");
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{label}: no completion within deadline — sharded run deadlocked");
+        }
+    }
+}
+
+fn conformance_sweep(faulted: bool, cases: u64) {
+    let mut rng = SimRng::new(0xC0F0_0D5E ^ u64::from(faulted));
+    for case in 0..cases {
+        let spec = random_spec(&mut rng, faulted);
+        let seed = 1000 + case;
+        let label = format!("case {case} ({} routers, faulted={faulted})", spec.routers);
+        with_deadline(label.clone(), move || {
+            for scheduler in [SchedulerKind::TimerWheel, SchedulerKind::BinaryHeap] {
+                let serial = run_case(&spec, 1, scheduler, seed);
+                assert!(!serial.records.is_empty(), "{label}: run produced flows");
+                for shards in [2, 4] {
+                    let sharded = run_case(&spec, shards, scheduler, seed);
+                    assert_eq!(
+                        serial, sharded,
+                        "{label}: {scheduler:?} diverged at {shards} shards"
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn clean_random_topologies_are_shard_invariant() {
+    conformance_sweep(false, 3);
+}
+
+#[test]
+fn faulted_random_topologies_are_shard_invariant() {
+    conformance_sweep(true, 3);
+}
