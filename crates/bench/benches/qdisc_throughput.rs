@@ -11,7 +11,7 @@
 //! Run with `cargo bench --bench qdisc_throughput`.
 
 use taq_bench::{build_qdisc, measure, BuiltQdisc, Discipline};
-use taq_sim::{Bandwidth, FlowKey, NodeId, Packet, PacketBuilder, SimTime};
+use taq_sim::{Bandwidth, FlowKey, NodeId, Packet, PacketArena, PacketBuilder, SimTime};
 use taq_telemetry::{shared_sink, RingBufferSink, Telemetry};
 use taq_trace::{TraceCollector, TraceConfig};
 
@@ -36,16 +36,24 @@ fn packets(n: usize) -> Vec<Packet> {
 /// One batch: 1 000 packets enqueued with a dequeue every third tick,
 /// then a full drain.
 fn drive(mut built: BuiltQdisc, pkts: Vec<Packet>) {
+    let mut arena = PacketArena::new();
     let mut t = 0u64;
     for pkt in pkts {
         t += 4_000_000; // 4 ms per packet at 1 Mbps.
         let now = SimTime::from_nanos(t);
-        let _ = built.forward.enqueue(pkt, now);
+        let id = arena.insert(pkt);
+        for victim in built.forward.enqueue(id, &mut arena, now).dropped {
+            arena.remove(victim);
+        }
         if t.is_multiple_of(3) {
-            let _ = built.forward.dequeue(now);
+            if let Some(out) = built.forward.dequeue(&mut arena, now) {
+                arena.remove(out);
+            }
         }
     }
-    while built.forward.dequeue(SimTime::from_nanos(t)).is_some() {}
+    while let Some(out) = built.forward.dequeue(&mut arena, SimTime::from_nanos(t)) {
+        arena.remove(out);
+    }
 }
 
 fn bench_discipline(d: Discipline, suffix: &str, telemetry: Option<&Telemetry>) -> f64 {

@@ -238,24 +238,33 @@ fn detected_cores() -> u64 {
 }
 
 fn shard_scaling_value(points: &[ShardPoint]) -> Value {
+    let cores = detected_cores();
     Value::object(vec![
         (
             "workload",
             Value::Str("access_tree 4-leaf, taq uplink, 60 s simulated".to_string()),
         ),
-        ("cores_detected", Value::UInt(detected_cores())),
+        ("cores_detected", Value::UInt(cores)),
         (
             "points",
             Value::Array(
                 points
                     .iter()
                     .map(|p| {
-                        Value::object(vec![
+                        let mut fields = vec![
                             ("shards", Value::UInt(u64::from(p.shards))),
                             ("wall_ms", Value::Float(p.wall_ms)),
                             ("events", Value::UInt(p.events)),
                             ("events_per_sec", Value::Float(p.events_per_sec)),
-                        ])
+                        ];
+                        // A point asking for more worker threads than the
+                        // runner has cores measures scheduler contention,
+                        // not the code under test; mark it so readers and
+                        // the --check gate can discount it.
+                        if u64::from(p.shards) > cores {
+                            fields.push(("oversubscribed", Value::Bool(true)));
+                        }
+                        Value::object(fields)
                     })
                     .collect(),
             ),
@@ -314,17 +323,49 @@ fn baseline_value() -> Value {
     ])
 }
 
-/// Allowed events/s shrinkage vs the committed report before the gate
+/// Allowed per-metric drift vs the committed report before the gate
 /// trips: generous enough for CI scheduling noise on a best-of-N
 /// measurement, tight enough to catch a real hot-path regression.
 const CHECK_TOLERANCE: f64 = 0.10;
 
-/// Compares fresh measurements against the committed report at `path`
-/// and returns the names of scenarios that regressed. Missing file:
-/// gate skipped — empty result (there is nothing to regress against);
-/// unparseable file: gate fails (a corrupted baseline should not pass
-/// silently).
-fn check_against_committed(path: &str, scenarios: &[ScenarioResult]) -> Vec<&'static str> {
+/// Exit code for a throughput (events/s) regression.
+const EXIT_THROUGHPUT: i32 = 2;
+/// Exit code for a hot-path latency metric regression
+/// (`ns_per_enqueue` / `ns_per_classify`). Distinct from
+/// [`EXIT_THROUGHPUT`] so `verify.sh bench_gate` can say which kind of
+/// metric moved without re-parsing the log.
+const EXIT_LATENCY: i32 = 3;
+
+/// One metric that fell outside tolerance on one scenario.
+#[derive(Clone)]
+struct Regression {
+    scenario: &'static str,
+    metric: &'static str,
+}
+
+/// The three gated metrics: (field name, true when larger is better).
+const GATED_METRICS: [(&str, bool); 3] = [
+    ("events_per_sec", true),
+    ("ns_per_enqueue", false),
+    ("ns_per_classify", false),
+];
+
+fn metric_of(s: &ScenarioResult, metric: &str) -> f64 {
+    match metric {
+        "events_per_sec" => s.events_per_sec,
+        "ns_per_enqueue" => s.ns_per_enqueue,
+        "ns_per_classify" => s.ns_per_classify,
+        other => unreachable!("ungated metric {other}"),
+    }
+}
+
+/// Compares fresh measurements against the committed report at `path`,
+/// metric by metric, and returns every (scenario, metric) pair that
+/// regressed past tolerance. Prints a before/after table either way.
+/// Missing file: gate skipped — empty result (there is nothing to
+/// regress against); unparseable file: gate fails (a corrupted baseline
+/// should not pass silently).
+fn check_against_committed(path: &str, scenarios: &[ScenarioResult]) -> Vec<Regression> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(_) => {
@@ -339,32 +380,50 @@ fn check_against_committed(path: &str, scenarios: &[ScenarioResult]) -> Vec<&'st
             std::process::exit(1);
         }
     };
-    let committed_eps = |name: &str| -> Option<f64> {
+    let committed_metric = |name: &str, metric: &str| -> Option<f64> {
         committed
             .get("scenarios")?
             .as_array()?
             .iter()
             .find(|s| s.get("name").and_then(Value::as_str) == Some(name))?
-            .get("events_per_sec")?
+            .get(metric)?
             .as_f64()
     };
     let mut failing = Vec::new();
+    println!(
+        "# --check {:<20} {:<16} {:>12} {:>12} {:>7}  verdict",
+        "scenario", "metric", "committed", "fresh", "ratio"
+    );
     for s in scenarios {
-        let Some(base) = committed_eps(s.name) else {
-            println!("# --check: {} not in committed report; skipped", s.name);
-            continue;
-        };
-        let ratio = s.events_per_sec / base;
-        let verdict = if ratio < 1.0 - CHECK_TOLERANCE {
-            failing.push(s.name);
-            "REGRESSION"
-        } else {
-            "ok"
-        };
-        println!(
-            "# --check {:<20} {:>12.0} vs committed {:>12.0} events/s ({:.2}x) {verdict}",
-            s.name, s.events_per_sec, base, ratio
-        );
+        for (metric, larger_is_better) in GATED_METRICS {
+            let Some(base) = committed_metric(s.name, metric) else {
+                println!(
+                    "# --check {:<20} {:<16} not in committed report; skipped",
+                    s.name, metric
+                );
+                continue;
+            };
+            let fresh = metric_of(s, metric);
+            let ratio = if base > 0.0 { fresh / base } else { 1.0 };
+            let regressed = if larger_is_better {
+                ratio < 1.0 - CHECK_TOLERANCE
+            } else {
+                ratio > 1.0 + CHECK_TOLERANCE
+            };
+            let verdict = if regressed {
+                failing.push(Regression {
+                    scenario: s.name,
+                    metric,
+                });
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "# --check {:<20} {:<16} {:>12.0} {:>12.0} {:>6.2}x  {verdict}",
+                s.name, metric, base, fresh, ratio
+            );
+        }
     }
     failing
 }
@@ -373,7 +432,10 @@ fn check_against_committed(path: &str, scenarios: &[ScenarioResult]) -> Vec<&'st
 /// `shard_scaling` section, same tolerance as the scenario gate. Only
 /// the serial point is gated: the sharded points' wall clock depends on
 /// how many cores the runner actually has, which is not a property of
-/// the code under test. Missing section (older report): gate skipped.
+/// the code under test — rows recorded with `"oversubscribed": true`
+/// (more shards than detected cores) are explicitly excluded even if a
+/// future revision widens the gate. Missing section (older report):
+/// gate skipped.
 fn check_shard_scaling(path: &str, points: &[ShardPoint]) -> bool {
     let Ok(text) = std::fs::read_to_string(path) else {
         return true;
@@ -387,6 +449,7 @@ fn check_shard_scaling(path: &str, points: &[ShardPoint]) -> bool {
         .and_then(Value::as_array)
         .and_then(|pts| {
             pts.iter()
+                .filter(|p| p.get("oversubscribed").and_then(Value::as_bool) != Some(true))
                 .find(|p| p.get("shards").and_then(Value::as_u64) == Some(1))
         })
         .and_then(|p| p.get("events_per_sec"))
@@ -414,14 +477,18 @@ fn check_shard_scaling(path: &str, points: &[ShardPoint]) -> bool {
 /// regresses on the first measurement is re-measured from scratch, and
 /// only a repeat offender fails the gate — a short scenario's wall
 /// clock on a shared runner can dip well past the tolerance on a
-/// single unlucky pass.
+/// single unlucky pass. Exits [`EXIT_LATENCY`] when any hot-path
+/// latency metric regressed, [`EXIT_THROUGHPUT`] for throughput-only
+/// regressions, so callers can report the failing metric class.
 fn run_check_gate(path: &str, scenarios: Vec<ScenarioResult>, points: &[ShardPoint], iters: u32) {
     let mut failing = check_against_committed(path, &scenarios);
     if !failing.is_empty() {
         println!("# --check: regression suspected; re-measuring once to rule out noise");
-        let rerun: Vec<ScenarioResult> = failing
-            .iter()
-            .map(|&name| measure_scenario(name, iters))
+        let mut suspects: Vec<&'static str> = failing.iter().map(|r| r.scenario).collect();
+        suspects.dedup();
+        let rerun: Vec<ScenarioResult> = suspects
+            .into_iter()
+            .map(|name| measure_scenario(name, iters))
             .collect();
         failing = check_against_committed(path, &rerun);
     }
@@ -429,20 +496,32 @@ fn run_check_gate(path: &str, scenarios: Vec<ScenarioResult>, points: &[ShardPoi
         println!("# --check: shard_scaling regression suspected; re-measuring once");
         let rerun = measure_shard_scaling(1, iters);
         if !check_shard_scaling(path, &rerun) {
-            failing.push("shard_scaling@1");
+            failing.push(Regression {
+                scenario: "shard_scaling@1",
+                metric: "events_per_sec",
+            });
         }
     }
     if !failing.is_empty() {
+        let summary: Vec<String> = failing
+            .iter()
+            .map(|r| format!("{}/{}", r.scenario, r.metric))
+            .collect();
+        let latency = failing.iter().any(|r| r.metric != "events_per_sec");
         eprintln!(
-            "# --check: events/s fell more than {:.0}% below {path} twice ({}); \
+            "# --check: metrics drifted more than {:.0}% past {path} twice ({}); \
              if intentional, re-run bench_report to refresh the baseline",
             CHECK_TOLERANCE * 100.0,
-            failing.join(", ")
+            summary.join(", ")
         );
-        std::process::exit(1);
+        std::process::exit(if latency {
+            EXIT_LATENCY
+        } else {
+            EXIT_THROUGHPUT
+        });
     }
     println!(
-        "# --check passed (tolerance {:.0}%)",
+        "# --check passed (tolerance {:.0}%, per-metric)",
         CHECK_TOLERANCE * 100.0
     );
 }

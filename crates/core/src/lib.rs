@@ -30,16 +30,17 @@
 //!
 //! ```
 //! use taq::{TaqConfig, TaqPair};
-//! use taq_sim::{Bandwidth, Qdisc, SimTime, PacketBuilder, FlowKey, NodeId};
+//! use taq_sim::{Bandwidth, PacketArena, Qdisc, SimTime, PacketBuilder, FlowKey, NodeId};
 //!
 //! let cfg = TaqConfig::for_link(Bandwidth::from_kbps(600));
 //! let pair = TaqPair::new(cfg);
 //! let mut forward = pair.forward;
+//! let mut arena = PacketArena::new();
 //! let flow = FlowKey {
 //!     src: NodeId(1), src_port: 80, dst: NodeId(2), dst_port: 5000,
 //! };
-//! let pkt = PacketBuilder::new(flow).seq(1).payload(460).build();
-//! assert!(forward.enqueue(pkt, SimTime::ZERO).dropped.is_empty());
+//! let pkt = arena.insert(PacketBuilder::new(flow).seq(1).payload(460).build());
+//! assert!(forward.enqueue(pkt, &mut arena, SimTime::ZERO).dropped.is_empty());
 //! assert_eq!(forward.len(), 1);
 //! ```
 

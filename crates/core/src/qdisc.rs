@@ -11,18 +11,32 @@
 //!
 //! The data-direction half is a drop-in [`Qdisc`], so every experiment
 //! swaps it against DropTail/RED/SFQ with one line.
+//!
+//! Arena contract: both halves of a pair must be driven with the *same*
+//! [`PacketArena`] — rejection-feedback RSTs fabricated on the reverse
+//! path are inserted into the arena passed to the reverse half and later
+//! handed out by the forward half's `dequeue`.
 
 use crate::admission::{AdmissionController, AdmissionDecision, LossRateMeter};
 use crate::config::TaqConfig;
-use crate::queues::{classify, fair_share_bps, QueueClass, TaqQueues};
+use crate::queues::{classify, fair_share_bps, QueueClass, QueuedPkt, TaqQueues};
 use crate::tracker::{flow_id, FlowTable};
 use std::sync::{Arc, Mutex};
-use taq_sim::{EnqueueOutcome, Packet, PacketBuilder, Qdisc, SimDuration, SimTime, TcpFlags};
+use taq_sim::{
+    EnqueueOutcome, Packet, PacketArena, PacketBuilder, PacketId, Qdisc, SimDuration, SimTime,
+    TcpFlags,
+};
 use taq_telemetry::{Event, GaugeId, HistogramId, Telemetry, Value};
 
 /// Queue depth is sampled on every nth offered packet: often enough for
 /// meaningful percentiles, cheap enough for the hot path.
 const DEPTH_SAMPLE_EVERY: u64 = 32;
+
+/// One classify decision in this many is wall-clock timed (see
+/// `enqueue_forward`); the rest run untimed. The stride trades sample
+/// count against self-interference: the sampled timer's clock reads
+/// land inside the *enqueue* window, so it stays sparse.
+const CLASSIFY_SAMPLE_EVERY: u64 = 64;
 
 /// Aggregate statistics a TAQ instance maintains.
 ///
@@ -120,8 +134,9 @@ pub struct TaqState {
     admission: AdmissionController,
     loss_meter: LossRateMeter,
     /// Rejection notices (spoofed RSTs) awaiting injection onto the
-    /// forward link, used when `reject_feedback` is enabled.
-    pending_rejects: std::collections::VecDeque<Packet>,
+    /// forward link, as arena ids with cached wire lengths; used when
+    /// `reject_feedback` is enabled.
+    pending_rejects: std::collections::VecDeque<(PacketId, u32)>,
     /// Aggregate counters.
     pub stats: TaqStats,
     telemetry: Telemetry,
@@ -136,6 +151,13 @@ pub struct TaqState {
     /// and thread count computes the identical sequence.
     fair_share_cache: f64,
     fair_share_expires: SimTime,
+    /// Events one enqueue produces (classification, drops, depth
+    /// samples), gathered here during the timed section and fanned out
+    /// in one [`Telemetry::emit_batch`] after it — the sink fan-out is
+    /// observer cost (one atomic load when nobody listens), so it stays
+    /// outside `taq_enqueue_ns`. Reused across packets; push order is
+    /// emission order.
+    event_buf: Vec<(u64, Event)>,
     /// Hot-path latency histograms (dead handles until telemetry is
     /// attached).
     enqueue_ns: HistogramId,
@@ -162,6 +184,7 @@ impl TaqState {
             stats: TaqStats::default(),
             telemetry: disabled,
             next_gc_at: SimTime::ZERO,
+            event_buf: Vec::new(),
             fair_share_cache: 0.0,
             fair_share_expires: SimTime::ZERO,
             enqueue_ns: dead_hist,
@@ -212,7 +235,7 @@ impl TaqState {
     }
 
     /// The current per-flow fair share in bits/sec.
-    pub fn fair_share(&self, now: SimTime) -> f64 {
+    pub fn fair_share(&mut self, now: SimTime) -> f64 {
         fair_share_bps(
             self.cfg.link_rate,
             self.flows.active_flows(now),
@@ -235,9 +258,19 @@ impl TaqState {
         self.admission.waiting_pools()
     }
 
-    fn enqueue_forward(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
-        let _enq_timer = self.telemetry.scoped(self.enqueue_ns);
+    fn enqueue_forward(
+        &mut self,
+        pkt: PacketId,
+        arena: &mut PacketArena,
+        now: SimTime,
+    ) -> EnqueueOutcome {
         self.stats.offered += 1;
+        // Periodic table maintenance — the epoch-roll/GC tick (every
+        // `min_epoch`) and the fair-share refresh (every quarter of it)
+        // — runs before the enqueue timer starts: `taq_enqueue_ns`
+        // brackets the per-packet admission work, while the amortized
+        // O(flows) sweeps show up where they belong, in the run's
+        // wall-clock (`events_per_sec`, gated just as strictly).
         if now >= self.next_gc_at {
             self.next_gc_at = now + self.cfg.min_epoch;
             // A flow whose packets are still buffered must keep its id:
@@ -245,24 +278,84 @@ impl TaqState {
             let queues = &self.queues;
             self.flows.tick(now, |id| queues.holds(id));
         }
-        let obs = self.flows.observe_forward(&pkt, now);
+        // Same maintenance rationale: when this packet will refresh the
+        // fair share, drain the active-set expiry heap up front so the
+        // in-bracket refresh settles in O(1). This packet's own
+        // observation only ever *adds* activity expiring after `now`,
+        // so the count the refresh reads is unchanged.
+        if now >= self.fair_share_expires {
+            self.flows.presettle(now);
+        }
+        let outcome = {
+            let _enq_timer = self.telemetry.scoped(self.enqueue_ns);
+            self.classify_and_queue(pkt, arena, now)
+        };
+        // Depth sampling is pure observation (gauges + a QueueDepth
+        // event), so it runs after the timer; it was already the last
+        // event an enqueue produced, so the stream order is unchanged.
+        if self.telemetry.is_active() && self.stats.offered % DEPTH_SAMPLE_EVERY == 1 {
+            self.sample_depth(now);
+        }
+        // Sink fan-out happens after the timer closes: when no sink is
+        // attached the whole per-packet telemetry cost is one atomic
+        // load, so the fan-out is overhead *observation induces* and
+        // would distort the latency it exists to measure. Push order is
+        // preserved, so every sink sees the stream unchanged.
+        if !self.event_buf.is_empty() {
+            let mut buf = std::mem::take(&mut self.event_buf);
+            self.telemetry.emit_batch(&mut buf);
+            self.event_buf = buf;
+        }
+        outcome
+    }
+
+    /// The timed body of [`enqueue_forward`]: observation, fair-share
+    /// refresh, classification, queueing, and eviction. Events are
+    /// pushed to `event_buf`, not emitted — the caller fans them out
+    /// once the enqueue timer has stopped.
+    fn classify_and_queue(
+        &mut self,
+        pkt: PacketId,
+        arena: &mut PacketArena,
+        now: SimTime,
+    ) -> EnqueueOutcome {
+        // The single packet-body read of the enqueue path: everything
+        // downstream works on the observation and the QueuedPkt handle.
+        let (obs, qp, fkey) = {
+            let body = arena.get(pkt);
+            let obs = self.flows.observe_forward(body, now);
+            (obs, QueuedPkt::from_packet(pkt, obs.id, body), body.flow)
+        };
+        // After the observation on purpose: a refresh falling on this
+        // packet must count its flow's just-updated activity.
         let fair = self.fair_share_cached(now);
         // How many packets one fair share amounts to per flow epoch
         // (floored at 1 below): the backlog threshold for the
         // above-share signal.
-        let share_pkts = (fair * obs.epoch_len.as_secs_f64()
-            / (8.0 * f64::from(pkt.wire_len().max(1)))) as usize;
+        let share_pkts =
+            (fair * obs.epoch_len.as_secs_f64() / (8.0 * f64::from(qp.wire.max(1)))) as usize;
         let backlog = self.queues.flow_backlog(obs.id);
         let class = {
-            let _cls_timer = self.telemetry.scoped(self.classify_ns);
+            // Sampled profiling: the scoped timer costs two clock reads
+            // plus a registry record — more than `classify` itself — so
+            // time only every 16th decision. The histogram's mean stays
+            // an unbiased estimate of classify latency; the deterministic
+            // stride keeps instrumented runs reproducible.
+            let _cls_timer = (self.stats.offered % CLASSIFY_SAMPLE_EVERY == 1)
+                .then(|| self.telemetry.scoped(self.classify_ns));
             classify(&obs, backlog, share_pkts, fair)
         };
-        self.telemetry.emit(now.as_nanos(), || Event::Classified {
-            packet: pkt.id,
-            flow: flow_id(&pkt.flow),
-            class: class.name(),
-            retransmission: obs.retransmission,
-        });
+        if self.telemetry.listening() {
+            self.event_buf.push((
+                now.as_nanos(),
+                Event::Classified {
+                    packet: qp.pkt_id,
+                    flow: flow_id(&fkey),
+                    class: class.name(),
+                    retransmission: obs.retransmission,
+                },
+            ));
+        }
         let mut outcome = EnqueueOutcome::accepted();
 
         // NewFlow admission pressure: its own cap limits how many
@@ -271,13 +364,13 @@ impl TaqState {
             && self.queues.class_len(QueueClass::NewFlow) >= self.cfg.newflow_cap_pkts
         {
             self.stats.drops_by_stage[7] += 1;
-            self.record_drop(&pkt, obs.retransmission, 7, now);
+            self.record_drop(&qp, arena, obs.retransmission, 7, now);
             outcome.dropped.push(pkt);
             return outcome;
         }
 
         self.stats.per_class[TaqStats::class_index(class)] += 1;
-        self.queues.push(obs.id, class, pkt, &obs);
+        self.queues.push(class, qp, &obs);
 
         // Enforce total buffer capacity by evicting per policy.
         while self.queues.len() > self.cfg.buffer_pkts {
@@ -285,14 +378,11 @@ impl TaqState {
                 break;
             };
             self.stats.drops_by_stage[usize::from(stage)] += 1;
-            self.record_drop(&victim, was_retx, stage, now);
-            outcome.dropped.push(victim);
+            self.record_drop(&victim, arena, was_retx, stage, now);
+            outcome.dropped.push(victim.pid);
         }
         // Everything that stayed counts as a non-drop observation.
         self.loss_meter.record(false, now);
-        if self.telemetry.is_active() && self.stats.offered % DEPTH_SAMPLE_EVERY == 1 {
-            self.sample_depth(now);
-        }
         outcome
     }
 
@@ -300,48 +390,72 @@ impl TaqState {
     /// per-class breakdown) and refreshes the depth gauges.
     fn sample_depth(&mut self, now: SimTime) {
         let per_class = self.queues.depth_per_class();
-        self.telemetry
-            .set_gauge(self.depth_gauge, self.queues.len() as f64);
-        for (gauge, (_, depth)) in self.class_gauges.iter().zip(per_class.iter()) {
-            self.telemetry.set_gauge(*gauge, *depth as f64);
+        // One registry lock for the whole gauge family.
+        let mut gauges = [(self.depth_gauge, self.queues.len() as f64); 6];
+        for (slot, (gauge, (_, depth))) in gauges[1..]
+            .iter_mut()
+            .zip(self.class_gauges.iter().zip(per_class.iter()))
+        {
+            *slot = (*gauge, *depth as f64);
         }
-        let pkts = self.queues.len() as u64;
-        let bytes = self.queues.byte_len() as u64;
-        self.telemetry.emit(now.as_nanos(), || Event::QueueDepth {
-            pkts,
-            bytes,
-            per_class,
-        });
+        self.telemetry.set_gauges(&gauges);
+        if self.telemetry.listening() {
+            self.event_buf.push((
+                now.as_nanos(),
+                Event::QueueDepth {
+                    pkts: self.queues.len() as u64,
+                    bytes: self.queues.byte_len() as u64,
+                    per_class,
+                },
+            ));
+        }
     }
 
-    fn record_drop(&mut self, pkt: &Packet, was_retransmission: bool, stage: u8, now: SimTime) {
+    fn record_drop(
+        &mut self,
+        qp: &QueuedPkt,
+        arena: &PacketArena,
+        was_retransmission: bool,
+        stage: u8,
+        now: SimTime,
+    ) {
         self.stats.dropped += 1;
         if was_retransmission {
             self.stats.retransmissions_dropped += 1;
         }
-        self.telemetry.emit(now.as_nanos(), || Event::Dropped {
-            packet: pkt.id,
-            flow: flow_id(&pkt.flow),
-            stage,
-            retransmission: was_retransmission,
-        });
+        if self.telemetry.listening() {
+            self.event_buf.push((
+                now.as_nanos(),
+                Event::Dropped {
+                    packet: qp.pkt_id,
+                    flow: flow_id(&arena.get(qp.pid).flow),
+                    stage,
+                    retransmission: was_retransmission,
+                },
+            ));
+        }
         self.loss_meter.record(true, now);
-        self.flows.on_drop(&pkt.flow, was_retransmission, now);
+        self.flows.on_drop_id(qp.flow, was_retransmission, now);
     }
 
-    fn dequeue_forward(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue_forward(&mut self, now: SimTime) -> Option<PacketId> {
         let _deq_timer = self.telemetry.scoped(self.dequeue_ns);
         // Rejection notices are tiny and latency-sensitive: inject them
         // ahead of buffered data.
-        if let Some(rst) = self.pending_rejects.pop_front() {
+        if let Some((rst, _)) = self.pending_rejects.pop_front() {
             return Some(rst);
         }
-        let pkt = self.queues.pop(now)?;
-        self.flows.on_forwarded(&pkt.flow, pkt.wire_len(), now);
-        Some(pkt)
+        let qp = self.queues.pop(now)?;
+        self.flows.on_forwarded_id(qp.flow, qp.wire, now);
+        Some(qp.pid)
     }
 
-    fn observe_reverse(&mut self, pkt: &Packet, now: SimTime) -> AdmissionDecision {
+    fn observe_reverse(
+        &mut self,
+        pkt: &Packet,
+        arena: &mut PacketArena,
+        now: SimTime,
+    ) -> AdmissionDecision {
         if pkt.flags.syn && !pkt.flags.ack {
             let loss = self.loss_meter.rate(now);
             let decision = self.admission.on_syn(pkt.flow.src, loss, now);
@@ -357,7 +471,9 @@ impl TaqState {
                         .flags(TcpFlags::RST)
                         .meta(self.cfg.admission_twait.as_millis())
                         .build();
-                    self.pending_rejects.push_back(rst);
+                    let wire = rst.wire_len();
+                    let pid = arena.insert(rst);
+                    self.pending_rejects.push_back((pid, wire));
                 }
             }
             return decision;
@@ -398,7 +514,7 @@ pub struct TaqQdisc {
 #[derive(Debug)]
 pub struct TaqReverseQdisc {
     state: SharedTaq,
-    fifo: std::collections::VecDeque<Packet>,
+    fifo: std::collections::VecDeque<(PacketId, u32)>,
     bytes: usize,
 }
 
@@ -437,11 +553,11 @@ impl TaqPair {
 }
 
 impl Qdisc for TaqQdisc {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
-        self.state.lock().unwrap().enqueue_forward(pkt, now)
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome {
+        self.state.lock().unwrap().enqueue_forward(pkt, arena, now)
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _arena: &mut PacketArena, now: SimTime) -> Option<PacketId> {
         self.state.lock().unwrap().dequeue_forward(now)
     }
 
@@ -455,7 +571,7 @@ impl Qdisc for TaqQdisc {
         st.queues.byte_len()
             + st.pending_rejects
                 .iter()
-                .map(|p| p.wire_len() as usize)
+                .map(|&(_, wire)| wire as usize)
                 .sum::<usize>()
     }
 
@@ -465,19 +581,25 @@ impl Qdisc for TaqQdisc {
 }
 
 impl Qdisc for TaqReverseQdisc {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
-        let decision = self.state.lock().unwrap().observe_reverse(&pkt, now);
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome {
+        let body = arena.get(pkt).clone();
+        let decision = self
+            .state
+            .lock()
+            .unwrap()
+            .observe_reverse(&body, arena, now);
         if decision == AdmissionDecision::Reject {
             return EnqueueOutcome::rejected(pkt);
         }
-        self.bytes += pkt.wire_len() as usize;
-        self.fifo.push_back(pkt);
+        let wire = body.wire_len();
+        self.bytes += wire as usize;
+        self.fifo.push_back((pkt, wire));
         EnqueueOutcome::accepted()
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
-        let pkt = self.fifo.pop_front()?;
-        self.bytes -= pkt.wire_len() as usize;
+    fn dequeue(&mut self, _arena: &mut PacketArena, _now: SimTime) -> Option<PacketId> {
+        let (pkt, wire) = self.fifo.pop_front()?;
+        self.bytes -= wire as usize;
         Some(pkt)
     }
 
@@ -512,10 +634,10 @@ mod tests {
         }
     }
 
-    fn data(port: u16, seq: u64, id: u64) -> Packet {
+    fn data(a: &mut PacketArena, port: u16, seq: u64, id: u64) -> PacketId {
         let mut p = PacketBuilder::new(key(port)).seq(seq).payload(460).build();
         p.id = id;
-        p
+        a.insert(p)
     }
 
     fn t(ms: u64) -> SimTime {
@@ -524,23 +646,30 @@ mod tests {
 
     #[test]
     fn forwards_within_capacity() {
+        let mut a = PacketArena::new();
         let pair = TaqPair::new(cfg());
         let mut q = pair.forward;
         // Uncongested operation: the link drains as fast as we enqueue.
         let mut seen = 0;
         for i in 0..10 {
-            let out = q.enqueue(data(1, 1 + i * 460, i), t(i));
+            let pkt = data(&mut a, 1, 1 + i * 460, i);
+            let out = q.enqueue(pkt, &mut a, t(i));
             assert!(out.dropped.is_empty());
-            seen += u64::from(q.dequeue(t(i)).is_some());
+            if let Some(id) = q.dequeue(&mut a, t(i)) {
+                a.remove(id);
+                seen += 1;
+            }
         }
         assert_eq!(seen, 10);
         assert_eq!(q.len(), 0);
+        assert!(a.is_empty());
         assert_eq!(pair.state.lock().unwrap().stats.offered, 10);
         assert_eq!(pair.state.lock().unwrap().stats.dropped, 0);
     }
 
     #[test]
     fn buffer_cap_evicts_per_policy() {
+        let mut a = PacketArena::new();
         let mut config = cfg();
         config.buffer_pkts = 4;
         config.newflow_cap_pkts = 4;
@@ -548,19 +677,27 @@ mod tests {
         let mut q = pair.forward;
         let mut dropped = 0;
         for i in 0..12 {
-            dropped += q.enqueue(data(1, 1 + i * 460, i), t(i)).dropped.len();
+            let pkt = data(&mut a, 1, 1 + i * 460, i);
+            for d in q.enqueue(pkt, &mut a, t(i)).dropped {
+                a.remove(d);
+                dropped += 1;
+            }
         }
         assert_eq!(q.len(), 4);
         assert_eq!(dropped, 8);
+        assert_eq!(a.len(), 4, "arena holds exactly the buffered packets");
         assert_eq!(pair.state.lock().unwrap().stats.dropped, 8);
     }
 
     #[test]
     fn retransmission_repairing_our_drop_takes_recovery_class() {
+        let mut a = PacketArena::new();
         let pair = TaqPair::new(cfg());
         let mut q = pair.forward;
-        q.enqueue(data(1, 1, 1), t(0));
-        q.enqueue(data(1, 461, 2), t(5));
+        let p1 = data(&mut a, 1, 1, 1);
+        q.enqueue(p1, &mut a, t(0));
+        let p2 = data(&mut a, 1, 461, 2);
+        q.enqueue(p2, &mut a, t(5));
         // This queue drops the flow's packet, so the re-sent sequence
         // is a true repair and rides the Recovery class.
         pair.state
@@ -568,7 +705,8 @@ mod tests {
             .unwrap()
             .flows
             .on_drop(&key(1), false, t(6));
-        q.enqueue(data(1, 1, 3), t(10)); // seq reuse = retransmission
+        let p3 = data(&mut a, 1, 1, 3); // seq reuse = retransmission
+        q.enqueue(p3, &mut a, t(10));
         assert_eq!(
             pair.state
                 .lock()
@@ -581,13 +719,17 @@ mod tests {
 
     #[test]
     fn spurious_retransmission_does_not_take_recovery_class() {
+        let mut a = PacketArena::new();
         let pair = TaqPair::new(cfg());
         let mut q = pair.forward;
-        q.enqueue(data(1, 1, 1), t(0));
-        q.enqueue(data(1, 461, 2), t(5));
+        let p1 = data(&mut a, 1, 1, 1);
+        q.enqueue(p1, &mut a, t(0));
+        let p2 = data(&mut a, 1, 461, 2);
+        q.enqueue(p2, &mut a, t(5));
         // No drop here: the resend is spurious (or repairs a loss
         // elsewhere) and must not jump the line.
-        q.enqueue(data(1, 1, 3), t(10));
+        let p3 = data(&mut a, 1, 1, 3);
+        q.enqueue(p3, &mut a, t(10));
         assert_eq!(
             pair.state
                 .lock()
@@ -600,6 +742,7 @@ mod tests {
 
     #[test]
     fn newflow_cap_limits_connection_packets() {
+        let mut a = PacketArena::new();
         let mut config = cfg();
         config.newflow_cap_pkts = 2;
         let pair = TaqPair::new(config);
@@ -608,30 +751,38 @@ mod tests {
         // as NewFlow; only two fit the cap.
         let mut drops = 0;
         for port in 1..=5u16 {
-            drops += q
-                .enqueue(data(port, 1, u64::from(port)), t(0))
-                .dropped
-                .len();
+            let pkt = data(&mut a, port, 1, u64::from(port));
+            for d in q.enqueue(pkt, &mut a, t(0)).dropped {
+                a.remove(d);
+                drops += 1;
+            }
         }
         assert_eq!(drops, 3);
         assert_eq!(q.len(), 2);
+        assert_eq!(a.len(), 2);
     }
 
     #[test]
     fn reverse_passes_acks_and_feeds_tracker() {
+        let mut a = PacketArena::new();
         let pair = TaqPair::new(cfg());
         let mut fwd = pair.forward;
         let mut rev = pair.reverse;
-        fwd.enqueue(data(1, 1, 1), t(0));
-        assert!(fwd.dequeue(t(1)).is_some());
+        let p1 = data(&mut a, 1, 1, 1);
+        fwd.enqueue(p1, &mut a, t(0));
+        let out = fwd.dequeue(&mut a, t(1)).unwrap();
+        a.remove(out);
         let ack = PacketBuilder::new(key(1).reversed())
             .seq(1)
             .ack(461)
             .build();
-        let out = rev.enqueue(ack, t(400));
+        let ack = a.insert(ack);
+        let out = rev.enqueue(ack, &mut a, t(400));
         assert!(out.dropped.is_empty());
         assert_eq!(rev.len(), 1);
-        assert!(rev.dequeue(t(401)).is_some());
+        let got = rev.dequeue(&mut a, t(401)).unwrap();
+        a.remove(got);
+        assert!(a.is_empty());
         // The tracker's epoch moved off the floor thanks to the sample.
         let state = pair.state.lock().unwrap();
         let flow = state.flows.get(&key(1)).unwrap();
@@ -640,6 +791,7 @@ mod tests {
 
     #[test]
     fn admission_rejects_syns_when_lossy() {
+        let mut a = PacketArena::new();
         let config = cfg().with_admission_control();
         let pair = TaqPair::new(config);
         let mut fwd = pair.forward;
@@ -652,7 +804,7 @@ mod tests {
                 st.loss_meter.record(i % 2 == 0, t(100));
             }
         }
-        let syn = PacketBuilder::new(FlowKey {
+        let syn_pkt = PacketBuilder::new(FlowKey {
             src: NodeId(9),
             src_port: 5000,
             dst: NodeId(1),
@@ -660,18 +812,23 @@ mod tests {
         })
         .flags(TcpFlags::SYN)
         .build();
-        let out = rev.enqueue(syn.clone(), t(200));
+        let syn = a.insert(syn_pkt.clone());
+        let out = rev.enqueue(syn, &mut a, t(200));
         assert_eq!(out.dropped.len(), 1, "SYN rejected at 50% loss");
+        a.remove(out.dropped[0]);
         assert_eq!(pair.state.lock().unwrap().stats.syns_rejected, 1);
         // Data for existing flows still flows normally.
-        assert!(fwd.enqueue(data(1, 1, 1), t(200)).dropped.is_empty());
+        let d = data(&mut a, 1, 1, 1);
+        assert!(fwd.enqueue(d, &mut a, t(200)).dropped.is_empty());
         // Once the loss clears (meter window rolls), the SYN is let in.
-        let out = rev.enqueue(syn, t(20_000));
+        let syn2 = a.insert(syn_pkt);
+        let out = rev.enqueue(syn2, &mut a, t(20_000));
         assert!(out.dropped.is_empty());
     }
 
     #[test]
     fn admission_disabled_by_default() {
+        let mut a = PacketArena::new();
         let pair = TaqPair::new(cfg());
         let mut rev = pair.reverse;
         {
@@ -680,19 +837,22 @@ mod tests {
                 st.loss_meter.record(true, t(0));
             }
         }
-        let syn = PacketBuilder::new(FlowKey {
-            src: NodeId(9),
-            src_port: 5000,
-            dst: NodeId(1),
-            dst_port: 80,
-        })
-        .flags(TcpFlags::SYN)
-        .build();
-        assert!(rev.enqueue(syn, t(1)).dropped.is_empty());
+        let syn = a.insert(
+            PacketBuilder::new(FlowKey {
+                src: NodeId(9),
+                src_port: 5000,
+                dst: NodeId(1),
+                dst_port: 80,
+            })
+            .flags(TcpFlags::SYN)
+            .build(),
+        );
+        assert!(rev.enqueue(syn, &mut a, t(1)).dropped.is_empty());
     }
 
     #[test]
     fn conservation_across_enqueue_dequeue_drop() {
+        let mut a = PacketArena::new();
         let mut config = cfg();
         config.buffer_pkts = 8;
         config.newflow_cap_pkts = 8;
@@ -702,18 +862,27 @@ mod tests {
         let mut drop = 0u64;
         let mut deq = 0u64;
         for i in 0..500u64 {
-            let out = q.enqueue(data((i % 7) as u16 + 1, 1 + (i / 7) * 460, i), t(i));
+            let pkt = data(&mut a, (i % 7) as u16 + 1, 1 + (i / 7) * 460, i);
+            let out = q.enqueue(pkt, &mut a, t(i));
             enq += 1;
-            drop += out.dropped.len() as u64;
-            if i % 3 == 0 && q.dequeue(t(i)).is_some() {
-                deq += 1;
+            for d in out.dropped {
+                a.remove(d);
+                drop += 1;
+            }
+            if i % 3 == 0 {
+                if let Some(id) = q.dequeue(&mut a, t(i)) {
+                    a.remove(id);
+                    deq += 1;
+                }
             }
         }
-        while q.dequeue(t(1_000)).is_some() {
+        while let Some(id) = q.dequeue(&mut a, t(1_000)) {
+            a.remove(id);
             deq += 1;
         }
         assert_eq!(enq, deq + drop, "no packet lost or duplicated");
         assert_eq!(q.len(), 0);
         assert_eq!(q.byte_len(), 0);
+        assert!(a.is_empty(), "arena leak-free across churn");
     }
 }

@@ -38,10 +38,22 @@
 //! it produce the duplicate ACKs fast retransmit needs), sparing
 //! handshake packets while alternatives exist, and touching a
 //! recovering flow's packets only when nothing else is buffered.
+//!
+//! ## Layout
+//!
+//! The buffer stores [`QueuedPkt`] handles — the arena [`PacketId`]
+//! plus the few fields the scheduler ever reads (wire length, SYN-ACK
+//! bit, observational id) — so the hot path never chases the packet
+//! body. Per-flow scheduling metadata lives in parallel slabs indexed
+//! by the dense [`FlowId`] (structure-of-arrays: the eviction and
+//! recovery scans touch only the one column they compare on), and the
+//! per-class packet counts are maintained incrementally in a
+//! cache-line-aligned scheduler header, making `class_len` O(1) where
+//! it used to walk every flow of the class.
 
 use crate::tracker::Observation;
 use std::collections::VecDeque;
-use taq_sim::{Bandwidth, FlowId, Packet, SimDuration, SimTime};
+use taq_sim::{Bandwidth, FlowId, Packet, PacketId, SimDuration, SimTime};
 
 /// Which TAQ class a flow is assigned to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,9 +110,44 @@ impl std::fmt::Display for QueueClass {
     }
 }
 
+/// Classification lookup table. Index bits, most significant first:
+/// recovery, fq-only, new, over-penalized, above-share. The table
+/// encodes the fixed priority recovery > fq-only > new > over > above,
+/// with BelowFairShare as the default.
+const CLASS_LUT: [QueueClass; 32] = build_class_lut();
+
+const fn build_class_lut() -> [QueueClass; 32] {
+    let mut t = [QueueClass::BelowFairShare; 32];
+    let mut i = 0;
+    while i < 32 {
+        t[i] = if i & 0b10000 != 0 {
+            QueueClass::Recovery
+        } else if i & 0b01000 != 0 {
+            QueueClass::BelowFairShare
+        } else if i & 0b00100 != 0 {
+            QueueClass::NewFlow
+        } else if i & 0b00010 != 0 {
+            QueueClass::OverPenalized
+        } else if i & 0b00001 != 0 {
+            QueueClass::AboveFairShare
+        } else {
+            QueueClass::BelowFairShare
+        };
+        i += 1;
+    }
+    t
+}
+
 /// Classifies a packet's flow given its observation, the flow's
 /// currently buffered backlog, and the fair share (paper §4.2's queue
 /// definitions).
+///
+/// True repairs of drops we inflicted ride the priority class, as do
+/// any retransmissions of a flow already in a timeout (losing those
+/// doubles its timer); spurious go-back-N resends from a healthy flow
+/// do not get to jump the line. Flows recovering from losses (or
+/// already dropped-on twice) are shielded in OverPenalized: one more
+/// loss likely means a (repetitive) timeout.
 ///
 /// Above-share detection uses two signals, either sufficing: the
 /// smoothed rate estimate exceeding the share, or the buffered backlog
@@ -109,67 +156,126 @@ impl std::fmt::Display for QueueClass {
 /// one in the sub-packet regime, where the fair share is under a packet
 /// per RTT and any flow keeping several packets buffered is by
 /// definition claiming more than its share.
+///
+/// The five predicates are evaluated unconditionally (none has side
+/// effects) and combined through [`CLASS_LUT`], keeping the per-packet
+/// classification branchless.
 pub fn classify(
     obs: &Observation,
     backlog_pkts: usize,
     share_backlog_pkts: usize,
     fair_share_bps: f64,
 ) -> QueueClass {
-    if obs.repairs_our_drop || (obs.retransmission && obs.protected) {
-        // True repairs of drops we inflicted ride the priority class,
-        // as do any retransmissions of a flow already in a timeout
-        // (losing those doubles its timer). Spurious go-back-N resends
-        // from a healthy flow do not get to jump the line.
-        QueueClass::Recovery
-    } else if obs.fq_only {
-        QueueClass::BelowFairShare
-    } else if obs.is_new {
-        QueueClass::NewFlow
-    } else if obs.protected || obs.recent_drops >= 2 {
-        // Flows recovering from losses (or already dropped-on) are
-        // shielded: one more loss likely means a (repetitive) timeout.
-        QueueClass::OverPenalized
-    } else if obs.rate_bps > fair_share_bps || backlog_pkts >= share_backlog_pkts.max(1) {
-        QueueClass::AboveFairShare
-    } else {
-        QueueClass::BelowFairShare
+    let recovery = obs.repairs_our_drop | (obs.retransmission & obs.protected);
+    let over = obs.protected | (obs.recent_drops >= 2);
+    let above = (obs.rate_bps > fair_share_bps) | (backlog_pkts >= share_backlog_pkts.max(1));
+    let idx = ((recovery as usize) << 4)
+        | ((obs.fq_only as usize) << 3)
+        | ((obs.is_new as usize) << 2)
+        | ((over as usize) << 1)
+        | (above as usize);
+    CLASS_LUT[idx]
+}
+
+/// A buffered packet handle: the arena id plus the only per-packet
+/// fields the scheduler reads, cached at enqueue so the hot path never
+/// dereferences the packet body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedPkt {
+    /// Arena handle; ownership transfers with the `QueuedPkt`.
+    pub pid: PacketId,
+    /// The packet's observational `Packet::id` (diagnostics, tests).
+    pub pkt_id: u64,
+    /// Dense flow id this packet belongs to.
+    pub flow: FlowId,
+    /// Cached wire length in bytes.
+    pub wire: u32,
+    /// Cached `syn && ack` (handshake packets are spared on eviction).
+    pub synack: bool,
+}
+
+impl QueuedPkt {
+    /// Builds the handle from a packet body (one arena read).
+    pub fn from_packet(pid: PacketId, flow: FlowId, pkt: &Packet) -> Self {
+        QueuedPkt {
+            pid,
+            pkt_id: pkt.id,
+            flow,
+            wire: pkt.wire_len(),
+            synack: pkt.flags.syn && pkt.flags.ack,
+        }
     }
 }
 
-/// One flow's buffered packets plus scheduling metadata.
-#[derive(Debug)]
-struct FlowQueue {
-    packets: VecDeque<Packet>,
-    class: QueueClass,
+/// Vacant marker in the per-flow `class` slab.
+const NO_CLASS: u8 = u8::MAX;
+
+/// Per-flow scheduling state in structure-of-arrays form, indexed by
+/// the dense [`FlowId`]. A flow is live iff `class[i] != NO_CLASS`;
+/// drained flows keep their (empty) packet deque so re-activation
+/// reuses the allocation.
+#[derive(Debug, Default)]
+struct FlowSlabs {
+    /// Current [`QueueClass`] index, or [`NO_CLASS`].
+    class: Vec<u8>,
     /// Recent window estimate (eviction score: bigger pays first).
-    score: u32,
+    score: Vec<u32>,
     /// Silence preceding the current recovery (Recovery priority:
     /// longer is served first, dropped last).
-    silence: u32,
+    silence: Vec<u32>,
     /// Last normal-state transmission (Recovery tie-break).
-    last_normal_at: SimTime,
-    bytes: usize,
+    last_normal_at: Vec<SimTime>,
+    /// Buffered wire bytes of the flow.
+    bytes: Vec<usize>,
+    /// The flow's buffered packets, arrival order.
+    packets: Vec<VecDeque<QueuedPkt>>,
+}
+
+impl FlowSlabs {
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.class.len() {
+            self.class.resize(idx + 1, NO_CLASS);
+            self.score.resize(idx + 1, 0);
+            self.silence.resize(idx + 1, 0);
+            self.last_normal_at.resize(idx + 1, SimTime::ZERO);
+            self.bytes.resize(idx + 1, 0);
+            self.packets.resize_with(idx + 1, VecDeque::new);
+        }
+    }
+}
+
+/// Scheduler header: the per-class packet counts and level-1/level-2
+/// rotation state, grouped on one cache line so a `pop` touches a
+/// single hot line before it picks a flow.
+#[derive(Debug)]
+#[repr(align(64))]
+struct SchedState {
+    /// Packets buffered per class (priority order), maintained
+    /// incrementally — `class_len` is O(1).
+    class_pkts: [usize; 5],
+    // Level-2 rotation pointer (tie-breaking among equal demands).
+    rr_next: u8,
+    // Level-1 token bucket.
+    recovery_tokens: f64,
+    recovery_rate_bps: f64,
+    token_cap: f64,
+    last_refill: SimTime,
 }
 
 /// The five queues plus scheduler state. Flows are identified by their
 /// dense [`FlowId`] (handed out by the flow table's interner) and live
-/// in a slab indexed by it — the queue layer never hashes a flow key.
+/// in the SoA slabs indexed by it — the queue layer never hashes a
+/// flow key and never touches a packet body.
 #[derive(Debug)]
 pub struct TaqQueues {
-    flows: Vec<Option<FlowQueue>>,
+    flows: FlowSlabs,
     /// Round-robin rotation per class (by flow id). The Recovery class
     /// ring is unused for ordering (priority scan) but tracks
     /// membership.
     rings: [VecDeque<FlowId>; 5],
     len: usize,
     bytes: usize,
-    // Level-1 token bucket.
-    recovery_tokens: f64,
-    recovery_rate_bps: f64,
-    token_cap: f64,
-    last_refill: SimTime,
-    // Level-2 rotation pointer (tie-breaking among equal demands).
-    rr_next: u8,
+    sched: SchedState,
 }
 
 impl TaqQueues {
@@ -178,16 +284,20 @@ impl TaqQueues {
     pub fn new(link_rate: Bandwidth, recovery_fraction: f64) -> Self {
         let rate = link_rate.bps() as f64 * recovery_fraction;
         TaqQueues {
-            flows: Vec::new(),
+            flows: FlowSlabs::default(),
             rings: Default::default(),
             len: 0,
             bytes: 0,
-            recovery_tokens: 0.0,
-            recovery_rate_bps: rate,
-            // Allow a burst of a few packets' worth of recovery traffic.
-            token_cap: 3.0 * 1500.0 * 8.0,
-            last_refill: SimTime::ZERO,
-            rr_next: 0,
+            sched: SchedState {
+                class_pkts: [0; 5],
+                rr_next: 0,
+                recovery_tokens: 0.0,
+                recovery_rate_bps: rate,
+                // Allow a burst of a few packets' worth of recovery
+                // traffic.
+                token_cap: 3.0 * 1500.0 * 8.0,
+                last_refill: SimTime::ZERO,
+            },
         }
     }
 
@@ -206,37 +316,33 @@ impl TaqQueues {
         self.bytes
     }
 
-    /// The slab entry for `id` (`None` when the flow buffers nothing).
-    fn flow(&self, id: FlowId) -> Option<&FlowQueue> {
-        self.flows.get(id.index()).and_then(|s| s.as_ref())
-    }
-
-    /// The live slab entry for `id`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the flow holds no packets.
-    fn flow_ref(&self, id: FlowId) -> &FlowQueue {
-        self.flows[id.index()].as_ref().expect("flow exists")
+    /// The flow's live class index, if it buffers anything.
+    fn class_of(&self, id: FlowId) -> Option<usize> {
+        match self.flows.class.get(id.index()) {
+            Some(&c) if c != NO_CLASS => Some(c as usize),
+            _ => None,
+        }
     }
 
     /// `true` while `id` has packets buffered here — the flow table's
     /// GC must not recycle the id as long as this holds.
     pub fn holds(&self, id: FlowId) -> bool {
-        self.flow(id).is_some()
+        self.class_of(id).is_some()
     }
 
     /// Buffered packets of one flow.
     pub fn flow_backlog(&self, id: FlowId) -> usize {
-        self.flow(id).map_or(0, |f| f.packets.len())
+        if self.holds(id) {
+            self.flows.packets[id.index()].len()
+        } else {
+            0
+        }
     }
 
-    /// Packets buffered under a given class (tests, metrics).
+    /// Packets buffered under a given class. O(1): the scheduler
+    /// header tracks per-class counts incrementally.
     pub fn class_len(&self, class: QueueClass) -> usize {
-        self.rings[class.index()]
-            .iter()
-            .map(|&id| self.flow_ref(id).packets.len())
-            .sum()
+        self.sched.class_pkts[class.index()]
     }
 
     /// Flows currently assigned to a class.
@@ -254,13 +360,17 @@ impl TaqQueues {
     }
 
     fn migrate(&mut self, id: FlowId, to: QueueClass) {
-        let flow = self.flows[id.index()].as_mut().expect("flow exists");
-        if flow.class == to {
+        let idx = id.index();
+        let from = self.flows.class[idx] as usize;
+        debug_assert_ne!(self.flows.class[idx], NO_CLASS, "flow exists");
+        if from == to.index() {
             return;
         }
-        let from = flow.class;
-        flow.class = to;
-        self.rings[from.index()].retain(|k| *k != id);
+        let moved = self.flows.packets[idx].len();
+        self.flows.class[idx] = to.index() as u8;
+        self.sched.class_pkts[from] -= moved;
+        self.sched.class_pkts[to.index()] += moved;
+        self.rings[from].retain(|k| *k != id);
         self.rings[to.index()].push_back(id);
     }
 
@@ -271,101 +381,104 @@ impl TaqQueues {
     /// packets while its retransmissions are still buffered — the
     /// paper's protection extends to "existing packets within the
     /// sliding window" that follow a retransmission.
-    pub fn push(&mut self, id: FlowId, class: QueueClass, pkt: Packet, obs: &Observation) {
-        let wire = pkt.wire_len() as usize;
-        if id.index() >= self.flows.len() {
-            self.flows.resize_with(id.index() + 1, || None);
-        }
-        match self.flows[id.index()].as_mut() {
-            Some(flow) => {
-                flow.score = obs.window_estimate;
-                if class == QueueClass::Recovery {
-                    flow.silence = flow.silence.max(obs.silent_epochs);
-                }
-                flow.last_normal_at = obs.last_normal_at;
-                flow.packets.push_back(pkt);
-                flow.bytes += wire;
-                let keep_recovery =
-                    flow.class == QueueClass::Recovery && class != QueueClass::Recovery;
-                if !keep_recovery {
-                    self.migrate(id, class);
-                }
+    pub fn push(&mut self, class: QueueClass, qp: QueuedPkt, obs: &Observation) {
+        let id = qp.flow;
+        let idx = id.index();
+        let wire = qp.wire as usize;
+        self.flows.ensure(idx);
+        if self.flows.class[idx] != NO_CLASS {
+            self.flows.score[idx] = obs.window_estimate;
+            if class == QueueClass::Recovery {
+                self.flows.silence[idx] = self.flows.silence[idx].max(obs.silent_epochs);
             }
-            None => {
-                let mut packets = VecDeque::with_capacity(4);
-                packets.push_back(pkt);
-                self.flows[id.index()] = Some(FlowQueue {
-                    packets,
-                    class,
-                    score: obs.window_estimate,
-                    silence: obs.silent_epochs,
-                    last_normal_at: obs.last_normal_at,
-                    bytes: wire,
-                });
-                self.rings[class.index()].push_back(id);
+            self.flows.last_normal_at[idx] = obs.last_normal_at;
+            self.flows.packets[idx].push_back(qp);
+            self.flows.bytes[idx] += wire;
+            let cur = self.flows.class[idx] as usize;
+            self.sched.class_pkts[cur] += 1;
+            let keep_recovery =
+                cur == QueueClass::Recovery.index() && class != QueueClass::Recovery;
+            if !keep_recovery {
+                self.migrate(id, class);
             }
+        } else {
+            self.flows.class[idx] = class.index() as u8;
+            self.flows.score[idx] = obs.window_estimate;
+            self.flows.silence[idx] = obs.silent_epochs;
+            self.flows.last_normal_at[idx] = obs.last_normal_at;
+            self.flows.packets[idx].push_back(qp);
+            self.flows.bytes[idx] = wire;
+            self.sched.class_pkts[class.index()] += 1;
+            self.rings[class.index()].push_back(id);
         }
         self.len += 1;
         self.bytes += wire;
     }
 
     fn refill_tokens(&mut self, now: SimTime) {
-        let dt = now.saturating_since(self.last_refill).as_secs_f64();
-        self.last_refill = now;
-        self.recovery_tokens =
-            (self.recovery_tokens + dt * self.recovery_rate_bps).min(self.token_cap);
+        let dt = now.saturating_since(self.sched.last_refill).as_secs_f64();
+        self.sched.last_refill = now;
+        self.sched.recovery_tokens = (self.sched.recovery_tokens
+            + dt * self.sched.recovery_rate_bps)
+            .min(self.sched.token_cap);
     }
 
     /// Pops the head packet of `id`'s queue, cleaning up if drained.
-    fn pop_head(&mut self, id: FlowId) -> Packet {
-        let flow = self.flows[id.index()].as_mut().expect("flow exists");
-        let pkt = flow.packets.pop_front().expect("flow queue non-empty");
-        let wire = pkt.wire_len() as usize;
-        flow.bytes -= wire;
-        if flow.packets.is_empty() {
-            let class = flow.class;
-            self.flows[id.index()] = None;
-            self.rings[class.index()].retain(|k| *k != id);
+    fn pop_head(&mut self, id: FlowId) -> QueuedPkt {
+        let idx = id.index();
+        let qp = self.flows.packets[idx]
+            .pop_front()
+            .expect("flow queue non-empty");
+        let wire = qp.wire as usize;
+        let class = self.flows.class[idx] as usize;
+        self.flows.bytes[idx] -= wire;
+        self.sched.class_pkts[class] -= 1;
+        if self.flows.packets[idx].is_empty() {
+            self.flows.class[idx] = NO_CLASS;
+            self.rings[class].retain(|k| *k != id);
         }
         self.len -= 1;
         self.bytes -= wire;
-        pkt
+        qp
     }
 
-    /// Removes the packet at `idx` in `id`'s queue.
-    fn remove_at(&mut self, id: FlowId, idx: usize) -> Packet {
-        let flow = self.flows[id.index()].as_mut().expect("flow exists");
-        let pkt = flow.packets.remove(idx).expect("valid index");
-        let wire = pkt.wire_len() as usize;
-        flow.bytes -= wire;
-        if flow.packets.is_empty() {
-            let class = flow.class;
-            self.flows[id.index()] = None;
-            self.rings[class.index()].retain(|k| *k != id);
+    /// Removes the packet at `pkt_idx` in `id`'s queue.
+    fn remove_at(&mut self, id: FlowId, pkt_idx: usize) -> QueuedPkt {
+        let idx = id.index();
+        let qp = self.flows.packets[idx]
+            .remove(pkt_idx)
+            .expect("valid index");
+        let wire = qp.wire as usize;
+        let class = self.flows.class[idx] as usize;
+        self.flows.bytes[idx] -= wire;
+        self.sched.class_pkts[class] -= 1;
+        if self.flows.packets[idx].is_empty() {
+            self.flows.class[idx] = NO_CLASS;
+            self.rings[class].retain(|k| *k != id);
         }
         self.len -= 1;
         self.bytes -= wire;
-        pkt
+        qp
     }
 
     /// The Recovery flow with the highest priority: longest silence,
-    /// then least-recent normal transmission, then id.
+    /// then least-recent normal transmission, then id. The scan reads
+    /// only the silence / last-normal columns of the slabs.
     fn best_recovery(&self) -> Option<FlowId> {
         self.rings[QueueClass::Recovery.index()]
             .iter()
             .max_by(|a, b| {
-                let fa = self.flow_ref(**a);
-                let fb = self.flow_ref(**b);
-                fa.silence
-                    .cmp(&fb.silence)
-                    .then(fb.last_normal_at.cmp(&fa.last_normal_at))
+                let (ia, ib) = (a.index(), b.index());
+                self.flows.silence[ia]
+                    .cmp(&self.flows.silence[ib])
+                    .then(self.flows.last_normal_at[ib].cmp(&self.flows.last_normal_at[ia]))
                     .then(b.cmp(a))
             })
             .copied()
     }
 
     /// Serves the next flow of `class` in rotation.
-    fn pop_rr(&mut self, class: QueueClass) -> Option<Packet> {
+    fn pop_rr(&mut self, class: QueueClass) -> Option<QueuedPkt> {
         let id = self.rings[class.index()].pop_front()?;
         // The flow may still have packets after this pop; `pop_head`
         // removes it from the ring only when drained, so re-append
@@ -375,16 +488,16 @@ impl TaqQueues {
     }
 
     /// Removes the next packet to transmit under the 3-level policy.
-    pub fn pop(&mut self, now: SimTime) -> Option<Packet> {
+    pub fn pop(&mut self, now: SimTime) -> Option<QueuedPkt> {
         self.refill_tokens(now);
         let recovery_pkts = self.class_len(QueueClass::Recovery);
         // Level 1: recovery, if within its rate budget (or alone).
         if recovery_pkts > 0 {
             let id = self.best_recovery().expect("non-empty");
-            let bits = f64::from(self.flow_ref(id).packets[0].wire_len()) * 8.0;
+            let bits = f64::from(self.flows.packets[id.index()][0].wire) * 8.0;
             let others_waiting = self.len > recovery_pkts;
-            if self.recovery_tokens >= bits || !others_waiting {
-                self.recovery_tokens = (self.recovery_tokens - bits).max(0.0);
+            if self.sched.recovery_tokens >= bits || !others_waiting {
+                self.sched.recovery_tokens = (self.sched.recovery_tokens - bits).max(0.0);
                 return Some(self.pop_head(id));
             }
             // Rate-capped and other classes have packets: fall through.
@@ -399,29 +512,28 @@ impl TaqQueues {
         ];
         let mut pick: Option<(usize, QueueClass)> = None;
         for step in 0..3u8 {
-            let class = classes[((self.rr_next + step) % 3) as usize];
+            let class = classes[((self.sched.rr_next + step) % 3) as usize];
             let backlog = self.class_len(class);
             if backlog > pick.map_or(0, |(b, _)| b) {
                 pick = Some((backlog, class));
             }
         }
         if let Some((_, class)) = pick {
-            self.rr_next = (self.rr_next + 1) % 3;
+            self.sched.rr_next = (self.sched.rr_next + 1) % 3;
             return self.pop_rr(class);
         }
         // Level 3: above fair share.
-        if let Some(pkt) = self.pop_rr(QueueClass::AboveFairShare) {
-            return Some(pkt);
+        if let Some(qp) = self.pop_rr(QueueClass::AboveFairShare) {
+            return Some(qp);
         }
         None
     }
 
     /// Head index of the first non-SYN-ACK packet of `id`'s queue.
     fn first_data_idx(&self, id: FlowId) -> Option<usize> {
-        self.flow_ref(id)
-            .packets
+        self.flows.packets[id.index()]
             .iter()
-            .position(|p| !(p.flags.syn && p.flags.ack))
+            .position(|qp| !qp.synack)
     }
 
     /// Victim flow within `class` by maximum score, ties by backlog
@@ -430,8 +542,12 @@ impl TaqQueues {
         self.rings[class.index()]
             .iter()
             .max_by_key(|k| {
-                let f = self.flow_ref(**k);
-                (f.score, f.packets.len(), std::cmp::Reverse(**k))
+                let i = k.index();
+                (
+                    self.flows.score[i],
+                    self.flows.packets[i].len(),
+                    std::cmp::Reverse(**k),
+                )
             })
             .copied()
     }
@@ -440,7 +556,7 @@ impl TaqQueues {
     fn victim_by_backlog(&self, class: QueueClass) -> Option<FlowId> {
         self.rings[class.index()]
             .iter()
-            .max_by_key(|k| (self.flow_ref(**k).packets.len(), std::cmp::Reverse(**k)))
+            .max_by_key(|k| (self.flows.packets[k.index()].len(), std::cmp::Reverse(**k)))
             .copied()
     }
 
@@ -451,7 +567,7 @@ impl TaqQueues {
         class: QueueClass,
         by_score: bool,
         spare_synack: bool,
-    ) -> Option<Packet> {
+    ) -> Option<QueuedPkt> {
         let id = if by_score {
             self.victim_by_score(class)?
         } else {
@@ -478,49 +594,48 @@ impl TaqQueues {
     /// Chooses and removes a victim to make room, per the policy in the
     /// module docs. Returns the evicted packet and whether it came from
     /// a Recovery-class flow.
-    pub fn evict(&mut self) -> Option<(Packet, bool)> {
-        self.evict_staged().map(|(pkt, retx, _)| (pkt, retx))
+    pub fn evict(&mut self) -> Option<(QueuedPkt, bool)> {
+        self.evict_staged().map(|(qp, retx, _)| (qp, retx))
     }
 
     /// [`TaqQueues::evict`] with the policy stage (1-6) that produced
     /// the victim, for diagnostics and ablation studies.
-    pub fn evict_staged(&mut self) -> Option<(Packet, bool, u8)> {
+    pub fn evict_staged(&mut self) -> Option<(QueuedPkt, bool, u8)> {
         // 1. Above fair share: biggest recent window pays first.
-        if let Some(pkt) = self.evict_from(QueueClass::AboveFairShare, true, false) {
-            return Some((pkt, false, 1));
+        if let Some(qp) = self.evict_from(QueueClass::AboveFairShare, true, false) {
+            return Some((qp, false, 1));
         }
         // 2. Multi-packet backlogs of ordinary flows: trimming a burst
         //    leaves the flow alive.
         let below_burst = self.rings[QueueClass::BelowFairShare.index()]
             .iter()
-            .any(|&k| self.flow_ref(k).packets.len() >= 2);
+            .any(|&k| self.flows.packets[k.index()].len() >= 2);
         if below_burst {
-            if let Some(pkt) = self.evict_from(QueueClass::BelowFairShare, false, true) {
-                return Some((pkt, false, 2));
+            if let Some(qp) = self.evict_from(QueueClass::BelowFairShare, false, true) {
+                return Some((qp, false, 2));
             }
         }
         // 3. New flows' data (spare handshake packets).
-        if let Some(pkt) = self.evict_from(QueueClass::NewFlow, false, true) {
-            return Some((pkt, false, 3));
+        if let Some(qp) = self.evict_from(QueueClass::NewFlow, false, true) {
+            return Some((qp, false, 3));
         }
         // 4. Ordinary flows' singletons.
-        if let Some(pkt) = self.evict_from(QueueClass::BelowFairShare, true, true) {
-            return Some((pkt, false, 4));
+        if let Some(qp) = self.evict_from(QueueClass::BelowFairShare, true, true) {
+            return Some((qp, false, 4));
         }
         // 5. Flows already hurting.
-        if let Some(pkt) = self.evict_from(QueueClass::OverPenalized, true, true) {
-            return Some((pkt, false, 5));
+        if let Some(qp) = self.evict_from(QueueClass::OverPenalized, true, true) {
+            return Some((qp, false, 5));
         }
         // 6. Recovery last; the *least* protected flow (shortest
         //    silence) pays first.
         let victim = self.rings[QueueClass::Recovery.index()]
             .iter()
             .min_by(|a, b| {
-                let fa = self.flow_ref(**a);
-                let fb = self.flow_ref(**b);
-                fa.silence
-                    .cmp(&fb.silence)
-                    .then(fb.last_normal_at.cmp(&fa.last_normal_at))
+                let (ia, ib) = (a.index(), b.index());
+                self.flows.silence[ia]
+                    .cmp(&self.flows.silence[ib])
+                    .then(self.flows.last_normal_at[ib].cmp(&self.flows.last_normal_at[ia]))
                     .then(a.cmp(b))
             })
             .copied();
@@ -533,27 +648,37 @@ impl TaqQueues {
         let mut len = 0;
         let mut bytes = 0;
         let mut live = 0;
-        for (idx, slot) in self.flows.iter().enumerate() {
-            let Some(flow) = slot.as_ref() else { continue };
+        let mut per_class = [0usize; 5];
+        for (idx, &class) in self.flows.class.iter().enumerate() {
             let id = FlowId(idx as u32);
-            assert!(!flow.packets.is_empty(), "empty flow {id} retained");
+            if class == NO_CLASS {
+                assert!(
+                    self.flows.packets[idx].is_empty(),
+                    "vacant flow {id} holds packets"
+                );
+                continue;
+            }
+            let pkts = &self.flows.packets[idx];
+            assert!(!pkts.is_empty(), "empty flow {id} retained");
             live += 1;
-            len += flow.packets.len();
-            bytes += flow.bytes;
+            len += pkts.len();
+            bytes += self.flows.bytes[idx];
+            per_class[class as usize] += pkts.len();
             assert_eq!(
-                flow.bytes,
-                flow.packets
-                    .iter()
-                    .map(|p| p.wire_len() as usize)
-                    .sum::<usize>()
+                self.flows.bytes[idx],
+                pkts.iter().map(|qp| qp.wire as usize).sum::<usize>()
             );
             assert!(
-                self.rings[flow.class.index()].contains(&id),
+                self.rings[class as usize].contains(&id),
                 "flow {id} missing from its class ring"
             );
         }
         assert_eq!(len, self.len);
         assert_eq!(bytes, self.bytes);
+        assert_eq!(
+            per_class, self.sched.class_pkts,
+            "incremental class counts drifted"
+        );
         let ring_total: usize = QueueClass::ALL
             .iter()
             .map(|c| self.rings[c.index()].len())
@@ -587,7 +712,7 @@ pub fn fair_share_bps(
 mod tests {
     use super::*;
     use std::collections::HashMap;
-    use taq_sim::{FlowKey, NodeId, PacketBuilder, TcpFlags};
+    use taq_sim::{FlowKey, NodeId, PacketArena, PacketBuilder, TcpFlags};
 
     fn key(port: u16) -> FlowKey {
         FlowKey {
@@ -604,18 +729,20 @@ mod tests {
         FlowId(u32::from(port))
     }
 
-    fn pkt(port: u16, id: u64) -> Packet {
+    fn pkt(a: &mut PacketArena, port: u16, id: u64) -> QueuedPkt {
         let mut p = PacketBuilder::new(key(port)).payload(460).build();
         p.id = id;
-        p
+        let pid = a.insert(p);
+        QueuedPkt::from_packet(pid, fid(port), a.get(pid))
     }
 
-    fn synack(port: u16, id: u64) -> Packet {
+    fn synack(a: &mut PacketArena, port: u16, id: u64) -> QueuedPkt {
         let mut p = PacketBuilder::new(key(port))
             .flags(TcpFlags::SYN_ACK)
             .build();
         p.id = id;
-        p
+        let pid = a.insert(p);
+        QueuedPkt::from_packet(pid, fid(port), a.get(pid))
     }
 
     fn obs(retx: bool, silence: u32) -> Observation {
@@ -712,55 +839,79 @@ mod tests {
     }
 
     #[test]
+    fn lut_agrees_with_reference_branches() {
+        // Exhaustive check of the 32-entry table against the written-out
+        // priority chain.
+        for (bits, &got) in CLASS_LUT.iter().enumerate() {
+            let (recovery, fq, new, over, above) = (
+                bits & 16 != 0,
+                bits & 8 != 0,
+                bits & 4 != 0,
+                bits & 2 != 0,
+                bits & 1 != 0,
+            );
+            let expect = if recovery {
+                QueueClass::Recovery
+            } else if fq {
+                QueueClass::BelowFairShare
+            } else if new {
+                QueueClass::NewFlow
+            } else if over {
+                QueueClass::OverPenalized
+            } else if above {
+                QueueClass::AboveFairShare
+            } else {
+                QueueClass::BelowFairShare
+            };
+            assert_eq!(got, expect, "bits {bits:05b}");
+        }
+    }
+
+    #[test]
     fn recovery_has_strict_priority_within_budget() {
+        let mut a = PacketArena::new();
         let mut q = queues();
-        q.push(
-            fid(1),
-            QueueClass::BelowFairShare,
-            pkt(1, 1),
-            &obs(false, 0),
-        );
-        q.push(fid(2), QueueClass::Recovery, pkt(2, 2), &obs(true, 1));
+        let p1 = pkt(&mut a, 1, 1);
+        q.push(QueueClass::BelowFairShare, p1, &obs(false, 0));
+        let p2 = pkt(&mut a, 2, 2);
+        q.push(QueueClass::Recovery, p2, &obs(true, 1));
         let first = q.pop(SimTime::from_secs(1)).unwrap();
-        assert_eq!(first.id, 2, "recovery packet served first");
-        assert_eq!(q.pop(SimTime::from_secs(1)).unwrap().id, 1);
+        assert_eq!(first.pkt_id, 2, "recovery packet served first");
+        assert_eq!(q.pop(SimTime::from_secs(1)).unwrap().pkt_id, 1);
         q.check_invariants();
     }
 
     #[test]
     fn recovery_ordered_by_silence_length() {
+        let mut a = PacketArena::new();
         let mut q = queues();
-        q.push(fid(1), QueueClass::Recovery, pkt(1, 1), &obs(true, 1));
-        q.push(fid(2), QueueClass::Recovery, pkt(2, 2), &obs(true, 5));
-        q.push(fid(3), QueueClass::Recovery, pkt(3, 3), &obs(true, 3));
+        let p1 = pkt(&mut a, 1, 1);
+        q.push(QueueClass::Recovery, p1, &obs(true, 1));
+        let p2 = pkt(&mut a, 2, 2);
+        q.push(QueueClass::Recovery, p2, &obs(true, 5));
+        let p3 = pkt(&mut a, 3, 3);
+        q.push(QueueClass::Recovery, p3, &obs(true, 3));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop(SimTime::from_secs(10)))
-            .map(|p| p.id)
+            .map(|qp| qp.pkt_id)
             .collect();
         assert_eq!(order, vec![2, 3, 1], "longest silence first");
     }
 
     #[test]
     fn recovery_rate_cap_yields_to_level_two() {
+        let mut a = PacketArena::new();
         let mut q = TaqQueues::new(Bandwidth::from_kbps(600), 0.05);
         for i in 0..20 {
-            q.push(
-                fid((i % 4) as u16),
-                QueueClass::Recovery,
-                pkt((i % 4) as u16, i),
-                &obs(true, 1),
-            );
+            let p = pkt(&mut a, (i % 4) as u16, i);
+            q.push(QueueClass::Recovery, p, &obs(true, 1));
         }
         for i in 20..25 {
-            q.push(
-                fid(10),
-                QueueClass::BelowFairShare,
-                pkt(10, i),
-                &obs(false, 0),
-            );
+            let p = pkt(&mut a, 10, i);
+            q.push(QueueClass::BelowFairShare, p, &obs(false, 0));
         }
         let mut popped = Vec::new();
         for _ in 0..10 {
-            popped.push(q.pop(SimTime::from_millis(1)).unwrap().id);
+            popped.push(q.pop(SimTime::from_millis(1)).unwrap().pkt_id);
         }
         assert!(
             popped.iter().any(|&id| id >= 20),
@@ -770,196 +921,186 @@ mod tests {
 
     #[test]
     fn work_conserving_when_only_recovery_remains() {
+        let mut a = PacketArena::new();
         let mut q = TaqQueues::new(Bandwidth::from_kbps(600), 0.0);
-        q.push(fid(1), QueueClass::Recovery, pkt(1, 7), &obs(true, 2));
-        assert_eq!(q.pop(SimTime::ZERO).unwrap().id, 7);
+        let p = pkt(&mut a, 1, 7);
+        q.push(QueueClass::Recovery, p, &obs(true, 2));
+        assert_eq!(q.pop(SimTime::ZERO).unwrap().pkt_id, 7);
         assert!(q.is_empty());
     }
 
     #[test]
     fn per_flow_order_is_preserved_across_reclassification() {
+        let mut a = PacketArena::new();
         let mut q = queues();
         // Flow 1's first packet lands in AboveFairShare; its second in
         // OverPenalized (protection kicked in). Despite OverPenalized's
         // higher service level, packet 1 must still leave first.
-        q.push(
-            fid(1),
-            QueueClass::AboveFairShare,
-            pkt(1, 1),
-            &obs(false, 0),
-        );
+        let p1 = pkt(&mut a, 1, 1);
+        q.push(QueueClass::AboveFairShare, p1, &obs(false, 0));
         let protected = Observation {
             protected: true,
             ..obs(false, 0)
         };
-        q.push(fid(1), QueueClass::OverPenalized, pkt(1, 2), &protected);
-        let order: Vec<u64> = (0..2).map(|_| q.pop(SimTime::ZERO).unwrap().id).collect();
+        let p2 = pkt(&mut a, 1, 2);
+        q.push(QueueClass::OverPenalized, p2, &protected);
+        let order: Vec<u64> = (0..2)
+            .map(|_| q.pop(SimTime::ZERO).unwrap().pkt_id)
+            .collect();
         assert_eq!(order, vec![1, 2], "no intra-flow reordering");
         q.check_invariants();
     }
 
     #[test]
     fn recovery_class_is_sticky_until_drained() {
+        let mut a = PacketArena::new();
         let mut q = queues();
-        q.push(fid(1), QueueClass::Recovery, pkt(1, 1), &obs(true, 3));
+        let p1 = pkt(&mut a, 1, 1);
+        q.push(QueueClass::Recovery, p1, &obs(true, 3));
         // New data of the same flow arrives classified Below: the flow
         // stays in Recovery (protection extends to in-window packets).
-        q.push(
-            fid(1),
-            QueueClass::BelowFairShare,
-            pkt(1, 2),
-            &obs(false, 0),
-        );
+        let p2 = pkt(&mut a, 1, 2);
+        q.push(QueueClass::BelowFairShare, p2, &obs(false, 0));
         assert_eq!(q.class_len(QueueClass::Recovery), 2);
         assert_eq!(q.class_len(QueueClass::BelowFairShare), 0);
         // Once drained, a fresh packet lands in its new class.
         q.pop(SimTime::from_secs(1));
         q.pop(SimTime::from_secs(1));
-        q.push(
-            fid(1),
-            QueueClass::BelowFairShare,
-            pkt(1, 3),
-            &obs(false, 0),
-        );
+        let p3 = pkt(&mut a, 1, 3);
+        q.push(QueueClass::BelowFairShare, p3, &obs(false, 0));
         assert_eq!(q.class_len(QueueClass::BelowFairShare), 1);
         q.check_invariants();
     }
 
     #[test]
     fn level_two_serves_demand_proportionally() {
+        let mut a = PacketArena::new();
         let mut q = queues();
         // OverPenalized has 6 packets; Below has 2.
         for i in 0..6 {
-            q.push(fid(1), QueueClass::OverPenalized, pkt(1, i), &obs(false, 0));
+            let p = pkt(&mut a, 1, i);
+            q.push(QueueClass::OverPenalized, p, &obs(false, 0));
         }
         for i in 6..8 {
-            q.push(
-                fid(2),
-                QueueClass::BelowFairShare,
-                pkt(2, i),
-                &obs(false, 0),
-            );
+            let p = pkt(&mut a, 2, i);
+            q.push(QueueClass::BelowFairShare, p, &obs(false, 0));
         }
         let first = q.pop(SimTime::ZERO).unwrap();
-        assert_eq!(
-            first.flow.dst_port, 1,
-            "most-backlogged class is served first"
-        );
+        assert_eq!(first.flow, fid(1), "most-backlogged class is served first");
     }
 
     #[test]
     fn flows_within_a_class_round_robin() {
+        let mut a = PacketArena::new();
         let mut q = queues();
         for i in 0..4 {
-            q.push(
-                fid(1),
-                QueueClass::BelowFairShare,
-                pkt(1, i),
-                &obs(false, 0),
-            );
+            let p = pkt(&mut a, 1, i);
+            q.push(QueueClass::BelowFairShare, p, &obs(false, 0));
         }
         for i in 4..6 {
-            q.push(
-                fid(2),
-                QueueClass::BelowFairShare,
-                pkt(2, i),
-                &obs(false, 0),
-            );
+            let p = pkt(&mut a, 2, i);
+            q.push(QueueClass::BelowFairShare, p, &obs(false, 0));
         }
-        let order: Vec<u16> = (0..6)
-            .map(|_| q.pop(SimTime::ZERO).unwrap().flow.dst_port)
-            .collect();
-        assert_eq!(&order[..4], &[1, 2, 1, 2], "per-flow RR: {order:?}");
+        let order: Vec<FlowId> = (0..6).map(|_| q.pop(SimTime::ZERO).unwrap().flow).collect();
+        assert_eq!(
+            &order[..4],
+            &[fid(1), fid(2), fid(1), fid(2)],
+            "per-flow RR: {order:?}"
+        );
     }
 
     #[test]
     fn above_fair_share_served_last() {
+        let mut a = PacketArena::new();
         let mut q = queues();
-        q.push(
-            fid(1),
-            QueueClass::AboveFairShare,
-            pkt(1, 1),
-            &obs(false, 0),
-        );
-        q.push(
-            fid(2),
-            QueueClass::BelowFairShare,
-            pkt(2, 2),
-            &obs(false, 0),
-        );
-        q.push(fid(3), QueueClass::NewFlow, pkt(3, 3), &obs(false, 0));
-        let order: Vec<u64> = (0..3).map(|_| q.pop(SimTime::ZERO).unwrap().id).collect();
+        let p1 = pkt(&mut a, 1, 1);
+        q.push(QueueClass::AboveFairShare, p1, &obs(false, 0));
+        let p2 = pkt(&mut a, 2, 2);
+        q.push(QueueClass::BelowFairShare, p2, &obs(false, 0));
+        let p3 = pkt(&mut a, 3, 3);
+        q.push(QueueClass::NewFlow, p3, &obs(false, 0));
+        let order: Vec<u64> = (0..3)
+            .map(|_| q.pop(SimTime::ZERO).unwrap().pkt_id)
+            .collect();
         assert_eq!(*order.last().unwrap(), 1, "hog drains last: {order:?}");
     }
 
     #[test]
     fn eviction_prefers_biggest_window_hog() {
+        let mut a = PacketArena::new();
         let mut q = queues();
         for i in 0..2 {
-            q.push(fid(1), QueueClass::AboveFairShare, pkt(1, i), &obs_win(5));
+            let p = pkt(&mut a, 1, i);
+            q.push(QueueClass::AboveFairShare, p, &obs_win(5));
         }
-        q.push(fid(2), QueueClass::AboveFairShare, pkt(2, 99), &obs_win(1));
-        q.push(fid(3), QueueClass::Recovery, pkt(3, 100), &obs(true, 4));
+        let p2 = pkt(&mut a, 2, 99);
+        q.push(QueueClass::AboveFairShare, p2, &obs_win(1));
+        let p3 = pkt(&mut a, 3, 100);
+        q.push(QueueClass::Recovery, p3, &obs(true, 4));
         let (victim, was_retx) = q.evict().unwrap();
         assert!(!was_retx);
         assert_eq!(
-            victim.flow.dst_port, 1,
+            victim.flow,
+            fid(1),
             "the flow most able to fast-retransmit pays"
         );
-        assert_eq!(victim.id, 0, "head drop: the hole appears early");
+        assert_eq!(victim.pkt_id, 0, "head drop: the hole appears early");
         assert_eq!(q.len(), 3);
         q.check_invariants();
     }
 
     #[test]
     fn eviction_trims_bursts_before_singletons() {
+        let mut a = PacketArena::new();
         let mut q = queues();
         for i in 0..3 {
-            q.push(
-                fid(1),
-                QueueClass::BelowFairShare,
-                pkt(1, i),
-                &obs(false, 0),
-            );
+            let p = pkt(&mut a, 1, i);
+            q.push(QueueClass::BelowFairShare, p, &obs(false, 0));
         }
-        q.push(
-            fid(2),
-            QueueClass::BelowFairShare,
-            pkt(2, 9),
-            &obs(false, 0),
-        );
+        let p2 = pkt(&mut a, 2, 9);
+        q.push(QueueClass::BelowFairShare, p2, &obs(false, 0));
         let (victim, _) = q.evict().unwrap();
-        assert_eq!(victim.flow.dst_port, 1, "burst trimmed first");
-        assert_eq!(victim.id, 0, "head drop");
+        assert_eq!(victim.flow, fid(1), "burst trimmed first");
+        assert_eq!(victim.pkt_id, 0, "head drop");
     }
 
     #[test]
     fn eviction_spares_synacks_while_data_exists() {
+        let mut a = PacketArena::new();
         let mut q = queues();
-        q.push(fid(1), QueueClass::NewFlow, synack(1, 1), &obs(false, 0));
-        q.push(fid(1), QueueClass::NewFlow, pkt(1, 2), &obs(false, 0));
-        q.push(fid(1), QueueClass::NewFlow, pkt(1, 3), &obs(false, 0));
+        let s = synack(&mut a, 1, 1);
+        q.push(QueueClass::NewFlow, s, &obs(false, 0));
+        let p2 = pkt(&mut a, 1, 2);
+        q.push(QueueClass::NewFlow, p2, &obs(false, 0));
+        let p3 = pkt(&mut a, 1, 3);
+        q.push(QueueClass::NewFlow, p3, &obs(false, 0));
         let (victim, _) = q.evict().unwrap();
-        assert_eq!(victim.id, 2, "first data packet evicted, SYN-ACK spared");
+        assert_eq!(
+            victim.pkt_id, 2,
+            "first data packet evicted, SYN-ACK spared"
+        );
         let (victim, _) = q.evict().unwrap();
-        assert_eq!(victim.id, 3);
+        assert_eq!(victim.pkt_id, 3);
         // Only the SYN-ACK remains: it must still be evictable.
         let (victim, _) = q.evict().unwrap();
-        assert_eq!(victim.id, 1);
+        assert_eq!(victim.pkt_id, 1);
         assert!(q.evict().is_none());
         q.check_invariants();
     }
 
     #[test]
     fn eviction_takes_recovery_only_as_last_resort() {
+        let mut a = PacketArena::new();
         let mut q = queues();
-        q.push(fid(1), QueueClass::Recovery, pkt(1, 1), &obs(true, 5));
-        q.push(fid(2), QueueClass::Recovery, pkt(2, 2), &obs(true, 1));
+        let p1 = pkt(&mut a, 1, 1);
+        q.push(QueueClass::Recovery, p1, &obs(true, 5));
+        let p2 = pkt(&mut a, 2, 2);
+        q.push(QueueClass::Recovery, p2, &obs(true, 1));
         let (victim, was_retx) = q.evict().unwrap();
         assert!(was_retx);
-        assert_eq!(victim.id, 2, "shortest-silence flow dropped first");
+        assert_eq!(victim.pkt_id, 2, "shortest-silence flow dropped first");
         let (victim2, _) = q.evict().unwrap();
-        assert_eq!(victim2.id, 1);
+        assert_eq!(victim2.pkt_id, 1);
         assert!(q.evict().is_none());
         assert_eq!(q.len(), 0);
         assert_eq!(q.byte_len(), 0);
@@ -967,16 +1108,14 @@ mod tests {
 
     #[test]
     fn byte_and_packet_accounting_balance() {
+        let mut a = PacketArena::new();
         let mut q = queues();
         for i in 0..4 {
-            q.push(
-                fid(1),
-                QueueClass::BelowFairShare,
-                pkt(1, i),
-                &obs(false, 0),
-            );
+            let p = pkt(&mut a, 1, i);
+            q.push(QueueClass::BelowFairShare, p, &obs(false, 0));
         }
-        q.push(fid(2), QueueClass::Recovery, pkt(2, 9), &obs(true, 1));
+        let p2 = pkt(&mut a, 2, 9);
+        q.push(QueueClass::Recovery, p2, &obs(true, 1));
         assert_eq!(q.len(), 5);
         assert_eq!(q.byte_len(), 5 * 500);
         q.evict();
@@ -988,6 +1127,7 @@ mod tests {
 
     #[test]
     fn conservation_under_random_churn() {
+        let mut a = PacketArena::new();
         let mut rng = taq_sim::SimRng::new(5);
         let mut q = queues();
         let classes = [
@@ -1000,30 +1140,32 @@ mod tests {
         let (mut pushed, mut popped, mut evicted) = (0u64, 0u64, 0u64);
         for i in 0..5_000u64 {
             let class = classes[rng.next_below(5) as usize];
-            q.push(
-                fid((i % 17) as u16),
-                class,
-                pkt((i % 17) as u16, i),
-                &obs(class == QueueClass::Recovery, 1),
-            );
+            let p = pkt(&mut a, (i % 17) as u16, i);
+            q.push(class, p, &obs(class == QueueClass::Recovery, 1));
             pushed += 1;
-            if rng.chance(0.5) && q.pop(SimTime::from_millis(i)).is_some() {
-                popped += 1;
+            if rng.chance(0.5) {
+                if let Some(qp) = q.pop(SimTime::from_millis(i)) {
+                    a.remove(qp.pid);
+                    popped += 1;
+                }
             }
             while q.len() > 30 {
-                q.evict().expect("non-empty above cap");
+                let (qp, _) = q.evict().expect("non-empty above cap");
+                a.remove(qp.pid);
                 evicted += 1;
             }
             if i % 512 == 0 {
                 q.check_invariants();
             }
         }
-        while q.pop(SimTime::from_secs(10_000)).is_some() {
+        while let Some(qp) = q.pop(SimTime::from_secs(10_000)) {
+            a.remove(qp.pid);
             popped += 1;
         }
         assert_eq!(pushed, popped + evicted);
         assert_eq!(q.len(), 0);
         assert_eq!(q.byte_len(), 0);
+        assert!(a.is_empty(), "every arena slot released");
         q.check_invariants();
     }
 
@@ -1031,6 +1173,7 @@ mod tests {
     fn per_flow_packets_always_leave_in_arrival_order() {
         // Random class assignments must never reorder one flow's
         // packets.
+        let mut a = PacketArena::new();
         let mut rng = taq_sim::SimRng::new(11);
         let classes = [
             QueueClass::Recovery,
@@ -1041,7 +1184,13 @@ mod tests {
         ];
         let mut q = queues();
         let mut next_id_per_flow: HashMap<u16, u64> = HashMap::new();
-        let mut last_out: HashMap<FlowKey, u64> = HashMap::new();
+        let mut last_out: HashMap<FlowId, u64> = HashMap::new();
+        let mut check = |qp: &QueuedPkt, a: &mut PacketArena| {
+            a.remove(qp.pid);
+            if let Some(prev) = last_out.insert(qp.flow, qp.pkt_id) {
+                assert!(qp.pkt_id > prev, "flow {} reordered", qp.flow);
+            }
+        };
         for i in 0..3_000u64 {
             let port = (i % 5) as u16;
             let id = {
@@ -1050,27 +1199,18 @@ mod tests {
                 *n
             };
             let class = classes[rng.next_below(5) as usize];
-            q.push(
-                fid(port),
-                class,
-                pkt(port, id),
-                &obs(class == QueueClass::Recovery, 0),
-            );
+            let p = pkt(&mut a, port, id);
+            q.push(class, p, &obs(class == QueueClass::Recovery, 0));
             if rng.chance(0.6) {
-                if let Some(p) = q.pop(SimTime::from_millis(i)) {
-                    let prev = last_out.insert(p.flow, p.id);
-                    if let Some(prev) = prev {
-                        assert!(p.id > prev, "flow {} reordered", p.flow);
-                    }
+                if let Some(qp) = q.pop(SimTime::from_millis(i)) {
+                    check(&qp, &mut a);
                 }
             }
         }
-        while let Some(p) = q.pop(SimTime::from_secs(100)) {
-            let prev = last_out.insert(p.flow, p.id);
-            if let Some(prev) = prev {
-                assert!(p.id > prev);
-            }
+        while let Some(qp) = q.pop(SimTime::from_secs(100)) {
+            check(&qp, &mut a);
         }
+        assert!(a.is_empty());
     }
 
     #[test]

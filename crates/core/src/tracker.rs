@@ -104,24 +104,29 @@ pub struct EpochCounters {
 }
 
 /// Tracked state for one flow.
+///
+/// Field order is deliberate and pinned by `repr(C)`: the fields every
+/// `observe_forward` touches (epoch window, counters, sequence state)
+/// sit first so the per-packet walk stays within the leading cache
+/// lines; rarely-read identity and probe state trails.
 #[derive(Debug)]
+#[repr(C)]
 pub struct FlowInfo {
-    /// The flow's data-direction key.
-    pub key: FlowKey,
-    /// Current approximate state.
-    pub state: FlowState,
+    // -- hot: read/written on every data packet --
     /// Current epoch estimate (middlebox-perceived RTT).
     pub epoch_len: SimDuration,
     /// Start of the current epoch.
     pub epoch_start: SimTime,
+    /// Highest `seq_end` ever observed (retransmission detection).
+    pub highest_seq_end: u64,
     /// Counters for the current epoch.
     pub current: EpochCounters,
     /// Counters for the previous epoch.
     pub previous: EpochCounters,
+    /// Current approximate state.
+    pub state: FlowState,
     /// Consecutive fully-silent epochs (no packets at all).
     pub silent_epochs: u32,
-    /// Highest `seq_end` ever observed (retransmission detection).
-    pub highest_seq_end: u64,
     /// Outstanding losses the middlebox knows about and expects to see
     /// repaired (drops at this queue minus observed retransmissions).
     pub pending_repairs: u32,
@@ -130,20 +135,24 @@ pub struct FlowInfo {
     /// Time of the last *normal-state* transmission (priority input for
     /// the Recovery queue).
     pub last_normal_at: SimTime,
-    /// Bytes forwarded in the previous epoch (rate estimation).
-    pub bytes_prev_epoch: u64,
-    /// Bytes forwarded so far in the current epoch.
-    pub bytes_this_epoch: u64,
-    /// Smoothed rate estimate in bytes/sec.
-    pub rate_bps_ewma: f64,
     /// Total data packets ever observed (young-flow classification).
     pub total_packets: u64,
+    /// One-way mode: time of the previous packet (burst-gap detection).
+    prev_packet_at: Option<SimTime>,
+    // -- warm: epoch rollover and rate estimation --
+    /// Bytes forwarded so far in the current epoch.
+    pub bytes_this_epoch: u64,
+    /// Bytes forwarded in the previous epoch (rate estimation).
+    pub bytes_prev_epoch: u64,
+    /// Smoothed rate estimate in bytes/sec.
+    pub rate_bps_ewma: f64,
+    // -- cold: identity and probes --
+    /// The flow's data-direction key.
+    pub key: FlowKey,
     /// When the flow was first seen.
     pub first_seen: SimTime,
     /// Pending two-way RTT probe: `(seq_end, forwarded_at)`.
     rtt_probe: Option<(u64, SimTime)>,
-    /// One-way mode: time of the previous packet (burst-gap detection).
-    prev_packet_at: Option<SimTime>,
 }
 
 impl FlowInfo {
@@ -321,6 +330,161 @@ impl FlowInfo {
     }
 }
 
+/// Dense hot columns over the flow slab (SoA), indexed by [`FlowId`]
+/// like `slots` itself.
+///
+/// The table's two periodic scans — the fair-share `active_flows`
+/// count (every quarter `min_epoch`) and the epoch-roll/GC `tick`
+/// (every `min_epoch`) — visit *every* flow. Walking the ~200-byte
+/// [`FlowInfo`] structs for those answers pulls several cache lines
+/// per flow; at hundreds of flows the scans dominate the enqueue
+/// path. These columns cache exactly the per-flow words the scans
+/// need, eight entries per cache line, and are refreshed whenever the
+/// owning `FlowInfo` mutates (every mutation funnels through a
+/// handful of `FlowTable` methods, each ending in [`Self::refresh`]).
+#[derive(Debug, Default)]
+struct HotColumns {
+    /// `last_packet_at + 4 * epoch_len`, the instant the flow stops
+    /// counting as active; [`SimTime::ZERO`] for vacant slots and
+    /// dummy-silent flows (excluded from fair share outright).
+    active_until: Vec<SimTime>,
+    /// `epoch_start + epoch_len`, the flow's next epoch boundary —
+    /// before it, `roll_epochs` is a no-op; [`SimTime::MAX`] for
+    /// vacant slots.
+    epoch_deadline: Vec<SimTime>,
+    /// `silent_epochs >= flow_gc_epochs`: the flow is GC-ripe and
+    /// `tick` must consult `in_use` even when no epoch elapsed.
+    gc_eligible: Vec<bool>,
+}
+
+impl HotColumns {
+    /// Grows all columns (as vacant) to cover `n` slots.
+    fn grow(&mut self, n: usize) {
+        self.active_until.resize(n, SimTime::ZERO);
+        self.epoch_deadline.resize(n, SimTime::MAX);
+        self.gc_eligible.resize(n, false);
+    }
+
+    /// Recomputes slot `idx` from its flow's current state.
+    #[inline]
+    fn refresh(&mut self, idx: usize, flow: &FlowInfo, gc_epochs: u32) {
+        self.active_until[idx] = if flow.state == FlowState::DummySilence {
+            SimTime::ZERO
+        } else {
+            flow.last_packet_at + flow.epoch_len * 4
+        };
+        self.epoch_deadline[idx] = flow.epoch_start + flow.epoch_len;
+        self.gc_eligible[idx] = flow.silent_epochs >= gc_epochs;
+    }
+
+    /// Marks slot `idx` vacant.
+    fn clear(&mut self, idx: usize) {
+        self.active_until[idx] = SimTime::ZERO;
+        self.epoch_deadline[idx] = SimTime::MAX;
+        self.gc_eligible[idx] = false;
+    }
+}
+
+/// Incrementally maintained count of fair-share-active flows.
+///
+/// Replaces the `active_flows` full-table scan with an exact lazy
+/// expiry queue: each counted flow keeps one *live* heap entry whose
+/// key is at or before its true expiry (`active_until`). Entries that
+/// fire early are revalidated against the column and re-pushed; an
+/// expiry that moved *earlier* (the epoch estimate shrank) pushes a
+/// fresh entry and a version bump invalidates the old one. Draining
+/// at query time therefore unflags exactly the flows whose
+/// `active_until` has passed, so the count always equals what the
+/// scan would have produced — at amortized cost proportional to flow
+/// activations and expiries, not to the table size.
+#[derive(Debug, Default)]
+struct ActiveSet {
+    /// Min-heap of `(expiry key, slot, version)`.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u32, u32)>>,
+    /// Current version per slot; entries bearing an older version are
+    /// discarded when popped.
+    ver: Vec<u32>,
+    /// Slot is currently counted as active.
+    flagged: Vec<bool>,
+    /// Key of the slot's live heap entry (meaningful while flagged).
+    live_key: Vec<SimTime>,
+    /// Number of flagged slots.
+    count: usize,
+}
+
+impl ActiveSet {
+    /// Grows the per-slot books to cover `n` slots.
+    fn grow(&mut self, n: usize) {
+        self.ver.resize(n, 0);
+        self.flagged.resize(n, false);
+        self.live_key.resize(n, SimTime::ZERO);
+    }
+
+    /// Reconciles slot `idx` with its just-refreshed `active_until`
+    /// column value, as of `now`.
+    #[inline]
+    fn refresh(&mut self, idx: usize, until: SimTime, now: SimTime) {
+        let active = until != SimTime::ZERO && now <= until;
+        if active {
+            if self.flagged[idx] {
+                if until >= self.live_key[idx] {
+                    // The live entry fires at or before the new expiry
+                    // and will revalidate then — nothing to do.
+                    return;
+                }
+            } else {
+                self.flagged[idx] = true;
+                self.count += 1;
+            }
+            self.ver[idx] = self.ver[idx].wrapping_add(1);
+            self.live_key[idx] = until;
+            self.heap
+                .push(std::cmp::Reverse((until, idx as u32, self.ver[idx])));
+        } else if self.flagged[idx] {
+            self.flagged[idx] = false;
+            self.count -= 1;
+            // Invalidate the outstanding live entry.
+            self.ver[idx] = self.ver[idx].wrapping_add(1);
+        }
+    }
+
+    /// Drops slot `idx` from the set (flow GC'd).
+    fn clear(&mut self, idx: usize) {
+        if self.flagged[idx] {
+            self.flagged[idx] = false;
+            self.count -= 1;
+        }
+        self.ver[idx] = self.ver[idx].wrapping_add(1);
+        self.live_key[idx] = SimTime::ZERO;
+    }
+
+    /// Expires every flow whose `active_until` lies before `now`.
+    fn settle(&mut self, now: SimTime, until_col: &[SimTime]) {
+        while let Some(&std::cmp::Reverse((key, idx, ver))) = self.heap.peek() {
+            if key >= now {
+                break;
+            }
+            self.heap.pop();
+            let i = idx as usize;
+            if ver != self.ver[i] {
+                continue; // superseded entry
+            }
+            // A current-version entry belongs to a flagged slot; check
+            // the column for an expiry that moved later.
+            let cur = until_col[i];
+            if cur != SimTime::ZERO && now <= cur {
+                self.ver[i] = self.ver[i].wrapping_add(1);
+                self.live_key[i] = cur;
+                self.heap.push(std::cmp::Reverse((cur, idx, self.ver[i])));
+            } else {
+                self.flagged[i] = false;
+                self.count -= 1;
+                self.ver[i] = self.ver[i].wrapping_add(1);
+            }
+        }
+    }
+}
+
 /// The flow table: every flow traversing the middlebox. The
 /// data-direction 4-tuple is interned into a dense [`FlowId`] at first
 /// sight; all per-flow state lives in a slab indexed by that id, so the
@@ -331,6 +495,10 @@ pub struct FlowTable {
     cfg: TaqConfig,
     interner: FlowInterner,
     slots: Vec<Option<FlowInfo>>,
+    /// SoA mirror of the scan-hot per-flow words (see [`HotColumns`]).
+    hot: HotColumns,
+    /// Incremental fair-share-active flow count (see [`ActiveSet`]).
+    active: ActiveSet,
     telemetry: Telemetry,
     /// Total data packets observed (all flows), for loss-rate
     /// accounting.
@@ -345,6 +513,8 @@ impl FlowTable {
             cfg,
             interner: FlowInterner::new(),
             slots: Vec::new(),
+            hot: HotColumns::default(),
+            active: ActiveSet::default(),
             telemetry: Telemetry::disabled(),
             total_observed: 0,
         }
@@ -389,15 +559,27 @@ impl FlowTable {
 
     /// Flows considered *active* for fair-share purposes: seen within
     /// the last few epochs and not in dummy silence.
-    pub fn active_flows(&self, now: SimTime) -> usize {
-        self.slots
-            .iter()
-            .flatten()
-            .filter(|f| {
-                f.state != FlowState::DummySilence
-                    && now.saturating_since(f.last_packet_at) <= f.epoch_len * 4
-            })
-            .count()
+    ///
+    /// Answered from the dense `active_until` column — one 8-byte
+    /// compare per slot instead of a multi-cache-line [`FlowInfo`]
+    /// walk. `now <= last_packet_at + 4 * epoch_len` is exactly the
+    /// old `saturating_since(last_packet_at) <= epoch_len * 4`, and
+    /// the column holds [`SimTime::ZERO`] (never a live flow's value,
+    /// since `epoch_len >= min_epoch > 0`) for vacant slots and
+    /// dummy-silent flows.
+    pub fn active_flows(&mut self, now: SimTime) -> usize {
+        self.active.settle(now, &self.hot.active_until);
+        self.active.count
+    }
+
+    /// Drains the active-set expiry heap up to `now` without reading
+    /// the count. Idempotent, and observing a packet at `now` can only
+    /// push entries expiring *after* `now`, so a caller that presettles
+    /// here makes a subsequent same-`now` [`active_flows`] call O(1) —
+    /// the enqueue path hoists the amortized heap maintenance out of
+    /// its timed section this way.
+    pub fn presettle(&mut self, now: SimTime) {
+        self.active.settle(now, &self.hot.active_until);
     }
 
     /// Observes a data-direction packet arriving at the middlebox.
@@ -408,6 +590,8 @@ impl FlowTable {
         let (id, fresh) = self.interner.intern(pkt.flow);
         if id.index() >= self.slots.len() {
             self.slots.resize_with(id.index() + 1, || None);
+            self.hot.grow(self.slots.len());
+            self.active.grow(self.slots.len());
         }
         if fresh {
             self.slots[id.index()] = Some(FlowInfo::new(pkt.flow, now, &self.cfg));
@@ -415,6 +599,8 @@ impl FlowTable {
         let FlowTable {
             cfg,
             slots,
+            hot,
+            active,
             telemetry,
             ..
         } = self;
@@ -481,6 +667,8 @@ impl FlowTable {
                 trigger: "retransmit-after-silence",
             });
         }
+        hot.refresh(id.index(), flow, cfg.flow_gc_epochs);
+        active.refresh(id.index(), hot.active_until[id.index()], now);
         Observation {
             id,
             retransmission,
@@ -499,41 +687,61 @@ impl FlowTable {
     }
 
     /// Records that a packet of `key` was forwarded onto the link (rate
-    /// accounting).
+    /// accounting). Key-based convenience over [`Self::on_forwarded_id`].
     pub fn on_forwarded(&mut self, key: &FlowKey, bytes: u32, now: SimTime) {
         let Some(id) = self.interner.get(key) else {
             return;
         };
+        self.on_forwarded_id(id, bytes, now);
+    }
+
+    /// [`Self::on_forwarded`] by dense id — the hot-path form: the
+    /// caller already holds the flow's id from classification, so no
+    /// key hash is paid per forwarded packet.
+    pub fn on_forwarded_id(&mut self, id: FlowId, bytes: u32, now: SimTime) {
         let FlowTable {
             cfg,
             slots,
+            hot,
+            active,
             telemetry,
             ..
         } = self;
-        if let Some(flow) = slots[id.index()].as_mut() {
+        if let Some(flow) = slots.get_mut(id.index()).and_then(|s| s.as_mut()) {
             flow.roll_epochs(now, cfg, telemetry);
             flow.bytes_this_epoch += u64::from(bytes);
             // Arm a two-way RTT probe if none outstanding.
             if flow.rtt_probe.is_none() {
                 flow.rtt_probe = Some((flow.highest_seq_end, now));
             }
+            hot.refresh(id.index(), flow, cfg.flow_gc_epochs);
+            active.refresh(id.index(), hot.active_until[id.index()], now);
         }
     }
 
     /// Records that a packet of `key` was dropped at the TAQ queue.
-    /// Updates the flow's expected next state (paper §4.1: the middlebox
-    /// knows which losses it inflicted and adjusts its prediction).
+    /// Key-based convenience over [`Self::on_drop_id`].
     pub fn on_drop(&mut self, key: &FlowKey, retransmission: bool, now: SimTime) {
         let Some(id) = self.interner.get(key) else {
             return;
         };
+        self.on_drop_id(id, retransmission, now);
+    }
+
+    /// Records, by dense id, that a packet was dropped at the TAQ
+    /// queue. Updates the flow's expected next state (paper §4.1: the
+    /// middlebox knows which losses it inflicted and adjusts its
+    /// prediction).
+    pub fn on_drop_id(&mut self, id: FlowId, retransmission: bool, now: SimTime) {
         let FlowTable {
             cfg,
             slots,
+            hot,
+            active,
             telemetry,
             ..
         } = self;
-        if let Some(flow) = slots[id.index()].as_mut() {
+        if let Some(flow) = slots.get_mut(id.index()).and_then(|s| s.as_mut()) {
             flow.roll_epochs(now, cfg, telemetry);
             flow.current.drops += 1;
             flow.pending_repairs += 1;
@@ -551,9 +759,9 @@ impl FlowTable {
                 }
             };
             if flow.state != old {
-                let (from, to) = (old.name(), flow.state.name());
+                let (from, to, key) = (old.name(), flow.state.name(), flow.key);
                 telemetry.emit(now.as_nanos(), || Event::FlowStateChanged {
-                    flow: flow_id(key),
+                    flow: flow_id(&key),
                     from,
                     to,
                     trigger: if retransmission {
@@ -563,6 +771,8 @@ impl FlowTable {
                     },
                 });
             }
+            hot.refresh(id.index(), flow, cfg.flow_gc_epochs);
+            active.refresh(id.index(), hot.active_until[id.index()], now);
         }
     }
 
@@ -576,7 +786,13 @@ impl FlowTable {
         let Some(id) = self.interner.get(&data_key) else {
             return;
         };
-        let FlowTable { cfg, slots, .. } = self;
+        let FlowTable {
+            cfg,
+            slots,
+            hot,
+            active,
+            ..
+        } = self;
         let Some(flow) = slots[id.index()].as_mut() else {
             return;
         };
@@ -592,6 +808,8 @@ impl FlowTable {
                 flow.epoch_len = SimDuration::from_secs_f64(blended)
                     .max(cfg.min_epoch)
                     .min(cfg.max_epoch);
+                hot.refresh(id.index(), flow, cfg.flow_gc_epochs);
+                active.refresh(id.index(), hot.active_until[id.index()], now);
             }
             flow.rtt_probe = None;
         }
@@ -611,17 +829,34 @@ impl FlowTable {
         let FlowTable {
             cfg,
             slots,
+            hot,
+            active,
             telemetry,
             interner,
             ..
         } = self;
         for (idx, slot) in slots.iter_mut().enumerate() {
-            let Some(flow) = slot.as_mut() else { continue };
+            // Column fast path: before its epoch deadline a flow's
+            // `roll_epochs` is a no-op, and unless it is GC-ripe the
+            // collection check below cannot fire either — skip without
+            // touching the `FlowInfo` cache lines. Vacant slots sit at
+            // `(MAX, false)`, so they are skipped here too.
+            if now < hot.epoch_deadline[idx] && !hot.gc_eligible[idx] {
+                continue;
+            }
+            let Some(flow) = slot.as_mut() else {
+                continue;
+            };
             flow.roll_epochs(now, cfg, telemetry);
             let id = FlowId(idx as u32);
             if flow.silent_epochs >= gc && !in_use(id) {
                 *slot = None;
                 interner.release(id);
+                hot.clear(idx);
+                active.clear(idx);
+            } else {
+                hot.refresh(idx, flow, gc);
+                active.refresh(idx, hot.active_until[idx], now);
             }
         }
     }
@@ -699,6 +934,56 @@ mod tests {
         assert!(obs.is_new);
         assert!(!obs.retransmission);
         assert_eq!(tab.len(), 1);
+    }
+
+    /// The incremental active-flow count (the `HotColumns` expiry
+    /// column plus the `ActiveSet` lazy heap) must agree with a
+    /// brute-force scan of the flow slots at every probe, through
+    /// churn: interleaved arrivals across dozens of flows, local
+    /// drops, maintenance ticks, and a long silence that expires (and
+    /// eventually GCs) everything.
+    #[test]
+    fn active_flow_count_matches_brute_force_scan_through_churn() {
+        fn brute_force(tab: &FlowTable, now: SimTime) -> usize {
+            tab.slots
+                .iter()
+                .flatten()
+                .filter(|f| {
+                    f.state != FlowState::DummySilence
+                        && now.saturating_since(f.last_packet_at) <= f.epoch_len * 4
+                })
+                .count()
+        }
+
+        let mut tab = FlowTable::new(cfg());
+        let mut rng = taq_sim::SimRng::new(0xAC71_F10A);
+        let mut now_ms = 0u64;
+        let mut seqs = [0u64; 37];
+        for step in 0..4000u64 {
+            now_ms += rng.next_below(40);
+            if step == 3500 {
+                // Fall silent long enough for every flow to expire and
+                // the GC to start reclaiming slots.
+                now_ms += 30_000;
+            }
+            let now = t(now_ms);
+            match rng.next_below(20) {
+                0 => tab.tick(now, |_| false),
+                1 => {
+                    let port = 1 + rng.next_below(37) as u16;
+                    tab.on_drop(&key(port), false, now);
+                }
+                _ => {
+                    let i = rng.next_below(37) as usize;
+                    seqs[i] += 460;
+                    tab.observe_forward(&data(1 + i as u16, seqs[i]), now);
+                }
+            }
+            if step % 7 == 0 {
+                let expect = brute_force(&tab, now);
+                assert_eq!(tab.active_flows(now), expect, "step {step} at {now_ms}ms");
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,9 @@
 use crate::plan::{rng_for, salt, Blackout, FaultPlan, ReorderSpec};
 use crate::GilbertChain;
 use std::sync::{Arc, Mutex};
-use taq_sim::{telemetry_flow_id, EnqueueOutcome, Packet, Qdisc, SimRng, SimTime};
+use taq_sim::{
+    telemetry_flow_id, EnqueueOutcome, Packet, PacketArena, PacketId, Qdisc, SimRng, SimTime,
+};
 use taq_telemetry::{Event, Telemetry};
 
 /// Counters for every fault the wrapper (and the driver) injected.
@@ -70,7 +72,8 @@ pub fn shared_fault_stats() -> SharedFaultStats {
 struct ReorderState {
     spec: ReorderSpec,
     rng: SimRng,
-    held: Option<Packet>,
+    /// Held-back id with its cached wire length (for `byte_len`).
+    held: Option<(PacketId, u32)>,
     /// Packets enqueued since the current packet was held.
     overtaken: u32,
 }
@@ -149,18 +152,18 @@ impl FaultyLink {
 }
 
 impl Qdisc for FaultyLink {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome {
         // 1. Blackout: the link is dead, nothing gets through.
         if self.in_blackout(now) {
             self.stats.lock().unwrap().blackout_drops += 1;
-            self.emit("blackout", &pkt, now);
+            self.emit("blackout", arena.get(pkt), now);
             return EnqueueOutcome::rejected(pkt);
         }
         // 2. Burst loss: step the Gilbert–Elliott chain once per packet.
         if let Some((chain, rng)) = &mut self.burst {
             if chain.step(rng) {
                 self.stats.lock().unwrap().burst_losses += 1;
-                self.emit("burst_loss", &pkt, now);
+                self.emit("burst_loss", arena.get(pkt), now);
                 return EnqueueOutcome::rejected(pkt);
             }
         }
@@ -169,19 +172,21 @@ impl Qdisc for FaultyLink {
         if let Some((p, rng)) = &mut self.corrupt {
             if rng.chance(*p) {
                 self.stats.lock().unwrap().corrupted += 1;
-                self.emit("corrupt", &pkt, now);
+                self.emit("corrupt", arena.get(pkt), now);
                 return EnqueueOutcome::rejected(pkt);
             }
         }
         let mut out = EnqueueOutcome::accepted();
         // 4. Duplication: offer an identical copy first, then the
-        //    original, merging any resulting drops.
+        //    original, merging any resulting drops. The copy gets its
+        //    own arena slot.
         if let Some((p, rng)) = &mut self.duplicate {
             if rng.chance(*p) {
                 self.stats.lock().unwrap().duplicated += 1;
-                self.emit("duplicate", &pkt, now);
+                self.emit("duplicate", arena.get(pkt), now);
+                let copy = arena.insert(arena.get(pkt).clone());
                 out.dropped
-                    .extend(self.inner.enqueue(pkt.clone(), now).dropped);
+                    .extend(self.inner.enqueue(copy, arena, now).dropped);
             }
         }
         // 5. Reordering: possibly hold this packet back; release a
@@ -190,34 +195,37 @@ impl Qdisc for FaultyLink {
             if re.held.is_some() {
                 re.overtaken += 1;
             } else if re.rng.chance(re.spec.prob) {
-                re.held = Some(pkt);
+                re.held = Some((pkt, arena.get(pkt).wire_len()));
                 re.overtaken = 0;
                 return out;
             }
             let release = re.held.is_some() && re.overtaken >= re.spec.depth;
-            out.dropped.extend(self.inner.enqueue(pkt, now).dropped);
+            out.dropped
+                .extend(self.inner.enqueue(pkt, arena, now).dropped);
             if release {
-                let held = self.reorder.as_mut().unwrap().held.take().unwrap();
+                let (held, _) = self.reorder.as_mut().unwrap().held.take().unwrap();
                 self.stats.lock().unwrap().reordered += 1;
-                self.emit("reorder", &held, now);
-                out.dropped.extend(self.inner.enqueue(held, now).dropped);
+                self.emit("reorder", arena.get(held), now);
+                out.dropped
+                    .extend(self.inner.enqueue(held, arena, now).dropped);
             }
             return out;
         }
-        out.dropped.extend(self.inner.enqueue(pkt, now).dropped);
+        out.dropped
+            .extend(self.inner.enqueue(pkt, arena, now).dropped);
         out
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
-        if let Some(pkt) = self.inner.dequeue(now) {
+    fn dequeue(&mut self, arena: &mut PacketArena, now: SimTime) -> Option<PacketId> {
+        if let Some(pkt) = self.inner.dequeue(arena, now) {
             return Some(pkt);
         }
         // Non-idling: if only the held packet remains, release it now
         // rather than stalling the link.
         if let Some(re) = &mut self.reorder {
-            if let Some(held) = re.held.take() {
+            if let Some((held, _)) = re.held.take() {
                 self.stats.lock().unwrap().reordered += 1;
-                self.emit("reorder", &held, now);
+                self.emit("reorder", arena.get(held), now);
                 return Some(held);
             }
         }
@@ -236,8 +244,8 @@ impl Qdisc for FaultyLink {
         let held = self
             .reorder
             .as_ref()
-            .and_then(|re| re.held.as_ref())
-            .map_or(0, |p| p.wire_len() as usize);
+            .and_then(|re| re.held)
+            .map_or(0, |(_, wire)| wire as usize);
         self.inner.byte_len() + held
     }
 
@@ -252,7 +260,7 @@ mod tests {
     use crate::GilbertElliott;
     use taq_sim::{FlowKey, NodeId, PacketBuilder, UnboundedFifo};
 
-    fn pkt(n: u64) -> Packet {
+    fn pkt(arena: &mut PacketArena, n: u64) -> PacketId {
         let mut p = PacketBuilder::new(FlowKey {
             src: NodeId(0),
             src_port: 1,
@@ -262,7 +270,7 @@ mod tests {
         .payload(100)
         .build();
         p.id = n;
-        p
+        arena.insert(p)
     }
 
     fn wrap(plan: &FaultPlan, seed: u64) -> FaultyLink {
@@ -278,82 +286,113 @@ mod tests {
 
     #[test]
     fn clean_plan_is_transparent() {
+        let mut a = PacketArena::new();
         let mut q = wrap(&FaultPlan::none(), 1);
         for i in 0..10 {
-            assert!(q.enqueue(pkt(i), SimTime::ZERO).dropped.is_empty());
+            let id = pkt(&mut a, i);
+            assert!(q.enqueue(id, &mut a, SimTime::ZERO).dropped.is_empty());
         }
         assert_eq!(q.len(), 10);
         for i in 0..10 {
-            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().id, i);
+            let id = q.dequeue(&mut a, SimTime::ZERO).unwrap();
+            assert_eq!(a.remove(id).id, i);
         }
         assert_eq!(q.stats().lock().unwrap().total(), 0);
+        assert!(a.is_empty());
     }
 
     #[test]
     fn blackout_rejects_everything_in_window() {
+        let mut a = PacketArena::new();
         let plan = FaultPlan::none().with_blackout(SimTime::from_secs(1), SimTime::from_secs(2));
         let mut q = wrap(&plan, 1);
-        assert!(q.enqueue(pkt(0), SimTime::ZERO).dropped.is_empty());
-        let out = q.enqueue(pkt(1), SimTime::from_millis(1_500));
+        let p0 = pkt(&mut a, 0);
+        assert!(q.enqueue(p0, &mut a, SimTime::ZERO).dropped.is_empty());
+        let p1 = pkt(&mut a, 1);
+        let out = q.enqueue(p1, &mut a, SimTime::from_millis(1_500));
         assert_eq!(out.dropped.len(), 1);
-        assert_eq!(out.dropped[0].id, 1);
-        assert!(q.enqueue(pkt(2), SimTime::from_secs(3)).dropped.is_empty());
+        assert_eq!(a.remove(out.dropped[0]).id, 1);
+        let p2 = pkt(&mut a, 2);
+        assert!(q
+            .enqueue(p2, &mut a, SimTime::from_secs(3))
+            .dropped
+            .is_empty());
         assert_eq!(q.stats().lock().unwrap().blackout_drops, 1);
     }
 
     #[test]
     fn burst_loss_drops_and_counts() {
+        let mut a = PacketArena::new();
         let plan = FaultPlan::none().with_burst_loss(GilbertElliott::bursts(0.2, 4.0));
         let mut q = wrap(&plan, 7);
         let mut dropped = 0u64;
         for i in 0..1_000 {
-            dropped += q.enqueue(pkt(i), SimTime::ZERO).dropped.len() as u64;
+            let id = pkt(&mut a, i);
+            for d in q.enqueue(id, &mut a, SimTime::ZERO).dropped {
+                a.remove(d);
+                dropped += 1;
+            }
         }
         let s = q.stats().lock().unwrap().clone();
         assert_eq!(s.burst_losses, dropped);
         assert!(dropped > 0, "GE chain never fired");
         // Conservation: everything offered is buffered or dropped.
         assert_eq!(q.len() as u64 + dropped, 1_000);
+        assert_eq!(a.len(), q.len(), "arena holds exactly the buffered ids");
     }
 
     #[test]
     fn duplication_adds_identical_copies() {
+        let mut a = PacketArena::new();
         let plan = FaultPlan::none().with_duplicate(1.0);
         let mut q = wrap(&plan, 3);
-        q.enqueue(pkt(5), SimTime::ZERO);
+        let id = pkt(&mut a, 5);
+        q.enqueue(id, &mut a, SimTime::ZERO);
         assert_eq!(q.len(), 2);
-        let a = q.dequeue(SimTime::ZERO).unwrap();
-        let b = q.dequeue(SimTime::ZERO).unwrap();
-        assert_eq!(a, b);
+        let first = q.dequeue(&mut a, SimTime::ZERO).unwrap();
+        let second = q.dequeue(&mut a, SimTime::ZERO).unwrap();
+        assert_ne!(first, second, "the copy lives in its own arena slot");
+        let first = a.remove(first);
+        let second = a.remove(second);
+        assert_eq!(first, second, "copy is byte-identical to the original");
         assert_eq!(q.stats().lock().unwrap().duplicated, 1);
+        assert!(a.is_empty());
     }
 
     #[test]
     fn reorder_holds_then_releases_behind_later_traffic() {
+        let mut a = PacketArena::new();
         let plan = FaultPlan::none().with_reorder(1.0, 2);
         // prob 1.0 holds the very first packet; subsequent packets are
         // counted as overtakers (only one packet is held at a time).
         let mut q = wrap(&plan, 9);
-        q.enqueue(pkt(0), SimTime::ZERO); // held
+        let p0 = pkt(&mut a, 0);
+        q.enqueue(p0, &mut a, SimTime::ZERO); // held
         assert_eq!(q.len(), 1);
-        q.enqueue(pkt(1), SimTime::ZERO); // overtaken = 1
-        q.enqueue(pkt(2), SimTime::ZERO); // overtaken = 2 -> release
-        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue(SimTime::ZERO))
-            .map(|p| p.id)
-            .collect();
+        let p1 = pkt(&mut a, 1);
+        q.enqueue(p1, &mut a, SimTime::ZERO); // overtaken = 1
+        let p2 = pkt(&mut a, 2);
+        q.enqueue(p2, &mut a, SimTime::ZERO); // overtaken = 2 -> release
+        let mut order = Vec::new();
+        while let Some(id) = q.dequeue(&mut a, SimTime::ZERO) {
+            order.push(a.remove(id).id);
+        }
         assert_eq!(order, vec![1, 2, 0], "held packet must come out last");
         assert_eq!(q.stats().lock().unwrap().reordered, 1);
     }
 
     #[test]
     fn held_packet_released_on_dequeue_to_preserve_non_idling() {
+        let mut a = PacketArena::new();
         let plan = FaultPlan::none().with_reorder(1.0, 100);
         let mut q = wrap(&plan, 9);
-        q.enqueue(pkt(0), SimTime::ZERO); // held, depth far away
+        let p0 = pkt(&mut a, 0);
+        q.enqueue(p0, &mut a, SimTime::ZERO); // held, depth far away
         assert_eq!(q.len(), 1, "held packet must be visible in len()");
         assert!(q.byte_len() > 0);
         // Engine sees len() == 1 and polls dequeue: must not idle.
-        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().id, 0);
+        let id = q.dequeue(&mut a, SimTime::ZERO).unwrap();
+        assert_eq!(a.remove(id).id, 0);
         assert!(q.is_empty());
         assert_eq!(q.byte_len(), 0);
     }
@@ -366,15 +405,23 @@ mod tests {
             .with_duplicate(0.02)
             .with_reorder(0.05, 3);
         let run = |seed: u64| {
+            let mut a = PacketArena::new();
             let mut q = wrap(&plan, seed);
             let mut trace = Vec::new();
             for i in 0..500 {
-                let out = q.enqueue(pkt(i), SimTime::ZERO);
-                trace.push(out.dropped.iter().map(|p| p.id).collect::<Vec<_>>());
+                let id = pkt(&mut a, i);
+                let out = q.enqueue(id, &mut a, SimTime::ZERO);
+                trace.push(
+                    out.dropped
+                        .into_iter()
+                        .map(|d| a.remove(d).id)
+                        .collect::<Vec<_>>(),
+                );
             }
-            while let Some(p) = q.dequeue(SimTime::ZERO) {
-                trace.push(vec![p.id]);
+            while let Some(id) = q.dequeue(&mut a, SimTime::ZERO) {
+                trace.push(vec![a.remove(id).id]);
             }
+            assert!(a.is_empty());
             (trace, q.stats().lock().unwrap().clone())
         };
         assert_eq!(run(42), run(42));
@@ -388,9 +435,13 @@ mod tests {
         let base = FaultPlan::none().with_burst_loss(GilbertElliott::bursts(0.05, 3.0));
         let both = base.clone().with_corrupt(0.0000001);
         let burst_victims = |plan: &FaultPlan| {
+            let mut a = PacketArena::new();
             let mut q = wrap(plan, 11);
             for i in 0..2_000 {
-                q.enqueue(pkt(i), SimTime::ZERO);
+                let id = pkt(&mut a, i);
+                for d in q.enqueue(id, &mut a, SimTime::ZERO).dropped {
+                    a.remove(d);
+                }
             }
             q.stats().lock().unwrap().burst_losses
         };

@@ -1,7 +1,7 @@
 //! DropTail (tail-drop FIFO), the paper's primary baseline.
 
 use std::collections::VecDeque;
-use taq_sim::{EnqueueOutcome, Packet, Qdisc, SimTime};
+use taq_sim::{EnqueueOutcome, PacketArena, PacketId, Qdisc, SimTime};
 
 /// Capacity accounting mode for [`DropTail`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,7 +19,8 @@ pub enum Capacity {
 /// `Bandwidth::packets_per(rtt, pkt_size)`.
 #[derive(Debug)]
 pub struct DropTail {
-    queue: VecDeque<Packet>,
+    /// Buffered ids with their cached wire lengths.
+    queue: VecDeque<(PacketId, u32)>,
     bytes: usize,
     capacity: Capacity,
 }
@@ -48,28 +49,29 @@ impl DropTail {
         DropTail::new(Capacity::Packets(n))
     }
 
-    fn fits(&self, pkt: &Packet) -> bool {
+    fn fits(&self, wire: u32) -> bool {
         match self.capacity {
             Capacity::Packets(n) => self.queue.len() < n,
-            Capacity::Bytes(n) => self.bytes + pkt.wire_len() as usize <= n,
+            Capacity::Bytes(n) => self.bytes + wire as usize <= n,
         }
     }
 }
 
 impl Qdisc for DropTail {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> EnqueueOutcome {
-        if self.fits(&pkt) {
-            self.bytes += pkt.wire_len() as usize;
-            self.queue.push_back(pkt);
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, _now: SimTime) -> EnqueueOutcome {
+        let wire = arena.get(pkt).wire_len();
+        if self.fits(wire) {
+            self.bytes += wire as usize;
+            self.queue.push_back((pkt, wire));
             EnqueueOutcome::accepted()
         } else {
             EnqueueOutcome::rejected(pkt)
         }
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
-        let pkt = self.queue.pop_front()?;
-        self.bytes -= pkt.wire_len() as usize;
+    fn dequeue(&mut self, _arena: &mut PacketArena, _now: SimTime) -> Option<PacketId> {
+        let (pkt, wire) = self.queue.pop_front()?;
+        self.bytes -= wire as usize;
         Some(pkt)
     }
 
@@ -91,7 +93,7 @@ mod tests {
     use super::*;
     use taq_sim::{FlowKey, NodeId, PacketBuilder};
 
-    fn pkt(id: u64, payload: u32) -> Packet {
+    fn pkt(arena: &mut PacketArena, id: u64, payload: u32) -> PacketId {
         let mut p = PacketBuilder::new(FlowKey {
             src: NodeId(0),
             src_port: 1,
@@ -101,54 +103,86 @@ mod tests {
         .payload(payload)
         .build();
         p.id = id;
-        p
+        arena.insert(p)
     }
 
     #[test]
     fn drops_when_packet_capacity_full() {
+        let mut a = PacketArena::new();
         let mut q = DropTail::with_packets(2);
-        assert!(q.enqueue(pkt(1, 100), SimTime::ZERO).dropped.is_empty());
-        assert!(q.enqueue(pkt(2, 100), SimTime::ZERO).dropped.is_empty());
-        let out = q.enqueue(pkt(3, 100), SimTime::ZERO);
+        assert!(q
+            .enqueue(pkt(&mut a, 1, 100), &mut a, SimTime::ZERO)
+            .dropped
+            .is_empty());
+        assert!(q
+            .enqueue(pkt(&mut a, 2, 100), &mut a, SimTime::ZERO)
+            .dropped
+            .is_empty());
+        let out = q.enqueue(pkt(&mut a, 3, 100), &mut a, SimTime::ZERO);
         assert_eq!(out.dropped.len(), 1);
-        assert_eq!(out.dropped[0].id, 3, "the arriving packet is dropped");
+        assert_eq!(
+            a.get(out.dropped[0]).id,
+            3,
+            "the arriving packet is dropped"
+        );
         assert_eq!(q.len(), 2);
     }
 
     #[test]
     fn fifo_order_preserved() {
+        let mut a = PacketArena::new();
         let mut q = DropTail::with_packets(10);
         for i in 0..5 {
-            q.enqueue(pkt(i, 100), SimTime::ZERO);
+            let id = pkt(&mut a, i, 100);
+            q.enqueue(id, &mut a, SimTime::ZERO);
         }
         for i in 0..5 {
-            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().id, i);
+            let id = q.dequeue(&mut a, SimTime::ZERO).unwrap();
+            assert_eq!(a.remove(id).id, i);
         }
-        assert!(q.dequeue(SimTime::ZERO).is_none());
+        assert!(q.dequeue(&mut a, SimTime::ZERO).is_none());
     }
 
     #[test]
     fn byte_capacity_mode() {
         // 140-byte wire packets; 320-byte budget holds two plus a
         // 40-byte header-only packet.
+        let mut a = PacketArena::new();
         let mut q = DropTail::new(Capacity::Bytes(320));
-        assert!(q.enqueue(pkt(1, 100), SimTime::ZERO).dropped.is_empty());
-        assert!(q.enqueue(pkt(2, 100), SimTime::ZERO).dropped.is_empty());
-        assert_eq!(q.enqueue(pkt(3, 100), SimTime::ZERO).dropped.len(), 1);
+        assert!(q
+            .enqueue(pkt(&mut a, 1, 100), &mut a, SimTime::ZERO)
+            .dropped
+            .is_empty());
+        assert!(q
+            .enqueue(pkt(&mut a, 2, 100), &mut a, SimTime::ZERO)
+            .dropped
+            .is_empty());
+        assert_eq!(
+            q.enqueue(pkt(&mut a, 3, 100), &mut a, SimTime::ZERO)
+                .dropped
+                .len(),
+            1
+        );
         assert_eq!(q.byte_len(), 280);
         // A smaller packet still fits where the 140-byte one did not.
-        assert!(q.enqueue(pkt(4, 0), SimTime::ZERO).dropped.is_empty());
+        assert!(q
+            .enqueue(pkt(&mut a, 4, 0), &mut a, SimTime::ZERO)
+            .dropped
+            .is_empty());
     }
 
     #[test]
     fn byte_accounting_balanced() {
+        let mut a = PacketArena::new();
         let mut q = DropTail::with_packets(10);
-        q.enqueue(pkt(1, 60), SimTime::ZERO);
-        q.enqueue(pkt(2, 460), SimTime::ZERO);
+        let p1 = pkt(&mut a, 1, 60);
+        let p2 = pkt(&mut a, 2, 460);
+        q.enqueue(p1, &mut a, SimTime::ZERO);
+        q.enqueue(p2, &mut a, SimTime::ZERO);
         assert_eq!(q.byte_len(), 100 + 500);
-        q.dequeue(SimTime::ZERO);
+        q.dequeue(&mut a, SimTime::ZERO);
         assert_eq!(q.byte_len(), 500);
-        q.dequeue(SimTime::ZERO);
+        q.dequeue(&mut a, SimTime::ZERO);
         assert_eq!(q.byte_len(), 0);
     }
 

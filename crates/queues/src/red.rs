@@ -9,7 +9,7 @@
 //! of drops, and an optional "gentle" region above `max_th`.
 
 use std::collections::VecDeque;
-use taq_sim::{EnqueueOutcome, Packet, Qdisc, SimRng, SimTime};
+use taq_sim::{EnqueueOutcome, PacketArena, PacketId, Qdisc, SimRng, SimTime};
 
 /// RED parameters.
 #[derive(Debug, Clone)]
@@ -53,7 +53,8 @@ impl RedConfig {
 #[derive(Debug)]
 pub struct Red {
     cfg: RedConfig,
-    queue: VecDeque<Packet>,
+    /// Buffered ids with their cached wire lengths.
+    queue: VecDeque<(PacketId, u32)>,
     bytes: usize,
     avg: f64,
     /// Packets enqueued since the last early drop (the classic `count`).
@@ -136,7 +137,7 @@ impl Red {
 }
 
 impl Qdisc for Red {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome {
         self.update_avg(now);
         if self.queue.len() >= self.cfg.limit {
             self.count = 0;
@@ -145,14 +146,15 @@ impl Qdisc for Red {
         if self.should_drop_early() {
             return EnqueueOutcome::rejected(pkt);
         }
-        self.bytes += pkt.wire_len() as usize;
-        self.queue.push_back(pkt);
+        let wire = arena.get(pkt).wire_len();
+        self.bytes += wire as usize;
+        self.queue.push_back((pkt, wire));
         EnqueueOutcome::accepted()
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
-        let pkt = self.queue.pop_front()?;
-        self.bytes -= pkt.wire_len() as usize;
+    fn dequeue(&mut self, _arena: &mut PacketArena, now: SimTime) -> Option<PacketId> {
+        let (pkt, wire) = self.queue.pop_front()?;
+        self.bytes -= wire as usize;
         if self.queue.is_empty() {
             self.idle_since = Some(now);
         }
@@ -177,7 +179,7 @@ mod tests {
     use super::*;
     use taq_sim::{FlowKey, NodeId, PacketBuilder};
 
-    fn pkt(id: u64) -> Packet {
+    fn pkt(arena: &mut PacketArena, id: u64) -> PacketId {
         let mut p = PacketBuilder::new(FlowKey {
             src: NodeId(0),
             src_port: 1,
@@ -187,7 +189,7 @@ mod tests {
         .payload(460)
         .build();
         p.id = id;
-        p
+        arena.insert(p)
     }
 
     fn red(limit: usize) -> Red {
@@ -196,19 +198,23 @@ mod tests {
 
     #[test]
     fn no_drops_below_min_threshold() {
+        let mut a = PacketArena::new();
         let mut q = red(100);
         for i in 0..10 {
-            let out = q.enqueue(pkt(i), SimTime::from_millis(i * 4));
+            let id = pkt(&mut a, i);
+            let out = q.enqueue(id, &mut a, SimTime::from_millis(i * 4));
             assert!(out.dropped.is_empty(), "below min_th nothing drops");
         }
     }
 
     #[test]
     fn hard_limit_enforced() {
+        let mut a = PacketArena::new();
         let mut q = red(10);
         let mut accepted = 0;
         for i in 0..50 {
-            if q.enqueue(pkt(i), SimTime::ZERO).dropped.is_empty() {
+            let id = pkt(&mut a, i);
+            if q.enqueue(id, &mut a, SimTime::ZERO).dropped.is_empty() {
                 accepted += 1;
             }
         }
@@ -218,16 +224,22 @@ mod tests {
 
     #[test]
     fn sustained_congestion_produces_early_drops() {
+        let mut a = PacketArena::new();
         let mut q = red(50);
         let mut drops = 0;
         let mut t = SimTime::ZERO;
         // Offer far faster than we drain: average climbs past min_th.
         for i in 0..5_000 {
-            if !q.enqueue(pkt(i), t).dropped.is_empty() {
+            let id = pkt(&mut a, i);
+            let out = q.enqueue(id, &mut a, t);
+            for d in out.dropped {
+                a.remove(d);
                 drops += 1;
             }
             if i % 3 == 0 {
-                q.dequeue(t);
+                if let Some(p) = q.dequeue(&mut a, t) {
+                    a.remove(p);
+                }
             }
             t += taq_sim::SimDuration::from_micros(100);
         }
@@ -237,20 +249,23 @@ mod tests {
 
     #[test]
     fn average_decays_while_idle() {
+        let mut a = PacketArena::new();
         let mut q = red(50);
         let mut t = SimTime::ZERO;
         for i in 0..200 {
-            q.enqueue(pkt(i), t);
+            let id = pkt(&mut a, i);
+            q.enqueue(id, &mut a, t);
             if i % 2 == 0 {
-                q.dequeue(t);
+                q.dequeue(&mut a, t);
             }
             t += taq_sim::SimDuration::from_micros(100);
         }
         let before = q.avg_queue();
         // Drain and go idle for a long time.
-        while q.dequeue(t).is_some() {}
+        while q.dequeue(&mut a, t).is_some() {}
         let later = t + taq_sim::SimDuration::from_secs(10);
-        q.enqueue(pkt(10_000), later);
+        let id = pkt(&mut a, 10_000);
+        q.enqueue(id, &mut a, later);
         assert!(
             q.avg_queue() < before / 2.0,
             "idle aging should decay avg: {} -> {}",

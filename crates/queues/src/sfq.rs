@@ -12,12 +12,13 @@
 //! DropTail.
 
 use std::collections::VecDeque;
-use taq_sim::{fx_hash_key, EnqueueOutcome, FlowKey, Packet, Qdisc, SimTime};
+use taq_sim::{fx_hash_key, EnqueueOutcome, FlowKey, PacketArena, PacketId, Qdisc, SimTime};
 
 /// Stochastic Fairness Queueing discipline.
 #[derive(Debug)]
 pub struct Sfq {
-    buckets: Vec<VecDeque<Packet>>,
+    /// Per-bucket FIFOs of ids with cached wire lengths.
+    buckets: Vec<VecDeque<(PacketId, u32)>>,
     /// Round-robin order of currently non-empty buckets.
     active: VecDeque<usize>,
     limit: usize,
@@ -73,14 +74,17 @@ impl Sfq {
 }
 
 impl Qdisc for Sfq {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, _now: SimTime) -> EnqueueOutcome {
         let mut outcome = EnqueueOutcome::accepted();
-        let idx = self.bucket_of(&pkt.flow);
+        let (idx, wire) = {
+            let p = arena.get(pkt);
+            (self.bucket_of(&p.flow), p.wire_len())
+        };
         if self.buckets[idx].is_empty() {
             self.active.push_back(idx);
         }
-        self.bytes += pkt.wire_len() as usize;
-        self.buckets[idx].push_back(pkt);
+        self.bytes += wire as usize;
+        self.buckets[idx].push_back((pkt, wire));
         self.len += 1;
         if self.len > self.limit {
             // Drop from the head of the longest queue (McKenney notes
@@ -88,8 +92,8 @@ impl Qdisc for Sfq {
             // arrival of the longest bucket's tail in the common
             // implementation — use tail of longest bucket).
             let victim_idx = self.longest_bucket();
-            if let Some(victim) = self.buckets[victim_idx].pop_back() {
-                self.bytes -= victim.wire_len() as usize;
+            if let Some((victim, victim_wire)) = self.buckets[victim_idx].pop_back() {
+                self.bytes -= victim_wire as usize;
                 self.len -= 1;
                 if self.buckets[victim_idx].is_empty() {
                     self.active.retain(|&i| i != victim_idx);
@@ -100,12 +104,12 @@ impl Qdisc for Sfq {
         outcome
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _arena: &mut PacketArena, _now: SimTime) -> Option<PacketId> {
         let idx = self.active.pop_front()?;
-        let pkt = self.buckets[idx]
+        let (pkt, wire) = self.buckets[idx]
             .pop_front()
             .expect("active bucket must be non-empty");
-        self.bytes -= pkt.wire_len() as usize;
+        self.bytes -= wire as usize;
         self.len -= 1;
         if !self.buckets[idx].is_empty() {
             self.active.push_back(idx);
@@ -131,7 +135,7 @@ mod tests {
     use super::*;
     use taq_sim::{NodeId, PacketBuilder};
 
-    fn pkt(flow_port: u16, id: u64) -> Packet {
+    fn pkt(arena: &mut PacketArena, flow_port: u16, id: u64) -> PacketId {
         let mut p = PacketBuilder::new(FlowKey {
             src: NodeId(0),
             src_port: flow_port,
@@ -141,22 +145,26 @@ mod tests {
         .payload(460)
         .build();
         p.id = id;
-        p
+        arena.insert(p)
     }
 
     #[test]
     fn round_robin_interleaves_flows() {
+        let mut a = PacketArena::new();
         let mut q = Sfq::new(128, 100);
         // Flow A sends 4 packets, then flow B sends 4.
         for i in 0..4 {
-            q.enqueue(pkt(1, i), SimTime::ZERO);
+            let id = pkt(&mut a, 1, i);
+            q.enqueue(id, &mut a, SimTime::ZERO);
         }
         for i in 4..8 {
-            q.enqueue(pkt(2, i), SimTime::ZERO);
+            let id = pkt(&mut a, 2, i);
+            q.enqueue(id, &mut a, SimTime::ZERO);
         }
-        let order: Vec<u16> = std::iter::from_fn(|| q.dequeue(SimTime::ZERO))
-            .map(|p| p.flow.src_port)
-            .collect();
+        let mut order = Vec::new();
+        while let Some(id) = q.dequeue(&mut a, SimTime::ZERO) {
+            order.push(a.get(id).flow.src_port);
+        }
         // After the first A-only prefix is exhausted the two flows
         // alternate; count the interleavings.
         let switches = order.windows(2).filter(|w| w[0] != w[1]).count();
@@ -165,14 +173,18 @@ mod tests {
 
     #[test]
     fn drop_comes_from_longest_bucket() {
+        let mut a = PacketArena::new();
         let mut q = Sfq::new(128, 4);
         for i in 0..4 {
-            q.enqueue(pkt(1, i), SimTime::ZERO); // flow 1 fills the buffer
+            let id = pkt(&mut a, 1, i);
+            q.enqueue(id, &mut a, SimTime::ZERO); // flow 1 fills the buffer
         }
-        let out = q.enqueue(pkt(2, 99), SimTime::ZERO);
+        let newcomer = pkt(&mut a, 2, 99);
+        let out = q.enqueue(newcomer, &mut a, SimTime::ZERO);
         assert_eq!(out.dropped.len(), 1);
         assert_eq!(
-            out.dropped[0].flow.src_port, 1,
+            a.get(out.dropped[0]).flow.src_port,
+            1,
             "the hog's packet is dropped, not the newcomer's"
         );
         assert_eq!(q.len(), 4);
@@ -180,24 +192,30 @@ mod tests {
 
     #[test]
     fn single_flow_behaves_fifo() {
+        let mut a = PacketArena::new();
         let mut q = Sfq::new(16, 10);
         for i in 0..5 {
-            q.enqueue(pkt(7, i), SimTime::ZERO);
+            let id = pkt(&mut a, 7, i);
+            q.enqueue(id, &mut a, SimTime::ZERO);
         }
-        let ids: Vec<u64> = std::iter::from_fn(|| q.dequeue(SimTime::ZERO))
-            .map(|p| p.id)
-            .collect();
+        let mut ids = Vec::new();
+        while let Some(id) = q.dequeue(&mut a, SimTime::ZERO) {
+            ids.push(a.remove(id).id);
+        }
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn byte_accounting_balanced() {
+        let mut a = PacketArena::new();
         let mut q = Sfq::new(16, 10);
-        q.enqueue(pkt(1, 0), SimTime::ZERO);
-        q.enqueue(pkt(2, 1), SimTime::ZERO);
+        let p1 = pkt(&mut a, 1, 0);
+        let p2 = pkt(&mut a, 2, 1);
+        q.enqueue(p1, &mut a, SimTime::ZERO);
+        q.enqueue(p2, &mut a, SimTime::ZERO);
         assert_eq!(q.byte_len(), 2 * 500);
-        q.dequeue(SimTime::ZERO);
-        q.dequeue(SimTime::ZERO);
+        q.dequeue(&mut a, SimTime::ZERO);
+        q.dequeue(&mut a, SimTime::ZERO);
         assert_eq!(q.byte_len(), 0);
         assert_eq!(q.len(), 0);
     }
@@ -231,21 +249,31 @@ mod tests {
 
     #[test]
     fn conservation_under_churn() {
+        let mut a = PacketArena::new();
         let mut q = Sfq::new(8, 16);
         let mut in_count = 0u64;
         let mut out_count = 0u64;
         let mut dropped = 0u64;
         for i in 0..1_000u64 {
-            let out = q.enqueue(pkt((i % 13) as u16, i), SimTime::ZERO);
+            let id = pkt(&mut a, (i % 13) as u16, i);
+            let out = q.enqueue(id, &mut a, SimTime::ZERO);
             in_count += 1;
-            dropped += out.dropped.len() as u64;
-            if i % 3 == 0 && q.dequeue(SimTime::ZERO).is_some() {
-                out_count += 1;
+            for d in out.dropped {
+                a.remove(d);
+                dropped += 1;
+            }
+            if i % 3 == 0 {
+                if let Some(p) = q.dequeue(&mut a, SimTime::ZERO) {
+                    a.remove(p);
+                    out_count += 1;
+                }
             }
         }
-        while q.dequeue(SimTime::ZERO).is_some() {
+        while let Some(p) = q.dequeue(&mut a, SimTime::ZERO) {
+            a.remove(p);
             out_count += 1;
         }
         assert_eq!(in_count, out_count + dropped);
+        assert!(a.is_empty(), "every packet accounted for in the arena");
     }
 }

@@ -18,6 +18,7 @@
 //! module's event loop, with cut-link arrivals exchanged through
 //! bounded channels under a conservative lookahead barrier.
 
+use crate::arena::{PacketArena, PacketId};
 use crate::events::{EventKey, EventKind, EventQueue, SchedulerKind, TimerId, TimerTable};
 use crate::link::{Link, LinkStats};
 use crate::monitor::{AsAny, LinkMonitor, MonitorId};
@@ -93,6 +94,9 @@ pub(crate) struct RouteTable {
 pub(crate) struct World {
     pub(crate) now: SimTime,
     pub(crate) queue: EventQueue,
+    /// Slab of every packet currently in flight anywhere in this world
+    /// (queued in a qdisc, serializing, or propagating as an `Arrival`).
+    pub(crate) arena: PacketArena,
     pub(crate) timers: TimerTable,
     pub(crate) links: Vec<Option<Link>>,
     pub(crate) routes: Vec<RouteTable>,
@@ -135,21 +139,33 @@ impl World {
         self.link_mut(link).delay = delay;
     }
 
-    /// Offers `pkt` to `link`'s queue and starts transmission if idle.
-    fn offer(&mut self, link_id: LinkId, pkt: Packet) {
+    /// Offers the packet behind `pkt` to `link`'s queue and starts
+    /// transmission if idle. Takes ownership of the id; drops reported
+    /// by the qdisc are removed from the arena here.
+    fn offer(&mut self, link_id: LinkId, pkt: PacketId) {
         let now = self.now;
-        for m in &mut self.monitors {
-            m.on_enqueue(link_id, &pkt, now);
+        let World {
+            arena,
+            monitors,
+            links,
+            ..
+        } = self;
+        let link = links[link_id.0 as usize].as_mut().expect(FOREIGN_LINK);
+        {
+            let p = arena.get(pkt);
+            for m in monitors.iter_mut() {
+                m.on_enqueue(link_id, p, now);
+            }
+            link.stats.offered_pkts += 1;
+            link.stats.offered_bytes += u64::from(p.wire_len());
         }
-        let link = self.links[link_id.0 as usize].as_mut().expect(FOREIGN_LINK);
-        link.stats.offered_pkts += 1;
-        link.stats.offered_bytes += u64::from(pkt.wire_len());
-        let outcome = link.qdisc.enqueue(pkt, now);
+        let outcome = link.qdisc.enqueue(pkt, arena, now);
         for dropped in outcome.dropped {
+            let victim = arena.remove(dropped);
             link.stats.dropped_pkts += 1;
-            link.stats.dropped_bytes += u64::from(dropped.wire_len());
-            for m in &mut self.monitors {
-                m.on_drop(link_id, &dropped, now);
+            link.stats.dropped_bytes += u64::from(victim.wire_len());
+            for m in monitors.iter_mut() {
+                m.on_drop(link_id, &victim, now);
             }
         }
         self.try_transmit(link_id);
@@ -158,21 +174,30 @@ impl World {
     /// If the link is idle and has a queued packet, begins serializing it.
     fn try_transmit(&mut self, link_id: LinkId) {
         let now = self.now;
-        let link = self.links[link_id.0 as usize].as_mut().expect(FOREIGN_LINK);
+        let World {
+            arena,
+            monitors,
+            links,
+            queue,
+            shard,
+            ..
+        } = self;
+        let link = links[link_id.0 as usize].as_mut().expect(FOREIGN_LINK);
         if link.busy {
             return;
         }
-        let Some(pkt) = link.qdisc.dequeue(now) else {
+        let Some(pkt) = link.qdisc.dequeue(arena, now) else {
             return;
         };
-        let tx = link.rate.transmission_time(pkt.wire_len());
+        let wire = arena.get(pkt).wire_len();
+        let tx = link.rate.transmission_time(wire);
         let done = now + tx;
         let arrive = done + link.delay;
         link.busy = true;
         link.stats.busy_time += tx;
         let seq = link.tx_seq;
         link.tx_seq += 1;
-        self.queue.push(
+        queue.push(
             done,
             EventKey::link_free(link_id, seq),
             EventKind::LinkFree { link: link_id },
@@ -183,7 +208,6 @@ impl World {
         // validation. Draws come from the link's own seed-derived
         // stream, so they are identical no matter what any other
         // component drew first.
-        let link = self.links[link_id.0 as usize].as_mut().expect(FOREIGN_LINK);
         if link.loss_rate > 0.0 {
             let loss_rate = link.loss_rate;
             let lost = link
@@ -193,34 +217,38 @@ impl World {
                 .chance(loss_rate);
             if lost {
                 link.stats.wire_lost_pkts += 1;
-                for m in &mut self.monitors {
-                    m.on_drop(link_id, &pkt, now);
+                let victim = arena.remove(pkt);
+                for m in monitors.iter_mut() {
+                    m.on_drop(link_id, &victim, now);
                 }
                 return;
             }
         }
-        let link = self.links[link_id.0 as usize].as_mut().expect(FOREIGN_LINK);
         link.stats.transmitted_pkts += 1;
-        link.stats.transmitted_bytes += u64::from(pkt.wire_len());
+        link.stats.transmitted_bytes += u64::from(wire);
         let to = link.to;
         // Monitors see the transmit with its completion timestamp so
         // time-sliced byte accounting is exact.
-        for m in &mut self.monitors {
-            m.on_transmit(link_id, &pkt, done);
+        {
+            let p = arena.get(pkt);
+            for m in monitors.iter_mut() {
+                m.on_transmit(link_id, p, done);
+            }
         }
         let key = EventKey::arrival(link_id, seq);
         // A cut link's arrival belongs to the downstream shard: ship it
         // through the channel (with its canonical key, so the receiver
         // merges it into the exact serial order) instead of the local
-        // queue.
-        if let Some(shard) = self.shard.as_deref_mut() {
-            if shard.is_cut_link(link_id) {
-                shard.send_arrival(link_id, now, arrive, key, to, pkt);
+        // queue. The packet leaves this shard's arena and is inserted
+        // into the receiver's when the message is applied.
+        if let Some(shard_ctx) = shard.as_deref_mut() {
+            if shard_ctx.is_cut_link(link_id) {
+                let body = arena.remove(pkt);
+                shard_ctx.send_arrival(link_id, now, arrive, key, to, body);
                 return;
             }
         }
-        self.queue
-            .push(arrive, key, EventKind::Arrival { node: to, pkt });
+        queue.push(arrive, key, EventKind::Arrival { node: to, pkt });
     }
 }
 
@@ -268,7 +296,9 @@ impl Ctx<'_> {
     }
 
     /// Forwards an in-flight packet toward `dst` without restamping it.
-    /// Routers use this; original senders should use [`Ctx::send`].
+    /// Routers use this; original senders should use [`Ctx::send`]. The
+    /// packet enters the world's arena here and travels by id from then
+    /// on.
     ///
     /// # Panics
     ///
@@ -278,7 +308,8 @@ impl Ctx<'_> {
             .world
             .next_link(self.node, dst)
             .unwrap_or_else(|| panic!("node {:?} has no route to {:?}", self.node, dst));
-        self.world.offer(link, pkt);
+        let id = self.world.arena.insert(pkt);
+        self.world.offer(link, id);
     }
 
     /// Schedules `on_timer(token)` on this agent after `delay`. Returns a
@@ -360,6 +391,7 @@ impl Simulator {
             world: World {
                 now: SimTime::ZERO,
                 queue: EventQueue::with_scheduler(scheduler),
+                arena: PacketArena::new(),
                 timers: TimerTable::new(),
                 links: Vec::new(),
                 routes: Vec::new(),
@@ -541,6 +573,13 @@ impl Simulator {
         self.world.events_processed
     }
 
+    /// Number of packets currently live in the world's arena: buffered
+    /// in a qdisc, serializing, or propagating toward a node. Leak
+    /// tests pin this back to zero once queues drain.
+    pub fn packets_in_flight(&self) -> usize {
+        self.world.arena.len()
+    }
+
     /// Statistics for a link.
     pub fn link_stats(&self, link: LinkId) -> &LinkStats {
         &self.world.link(link).stats
@@ -595,9 +634,13 @@ impl Simulator {
         );
         match ev.kind {
             EventKind::Arrival { node, pkt } => {
-                // Delivery is observed before the receiving agent runs,
-                // so monitors see the packet's end-to-end latency even
-                // when the agent consumes (or re-sends) it.
+                // Delivery moves the packet out of the arena: the agent
+                // owns it from here (and re-inserts via `Ctx::forward`
+                // if it routes it onward). Monitors observe before the
+                // receiving agent runs, so they see the packet's
+                // end-to-end latency even when the agent consumes (or
+                // re-sends) it.
+                let pkt = self.world.arena.remove(pkt);
                 let now = self.world.now;
                 for m in &mut self.world.monitors {
                     m.on_deliver(node.0, &pkt, now);

@@ -28,7 +28,8 @@
 //! minimum. The equivalence suite in `tests/sweep_determinism.rs`
 //! asserts byte-identical whole-simulation traces across the two.
 
-use crate::packet::{LinkId, NodeId, Packet};
+use crate::arena::PacketId;
+use crate::packet::{LinkId, NodeId};
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -127,10 +128,15 @@ impl EventKey {
 }
 
 /// What a fired event does.
+///
+/// `Arrival` carries an arena handle, not the packet itself: event
+/// payloads are 16 bytes regardless of packet size, and the wheel's
+/// slot vectors move ids, never packet bodies.
 #[derive(Debug)]
 pub(crate) enum EventKind {
-    /// Deliver `pkt` to `node` (it finished propagating over a link).
-    Arrival { node: NodeId, pkt: Packet },
+    /// Deliver the packet behind `pkt` to `node` (it finished
+    /// propagating over a link).
+    Arrival { node: NodeId, pkt: PacketId },
     /// A node timer fired; `token` is the node's own cookie.
     Timer {
         node: NodeId,

@@ -49,6 +49,7 @@
 //! # let _ = db;
 //! ```
 
+mod arena;
 mod engine;
 mod events;
 mod intern;
@@ -62,6 +63,7 @@ mod time;
 mod topology;
 mod trace;
 
+pub use arena::{PacketArena, PacketId};
 pub use engine::{Agent, Ctx, ForwardingRouter, Simulator};
 pub use events::{SchedulerKind, TimerId};
 pub use intern::{fx_hash_key, FlowId, FlowInterner, FxBuildHasher, FxHasher};

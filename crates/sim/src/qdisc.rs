@@ -8,8 +8,16 @@
 //! may refuse the arriving packet, or accept it and evict other buffered
 //! packets instead (RED's early drops and TAQ's fine-grained victim
 //! selection both need that), so the outcome is reported explicitly.
+//!
+//! Packets are passed as [`PacketId`] handles into the driving
+//! [`PacketArena`], not by value: a discipline buffers 8-byte ids and
+//! reads header fields through the arena only when a decision needs
+//! them. A qdisc must always be driven with the same arena — ids are
+//! meaningless in any other. Ids returned in
+//! [`EnqueueOutcome::dropped`] transfer ownership back to the caller,
+//! which is responsible for removing them from the arena.
 
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PacketId};
 use crate::time::SimTime;
 
 /// What happened when a packet was offered to a queue.
@@ -17,8 +25,8 @@ use crate::time::SimTime;
 pub struct EnqueueOutcome {
     /// Packets dropped as a result of this enqueue. This may include the
     /// offered packet itself, and/or previously buffered packets evicted
-    /// to make room.
-    pub dropped: Vec<Packet>,
+    /// to make room. Ownership of the ids passes to the caller.
+    pub dropped: Vec<PacketId>,
 }
 
 impl EnqueueOutcome {
@@ -28,7 +36,7 @@ impl EnqueueOutcome {
     }
 
     /// The offered packet was rejected outright.
-    pub fn rejected(pkt: Packet) -> Self {
+    pub fn rejected(pkt: PacketId) -> Self {
         EnqueueOutcome { dropped: vec![pkt] }
     }
 }
@@ -37,7 +45,7 @@ impl EnqueueOutcome {
 ///
 /// Implementations must uphold two invariants the engine relies on:
 ///
-/// 1. **Conservation**: every packet passed to `enqueue` is eventually
+/// 1. **Conservation**: every id passed to `enqueue` is eventually
 ///    either returned from `dequeue`, returned in an
 ///    [`EnqueueOutcome::dropped`] list, or still buffered (reflected in
 ///    [`Qdisc::len`]).
@@ -46,10 +54,10 @@ impl EnqueueOutcome {
 ///    event, so an idling queue would stall the link forever.
 pub trait Qdisc: Send {
     /// Offers a packet to the queue at time `now`.
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome;
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, now: SimTime) -> EnqueueOutcome;
 
     /// Removes the next packet to transmit, if any.
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+    fn dequeue(&mut self, arena: &mut PacketArena, now: SimTime) -> Option<PacketId>;
 
     /// Number of packets currently buffered.
     fn len(&self) -> usize;
@@ -59,7 +67,8 @@ pub trait Qdisc: Send {
         self.len() == 0
     }
 
-    /// Total payload+header bytes currently buffered.
+    /// Total payload+header bytes currently buffered. Implementations
+    /// cache wire lengths at enqueue so this never needs the arena.
     fn byte_len(&self) -> usize;
 
     /// Short human-readable name for reports ("droptail", "red", "taq"...).
@@ -70,7 +79,8 @@ pub trait Qdisc: Send {
 /// reverse ACK path). It never drops.
 #[derive(Debug, Default)]
 pub struct UnboundedFifo {
-    queue: std::collections::VecDeque<Packet>,
+    /// Buffered ids with their cached wire lengths.
+    queue: std::collections::VecDeque<(PacketId, u32)>,
     bytes: usize,
 }
 
@@ -82,15 +92,16 @@ impl UnboundedFifo {
 }
 
 impl Qdisc for UnboundedFifo {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> EnqueueOutcome {
-        self.bytes += pkt.wire_len() as usize;
-        self.queue.push_back(pkt);
+    fn enqueue(&mut self, pkt: PacketId, arena: &mut PacketArena, _now: SimTime) -> EnqueueOutcome {
+        let wire = arena.get(pkt).wire_len();
+        self.bytes += wire as usize;
+        self.queue.push_back((pkt, wire));
         EnqueueOutcome::accepted()
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
-        let pkt = self.queue.pop_front()?;
-        self.bytes -= pkt.wire_len() as usize;
+    fn dequeue(&mut self, _arena: &mut PacketArena, _now: SimTime) -> Option<PacketId> {
+        let (pkt, wire) = self.queue.pop_front()?;
+        self.bytes -= wire as usize;
         Some(pkt)
     }
 
@@ -110,7 +121,7 @@ impl Qdisc for UnboundedFifo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowKey, NodeId, PacketBuilder};
+    use crate::packet::{FlowKey, NodeId, Packet, PacketBuilder};
 
     fn pkt(n: u64) -> Packet {
         let mut p = PacketBuilder::new(FlowKey {
@@ -127,24 +138,30 @@ mod tests {
 
     #[test]
     fn unbounded_fifo_is_fifo() {
+        let mut arena = PacketArena::new();
         let mut q = UnboundedFifo::new();
         for i in 0..5 {
-            let out = q.enqueue(pkt(i), SimTime::ZERO);
+            let id = arena.insert(pkt(i));
+            let out = q.enqueue(id, &mut arena, SimTime::ZERO);
             assert!(out.dropped.is_empty());
         }
         assert_eq!(q.len(), 5);
         assert_eq!(q.byte_len(), 5 * 140);
         for i in 0..5 {
-            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().id, i);
+            let id = q.dequeue(&mut arena, SimTime::ZERO).unwrap();
+            assert_eq!(arena.remove(id).id, i);
         }
         assert!(q.is_empty());
         assert_eq!(q.byte_len(), 0);
-        assert!(q.dequeue(SimTime::ZERO).is_none());
+        assert!(q.dequeue(&mut arena, SimTime::ZERO).is_none());
+        assert!(arena.is_empty(), "fifo leaked no packets");
     }
 
     #[test]
     fn outcome_helpers() {
+        let mut arena = PacketArena::new();
         assert!(EnqueueOutcome::accepted().dropped.is_empty());
-        assert_eq!(EnqueueOutcome::rejected(pkt(9)).dropped.len(), 1);
+        let id = arena.insert(pkt(9));
+        assert_eq!(EnqueueOutcome::rejected(id).dropped.len(), 1);
     }
 }

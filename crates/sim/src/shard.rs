@@ -289,6 +289,9 @@ impl ShardCtx {
 fn apply_msg(sim: &mut Simulator, promises: &mut HashMap<u32, SimTime>, msg: ShardMsg) {
     if let Some((key, node, pkt)) = msg.payload {
         debug_assert!(msg.time >= sim.world.now, "cross-shard arrival in the past");
+        // The packet crossed the cut by value; it lives in this shard's
+        // arena from here until delivery.
+        let pkt = sim.world.arena.insert(pkt);
         sim.world
             .queue
             .push(msg.time, key, EventKind::Arrival { node, pkt });
@@ -527,6 +530,7 @@ impl Simulator {
                 world: crate::engine::World {
                     now: SimTime::ZERO,
                     queue: EventQueue::with_scheduler(self.world.scheduler),
+                    arena: crate::arena::PacketArena::new(),
                     timers: TimerTable::new(),
                     links: (0..n_links).map(|_| None).collect(),
                     routes: self.world.routes.clone(),
@@ -601,7 +605,14 @@ impl Simulator {
 
         // Merge: hand agents and links back by ownership, fold monitor
         // replicas in shard order, sum the event counts.
-        for shard_sim in sims.into_iter().map(|s| s.expect("errors returned above")) {
+        for mut shard_sim in sims.into_iter().map(|s| s.expect("errors returned above")) {
+            // Packets still buffered at the horizon come home too, so
+            // `packets_in_flight` reports the same count at every shard
+            // count (ids held by returned qdiscs are dead — the run is
+            // one-shot, nothing dereferences them post-merge).
+            for pkt in shard_sim.world.arena.drain_live() {
+                self.world.arena.insert(pkt);
+            }
             for (i, slot) in shard_sim.agents.into_iter().enumerate() {
                 if let Some(agent) = slot {
                     self.agents[i] = Some(agent);

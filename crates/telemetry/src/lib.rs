@@ -123,9 +123,11 @@ impl Telemetry {
     /// for the per-packet calls. `Acquire` pairs with the `Release`
     /// store in [`add_shared_sink`](Self::add_shared_sink); in the
     /// common single-threaded-per-run discipline it is simply a cached
-    /// load.
+    /// load. Public so hot paths can gate event *construction* (e.g.
+    /// batching events for a deferred [`emit_batch`](Self::emit_batch))
+    /// on the same check `emit` uses.
     #[inline]
-    fn listening(&self) -> bool {
+    pub fn listening(&self) -> bool {
         self.inner
             .as_ref()
             .is_some_and(|shared| shared.has_sinks.load(Ordering::Acquire))
@@ -158,6 +160,39 @@ impl Telemetry {
             let event = build();
             for sink in &hub.sinks {
                 sink.lock().unwrap().emit(at_ns, &event);
+            }
+        }
+    }
+
+    /// Emits a pre-built batch of timestamped events and clears the
+    /// buffer. One hub lock and one lock *per sink* cover the whole
+    /// batch (each per-packet `emit` pays both locks), so a hot path
+    /// can gather the events one packet produces — gated on
+    /// [`listening`](Self::listening) so nothing is built for nobody —
+    /// and fan them out once, outside its own timed section. Every sink
+    /// sees the batch in push order, exactly as if each event had been
+    /// emitted individually.
+    pub fn emit_batch(&self, events: &mut Vec<(u64, Event)>) {
+        if self.listening() {
+            if let Some(hub) = self.hub() {
+                for sink in &hub.sinks {
+                    let mut sink = sink.lock().unwrap();
+                    for (at_ns, event) in events.iter() {
+                        sink.emit(*at_ns, event);
+                    }
+                }
+            }
+        }
+        events.clear();
+    }
+
+    /// Sets several gauges under one hub lock (no-op when disabled) —
+    /// the batched form of [`set_gauge`](Self::set_gauge) for callers
+    /// refreshing a family of related gauges together.
+    pub fn set_gauges(&self, values: &[(GaugeId, f64)]) {
+        if let Some(mut hub) = self.hub() {
+            for &(id, v) in values {
+                hub.registry.set(id, v);
             }
         }
     }
@@ -249,7 +284,13 @@ impl Telemetry {
     #[inline]
     pub fn scoped(&self, id: HistogramId) -> ScopedTimer {
         ScopedTimer {
-            armed: self.listening().then(|| (Instant::now(), self.clone(), id)),
+            // Clone the handle *before* reading the clock: the Arc
+            // refcount bump is bookkeeping for the guard, not part of
+            // the caller's measured window.
+            armed: self.listening().then(|| {
+                let handle = self.clone();
+                (Instant::now(), handle, id)
+            }),
         }
     }
 

@@ -14,7 +14,9 @@ use crate::clock::ScaledClock;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
-use taq_sim::{telemetry_flow_id, Bandwidth, NodeId, Packet, Qdisc, SimDuration, SimTime};
+use taq_sim::{
+    telemetry_flow_id, Bandwidth, NodeId, Packet, PacketArena, Qdisc, SimDuration, SimTime,
+};
 use taq_telemetry::{Event, Telemetry};
 
 /// Link id the middlebox uses for its forward (congested) direction in
@@ -87,13 +89,20 @@ struct Pacer {
 
 impl Pacer {
     /// Starts transmitting the next packet if the link is free; returns
-    /// the packet and its delivery time (after serialization +
-    /// propagation).
-    fn try_transmit(&mut self, now: SimTime, delay: SimDuration) -> Option<(Packet, SimTime)> {
+    /// the packet (removed from the arena — the wire is the testbed
+    /// boundary where bodies travel by value again) and its delivery
+    /// time (after serialization + propagation).
+    fn try_transmit(
+        &mut self,
+        arena: &mut PacketArena,
+        now: SimTime,
+        delay: SimDuration,
+    ) -> Option<(Packet, SimTime)> {
         if now < self.busy_until {
             return None;
         }
-        let pkt = self.qdisc.dequeue(now)?;
+        let id = self.qdisc.dequeue(arena, now)?;
+        let pkt = arena.remove(id);
         let tx = self.rate.transmission_time(pkt.wire_len());
         self.busy_until = now + tx;
         Some((pkt, now + tx + delay))
@@ -144,6 +153,11 @@ pub fn run_middlebox(
     // (both pacers emit in nondecreasing time per direction; a merge of
     // two nearly-sorted streams is fine to scan).
     let mut in_flight: VecDeque<(SimTime, Packet)> = VecDeque::new();
+    // Packet bodies live here while buffered in either qdisc; the
+    // channels and the delay line still move `Packet` by value, so the
+    // arena's population is exactly the queued packets — an invariant
+    // the restart drill checks below.
+    let mut arena = PacketArena::new();
     let mut stats = MiddleboxStats::default();
     // The middlebox is the testbed's ingress point, so it plays the
     // role `Ctx::send` plays in the simulator: stamp every arriving
@@ -175,7 +189,7 @@ pub fn run_middlebox(
             }
         }
         // Pump both pacers.
-        while let Some((pkt, deliver_at)) = forward.try_transmit(now, delay) {
+        while let Some((pkt, deliver_at)) = forward.try_transmit(&mut arena, now, delay) {
             stats.fwd_transmitted += 1;
             stats.fwd_bytes += u64::from(pkt.wire_len());
             telemetry.emit(now.as_nanos(), || Event::Link {
@@ -187,7 +201,7 @@ pub fn run_middlebox(
             });
             in_flight.push_back((deliver_at, pkt));
         }
-        while let Some((pkt, deliver_at)) = reverse.try_transmit(now, delay) {
+        while let Some((pkt, deliver_at)) = reverse.try_transmit(&mut arena, now, delay) {
             in_flight.push_back((deliver_at, pkt));
         }
         // Sleep until the next interesting instant, interruptible by
@@ -228,9 +242,11 @@ pub fn run_middlebox(
                             flow: telemetry_flow_id(&pkt.flow),
                             bytes: u64::from(pkt.wire_len()),
                         });
-                        let outcome = forward.qdisc.enqueue(pkt, now);
+                        let pid = arena.insert(pkt);
+                        let outcome = forward.qdisc.enqueue(pid, &mut arena, now);
                         stats.fwd_dropped += outcome.dropped.len() as u64;
-                        for victim in &outcome.dropped {
+                        for victim in outcome.dropped {
+                            let victim = arena.remove(victim);
                             telemetry.emit(now.as_nanos(), || Event::Link {
                                 link: TELEMETRY_FORWARD_LINK,
                                 packet: victim.id,
@@ -241,8 +257,12 @@ pub fn run_middlebox(
                         }
                     }
                     Direction::Reverse => {
-                        let outcome = reverse.qdisc.enqueue(pkt, now);
+                        let pid = arena.insert(pkt);
+                        let outcome = reverse.qdisc.enqueue(pid, &mut arena, now);
                         stats.rev_dropped += outcome.dropped.len() as u64;
+                        for victim in outcome.dropped {
+                            arena.remove(victim);
+                        }
                     }
                 }
             }
@@ -250,12 +270,23 @@ pub fn run_middlebox(
                 let now = clock.now();
                 // Everything buffered dies with the crash.
                 let mut discarded = 0u64;
-                while forward.qdisc.dequeue(now).is_some() {
+                while let Some(id) = forward.qdisc.dequeue(&mut arena, now) {
+                    arena.remove(id);
                     discarded += 1;
                 }
-                while reverse.qdisc.dequeue(now).is_some() {
+                while let Some(id) = reverse.qdisc.dequeue(&mut arena, now) {
+                    arena.remove(id);
                     discarded += 1;
                 }
+                // Leak check: with both queues drained, every slot must
+                // have been returned — a nonzero count means a qdisc
+                // accepted a packet it neither queued, dropped, nor
+                // dequeued.
+                assert!(
+                    arena.is_empty(),
+                    "packet arena leaked {} slots across restart drain",
+                    arena.len()
+                );
                 // Fresh disciplines: all per-flow state (TAQ trackers,
                 // classifications, admission history) is gone.
                 let (fwd, rev) = make_qdiscs(&telemetry);
@@ -298,6 +329,13 @@ pub fn run_middlebox(
         }
     });
     telemetry.flush();
+    // At shutdown the arena may still hold packets — exactly the ones
+    // the two qdiscs report as queued, and nothing else.
+    debug_assert_eq!(
+        arena.len(),
+        forward.qdisc.len() + reverse.qdisc.len(),
+        "arena population must equal total queued packets at shutdown"
+    );
     let _ = stats_out.send(stats);
 }
 

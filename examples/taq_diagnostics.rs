@@ -88,7 +88,7 @@ fn run(name: &str, qdisc: Box<dyn Qdisc>, taq_state: Option<taq::SharedTaq>) {
     );
     println!("  stalled_frac={:.3}", stalled as f64 / total.max(1) as f64);
     if let Some(state) = taq_state {
-        let st = state.lock().unwrap();
+        let mut st = state.lock().unwrap();
         println!("  taq stats snapshot: {}", st.stats.snapshot().to_json());
         println!(
             "    flows tracked={} fair_share={:.0}bps",

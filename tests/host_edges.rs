@@ -28,16 +28,25 @@ struct DropFirstN {
 }
 
 impl taq_sim::Qdisc for DropFirstN {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> taq_sim::EnqueueOutcome {
+    fn enqueue(
+        &mut self,
+        pkt: taq_sim::PacketId,
+        arena: &mut taq_sim::PacketArena,
+        now: SimTime,
+    ) -> taq_sim::EnqueueOutcome {
         if self.remaining > 0 {
             self.remaining -= 1;
             return taq_sim::EnqueueOutcome::rejected(pkt);
         }
-        self.inner.enqueue(pkt, now)
+        self.inner.enqueue(pkt, arena, now)
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
-        self.inner.dequeue(now)
+    fn dequeue(
+        &mut self,
+        arena: &mut taq_sim::PacketArena,
+        now: SimTime,
+    ) -> Option<taq_sim::PacketId> {
+        self.inner.dequeue(arena, now)
     }
 
     fn len(&self) -> usize {

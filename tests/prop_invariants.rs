@@ -40,33 +40,45 @@ fn ops_schedule(rng: &mut SimRng) -> Vec<(u8, bool)> {
 /// Drives a qdisc with an arbitrary enqueue/dequeue schedule and checks
 /// packet conservation: in = out + dropped + still-buffered.
 fn conservation(mut q: Box<dyn Qdisc>, ops: &[(u8, bool)], seed: u64) {
+    let mut arena = taq_sim::PacketArena::new();
     let (mut enq, mut deq, mut dropped) = (0u64, 0u64, 0u64);
     let mut seq_per_flow = std::collections::HashMap::<u16, u64>::new();
     for (i, &(port_sel, do_deq)) in ops.iter().enumerate() {
         let port = u16::from(port_sel % 7);
         let now = SimTime::from_millis(i as u64 * 3);
         let seq = seq_per_flow.entry(port).or_insert(1);
-        let outcome = q.enqueue(pkt(port, *seq, i as u64), now);
+        let id = arena.insert(pkt(port, *seq, i as u64));
+        let outcome = q.enqueue(id, &mut arena, now);
         *seq += 460;
         enq += 1;
-        dropped += outcome.dropped.len() as u64;
-        if do_deq && q.dequeue(now).is_some() {
-            deq += 1;
+        for victim in outcome.dropped {
+            arena.remove(victim);
+            dropped += 1;
+        }
+        if do_deq {
+            if let Some(out) = q.dequeue(&mut arena, now) {
+                arena.remove(out);
+                deq += 1;
+            }
         }
         #[allow(clippy::len_zero)] // the invariant under test IS is_empty == (len == 0)
         {
             assert_eq!(q.is_empty(), q.len() == 0, "seed {seed}");
         }
+        // The arena holds exactly the buffered packets at every step.
+        assert_eq!(arena.len(), q.len(), "seed {seed}");
     }
     let buffered = q.len() as u64;
     let mut drained = 0u64;
-    while q.dequeue(SimTime::from_secs(3_600)).is_some() {
+    while let Some(out) = q.dequeue(&mut arena, SimTime::from_secs(3_600)) {
+        arena.remove(out);
         drained += 1;
     }
     assert_eq!(drained, buffered, "seed {seed}");
     assert_eq!(enq, deq + dropped + buffered, "seed {seed}");
     assert_eq!(q.len(), 0, "seed {seed}");
     assert_eq!(q.byte_len(), 0, "seed {seed}");
+    assert!(arena.is_empty(), "arena leak, seed {seed}");
 }
 
 #[test]
@@ -120,6 +132,7 @@ fn taq_preserves_per_flow_order() {
         cfg.buffer_pkts = 16;
         cfg.newflow_cap_pkts = 16;
         let pair = TaqPair::new(cfg);
+        let mut arena = taq_sim::PacketArena::new();
         let mut q: Box<dyn Qdisc> = Box::new(pair.forward);
         let mut next_id = std::collections::HashMap::<u16, u64>::new();
         let mut last_seen = std::collections::HashMap::<FlowKey, u64>::new();
@@ -137,16 +150,20 @@ fn taq_preserves_per_flow_order() {
             };
             let now = SimTime::from_millis(i as u64 * 3);
             // Monotone ids double as sequence numbers for ordering.
-            q.enqueue(pkt(port, id * 460, id), now);
+            let pid = arena.insert(pkt(port, id * 460, id));
+            for victim in q.enqueue(pid, &mut arena, now).dropped {
+                arena.remove(victim);
+            }
             if do_deq {
-                if let Some(p) = q.dequeue(now) {
-                    check(&p);
+                if let Some(out) = q.dequeue(&mut arena, now) {
+                    check(&arena.remove(out));
                 }
             }
         }
-        while let Some(p) = q.dequeue(SimTime::from_secs(3_600)) {
-            check(&p);
+        while let Some(out) = q.dequeue(&mut arena, SimTime::from_secs(3_600)) {
+            check(&arena.remove(out));
         }
+        assert!(arena.is_empty(), "arena leak, seed {seed}");
     }
 }
 
