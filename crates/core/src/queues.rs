@@ -490,10 +490,57 @@ impl TaqQueues {
     /// Removes the next packet to transmit under the 3-level policy.
     pub fn pop(&mut self, now: SimTime) -> Option<QueuedPkt> {
         self.refill_tokens(now);
+        self.pop_inner(&mut None)
+    }
+
+    /// Pops up to `max` packets at one instant into `out`, returning
+    /// how many were moved.
+    ///
+    /// Exactly equivalent to `max` calls of [`pop`](Self::pop) at the
+    /// same `now` — the hoisted work is provably redundant across a
+    /// drain: a repeated [`refill_tokens`](Self::refill_tokens) at the
+    /// same instant sees `dt == 0` and is a no-op, and the memoized
+    /// Level-1 winner (see [`pop_inner`](Self::pop_inner)) stays the
+    /// winner because pops never touch the silence / last-normal
+    /// columns the [`best_recovery`](Self::best_recovery) scan orders
+    /// by.
+    pub fn pop_batch(&mut self, now: SimTime, out: &mut Vec<QueuedPkt>, max: usize) -> usize {
+        self.refill_tokens(now);
+        let mut recovery_memo = None;
+        let mut n = 0;
+        while n < max {
+            match self.pop_inner(&mut recovery_memo) {
+                Some(qp) => {
+                    out.push(qp);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// One pop of the 3-level ladder, tokens already refilled.
+    ///
+    /// `recovery_memo` caches the Level-1 `best_recovery` winner across
+    /// a same-instant drain: the scan's sort keys (silence,
+    /// last-normal-at) are write-once per enqueue and never mutated by
+    /// pops, so the maximum can only change when the memoized flow
+    /// itself leaves the Recovery class (drained, or migrated by an
+    /// eviction) — which the `class_of` check detects, forcing a
+    /// rescan. Single pops pass `&mut None` and rescan every time.
+    fn pop_inner(&mut self, recovery_memo: &mut Option<FlowId>) -> Option<QueuedPkt> {
         let recovery_pkts = self.class_len(QueueClass::Recovery);
         // Level 1: recovery, if within its rate budget (or alone).
         if recovery_pkts > 0 {
-            let id = self.best_recovery().expect("non-empty");
+            let id = match *recovery_memo {
+                Some(id) if self.class_of(id) == Some(QueueClass::Recovery.index()) => id,
+                _ => {
+                    let id = self.best_recovery().expect("non-empty");
+                    *recovery_memo = Some(id);
+                    id
+                }
+            };
             let bits = f64::from(self.flows.packets[id.index()][0].wire) * 8.0;
             let others_waiting = self.len > recovery_pkts;
             if self.sched.recovery_tokens >= bits || !others_waiting {
@@ -504,23 +551,40 @@ impl TaqQueues {
         }
         // Level 2: serve the most-backlogged of BelowFairShare /
         // NewFlow / OverPenalized (demand-proportional), rotation
-        // breaking ties; per-flow round-robin inside.
-        let classes = [
-            QueueClass::BelowFairShare,
-            QueueClass::NewFlow,
-            QueueClass::OverPenalized,
+        // breaking ties; per-flow round-robin inside. The pick is
+        // branchless: with backlogs `b` laid out in rotation order,
+        // `pick01` keeps index 0 unless index 1 is STRICTLY deeper, and
+        // the final select keeps that unless index 2 is strictly deeper
+        // still — ties always resolve to the earliest rotation
+        // position, exactly the order a guarded scan would visit.
+        const ROT: [[QueueClass; 3]; 3] = [
+            [
+                QueueClass::BelowFairShare,
+                QueueClass::NewFlow,
+                QueueClass::OverPenalized,
+            ],
+            [
+                QueueClass::NewFlow,
+                QueueClass::OverPenalized,
+                QueueClass::BelowFairShare,
+            ],
+            [
+                QueueClass::OverPenalized,
+                QueueClass::BelowFairShare,
+                QueueClass::NewFlow,
+            ],
         ];
-        let mut pick: Option<(usize, QueueClass)> = None;
-        for step in 0..3u8 {
-            let class = classes[((self.sched.rr_next + step) % 3) as usize];
-            let backlog = self.class_len(class);
-            if backlog > pick.map_or(0, |(b, _)| b) {
-                pick = Some((backlog, class));
-            }
-        }
-        if let Some((_, class)) = pick {
+        let rot = &ROT[self.sched.rr_next as usize];
+        let b = [
+            self.class_len(rot[0]),
+            self.class_len(rot[1]),
+            self.class_len(rot[2]),
+        ];
+        let pick01 = usize::from(b[1] > b[0]);
+        let pick = if b[2] > b[pick01] { 2 } else { pick01 };
+        if b[pick] > 0 {
             self.sched.rr_next = (self.sched.rr_next + 1) % 3;
-            return self.pop_rr(class);
+            return self.pop_rr(rot[pick]);
         }
         // Level 3: above fair share.
         if let Some(qp) = self.pop_rr(QueueClass::AboveFairShare) {
@@ -1211,6 +1275,75 @@ mod tests {
             check(&qp, &mut a);
         }
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_matches_repeated_pop_under_random_churn() {
+        // Two queues fed the identical random schedule: one drained by
+        // `pop_batch`, one by one-at-a-time `pop` at the same instants.
+        // They must hand out identical packets in identical order —
+        // including the scheduler state they leave behind (checked by
+        // interleaving pushes between drains).
+        let mut a1 = PacketArena::new();
+        let mut a2 = PacketArena::new();
+        let mut rng = taq_sim::SimRng::new(0xBA7C4);
+        let classes = [
+            QueueClass::Recovery,
+            QueueClass::NewFlow,
+            QueueClass::OverPenalized,
+            QueueClass::BelowFairShare,
+            QueueClass::AboveFairShare,
+        ];
+        let mut batched = queues();
+        let mut serial = queues();
+        let mut out_batched = Vec::new();
+        let mut out_serial = Vec::new();
+        let mut next_id = 0u64;
+        for round in 0..400u64 {
+            let now = SimTime::from_millis(round * 3);
+            for _ in 0..rng.next_below(6) {
+                let port = rng.next_below(7) as u16;
+                next_id += 1;
+                let class = classes[rng.next_below(5) as usize];
+                let silence = rng.next_below(4) as u32;
+                let o = obs(class == QueueClass::Recovery, silence);
+                batched.push(class, pkt(&mut a1, port, next_id), &o);
+                serial.push(class, pkt(&mut a2, port, next_id), &o);
+            }
+            let max = rng.next_below(9) as usize;
+            let before = out_batched.len();
+            let n = batched.pop_batch(now, &mut out_batched, max);
+            assert_eq!(out_batched.len() - before, n);
+            for _ in 0..max {
+                match serial.pop(now) {
+                    Some(qp) => out_serial.push(qp),
+                    None => break,
+                }
+            }
+            // QueuedPkt is Copy+Eq over (pkt_id, flow, wire, synack);
+            // arena ids differ between the two arenas, so compare the
+            // observational identity.
+            let ident = |qp: &QueuedPkt| (qp.pkt_id, qp.flow, qp.wire, qp.synack);
+            assert_eq!(
+                out_batched.iter().map(ident).collect::<Vec<_>>(),
+                out_serial.iter().map(ident).collect::<Vec<_>>(),
+                "divergence by round {round}"
+            );
+            assert_eq!(batched.len(), serial.len());
+            assert_eq!(batched.byte_len(), serial.byte_len());
+        }
+        // Final full drain must agree too.
+        let end = SimTime::from_secs(10);
+        while let Some(qp) = serial.pop(end) {
+            out_serial.push(qp);
+        }
+        batched.pop_batch(end, &mut out_batched, usize::MAX);
+        let ident = |qp: &QueuedPkt| (qp.pkt_id, qp.flow, qp.wire, qp.synack);
+        assert_eq!(
+            out_batched.iter().map(ident).collect::<Vec<_>>(),
+            out_serial.iter().map(ident).collect::<Vec<_>>()
+        );
+        assert!(batched.is_empty() && serial.is_empty());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! bounded channels under a conservative lookahead barrier.
 
 use crate::arena::{PacketArena, PacketId};
-use crate::events::{EventKey, EventKind, EventQueue, SchedulerKind, TimerId, TimerTable};
+use crate::events::{
+    EventKey, EventKind, EventQueue, ScheduledEvent, SchedulerKind, TimerId, TimerTable,
+};
 use crate::link::{Link, LinkStats};
 use crate::monitor::{AsAny, LinkMonitor, MonitorId};
 use crate::packet::{LinkId, NodeId, Packet};
@@ -110,7 +112,14 @@ pub(crate) struct World {
     pub(crate) timer_seqs: Vec<u64>,
     /// Global pre-run start counter (canonical `Start` event keys).
     pub(crate) start_seq: u64,
-    pub(crate) next_packet_id: u64,
+    /// Per-node send counters backing [`Ctx::send`]'s id stamp. Packet
+    /// ids are `(origin_node << 32) | seq`, which keeps them unique
+    /// *and* independent of how the topology is sharded: the same
+    /// node's n-th send gets the same id at every shard count, so
+    /// traces and telemetry stay byte-comparable across 1/2/4-shard
+    /// runs. (A per-shard counter would tag ids with an execution
+    /// detail.)
+    pub(crate) packet_seqs: Vec<u64>,
     pub(crate) events_processed: u64,
     /// Present only in a shard-local world during a sharded run.
     pub(crate) shard: Option<Box<ShardCtx>>,
@@ -289,8 +298,10 @@ impl Ctx<'_> {
     /// Panics if this node has no route toward `dst`; that is a topology
     /// construction bug, not a runtime condition.
     pub fn send(&mut self, dst: NodeId, mut pkt: Packet) {
-        pkt.id = self.world.next_packet_id;
-        self.world.next_packet_id += 1;
+        let seq = &mut self.world.packet_seqs[self.node.0 as usize];
+        *seq += 1;
+        debug_assert!(*seq < 1 << 32, "per-node packet seq overflowed its field");
+        pkt.id = (u64::from(self.node.0) << 32) | *seq;
         pkt.sent_at = self.world.now;
         self.forward(dst, pkt);
     }
@@ -368,11 +379,19 @@ impl Ctx<'_> {
     }
 }
 
+/// Upper bound on events drained into the batch scratch per round.
+/// Bounds scratch memory and keeps the re-merge cost (on a dirty batch)
+/// proportional to a slot, not a whole backlog.
+const MAX_BATCH: usize = 256;
+
 /// The discrete-event simulator.
 pub struct Simulator {
     pub(crate) agents: Vec<Option<Box<dyn Agent>>>,
     pub(crate) world: World,
     pub(crate) max_events: u64,
+    /// Reusable buffer for batch execution (`step_batch`); empty
+    /// between rounds, capacity retained across them.
+    pub(crate) batch_scratch: Vec<ScheduledEvent>,
 }
 
 impl Simulator {
@@ -401,11 +420,12 @@ impl Simulator {
                 node_rngs: Vec::new(),
                 timer_seqs: Vec::new(),
                 start_seq: 0,
-                next_packet_id: 1,
+                packet_seqs: Vec::new(),
                 events_processed: 0,
                 shard: None,
             },
             max_events: u64::MAX,
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -422,6 +442,7 @@ impl Simulator {
         self.world.routes.push(RouteTable::default());
         self.world.node_rngs.push(None);
         self.world.timer_seqs.push(0);
+        self.world.packet_seqs.push(0);
         id
     }
 
@@ -624,6 +645,79 @@ impl Simulator {
         let Some(ev) = self.world.queue.pop() else {
             return false;
         };
+        self.execute(ev);
+        true
+    }
+
+    /// Drains a batch of events with `time <= cap` from the queue into
+    /// the reusable scratch buffer and executes them in order. Returns
+    /// the number executed (0 means nothing is due at or before `cap`).
+    ///
+    /// Equivalent, event for event, to the `peek_time`-guarded `step`
+    /// loop. Callbacks routinely schedule events that order before the
+    /// drained run's tail (the next self-paced arrival, a short
+    /// serialization completion), so the executor *merges*: before each
+    /// scratch entry it executes any queued event that precedes it,
+    /// found with a cheap `peek_entry`. Drained events are executed
+    /// exactly once — nothing is ever pushed back — and intruders pay
+    /// the same one-at-a-time pop they would in the unbatched loop.
+    /// An intruder always satisfies the cap: it precedes a scratch
+    /// entry whose time is already `<= cap`.
+    ///
+    /// The peek itself is skipped when it cannot find anything: at
+    /// drain time every residual queue entry orders after the whole
+    /// batch, so an intruder can only exist if some callback *pushed*
+    /// since the last peek (`take_pushed`), or the last peek stopped at
+    /// a minimum that still precedes the current scratch entry
+    /// (`known_min`).
+    pub(crate) fn step_batch(&mut self, cap: SimTime) -> usize {
+        let mut scratch = std::mem::take(&mut self.batch_scratch);
+        debug_assert!(scratch.is_empty(), "batch scratch leaked between rounds");
+        self.world.queue.pop_run(cap, &mut scratch, MAX_BATCH);
+        let drained = scratch.len();
+        if drained == 0 {
+            self.batch_scratch = scratch;
+            return 0;
+        }
+        let mut executed = drained;
+        // Anything still queued is later than the entire batch; pushes
+        // from *previous* rounds were part of this drain. Start clean.
+        self.world.queue.take_pushed();
+        // Queue minimum as of the last peek; `None` = "after the whole
+        // remaining batch". Invalidated by any push.
+        let mut known_min: Option<(SimTime, EventKey)> = None;
+        // Reverse so the earliest event pops off the back: execution
+        // consumes the buffer without shifting its tail.
+        scratch.reverse();
+        while let Some(ev) = scratch.pop() {
+            let entry = (ev.time, ev.key);
+            if self.world.queue.take_pushed() || known_min.is_some_and(|m| m < entry) {
+                loop {
+                    match self.world.queue.peek_entry() {
+                        Some(min) if min < entry => {
+                            let intruder = self.world.queue.pop().expect("peeked entry");
+                            self.execute(intruder);
+                            executed += 1;
+                        }
+                        other => {
+                            known_min = other;
+                            break;
+                        }
+                    }
+                }
+                // The final peek above postdates every push the
+                // intruders made; the flag is stale — drop it.
+                self.world.queue.take_pushed();
+            }
+            self.execute(ev);
+        }
+        self.batch_scratch = scratch;
+        executed
+    }
+
+    /// Executes one already-popped event: clock advance, accounting,
+    /// dispatch. Shared by `step` and `step_batch`.
+    fn execute(&mut self, ev: ScheduledEvent) {
         debug_assert!(ev.time >= self.world.now, "time went backwards");
         self.world.now = ev.time;
         self.world.events_processed += 1;
@@ -632,6 +726,17 @@ impl Simulator {
             "exceeded max_events = {}",
             self.max_events
         );
+        // When a telemetry ring session is active, stamp the canonical
+        // event order key so ring entries emitted during this dispatch
+        // can be merged back into serial order (see taq_telemetry::ring).
+        if taq_telemetry::ring::stamping() {
+            taq_telemetry::ring::stamp_event(
+                ev.time.as_nanos(),
+                ev.key.class,
+                ev.key.origin,
+                ev.key.seq,
+            );
+        }
         match ev.kind {
             EventKind::Arrival { node, pkt } => {
                 // Delivery moves the packet out of the arena: the agent
@@ -660,7 +765,6 @@ impl Simulator {
                 self.with_agent(node, |agent, ctx| agent.on_start(ctx));
             }
         }
-        true
     }
 
     fn with_agent(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Agent, &mut Ctx<'_>)) {
@@ -678,12 +782,7 @@ impl Simulator {
     /// Runs until the event queue drains or the clock passes `until`.
     /// Returns the final simulation time.
     pub fn run_until(&mut self, until: SimTime) -> SimTime {
-        while let Some(t) = self.world.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            self.step();
-        }
+        while self.step_batch(until) > 0 {}
         // The clock advances to the horizon even if the queue drained
         // early, so utilization denominators are well-defined.
         self.world.now = self.world.now.max(until);
@@ -692,7 +791,7 @@ impl Simulator {
 
     /// Runs until the event queue is empty.
     pub fn run(&mut self) -> SimTime {
-        while self.step() {}
+        while self.step_batch(SimTime::MAX) > 0 {}
         self.world.now
     }
 

@@ -197,15 +197,23 @@ fn tick_of(t: SimTime) -> u64 {
 
 /// Hierarchical timer wheel, keyed by quantized tick.
 ///
-/// Invariants (see DESIGN.md §11 for the full argument):
+/// Invariants (see DESIGN.md §11 and §16 for the full argument):
 ///
-/// - `current_tick` never exceeds the tick of any pending event;
+/// - `current_tick` never trails the tick of any event in `ready` or
+///   `near`, and every slot-resident event's tick strictly exceeds it;
 /// - every event stored at level `l` agrees with `current_tick` on all
 ///   bits above `6·(l+1)` of its tick, and its level-`l` slot index is
 ///   strictly greater than the cursor's — so a forward scan of the
 ///   occupancy bitmaps finds the earliest slot without wraparound;
-/// - `ready` holds exactly the events whose tick is `<= current_tick`,
-///   sorted by `(time, key)` descending so `pop` is a `Vec::pop`;
+/// - `ready` holds slot-drained events (tick `<= current_tick`), sorted
+///   by `(time, key)` descending so bulk pops are `Vec::pop`;
+/// - `near` holds events *pushed* at or behind the cursor after the
+///   batch executor drained ahead (intrusions). It is a max-heap under
+///   [`ScheduledEvent`]'s reversed `Ord`, so `peek` is the earliest.
+///   Because every slot event's tick exceeds the cursor's while every
+///   `near`/`ready` event's tick does not, the global minimum is always
+///   `min(ready.last(), near.peek())` — no slot scan needed while
+///   either is non-empty;
 /// - the cursor only ever advances onto a slot *boundary* (cascade) or
 ///   an exact level-0 tick, both of which empty the slot they land on.
 #[derive(Debug)]
@@ -213,6 +221,8 @@ struct TimerWheel {
     current_tick: u64,
     /// Due events, sorted descending by `(time, key)`; pop from the back.
     ready: Vec<ScheduledEvent>,
+    /// Events pushed at/behind the cursor; earliest at `peek()`.
+    near: BinaryHeap<ScheduledEvent>,
     levels: Vec<Vec<Vec<ScheduledEvent>>>,
     /// Per-level slot-occupancy bitmaps (bit `s` = slot `s` non-empty).
     occupied: [u64; LEVELS],
@@ -228,6 +238,7 @@ impl TimerWheel {
         TimerWheel {
             current_tick: 0,
             ready: Vec::new(),
+            near: BinaryHeap::new(),
             levels: (0..LEVELS)
                 .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
                 .collect(),
@@ -238,7 +249,8 @@ impl TimerWheel {
         }
     }
 
-    /// Sorted insert into the descending `ready` buffer.
+    /// Sorted insert into the descending `ready` buffer (overflow
+    /// catch-up only — the hot push path uses the `near` heap).
     fn ready_insert(&mut self, ev: ScheduledEvent) {
         let key = (ev.time, ev.key);
         // Descending order: find the first element strictly smaller.
@@ -250,7 +262,11 @@ impl TimerWheel {
     fn place(&mut self, ev: ScheduledEvent) {
         let t = tick_of(ev.time);
         if t <= self.current_tick {
-            self.ready_insert(ev);
+            // A push at or behind the cursor: O(log n) heap insert, no
+            // memmove. This is the common case while the batch executor
+            // runs ahead of the cursor (self-paced arrivals, short
+            // serialization completions).
+            self.near.push(ev);
             return;
         }
         let diff = t ^ self.current_tick;
@@ -279,9 +295,15 @@ impl TimerWheel {
         (mask != 0).then(|| mask.trailing_zeros())
     }
 
-    /// Ensures `ready` holds the earliest pending events (or the wheel
-    /// is empty), advancing the cursor and cascading as needed.
+    /// Ensures the earliest pending event is visible at a buffer tail
+    /// (or the wheel is empty), advancing the cursor and cascading as
+    /// needed. While `ready` or `near` is non-empty this is two
+    /// branches: their events all tick at or behind the cursor, so no
+    /// slot or overflow event can precede them.
     fn advance(&mut self) {
+        if !self.ready.is_empty() || !self.near.is_empty() {
+            return;
+        }
         loop {
             // Overflow events become due when the cursor catches up.
             while self
@@ -353,16 +375,70 @@ impl TimerWheel {
         }
     }
 
+    /// True when the next event comes from `near` rather than `ready`.
+    /// Call only after `advance()`; `None` means the wheel is empty.
+    fn next_from_near(&self) -> Option<bool> {
+        match (self.ready.last(), self.near.peek()) {
+            (None, None) => None,
+            (None, Some(_)) => Some(true),
+            (Some(_), None) => Some(false),
+            (Some(r), Some(h)) => Some((h.time, h.key) < (r.time, r.key)),
+        }
+    }
+
     fn pop(&mut self) -> Option<ScheduledEvent> {
         self.advance();
-        let ev = self.ready.pop()?;
+        let ev = match self.next_from_near()? {
+            true => self.near.pop().expect("peeked"),
+            false => self.ready.pop().expect("peeked"),
+        };
         self.len -= 1;
         Some(ev)
     }
 
     fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek_entry().map(|(t, _)| t)
+    }
+
+    fn peek_entry(&mut self) -> Option<(SimTime, EventKey)> {
         self.advance();
-        self.ready.last().map(|e| e.time)
+        let e = match self.next_from_near()? {
+            true => self.near.peek().expect("peeked"),
+            false => self.ready.last().expect("peeked"),
+        };
+        Some((e.time, e.key))
+    }
+
+    /// Drains up to `max` events with `time <= cap` into `out`, in pop
+    /// order. One cursor advance serves a whole level-0 slot (and any
+    /// same-window overflow merge), instead of the peek+pop pair the
+    /// one-at-a-time path pays per event; `near` intrusions interleave
+    /// through a two-way tail merge.
+    fn pop_run(&mut self, cap: SimTime, out: &mut Vec<ScheduledEvent>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            self.advance();
+            let Some(from_near) = self.next_from_near() else {
+                return n;
+            };
+            let ev = if from_near {
+                let e = self.near.peek().expect("peeked");
+                if e.time > cap {
+                    return n;
+                }
+                self.near.pop().expect("peeked")
+            } else {
+                let e = self.ready.last().expect("peeked");
+                if e.time > cap {
+                    return n;
+                }
+                self.ready.pop().expect("peeked")
+            };
+            out.push(ev);
+            self.len -= 1;
+            n += 1;
+        }
+        n
     }
 }
 
@@ -377,6 +453,12 @@ enum QueueImpl {
 #[derive(Debug)]
 pub(crate) struct EventQueue {
     backend: QueueImpl,
+    /// Set by every `push`, cleared by [`EventQueue::take_pushed`]. The
+    /// batch executor uses it to skip the per-event intrusion peek when
+    /// nothing has been scheduled since it last looked — in a drained
+    /// batch the residual queue is entirely later than the batch, so
+    /// only a fresh push can introduce an intruder.
+    pushed: bool,
 }
 
 impl Default for EventQueue {
@@ -395,7 +477,10 @@ impl EventQueue {
             SchedulerKind::TimerWheel => QueueImpl::Wheel(Box::new(TimerWheel::new())),
             SchedulerKind::BinaryHeap => QueueImpl::Heap(BinaryHeap::new()),
         };
-        EventQueue { backend }
+        EventQueue {
+            backend,
+            pushed: false,
+        }
     }
 
     /// Schedules `kind` at absolute time `at` under the caller-computed
@@ -406,10 +491,18 @@ impl EventQueue {
             key,
             kind,
         };
+        self.pushed = true;
         match &mut self.backend {
             QueueImpl::Wheel(w) => w.push(ev),
             QueueImpl::Heap(h) => h.push(ev),
         }
+    }
+
+    /// Returns whether any push happened since the last call, clearing
+    /// the flag.
+    #[inline]
+    pub fn take_pushed(&mut self) -> bool {
+        std::mem::replace(&mut self.pushed, false)
     }
 
     /// Removes and returns the earliest event.
@@ -427,6 +520,43 @@ impl EventQueue {
         match &mut self.backend {
             QueueImpl::Wheel(w) => w.peek_time(),
             QueueImpl::Heap(h) => h.peek().map(|e| e.time),
+        }
+    }
+
+    /// Drains up to `max` events with `time <= cap` into `out`, in pop
+    /// order. Equivalent to repeated `pop` guarded by `peek_time`, but
+    /// the wheel backend advances its cursor once per drained slot
+    /// instead of once per peek+pop pair.
+    pub fn pop_run(&mut self, cap: SimTime, out: &mut Vec<ScheduledEvent>, max: usize) -> usize {
+        match &mut self.backend {
+            QueueImpl::Wheel(w) => w.pop_run(cap, out, max),
+            QueueImpl::Heap(h) => {
+                let mut n = 0;
+                while n < max {
+                    match h.peek() {
+                        Some(e) if e.time <= cap => {
+                            out.push(h.pop().expect("peeked"));
+                            n += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                n
+            }
+        }
+    }
+
+    /// Full `(time, key)` order position of the earliest pending event.
+    /// The batch executor compares this against its next scratch entry
+    /// to decide whether a freshly scheduled event has intruded ahead of
+    /// the drained run. (`&mut` for the same cursor-advance reason as
+    /// [`EventQueue::peek_time`]; the wheel keeps its `ready` buffer
+    /// populated between pops, so the steady-state cost is one `Vec`
+    /// tail read.)
+    pub fn peek_entry(&mut self) -> Option<(SimTime, EventKey)> {
+        match &mut self.backend {
+            QueueImpl::Wheel(w) => w.peek_entry(),
+            QueueImpl::Heap(h) => h.peek().map(|e| (e.time, e.key)),
         }
     }
 
@@ -791,6 +921,78 @@ mod tests {
                 (None, None) => break,
                 _ => panic!("backends disagree on drain length"),
             }
+        }
+    }
+
+    #[test]
+    fn pop_run_matches_guarded_pop_on_both_backends() {
+        // pop_run(cap) must yield exactly the sequence that repeated
+        // peek_time-guarded pops would, for every backend.
+        for kind in [SchedulerKind::TimerWheel, SchedulerKind::BinaryHeap] {
+            let mut rng = SimRng::new(0xA11CE);
+            let mut batched = EventQueue::with_scheduler(kind);
+            let mut serial = EventQueue::with_scheduler(kind);
+            let mut now = 0u64;
+            for step in 0..5_000u64 {
+                if rng.chance(0.7) {
+                    let delta = if rng.chance(0.02) {
+                        rng.range_u64(0, 1 << 50)
+                    } else {
+                        rng.range_u64(0, 50_000_000)
+                    };
+                    let at = SimTime::from_nanos(now + delta);
+                    let node = NodeId(step as u32);
+                    let key = EventKey::start(node, step);
+                    batched.push(at, key, EventKind::Start { node });
+                    serial.push(at, key, EventKind::Start { node });
+                } else {
+                    let cap = SimTime::from_nanos(now + rng.range_u64(0, 100_000_000));
+                    let mut run = Vec::new();
+                    batched.pop_run(cap, &mut run, 32);
+                    for got in run {
+                        let want = serial.pop().expect("serial backend has the event");
+                        assert_eq!((got.time, got.key), (want.time, want.key), "{kind:?}");
+                        assert!(got.time <= cap, "{kind:?}: pop_run exceeded cap");
+                        now = got.time.as_nanos();
+                    }
+                    // Whatever the batch left behind is past the cap.
+                    if let Some(t) = serial.peek_time() {
+                        assert!(t > cap || batched.peek_time() == Some(t), "{kind:?}");
+                    }
+                }
+            }
+            loop {
+                let mut run = Vec::new();
+                batched.pop_run(SimTime::MAX, &mut run, 64);
+                if run.is_empty() {
+                    break;
+                }
+                for got in run {
+                    let want = serial.pop().expect("serial drain matches");
+                    assert_eq!((got.time, got.key), (want.time, want.key), "{kind:?}");
+                }
+            }
+            assert!(serial.pop().is_none(), "{kind:?}: batched drain was short");
+        }
+    }
+
+    #[test]
+    fn peek_entry_tracks_the_minimum_across_pushes_on_both_backends() {
+        for kind in [SchedulerKind::TimerWheel, SchedulerKind::BinaryHeap] {
+            let mut q = EventQueue::with_scheduler(kind);
+            assert_eq!(q.peek_entry(), None, "{kind:?}: empty queue");
+            push_start(&mut q, SimTime::from_millis(5), 0);
+            let late = (SimTime::from_millis(5), EventKey::start(NodeId(0), 0));
+            assert_eq!(q.peek_entry(), Some(late), "{kind:?}");
+            // An earlier push takes over the minimum immediately, even
+            // after the wheel's cursor located the previous one.
+            push_start(&mut q, SimTime::from_micros(40), 1);
+            let early = (SimTime::from_micros(40), EventKey::start(NodeId(1), 0));
+            assert_eq!(q.peek_entry(), Some(early), "{kind:?}");
+            // Peeking is non-destructive and agrees with pop order.
+            let got = q.pop().expect("two events queued");
+            assert_eq!((got.time, got.key), early, "{kind:?}");
+            assert_eq!(q.peek_entry(), Some(late), "{kind:?}");
         }
     }
 

@@ -59,6 +59,35 @@ pub trait Qdisc: Send {
     /// Removes the next packet to transmit, if any.
     fn dequeue(&mut self, arena: &mut PacketArena, now: SimTime) -> Option<PacketId>;
 
+    /// Removes up to `max` packets in transmit order into `out`,
+    /// returning how many were moved.
+    ///
+    /// Semantically this IS `max` calls to [`Qdisc::dequeue`] at one
+    /// instant: overriding implementations may amortize per-call work
+    /// (lock acquisition, scheduler-state walks) across the batch, but
+    /// must hand back exactly the packets, in exactly the order, the
+    /// one-at-a-time loop would have produced. Callers drain the batch
+    /// front-to-back.
+    fn dequeue_batch(
+        &mut self,
+        arena: &mut PacketArena,
+        now: SimTime,
+        out: &mut Vec<PacketId>,
+        max: usize,
+    ) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.dequeue(arena, now) {
+                Some(pkt) => {
+                    out.push(pkt);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     /// Number of packets currently buffered.
     fn len(&self) -> usize;
 
@@ -155,6 +184,26 @@ mod tests {
         assert_eq!(q.byte_len(), 0);
         assert!(q.dequeue(&mut arena, SimTime::ZERO).is_none());
         assert!(arena.is_empty(), "fifo leaked no packets");
+    }
+
+    #[test]
+    fn default_dequeue_batch_matches_serial_dequeue() {
+        let mut arena = PacketArena::new();
+        let mut q = UnboundedFifo::new();
+        for i in 0..6 {
+            let id = arena.insert(pkt(i));
+            q.enqueue(id, &mut arena, SimTime::ZERO);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut arena, SimTime::ZERO, &mut out, 4), 4);
+        assert_eq!(q.dequeue_batch(&mut arena, SimTime::ZERO, &mut out, 4), 2);
+        assert_eq!(q.dequeue_batch(&mut arena, SimTime::ZERO, &mut out, 4), 0);
+        let ids: Vec<u64> = out.iter().map(|&id| arena.get(id).id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5], "batch order == serial order");
+        for id in out {
+            arena.remove(id);
+        }
+        assert!(arena.is_empty());
     }
 
     #[test]

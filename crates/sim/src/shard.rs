@@ -58,6 +58,13 @@ const CHANNEL_CAP: usize = 8192;
 /// lookahead argument, not a tuning knob.
 const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Arrivals buffered per output channel before a mid-round flush.
+/// Coalescing defers channel sends to once per drain round; this cap
+/// bounds the buffer (and the receiver's idle window) when one round
+/// produces many cut-link arrivals. Kept below [`CHANNEL_CAP`] so a
+/// single flush can't fill a drained channel by itself.
+const SEND_COALESCE_CAP: usize = 1024;
+
 /// A node → shard assignment for [`Simulator::run_until_sharded`].
 ///
 /// Plans are cheap data: build them by hand in tests or with
@@ -174,6 +181,12 @@ struct ShardOutput {
     lookahead: SimDuration,
     /// Latest promise sent; promises on a channel are monotone.
     last_promise: SimTime,
+    /// Arrivals coalesced since the last flush, in send order. Flushed
+    /// once per drain round (and whenever [`SEND_COALESCE_CAP`] fills),
+    /// always before any null-message promise on the same channel so
+    /// per-channel FIFO keeps every arrival ahead of the promise that
+    /// covers it.
+    pending: Vec<ShardMsg>,
 }
 
 /// The cross-shard half of a shard-local world: which links are cut,
@@ -226,34 +239,58 @@ impl ShardCtx {
         to: NodeId,
         pkt: Packet,
     ) {
+        let until = self.until;
         let out = &mut self.outputs[self.cut_links[&link.0]];
         let promise = now.saturating_add(out.lookahead).max(out.last_promise);
         out.last_promise = promise;
-        let msg = ShardMsg {
+        out.pending.push(ShardMsg {
             time: arrive,
             promise,
             from: self.shard,
             payload: Some((key, to, pkt)),
-        };
-        if out.sender.send(msg).is_err() {
-            // The receiver only exits once every sender promised past
-            // `until`, and per-channel FIFO means it drained everything
-            // sent before that promise — so a send that finds it gone
-            // must be a post-horizon arrival, which a serial run_until
-            // would leave unprocessed too.
-            assert!(
-                arrive > self.until,
-                "receiver shard exited before a pre-horizon arrival"
-            );
+        });
+        if out.pending.len() >= SEND_COALESCE_CAP {
+            Self::flush_output(out, until);
+        }
+    }
+
+    /// Drains one output's coalesced arrivals into its channel, in the
+    /// order they were produced.
+    fn flush_output(out: &mut ShardOutput, until: SimTime) {
+        for msg in out.pending.drain(..) {
+            let arrive = msg.time;
+            if out.sender.send(msg).is_err() {
+                // The receiver only exits once every sender promised
+                // past `until`, and per-channel FIFO means it drained
+                // everything sent before that promise — so a send that
+                // finds it gone must be a post-horizon arrival, which a
+                // serial run_until would leave unprocessed too.
+                assert!(
+                    arrive > until,
+                    "receiver shard exited before a pre-horizon arrival"
+                );
+            }
+        }
+    }
+
+    /// Flushes every output's coalesced arrivals. Called once per drain
+    /// round, before promises advance or the shard blocks.
+    pub(crate) fn flush_sends(&mut self) {
+        let until = self.until;
+        for out in &mut self.outputs {
+            Self::flush_output(out, until);
         }
     }
 
     /// Advances every outgoing promise to `bound + lookahead` (only
     /// ever forward). `bound` is the earliest event this shard could
     /// still execute, so nothing it later transmits can arrive before
-    /// `bound + lookahead`.
+    /// `bound + lookahead`. Coalesced arrivals flush first, so the
+    /// promise never overtakes an arrival it covers.
     fn promise_up_to(&mut self, bound: SimTime) {
+        let until = self.until;
         for out in &mut self.outputs {
+            Self::flush_output(out, until);
             let promise = bound.saturating_add(out.lookahead);
             if promise > out.last_promise {
                 out.last_promise = promise;
@@ -268,9 +305,11 @@ impl ShardCtx {
     }
 
     /// Final promises: this shard is done, nothing more will ever
-    /// arrive on its channels.
+    /// arrive on its channels. Flushes any coalesced arrivals first.
     fn finish(&mut self) {
+        let until = self.until;
         for out in &mut self.outputs {
+            Self::flush_output(out, until);
             if out.last_promise < SimTime::MAX {
                 out.last_promise = SimTime::MAX;
                 let _ = out.sender.send(ShardMsg {
@@ -317,6 +356,9 @@ fn run_shard(
     // horizon starts at zero and only null-message exchange opens it.
     let mut promises: HashMap<u32, SimTime> =
         senders.into_iter().map(|s| (s, SimTime::ZERO)).collect();
+    // If a telemetry ring session is active, events this thread emits
+    // go to this shard's ring (merged back to serial order afterwards).
+    let _ring = taq_telemetry::ring::bind_shard_thread(shard);
     loop {
         if let Some(rx) = &inbox {
             loop {
@@ -335,11 +377,18 @@ fn run_shard(
             }
         }
         let horizon = promises.values().copied().min().unwrap_or(SimTime::MAX);
-        while let Some(t) = sim.world.queue.peek_time() {
-            if t > until || t >= horizon {
-                break;
-            }
-            sim.step();
+        // Execute everything with `t <= until && t < horizon`, in
+        // batches. Integer-nanosecond time makes the strict horizon
+        // bound the inclusive cap `horizon - 1 ns`; a ZERO horizon
+        // admits nothing (no event time precedes the epoch).
+        if horizon > SimTime::ZERO {
+            let cap = until.min(horizon.saturating_pred());
+            while sim.step_batch(cap) > 0 {}
+        }
+        // One flush per drain round: every cut-link arrival produced
+        // above goes out now, before promises advance or we block.
+        if let Some(ctx) = sim.world.shard.as_deref_mut() {
+            ctx.flush_sends();
         }
         let next_local = sim.world.queue.peek_time().unwrap_or(SimTime::MAX);
         if next_local > until && horizon > until {
@@ -507,6 +556,7 @@ impl Simulator {
                     sender: pair_sender[&(from, to)].clone(),
                     lookahead: pair_lookahead[&(from, to)],
                     last_promise: SimTime::ZERO,
+                    pending: Vec::new(),
                 });
                 let idx = ctx.outputs.len() - 1;
                 for &(link, f, t) in cut.iter().filter(|&&(_, f, t)| f == from && t == to) {
@@ -519,13 +569,13 @@ impl Simulator {
         drop(pair_sender);
 
         // Split the world: each shard gets full-length agent/link
-        // vectors (global ids keep indexing) with foreign slots empty,
-        // a fresh scheduler, and a packet-id namespace of its own (ids
-        // are observational — no engine or protocol logic reads them).
+        // vectors (global ids keep indexing) with foreign slots empty
+        // and a fresh scheduler. Packet-id counters are per *node*, so
+        // replicating the full-length vector keeps every id identical
+        // to the serial run's.
         let mut shard_sims: Vec<Simulator> = ctxs
             .into_iter()
-            .enumerate()
-            .map(|(s, ctx)| Simulator {
+            .map(|ctx| Simulator {
                 agents: (0..n_nodes).map(|_| None).collect(),
                 world: crate::engine::World {
                     now: SimTime::ZERO,
@@ -540,11 +590,15 @@ impl Simulator {
                     node_rngs: vec![None; n_nodes],
                     timer_seqs: vec![0; n_nodes],
                     start_seq: 0,
-                    next_packet_id: 1 + ((s as u64) << 56),
+                    // Node-indexed like the serial world; each node
+                    // runs on exactly one shard, so the counters stay
+                    // disjoint and match the serial run's ids.
+                    packet_seqs: vec![0; n_nodes],
                     events_processed: 0,
                     shard: Some(Box::new(ctx)),
                 },
                 max_events: self.max_events,
+                batch_scratch: Vec::new(),
             })
             .collect();
         for (s, monitors) in shard_monitors.into_iter().enumerate() {

@@ -28,11 +28,13 @@
 
 mod event;
 mod registry;
+pub mod ring;
 mod sink;
 mod value;
 
 pub use event::{Event, FlowId};
 pub use registry::{CounterId, GaugeId, HistogramId, LogHistogram, MetricRegistry};
+pub use ring::{spawn_collector, CollectorReport, RingCollector, RingSession, RingSet};
 pub use sink::{
     jsonl_event_kind, shared_sink, JsonlSink, RingBufferSink, SharedSink, SummarySink,
     SummaryStats, TelemetrySink,
@@ -148,19 +150,65 @@ impl Telemetry {
         }
     }
 
+    /// Stable identity of this handle's shared hub state (0 when
+    /// disabled). Ring sessions ([`ring::RingSession`]) key on this so
+    /// they only capture emissions aimed at *their* hub.
+    #[inline]
+    pub(crate) fn hub_ptr(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |shared| Arc::as_ptr(shared) as usize)
+    }
+
+    /// Fans one event out to every sink, bypassing the ring fast path.
+    /// This is the mutex slow path of [`emit`](Self::emit) and the
+    /// replay primitive the ring collector uses (the collector thread
+    /// is never ring-bound, but routing around [`ring::try_emit`]
+    /// entirely keeps that invariant out of the correctness argument).
+    pub(crate) fn emit_direct(&self, at_ns: u64, event: &Event) {
+        if let Some(hub) = self.hub() {
+            for sink in &hub.sinks {
+                sink.lock().unwrap().emit(at_ns, event);
+            }
+        }
+    }
+
+    /// Batched [`emit_direct`](Self::emit_direct): one hub lock and one
+    /// lock per sink cover the whole slice. The ring collector replays
+    /// drained entries through this so the lock overhead the ring saved
+    /// on the producer side is not re-paid per event on the consumer
+    /// side.
+    pub(crate) fn emit_direct_batch<'a>(
+        &self,
+        batch: impl Iterator<Item = (u64, &'a Event)> + Clone,
+    ) {
+        if let Some(hub) = self.hub() {
+            for sink in &hub.sinks {
+                let mut sink = sink.lock().unwrap();
+                for (at_ns, event) in batch.clone() {
+                    sink.emit(at_ns, event);
+                }
+            }
+        }
+    }
+
     /// Emits an event to every sink. The closure only runs when the
     /// handle is active *and* at least one sink is attached, so building
     /// the event costs nothing when telemetry is off or nobody listens.
+    ///
+    /// When a [`ring::RingSession`] covering this hub is active and the
+    /// calling thread is ring-bound with an engine-event stamp, the
+    /// event goes into the thread's lock-free ring instead and reaches
+    /// the sinks via the collector's order-preserving merge.
     #[inline]
     pub fn emit(&self, at_ns: u64, build: impl FnOnce() -> Event) {
         if !self.listening() {
             return;
         }
-        if let Some(hub) = self.hub() {
-            let event = build();
-            for sink in &hub.sinks {
-                sink.lock().unwrap().emit(at_ns, &event);
-            }
+        let event = build();
+        match ring::try_emit(self.hub_ptr(), at_ns, event) {
+            Ok(()) => {}
+            Err(event) => self.emit_direct(at_ns, &event),
         }
     }
 
@@ -171,10 +219,20 @@ impl Telemetry {
     /// [`listening`](Self::listening) so nothing is built for nobody —
     /// and fan them out once, outside its own timed section. Every sink
     /// sees the batch in push order, exactly as if each event had been
-    /// emitted individually.
+    /// emitted individually — including when an active ring session
+    /// diverts the batch into this thread's ring (ring writes are
+    /// cheaper than the per-sink lock, so the batch is pushed
+    /// entry-by-entry there).
     pub fn emit_batch(&self, events: &mut Vec<(u64, Event)>) {
         if self.listening() {
-            if let Some(hub) = self.hub() {
+            let hub_ptr = self.hub_ptr();
+            if ring::bound_for(hub_ptr) {
+                for (at_ns, event) in events.drain(..) {
+                    if let Err(event) = ring::try_emit(hub_ptr, at_ns, event) {
+                        self.emit_direct(at_ns, &event);
+                    }
+                }
+            } else if let Some(hub) = self.hub() {
                 for sink in &hub.sinks {
                     let mut sink = sink.lock().unwrap();
                     for (at_ns, event) in events.iter() {

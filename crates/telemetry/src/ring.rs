@@ -1,0 +1,771 @@
+//! Lock-free per-shard telemetry event rings.
+//!
+//! The mutex hub ([`crate::Telemetry::emit`]) costs two lock
+//! acquisitions per event — fine for summaries, hostile to a simulator
+//! emitting millions of events per second, and serializing across
+//! shards. A **ring session** replaces that hot path with one bounded
+//! SPSC ring per shard:
+//!
+//! - the engine stamps each dispatched event's canonical order key
+//!   (`(time, class, origin, seq)` — the same total order the event
+//!   queue pops in) into thread-local storage ([`stamp_event`]);
+//! - `emit`/`emit_batch` on the session's hub become plain ring writes
+//!   ([`try_emit`]) carrying that stamp plus a within-event sequence
+//!   number;
+//! - a collector thread ([`spawn_collector`]) drains the rings
+//!   concurrently with the run and replays the entries into the hub's
+//!   sinks in exact serial order: FIFO for a single ring, a
+//!   sort-merge by `(order, sub)` across shards.
+//!
+//! Because the order key is content-derived (the identical key a serial
+//! run would compute), the merged sink output is **byte-identical** to
+//! a serial run's at every shard count. A full ring never blocks or
+//! drops: the entry falls back to a mutex-guarded overflow list (and an
+//! overflow counter), and the collector degrades to buffer-and-sort,
+//! which preserves the order guarantee at the price of losing live
+//! overlap.
+//!
+//! Invariants: one session at a time (sessions hold a global lock, so
+//! concurrent tests serialize); at most one producer thread per ring
+//! (the per-shard executor binds "its" ring with
+//! [`bind_shard_thread`]); the collector is the only consumer.
+
+use crate::{Event, Telemetry};
+use std::cell::{RefCell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Canonical engine order of the event during whose dispatch a
+/// telemetry event was emitted. Mirrors the engine's `(time, EventKey)`
+/// total order without this crate needing to see that type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OrderKey {
+    pub time: u64,
+    pub class: u8,
+    pub origin: u32,
+    pub seq: u64,
+}
+
+/// How many consecutive *progress-free* yields a producer tolerates on
+/// a full ring before spilling to the mutex-protected overflow vector.
+/// The budget resets whenever the consumer cursor moves, so a live but
+/// slow collector never triggers overflow — only one that has actually
+/// stopped consuming. The bound must comfortably cover the collector's
+/// idle sleep: on a single core `yield_now` returns immediately while
+/// the collector sleeps (no other runnable thread), so thousands of
+/// yields can burn before it wakes. A full-ring stall happens at most
+/// once per ring's worth of emissions, so the wait amortizes to noise;
+/// the bound only exists so a wedged collector ends in the (counted)
+/// overflow fallback instead of a hang.
+const FULL_RING_STALL_YIELDS: usize = 1 << 14;
+
+/// One ring slot: the emitted event plus everything the merge needs.
+struct RingEntry {
+    order: OrderKey,
+    /// Emission index *within* the stamped engine event (push order).
+    sub: u32,
+    at_ns: u64,
+    event: Event,
+}
+
+/// Cache-line-padded atomic cursor, so the producer's tail and the
+/// consumer's head never share a line (no false sharing on the only
+/// two contended words).
+#[repr(align(64))]
+struct PaddedCursor(AtomicUsize);
+
+/// Fixed-capacity single-producer single-consumer ring. The producer
+/// owns `tail`, the consumer owns `head`; each publishes with a
+/// `Release` store the other reads with `Acquire`.
+struct EventRing {
+    buf: Box<[UnsafeCell<MaybeUninit<RingEntry>>]>,
+    mask: usize,
+    head: PaddedCursor,
+    tail: PaddedCursor,
+}
+
+// Entries are moved in whole (no aliasing): safe to share between the
+// one producer and the one consumer.
+unsafe impl Send for EventRing {}
+unsafe impl Sync for EventRing {}
+
+impl EventRing {
+    fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        EventRing {
+            buf: (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            mask: cap - 1,
+            head: PaddedCursor(AtomicUsize::new(0)),
+            tail: PaddedCursor(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Producer side; returns the entry back when the ring is full.
+    fn try_push(&self, entry: RingEntry) -> Result<(), RingEntry> {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.buf.len() {
+            return Err(entry);
+        }
+        unsafe {
+            (*self.buf[tail & self.mask].get()).write(entry);
+        }
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer cursor, read from the producer side to detect whether
+    /// the consumer is making progress while the ring is full.
+    fn consumer_head(&self) -> usize {
+        self.head.0.load(Ordering::Acquire)
+    }
+
+    /// Entries currently queued, as seen from the consumer side.
+    fn backlog(&self) -> usize {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// Consumer side.
+    fn pop(&self) -> Option<RingEntry> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let entry = unsafe { (*self.buf[head & self.mask].get()).assume_init_read() };
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(entry)
+    }
+}
+
+impl Drop for EventRing {
+    fn drop(&mut self) {
+        // Initialized slots between head and tail still own entries.
+        while self.pop().is_some() {}
+    }
+}
+
+/// The shared state of one ring session: a ring per shard, the overflow
+/// spill, and the identity of the hub whose events the rings capture.
+pub struct RingSet {
+    rings: Vec<Arc<EventRing>>,
+    /// Entries that found their ring full. Stamped like ring entries, so
+    /// the final merge restores exact order; never emitted directly.
+    overflow: Mutex<Vec<RingEntry>>,
+    overflow_count: AtomicU64,
+    /// `Arc::as_ptr` of the session hub's shared state: emissions from
+    /// any *other* hub fall through to their own mutex path, so a ring
+    /// session never captures an unrelated component's events.
+    hub_ptr: usize,
+    /// Non-zero enables inline drain ([`RingSession::install_inline`]):
+    /// once the producer's backlog reaches this threshold it replays
+    /// its own ring into the sinks under one amortized hub lock. The
+    /// producer is then also the consumer (same thread), so the SPSC
+    /// contract holds trivially and the collector thread never pops.
+    inline_threshold: usize,
+    /// Entries replayed live by inline drains (reported via
+    /// [`CollectorReport::live`]).
+    inline_live: AtomicU64,
+    /// Replay handle for inline drains; same hub as `hub_ptr`.
+    telemetry: Telemetry,
+}
+
+impl RingSet {
+    /// Events that overflowed their ring into the mutex-guarded spill.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow_count.load(Ordering::Relaxed)
+    }
+}
+
+/// One active session at a time: the lock serializes concurrent tests,
+/// and the flag makes the per-event stamping check a single relaxed
+/// load when no session exists.
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+static SESSION: Mutex<Option<Arc<RingSet>>> = Mutex::new(None);
+static STAMPING: AtomicBool = AtomicBool::new(false);
+
+/// Everything the producer fast path needs from this thread, in one
+/// thread-local so `try_emit` and `stamp_event` each pay a single TLS
+/// address computation instead of one per field (three separate
+/// `thread_local!` statics measurably slowed the per-emission path).
+struct ProducerTls {
+    /// The ring this thread produces into (set by [`bind_shard_thread`]).
+    binding: Option<(Arc<EventRing>, Arc<RingSet>)>,
+    /// Order stamp of the engine event currently dispatching here.
+    stamp: Option<OrderKey>,
+    /// Emission counter within the stamped event.
+    sub: u32,
+    /// Reusable swath buffer for inline drains.
+    scratch: Vec<RingEntry>,
+}
+
+thread_local! {
+    static PRODUCER: RefCell<ProducerTls> = const {
+        RefCell::new(ProducerTls {
+            binding: None,
+            stamp: None,
+            sub: 0,
+            scratch: Vec::new(),
+        })
+    };
+}
+
+/// `true` while a ring session is installed; the engine gates its
+/// per-event [`stamp_event`] call on this so a sessionless run pays one
+/// relaxed load per event and nothing else.
+#[inline]
+pub fn stamping() -> bool {
+    STAMPING.load(Ordering::Relaxed)
+}
+
+/// Records the canonical order key of the engine event this thread is
+/// about to dispatch; emissions until the next stamp carry it.
+#[inline]
+pub fn stamp_event(time: u64, class: u8, origin: u32, seq: u64) {
+    PRODUCER.with(|p| {
+        let mut p = p.borrow_mut();
+        p.stamp = Some(OrderKey {
+            time,
+            class,
+            origin,
+            seq,
+        });
+        p.sub = 0;
+    });
+}
+
+/// RAII handle for one ring session over `telemetry`'s hub. Holds the
+/// global session lock for its lifetime; dropping it uninstalls the
+/// session (drain the collector first).
+pub struct RingSession {
+    set: Arc<RingSet>,
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl RingSession {
+    /// Installs a session of `shards` rings of `capacity` entries each
+    /// over the given hub, drained by a collector thread. Blocks until
+    /// any other session ends.
+    pub fn install(telemetry: &Telemetry, shards: usize, capacity: usize) -> RingSession {
+        RingSession::install_with(telemetry, shards, capacity, 0)
+    }
+
+    /// Installs a single-ring session whose producer drains its own
+    /// ring into the sinks whenever the backlog reaches half capacity.
+    /// The point is single-core hosts: a collector thread there cannot
+    /// overlap with the simulation — it only adds context switches and
+    /// a cold cache round-trip — while an inline drain still amortizes
+    /// the hub and sink locks over thousands of events. A collector
+    /// must still be spawned (it performs the final drain in
+    /// [`RingCollector::stop`]); it just never consumes mid-run.
+    pub fn install_inline(telemetry: &Telemetry, capacity: usize) -> RingSession {
+        let threshold = (capacity.next_power_of_two() / 2).max(1);
+        RingSession::install_with(telemetry, 1, capacity, threshold)
+    }
+
+    fn install_with(
+        telemetry: &Telemetry,
+        shards: usize,
+        capacity: usize,
+        inline_threshold: usize,
+    ) -> RingSession {
+        let serial = SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let set = Arc::new(RingSet {
+            rings: (0..shards.max(1))
+                .map(|_| Arc::new(EventRing::new(capacity)))
+                .collect(),
+            overflow: Mutex::new(Vec::new()),
+            overflow_count: AtomicU64::new(0),
+            hub_ptr: telemetry.hub_ptr(),
+            inline_threshold,
+            inline_live: AtomicU64::new(0),
+            telemetry: telemetry.clone(),
+        });
+        *SESSION.lock().unwrap_or_else(|e| e.into_inner()) = Some(set.clone());
+        STAMPING.store(true, Ordering::Release);
+        RingSession {
+            set,
+            _serial: serial,
+        }
+    }
+
+    /// The session's shared ring set (hand a clone to the collector).
+    pub fn set(&self) -> Arc<RingSet> {
+        self.set.clone()
+    }
+}
+
+impl Drop for RingSession {
+    fn drop(&mut self) {
+        STAMPING.store(false, Ordering::Release);
+        *SESSION.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+/// Binds the calling thread as the producer for `shard`'s ring of the
+/// active session (no-op guard when no session is active or the shard
+/// has no ring). The per-shard executor calls this at thread start; a
+/// serial run binds shard 0 around its event loop.
+pub fn bind_shard_thread(shard: u32) -> ShardBinding {
+    if !stamping() {
+        return ShardBinding { bound: false };
+    }
+    let session = SESSION.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let Some(set) = session else {
+        return ShardBinding { bound: false };
+    };
+    let Some(ring) = set.rings.get(shard as usize).cloned() else {
+        return ShardBinding { bound: false };
+    };
+    PRODUCER.with(|p| p.borrow_mut().binding = Some((ring, set)));
+    ShardBinding { bound: true }
+}
+
+/// RAII guard from [`bind_shard_thread`]; unbinds on drop.
+pub struct ShardBinding {
+    bound: bool,
+}
+
+impl Drop for ShardBinding {
+    fn drop(&mut self) {
+        if self.bound {
+            PRODUCER.with(|p| {
+                let mut p = p.borrow_mut();
+                p.binding = None;
+                p.stamp = None;
+            });
+        }
+    }
+}
+
+/// `true` when the calling thread would ring-route an emission to
+/// `hub_ptr`'s hub right now — lets `emit_batch` pick its drain
+/// strategy once instead of re-checking per entry.
+pub(crate) fn bound_for(hub_ptr: usize) -> bool {
+    stamping()
+        && PRODUCER.with(|p| {
+            let p = p.borrow();
+            p.stamp.is_some()
+                && p.binding
+                    .as_ref()
+                    .is_some_and(|(_, set)| set.hub_ptr == hub_ptr)
+        })
+}
+
+/// The ring fast path for [`Telemetry::emit`]/`emit_batch`: consumes
+/// the event into this thread's ring when (a) a session is active,
+/// (b) this thread is bound to a ring, (c) the emitting hub is the
+/// session's hub, and (d) an engine event stamp is set. Returns the
+/// event back otherwise so the caller can take the mutex path. A full
+/// ring spills to the overflow list — never an error, never a drop.
+pub(crate) fn try_emit(hub_ptr: usize, at_ns: u64, event: Event) -> Result<(), Event> {
+    if !stamping() {
+        return Err(event);
+    }
+    PRODUCER.with(|p| {
+        let mut tls = p.borrow_mut();
+        let ProducerTls {
+            binding,
+            stamp,
+            sub: sub_counter,
+            scratch,
+        } = &mut *tls;
+        let Some(order) = *stamp else {
+            return Err(event);
+        };
+        let sub = *sub_counter;
+        *sub_counter = sub + 1;
+        let Some((ring, set)) = binding.as_ref() else {
+            return Err(event);
+        };
+        if set.hub_ptr != hub_ptr {
+            return Err(event);
+        }
+        let mut entry = RingEntry {
+            order,
+            sub,
+            at_ns,
+            event,
+        };
+        match ring.try_push(entry) {
+            Ok(()) => {
+                // Inline-drain sessions: the producer is also the
+                // consumer. Replaying at half capacity keeps the drain
+                // off the common emit path while the hub lock still
+                // amortizes over a threshold-sized swath.
+                if set.inline_threshold != 0 && ring.backlog() >= set.inline_threshold {
+                    drain_inline(ring, set, scratch);
+                }
+                return Ok(());
+            }
+            Err(back) => entry = back,
+        }
+        if set.inline_threshold != 0 {
+            // An inline session's ring can only fill if a bound thread
+            // emits without draining (it is its own consumer, so there
+            // is nobody to wait for): drain now and retry below.
+            drain_inline(ring, set, scratch);
+        } else {
+            // Backpressure before spilling: on a loaded (or
+            // single-core) host the collector may simply not have been
+            // scheduled yet, and yielding the producer's slice is far
+            // cheaper than degrading the whole session to
+            // buffer-and-sort. Wait while the consumer makes progress;
+            // spill only once it has been provably stalled for the
+            // whole yield budget.
+            let mut last_head = ring.consumer_head();
+            let mut stalled = 0;
+            while stalled < FULL_RING_STALL_YIELDS {
+                match ring.try_push(entry) {
+                    Ok(()) => return Ok(()),
+                    Err(back) => entry = back,
+                }
+                std::thread::yield_now();
+                let head = ring.consumer_head();
+                if head == last_head {
+                    stalled += 1;
+                } else {
+                    last_head = head;
+                    stalled = 0;
+                }
+            }
+        }
+        match ring.try_push(entry) {
+            Ok(()) => {}
+            Err(entry) => {
+                set.overflow_count.fetch_add(1, Ordering::Relaxed);
+                set.overflow
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(entry);
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Replays the calling producer's own ring into the session's sinks in
+/// FIFO (= serial emission) order, one amortized hub lock per swath.
+/// Only called for inline sessions, where the producer is the ring's
+/// sole consumer — the collector thread never pops. Relies on the hub
+/// invariant that sinks do not emit back into the hub (the re-entrant
+/// `try_emit` would hit the already-borrowed thread-local otherwise).
+fn drain_inline(ring: &EventRing, set: &RingSet, scratch: &mut Vec<RingEntry>) {
+    loop {
+        while scratch.len() < MAX_SWATH {
+            match ring.pop() {
+                Some(entry) => scratch.push(entry),
+                None => break,
+            }
+        }
+        if scratch.is_empty() {
+            return;
+        }
+        set.telemetry
+            .emit_direct_batch(scratch.iter().map(|e| (e.at_ns, &e.event)));
+        set.inline_live
+            .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+        scratch.clear();
+    }
+}
+
+/// What the collector did, returned by [`RingCollector::stop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectorReport {
+    /// Events replayed into the sinks while the run was still going
+    /// (single-ring sessions only).
+    pub live: u64,
+    /// Events replayed by the final sort-merge.
+    pub merged: u64,
+    /// Events that overflowed a full ring into the spill list.
+    pub overflowed: u64,
+}
+
+/// Handle to the collector thread; [`RingCollector::stop`] performs the
+/// final drain and merge.
+pub struct RingCollector {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<(Vec<RingEntry>, u64)>,
+    set: Arc<RingSet>,
+    telemetry: Telemetry,
+}
+
+/// Smallest backlog worth replaying mid-run: below this the collector
+/// leaves entries queued so the next swath amortizes its hub lock over
+/// more events (during shutdown every backlog is drained regardless).
+const MIN_SWATH: usize = 1024;
+
+/// Largest single replay swath — bounds the collector's buffer and the
+/// time any one hub lock is held.
+const MAX_SWATH: usize = 4096;
+
+/// Spawns the consumer thread for a session. With a single ring it
+/// replays entries into the sinks live (ring FIFO *is* serial order),
+/// overlapping sink work with the simulation; with several rings — or
+/// after any overflow — it buffers, and [`RingCollector::stop`] does
+/// one global sort-merge by `(order, sub)`.
+pub fn spawn_collector(set: Arc<RingSet>, telemetry: Telemetry) -> RingCollector {
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = stop.clone();
+    let thread_set = set.clone();
+    let thread_telemetry = telemetry.clone();
+    let handle = std::thread::spawn(move || {
+        let mut buffered: Vec<RingEntry> = Vec::new();
+        let mut swath: Vec<RingEntry> = Vec::new();
+        let mut live_ok = thread_set.rings.len() == 1;
+        let mut live = 0u64;
+        let stopping = || thread_stop.load(Ordering::Acquire);
+        // Inline sessions drain on the producer thread; popping here
+        // would break the ring's single-consumer contract. This thread
+        // only waits for `stop`, which performs the final drain after
+        // the producers are done.
+        if thread_set.inline_threshold != 0 {
+            while !stopping() {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            return (buffered, live);
+        }
+        loop {
+            let mut idle = true;
+            for ring in &thread_set.rings {
+                // Let a backlog accumulate before replaying: a swath is
+                // amortized under a single hub lock, and chasing the
+                // producer entry-by-entry would re-pay per-event
+                // locking — exactly what the ring saved the producer.
+                // Once the stop flag is up, any backlog is worth
+                // draining.
+                if ring.backlog() < MIN_SWATH && !stopping() {
+                    continue;
+                }
+                while let Some(entry) = ring.pop() {
+                    swath.push(entry);
+                    if swath.len() >= MAX_SWATH {
+                        break;
+                    }
+                }
+                if swath.is_empty() {
+                    continue;
+                }
+                idle = false;
+                // Any overflow permanently degrades to buffering:
+                // spilled entries must interleave by order key, so
+                // nothing later may be emitted ahead of the merge.
+                if live_ok && thread_set.overflow_count.load(Ordering::Relaxed) == 0 {
+                    thread_telemetry.emit_direct_batch(swath.iter().map(|e| (e.at_ns, &e.event)));
+                    live += swath.len() as u64;
+                    swath.clear();
+                } else {
+                    live_ok = false;
+                    buffered.append(&mut swath);
+                }
+            }
+            if idle {
+                if stopping() {
+                    break;
+                }
+                // Sized so a producer at full tilt builds a few
+                // thousand entries between wake-ups — comfortably past
+                // MIN_SWATH, far below ring capacity.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        (buffered, live)
+    });
+    RingCollector {
+        stop,
+        handle,
+        set,
+        telemetry,
+    }
+}
+
+impl RingCollector {
+    /// Signals the collector, joins it, merges everything left (ring
+    /// remainders plus the overflow spill) in `(order, sub)` order into
+    /// the sinks, and reports. Call after the run's producers are done
+    /// (and before dropping the [`RingSession`]).
+    pub fn stop(self) -> CollectorReport {
+        self.stop.store(true, Ordering::Release);
+        let (mut buffered, live) = self
+            .handle
+            .join()
+            .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+        // The thread exits only on an idle pass, but a producer racing
+        // shutdown could still have pushed: drain once more.
+        for ring in &self.set.rings {
+            while let Some(entry) = ring.pop() {
+                buffered.push(entry);
+            }
+        }
+        buffered.append(&mut self.set.overflow.lock().unwrap_or_else(|e| e.into_inner()));
+        // Order keys are unique per engine event and `sub` orders the
+        // emissions within one, so this sort *is* the serial emission
+        // order.
+        buffered.sort_by_key(|e| (e.order, e.sub));
+        let merged = buffered.len() as u64;
+        self.telemetry
+            .emit_direct_batch(buffered.iter().map(|e| (e.at_ns, &e.event)));
+        CollectorReport {
+            live: live + self.set.inline_live.load(Ordering::Relaxed),
+            merged,
+            overflowed: self.set.overflow_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{shared_sink, RingBufferSink};
+
+    fn ev(src: u32) -> Event {
+        Event::PoolWaiting { src }
+    }
+
+    #[test]
+    fn spsc_ring_is_fifo_and_bounded() {
+        let ring = EventRing::new(4);
+        for i in 0..4u32 {
+            let entry = RingEntry {
+                order: OrderKey {
+                    time: u64::from(i),
+                    class: 0,
+                    origin: 0,
+                    seq: 0,
+                },
+                sub: 0,
+                at_ns: u64::from(i),
+                event: ev(i),
+            };
+            assert!(ring.try_push(entry).is_ok(), "slot {i}");
+        }
+        let full = RingEntry {
+            order: OrderKey {
+                time: 99,
+                class: 0,
+                origin: 0,
+                seq: 0,
+            },
+            sub: 0,
+            at_ns: 99,
+            event: ev(99),
+        };
+        assert!(ring.try_push(full).is_err(), "5th push must report full");
+        for i in 0..4u64 {
+            assert_eq!(ring.pop().expect("entry").at_ns, i);
+        }
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn tiny_ring_overflow_preserves_order_and_counts() {
+        // A 2-slot ring with no collector draining: most emissions
+        // overflow. The final merge must still replay every event in
+        // exact emission order, and the counter must match.
+        let telemetry = Telemetry::new();
+        let (sink, erased) = shared_sink(RingBufferSink::new(1024));
+        telemetry.add_shared_sink(erased);
+        let session = RingSession::install(&telemetry, 1, 2);
+        let total: u64 = 64;
+        {
+            let _bind = bind_shard_thread(0);
+            for i in 0..total {
+                stamp_event(i, 3, 0, i);
+                telemetry.emit(i, || Event::PoolWaiting { src: i as u32 });
+            }
+        }
+        let report = spawn_collector(session.set(), telemetry.clone()).stop();
+        drop(session);
+        assert_eq!(report.live + report.merged, total);
+        assert!(report.overflowed > 0, "a 2-slot ring must overflow");
+        assert_eq!(session_order(&sink), (0..total).collect::<Vec<_>>());
+    }
+
+    /// The `at_ns` stamps of everything a RingBufferSink captured, in
+    /// arrival order.
+    fn session_order(sink: &Arc<Mutex<RingBufferSink>>) -> Vec<u64> {
+        sink.lock().unwrap().events().map(|(at, _)| *at).collect()
+    }
+
+    #[test]
+    fn multi_ring_merge_restores_global_order() {
+        let telemetry = Telemetry::new();
+        let (sink, erased) = shared_sink(RingBufferSink::new(4096));
+        telemetry.add_shared_sink(erased);
+        let session = RingSession::install(&telemetry, 3, 64);
+        let collector = spawn_collector(session.set(), telemetry.clone());
+        std::thread::scope(|scope| {
+            for shard in 0..3u32 {
+                let telemetry = telemetry.clone();
+                scope.spawn(move || {
+                    let _bind = bind_shard_thread(shard);
+                    // Shard s emits at times s, s+3, s+6, ... — the
+                    // merged order interleaves all three shards.
+                    for i in 0..40u64 {
+                        let t = u64::from(shard) + 3 * i;
+                        stamp_event(t, 3, shard, i);
+                        telemetry.emit(t, || Event::PoolWaiting { src: shard });
+                    }
+                });
+            }
+        });
+        let report = collector.stop();
+        drop(session);
+        assert_eq!(report.live, 0, "multi-ring sessions never emit live");
+        assert_eq!(report.merged, 120);
+        assert_eq!(session_order(&sink), (0..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unrelated_hub_bypasses_an_active_session() {
+        let session_hub = Telemetry::new();
+        let (session_sink, erased) = shared_sink(RingBufferSink::new(64));
+        session_hub.add_shared_sink(erased);
+        let other_hub = Telemetry::new();
+        let (other_sink, erased) = shared_sink(RingBufferSink::new(64));
+        other_hub.add_shared_sink(erased);
+        let session = RingSession::install(&session_hub, 1, 64);
+        {
+            let _bind = bind_shard_thread(0);
+            stamp_event(1, 0, 0, 0);
+            session_hub.emit(1, || ev(1));
+            // Same thread, same stamp — but a different hub: must go
+            // straight to its own sinks, not the session's rings.
+            other_hub.emit(2, || ev(2));
+        }
+        assert_eq!(
+            session_order(&other_sink),
+            vec![2],
+            "foreign hub emits immediately"
+        );
+        let report = spawn_collector(session.set(), session_hub.clone()).stop();
+        drop(session);
+        assert_eq!(report.live + report.merged, 1);
+        assert_eq!(session_order(&session_sink), vec![1]);
+    }
+
+    #[test]
+    fn unstamped_emissions_take_the_mutex_path() {
+        let telemetry = Telemetry::new();
+        let (sink, erased) = shared_sink(RingBufferSink::new(64));
+        telemetry.add_shared_sink(erased);
+        let session = RingSession::install(&telemetry, 1, 64);
+        {
+            let _bind = bind_shard_thread(0);
+            // No stamp_event call: emission happens outside any engine
+            // event and must not enter the ring.
+            telemetry.emit(7, || ev(7));
+        }
+        assert_eq!(session_order(&sink), vec![7]);
+        let report = spawn_collector(session.set(), telemetry.clone()).stop();
+        drop(session);
+        assert_eq!(report.live + report.merged, 0);
+    }
+}

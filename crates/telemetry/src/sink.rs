@@ -107,7 +107,9 @@ impl TelemetrySink for RingBufferSink {
 /// in [`JsonlSink::write_errors`] and reported (once, to stderr) at
 /// flush time instead of being silently dropped.
 pub struct JsonlSink<W: Write> {
-    out: io::BufWriter<W>,
+    /// `None` only after [`JsonlSink::into_inner`] hands the writer
+    /// back (`Drop` then has nothing left to flush).
+    out: Option<io::BufWriter<W>>,
     lines: u64,
     write_errors: u64,
     errors_reported: bool,
@@ -124,7 +126,7 @@ impl<W: Write> JsonlSink<W> {
     /// Wraps a writer.
     pub fn new(out: W) -> Self {
         JsonlSink {
-            out: io::BufWriter::new(out),
+            out: Some(io::BufWriter::new(out)),
             lines: 0,
             write_errors: 0,
             errors_reported: false,
@@ -146,10 +148,21 @@ impl<W: Write> JsonlSink<W> {
     }
 
     /// Flushes and returns the inner writer.
-    pub fn into_inner(self) -> W {
-        match self.out.into_inner() {
+    pub fn into_inner(mut self) -> W {
+        match self.out.take().expect("writer present").into_inner() {
             Ok(w) => w,
             Err(_) => panic!("jsonl flush failed"),
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    /// A sink dropped mid-run (worker panic, early return, test teardown
+    /// without an explicit [`TelemetrySink::flush`]) must not lose the
+    /// buffered tail of the trace: flush it here, best-effort.
+    fn drop(&mut self) {
+        if let Some(out) = &mut self.out {
+            let _ = out.flush();
         }
     }
 }
@@ -158,14 +171,15 @@ impl<W: Write + Send> TelemetrySink for JsonlSink<W> {
     fn emit(&mut self, at_ns: u64, event: &Event) {
         let mut line = event.to_value(at_ns).to_json();
         line.push('\n');
-        if self.out.write_all(line.as_bytes()).is_err() {
+        let out = self.out.as_mut().expect("writer present");
+        if out.write_all(line.as_bytes()).is_err() {
             self.write_errors += 1;
         }
         self.lines += 1;
     }
 
     fn flush(&mut self) {
-        if self.out.flush().is_err() {
+        if self.out.as_mut().expect("writer present").flush().is_err() {
             self.write_errors += 1;
         }
         if self.write_errors > 0 && !self.errors_reported {
@@ -562,10 +576,44 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_dropped_mid_run_loses_no_buffered_lines() {
+        // A run that ends without an explicit flush (worker panic, early
+        // teardown) drops the sink with lines still sitting in the
+        // BufWriter. The Drop impl must push them out.
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let mut sink = JsonlSink::new(buf.clone());
+        for i in 0..5u64 {
+            sink.emit(i, &Event::PoolWaiting { src: 7 });
+        }
+        assert!(
+            buf.0.lock().unwrap().is_empty(),
+            "5 short lines must still sit in the BufWriter"
+        );
+        drop(sink); // no flush() call — simulates a mid-run teardown
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 5, "drop must flush the tail");
+        assert!(text
+            .lines()
+            .all(|l| jsonl_event_kind(l) == Some("pool_waiting")));
+    }
+
+    #[test]
     fn jsonl_counts_write_errors_instead_of_swallowing() {
         // A tiny BufWriter forces every emit through the broken writer.
         let mut sink = JsonlSink {
-            out: io::BufWriter::with_capacity(1, BrokenWriter),
+            out: Some(io::BufWriter::with_capacity(1, BrokenWriter)),
             lines: 0,
             write_errors: 0,
             errors_reported: false,

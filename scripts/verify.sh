@@ -89,20 +89,34 @@ shard_matrix() {
     run cargo run $OFFLINE --release -p taq-bench --bin topo_placement -- --smoke --seeds 1 --threads 2 --shards "${SHARDS:-2}"
 }
 
+# Batch conformance: the slot-batch engine drain and the batched qdisc
+# dequeues against their one-event-at-a-time references, plus the
+# telemetry ring transport's byte-identity contract (hub vs inline
+# drain vs collector merge, serial and sharded). Both suites also run
+# inside test_suite; this entry point exists so CI legs and bisecting
+# developers can run just the batching contract.
+batch_conformance() {
+    run cargo test $OFFLINE -q --test batch_conformance
+    run cargo test $OFFLINE -q --test telemetry_rings
+}
+
 # Bench gate: re-measures the hot-path scenarios and fails on a >10%
 # per-metric regression against the committed BENCH_sim.json —
-# events/s per scenario, plus the ns_per_enqueue / ns_per_classify
-# latency histograms. Runs before bench_report so the comparison is
-# against the committed baseline, not a freshly regenerated one. The
-# binary's distinct exit codes say which kind of metric tripped; the
-# per-metric before/after table is in its stdout above.
+# events/s per scenario (the attached-sink fig01 variant included),
+# plus the ns_per_enqueue / ns_per_classify / ns_per_dequeue latency
+# histograms and the steady-state allocations-per-event ceiling. Runs
+# before bench_report so the comparison is against the committed
+# baseline, not a freshly regenerated one. The binary's distinct exit
+# codes say which kind of metric tripped; the per-metric before/after
+# table is in its stdout above.
 bench_gate() {
     status=0
     run cargo run $OFFLINE --release -p taq-bench --bin bench_report -- --check --iters 3 || status=$?
     case "$status" in
         0) echo "bench_gate: within 10% of committed BENCH_sim.json" >&2 ;;
         2) echo "bench_gate: FAILED — events/s regressed >10% (see the per-metric table above)" >&2 ;;
-        3) echo "bench_gate: FAILED — a hot-path latency metric (ns_per_enqueue or ns_per_classify) regressed >10% (see the per-metric table above)" >&2 ;;
+        3) echo "bench_gate: FAILED — a hot-path latency metric (ns_per_enqueue, ns_per_classify or ns_per_dequeue) regressed >10% (see the per-metric table above)" >&2 ;;
+        4) echo "bench_gate: FAILED — a sinkless scenario allocates in steady state (see the allocs/event column above)" >&2 ;;
         *) echo "bench_gate: bench_report exited $status (not a gate verdict)" >&2 ;;
     esac
     return "$status"
@@ -158,6 +172,7 @@ full() {
     trace_smoke
     SHARDS=2 shard_matrix
     SHARDS=4 shard_matrix
+    batch_conformance
     bench_gate
     bench_report
 }

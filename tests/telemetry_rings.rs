@@ -1,0 +1,204 @@
+//! Ring-session conformance: the lock-free per-shard telemetry rings
+//! are a *transport*, never an observable. A run whose events travel
+//! through [`RingSession`] rings — single-ring live replay, inline
+//! producer drains, or multi-ring buffered sort-merge — must leave the
+//! sink with byte-identical JSONL to the same run emitting straight
+//! into the mutex hub.
+//!
+//! The fixture is a small access tree with TAQ on the bottleneck, a
+//! [`TelemetryBridge`] streaming every per-packet link event, and TAQ
+//! state telemetry attached, so the stream mixes bridge events, qdisc
+//! flow-lifecycle events and `Delivered` records — everything the
+//! attached-sink benchmark configuration emits.
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+use taq_sim::{Bandwidth, SimDuration, SimTime, TelemetryBridge};
+use taq_telemetry::{ring, shared_sink, spawn_collector, JsonlSink, RingSession, Telemetry};
+use taq_workloads::{PipeSpec, QdiscSpec, TopologySpec};
+
+/// `Write` target the test keeps a handle to after the sink is erased
+/// into the telemetry hub.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut self.0.lock().unwrap())
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// How telemetry leaves the producer threads in one run.
+#[derive(Clone, Copy, Debug)]
+enum Transport {
+    /// No ring session: every emission takes the mutex-hub slow path.
+    /// This is the reference ordering the ring paths must reproduce.
+    Hub,
+    /// Single ring drained by the producer itself in amortized swaths
+    /// ([`RingSession::install_inline`], the single-core bench mode).
+    Inline,
+    /// One ring per shard drained by a collector thread; multi-ring
+    /// sessions buffer and sort-merge at
+    /// [`taq_telemetry::RingCollector::stop`].
+    Threaded,
+}
+
+/// A fixed 4-router spanning tree: TAQ on the shared uplink, SFQ and
+/// DropTail on the leaves, enough cross traffic that the TAQ pipe
+/// actually queues and drops.
+fn fixture() -> TopologySpec {
+    let uplink = Bandwidth::from_kbps(600);
+    let leaf = Bandwidth::from_kbps(800);
+    let buf = |rate: Bandwidth| rate.packets_per(SimDuration::from_millis(200), 500).max(8);
+    TopologySpec::new(
+        4,
+        vec![
+            PipeSpec::new(
+                0,
+                1,
+                uplink,
+                SimDuration::from_millis(24),
+                QdiscSpec::taq(buf(uplink)),
+            ),
+            PipeSpec::new(
+                1,
+                2,
+                leaf,
+                SimDuration::from_millis(10),
+                QdiscSpec::Sfq {
+                    buffer_pkts: buf(leaf),
+                },
+            ),
+            PipeSpec::new(
+                1,
+                3,
+                leaf,
+                SimDuration::from_millis(10),
+                QdiscSpec::DropTail {
+                    buffer_pkts: buf(leaf),
+                },
+            ),
+        ],
+    )
+}
+
+/// Runs the fixture at `shards` with telemetry routed via `transport`
+/// and returns the raw JSONL the sink wrote.
+fn run_case(shards: u32, transport: Transport) -> Vec<u8> {
+    let telemetry = Telemetry::new();
+    let buf = SharedBuf::default();
+    let (_sink, erased) = shared_sink(JsonlSink::new(buf.clone()));
+    telemetry.add_shared_sink(erased);
+
+    let spec = fixture().shards(shards).telemetry(telemetry.clone());
+    let mut sc = spec.build(11);
+    for state in sc.taq_states.iter().flatten() {
+        state.lock().unwrap().attach_telemetry(telemetry.clone());
+    }
+    sc.sim
+        .add_monitor(Box::new(TelemetryBridge::new(telemetry.clone())));
+    for router in 1..4 {
+        sc.add_bulk_clients_at(router, 2, 120_000, SimDuration::from_secs(1));
+    }
+
+    let horizon = SimTime::from_secs(10);
+    match transport {
+        Transport::Hub => sc.run_until(horizon),
+        Transport::Inline => {
+            // Tiny capacity on purpose: the run must cross the drain
+            // threshold (and the ring-full retry path) many times.
+            let session = RingSession::install_inline(&telemetry, 256);
+            let collector = spawn_collector(session.set(), telemetry.clone());
+            let binding = ring::bind_shard_thread(0);
+            sc.run_until(horizon);
+            drop(binding);
+            collector.stop();
+        }
+        Transport::Threaded => {
+            let session = RingSession::install(&telemetry, shards as usize, 1024);
+            let collector = spawn_collector(session.set(), telemetry.clone());
+            // The sharded executor binds its own worker threads; a
+            // serial run executes on this thread, so bind it here.
+            let binding = (shards == 1).then(|| ring::bind_shard_thread(0));
+            sc.run_until(horizon);
+            drop(binding);
+            let report = collector.stop();
+            assert_eq!(
+                report.overflowed, 0,
+                "capacity is sized so this fixture never overflows"
+            );
+        }
+    }
+    telemetry.flush();
+    let bytes = buf.take();
+    assert!(
+        bytes.len() > 10_000,
+        "fixture emitted suspiciously little telemetry ({} bytes)",
+        bytes.len()
+    );
+    bytes
+}
+
+/// Splits a JSONL byte stream into lines for a readable first-diff
+/// message when an identity assertion fails.
+fn first_diff(a: &[u8], b: &[u8]) -> String {
+    let a_lines: Vec<&[u8]> = a.split(|&c| c == b'\n').collect();
+    let b_lines: Vec<&[u8]> = b.split(|&c| c == b'\n').collect();
+    for (i, (la, lb)) in a_lines.iter().zip(&b_lines).enumerate() {
+        if la != lb {
+            return format!(
+                "line {}: {:?} != {:?}",
+                i,
+                String::from_utf8_lossy(la),
+                String::from_utf8_lossy(lb)
+            );
+        }
+    }
+    format!("line counts differ: {} vs {}", a_lines.len(), b_lines.len())
+}
+
+#[test]
+fn inline_ring_session_is_byte_identical_to_hub() {
+    let hub = run_case(1, Transport::Hub);
+    let inline = run_case(1, Transport::Inline);
+    assert!(
+        hub == inline,
+        "inline ring output diverged: {}",
+        first_diff(&hub, &inline)
+    );
+}
+
+#[test]
+fn single_ring_collector_is_byte_identical_to_hub() {
+    let hub = run_case(1, Transport::Hub);
+    let ringed = run_case(1, Transport::Threaded);
+    assert!(
+        hub == ringed,
+        "single-ring collector output diverged: {}",
+        first_diff(&hub, &ringed)
+    );
+}
+
+#[test]
+fn sharded_ring_merge_is_byte_identical_to_serial_hub() {
+    let hub = run_case(1, Transport::Hub);
+    for shards in [2u32, 4] {
+        let ringed = run_case(shards, Transport::Threaded);
+        assert!(
+            hub == ringed,
+            "{shards}-shard ring merge diverged from serial hub: {}",
+            first_diff(&hub, &ringed)
+        );
+    }
+}
