@@ -35,6 +35,8 @@ struct FlowEpochs {
     current_epoch: u64,
     current_count: usize,
     histogram: Vec<u64>,
+    /// Unclamped lifetime data-packet count (fairness numerator).
+    total: u64,
 }
 
 impl EpochActivity {
@@ -78,6 +80,21 @@ impl EpochActivity {
         totals.iter().map(|&c| c as f64 / sum as f64).collect()
     }
 
+    /// Fraction of closed epochs in which a flow sent at most one
+    /// packet — the sim-side counterpart of the model's timeout mass
+    /// (silent waits plus single-packet timeout retransmits). Closes
+    /// windows up to `end` like [`EpochActivity::distribution`].
+    pub fn timeout_fraction(&mut self, end: SimTime) -> f64 {
+        let d = self.distribution(end);
+        d.first().copied().unwrap_or(0.0) + d.get(1).copied().unwrap_or(0.0)
+    }
+
+    /// Total data packets per flow over the whole run (unclamped), in
+    /// interning order — the allocation vector for a Jain index.
+    pub fn per_flow_totals(&self) -> Vec<u64> {
+        self.flows.iter().map(|fe| fe.total).collect()
+    }
+
     /// Number of flows observed.
     pub fn flow_count(&self) -> usize {
         self.flows.len()
@@ -99,6 +116,7 @@ impl LinkMonitor for EpochActivity {
                 current_epoch: 0,
                 current_count: 0,
                 histogram: vec![0; max + 1],
+                total: 0,
             });
         }
         let fe = &mut self.flows[id.index()];
@@ -110,6 +128,7 @@ impl LinkMonitor for EpochActivity {
             fe.current_epoch += 1;
         }
         fe.current_count += 1;
+        fe.total += 1;
     }
 }
 
@@ -172,6 +191,29 @@ mod tests {
         assert!((d[0] - 1.0 / 3.0).abs() < 1e-12);
         assert!((d[1] - 1.0 / 3.0).abs() < 1e-12);
         assert!((d[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_flow_totals_are_unclamped() {
+        let mut ea = EpochActivity::new(LinkId(0), SimDuration::from_millis(100), 3);
+        for i in 0..7 {
+            ea.on_transmit(LinkId(0), &pkt(1), at_ms(i * 10));
+        }
+        ea.on_transmit(LinkId(0), &pkt(2), at_ms(500));
+        assert_eq!(ea.per_flow_totals(), vec![7, 1]);
+    }
+
+    #[test]
+    fn timeout_fraction_counts_silent_and_single_epochs() {
+        let mut ea = EpochActivity::new(LinkId(0), SimDuration::from_millis(100), 6);
+        // Epoch 0: 3 packets; epoch 1: silent; epoch 2: 1 packet;
+        // epoch 3: 2 packets. Timeout-like epochs: 2 of 4.
+        for t in [0, 10, 20, 250] {
+            ea.on_transmit(LinkId(0), &pkt(1), at_ms(t));
+        }
+        ea.on_transmit(LinkId(0), &pkt(1), at_ms(310));
+        ea.on_transmit(LinkId(0), &pkt(1), at_ms(320));
+        assert!((ea.timeout_fraction(at_ms(400)) - 0.5).abs() < 1e-12);
     }
 
     #[test]

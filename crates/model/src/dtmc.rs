@@ -84,6 +84,48 @@ impl DtmcBuilder {
     }
 }
 
+/// Solves the dense linear system `A x = b` by partial-pivot Gaussian
+/// elimination, consuming both inputs as scratch.
+///
+/// # Panics
+///
+/// Panics if the system is singular beyond numerical tolerance.
+// Index-based loops: textbook Gaussian elimination over a dense matrix;
+// iterator rewrites obscure the row/column structure.
+#[allow(clippy::needless_range_loop)]
+fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&r1, &r2| a[r1][col].abs().partial_cmp(&a[r2][col].abs()).unwrap())
+            .expect("non-empty range");
+        assert!(
+            a[pivot][col].abs() > 1e-12,
+            "singular linear system at column {col}"
+        );
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            if f != 0.0 {
+                for k in col..n {
+                    a[row][k] -= f * a[col][k];
+                }
+                b[row] -= f * b[col];
+            }
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = b[row];
+        for k in (row + 1)..n {
+            s -= a[row][k] * x[k];
+        }
+        x[row] = s / a[row][row];
+    }
+    x
+}
+
 impl Dtmc {
     /// Number of states.
     pub fn len(&self) -> usize {
@@ -119,8 +161,6 @@ impl Dtmc {
     /// tolerance, which indicates a chain with no unique stationary
     /// distribution (e.g. disconnected recurrent classes) — a modelling
     /// bug, not a runtime condition.
-    // Index-based loops: this is textbook Gaussian elimination over a
-    // dense matrix; iterator rewrites obscure the row/column structure.
     #[allow(clippy::needless_range_loop)]
     pub fn stationary(&self) -> Vec<f64> {
         let n = self.len();
@@ -141,35 +181,7 @@ impl Dtmc {
         }
         let mut b = vec![0.0; n];
         b[n - 1] = 1.0;
-        // Partial-pivot Gaussian elimination.
-        for col in 0..n {
-            let pivot = (col..n)
-                .max_by(|&r1, &r2| a[r1][col].abs().partial_cmp(&a[r2][col].abs()).unwrap())
-                .expect("non-empty range");
-            assert!(
-                a[pivot][col].abs() > 1e-12,
-                "singular transition system at column {col}"
-            );
-            a.swap(col, pivot);
-            b.swap(col, pivot);
-            for row in (col + 1)..n {
-                let f = a[row][col] / a[col][col];
-                if f != 0.0 {
-                    for k in col..n {
-                        a[row][k] -= f * a[col][k];
-                    }
-                    b[row] -= f * b[col];
-                }
-            }
-        }
-        let mut x = vec![0.0; n];
-        for row in (0..n).rev() {
-            let mut s = b[row];
-            for k in (row + 1)..n {
-                s -= a[row][k] * x[k];
-            }
-            x[row] = s / a[row][row];
-        }
+        let mut x = solve_dense(a, b);
         // Clean tiny negative round-off and renormalise.
         for v in &mut x {
             if *v < 0.0 && *v > -1e-9 {
@@ -181,6 +193,44 @@ impl Dtmc {
             *v /= total;
         }
         x
+    }
+
+    /// The asymptotic variance `σ²` of the additive functional
+    /// `S_K = Σ_{k<K} f(X_k)` under the Markov-chain CLT:
+    /// `Var(S_K) ≈ σ²·K` for large `K`. Computed exactly by solving the
+    /// Poisson equation `(I − P)h = f − μ1` through the fundamental
+    /// matrix `(I − P + 1π)` (the rank-one correction makes the singular
+    /// system invertible and pins `πh = 0`), then
+    /// `σ² = Σ_i π_i (2·f̄_i·h_i − f̄_i²)` with `f̄ = f − μ1`.
+    ///
+    /// This is what turns a per-epoch reward (packets sent) into a
+    /// finite-horizon spread prediction: a flow's `K`-epoch average has
+    /// variance `σ²/K`, which the fluid model feeds into its predicted
+    /// Jain index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reward.len() != self.len()`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn asymptotic_variance(&self, reward: &[f64]) -> f64 {
+        let n = self.len();
+        assert_eq!(reward.len(), n, "one reward per state");
+        let pi = self.stationary();
+        let mu: f64 = pi.iter().zip(reward).map(|(p, f)| p * f).sum();
+        let fbar: Vec<f64> = reward.iter().map(|f| f - mu).collect();
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i][j] = f64::from(u8::from(i == j)) - self.p[i][j] + pi[j];
+            }
+        }
+        let h = solve_dense(a, fbar.clone());
+        let sigma2: f64 = (0..n)
+            .map(|i| pi[i] * (2.0 * fbar[i] * h[i] - fbar[i] * fbar[i]))
+            .sum();
+        // Exact zero is possible (periodic chains); tiny negatives are
+        // round-off.
+        sigma2.max(0.0)
     }
 
     /// Stationary distribution by power iteration (used as a cross-check
@@ -292,6 +342,41 @@ mod tests {
         let pi = m.stationary();
         assert!((m.mass_of(&pi, ["a", "b"]) - 1.0).abs() < 1e-12);
         assert!((m.mass_of(&pi, ["a"]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymptotic_variance_iid_reduces_to_plain_variance() {
+        // P = 1π makes successive states independent, so σ² = Var_π(f).
+        let mut b = DtmcBuilder::new();
+        let s0 = b.state("a");
+        let s1 = b.state("b");
+        for s in [s0, s1] {
+            b.transition(s, s0, 0.25).transition(s, s1, 0.75);
+        }
+        let m = b.build().unwrap();
+        let sigma2 = m.asymptotic_variance(&[0.0, 1.0]);
+        // Bernoulli(0.75) variance.
+        assert!((sigma2 - 0.75 * 0.25).abs() < 1e-12, "σ² = {sigma2}");
+    }
+
+    #[test]
+    fn asymptotic_variance_two_state_closed_form() {
+        // P(a→b)=α, P(b→a)=β, f = 1_{b}: the textbook closed form is
+        // σ² = αβ(2 − α − β)/(α + β)³.
+        let (alpha, beta) = (0.3, 0.1);
+        let m = two_state(alpha, beta);
+        let sigma2 = m.asymptotic_variance(&[0.0, 1.0]);
+        let expected = alpha * beta * (2.0 - alpha - beta) / (alpha + beta).powi(3);
+        assert!((sigma2 - expected).abs() < 1e-10, "{sigma2} vs {expected}");
+    }
+
+    #[test]
+    fn asymptotic_variance_periodic_chain_is_zero() {
+        // A deterministic 2-cycle: S_K alternates, so Var(S_K) stays
+        // bounded and the asymptotic variance vanishes.
+        let m = two_state(1.0, 1.0);
+        let sigma2 = m.asymptotic_variance(&[0.0, 1.0]);
+        assert!(sigma2.abs() < 1e-12, "σ² = {sigma2}");
     }
 
     #[test]

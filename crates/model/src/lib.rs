@@ -18,6 +18,10 @@
 //! - [`transient`] — first-passage analysis: expected epochs to a
 //!   flow's next timeout from each state, the quantity underlying TAQ's
 //!   per-state drop priorities.
+//! - [`fluid`] — the mean-field limit: the chain lifted to an ODE over
+//!   the population density coupled to a fluid queue, with a
+//!   deterministic RK4 stepper and an `N`-independent stationary solver
+//!   for instant million-flow predictions.
 //!
 //! Both models expose [`PartialModel::n_sent_distribution`] /
 //! [`FullModel::n_sent_distribution`], the "packets sent per epoch"
@@ -38,10 +42,12 @@
 
 pub mod analysis;
 mod dtmc;
+pub mod fluid;
 mod full;
 mod partial;
 pub mod transient;
 
 pub use dtmc::{Dtmc, DtmcBuilder};
+pub use fluid::{ChainFamily, FluidModel, FluidState, FluidStationary, LossFeedback};
 pub use full::{states as full_states, FullModel};
 pub use partial::{states as partial_states, PartialModel};

@@ -4,10 +4,10 @@
 #   VERIFY_TIER=quick   fast correctness gate (< 5 min): build, tests,
 #                       clippy, fmt. The default.
 #   VERIFY_TIER=full    quick + release smoke runs of the sweep,
-#                       fault-matrix, and trace binaries, plus the
-#                       per-metric regression gate (events/s and the
-#                       hot-path latency histograms) against the
-#                       committed BENCH_sim.json.
+#                       fault-matrix, trace, and fluid-validation
+#                       binaries, plus the per-metric regression gate
+#                       (events/s and the hot-path latency histograms)
+#                       against the committed BENCH_sim.json.
 #   VERIFY_OFFLINE=0    drop the --offline flags (e.g. on a CI runner
 #                       with a warm crates.io mirror). Default is 1:
 #                       fully offline, no network access needed.
@@ -100,6 +100,20 @@ batch_conformance() {
     run cargo test $OFFLINE -q --test telemetry_rings
 }
 
+# Fluid oracle: the mean-field model's own invariants (mass
+# conservation, step-halving stability, DTMC agreement) as the quick
+# layer; the full tier reruns the sim-vs-model convergence ladder at
+# smoke scale and regenerates results/FLUID_validation.json so CI can
+# archive it next to BENCH_sim.json. The committed full-scale artifact
+# is separately held to its convergence contract by
+# tests/fluid_vs_sim.rs inside test_suite.
+fluid() {
+    run cargo test $OFFLINE -q -p taq-model --lib fluid
+    if [ "$VERIFY_TIER" = "full" ]; then
+        run cargo run $OFFLINE --release -p taq-bench --bin fluid_validation -- --smoke --out results/FLUID_validation_smoke.json
+    fi
+}
+
 # Bench gate: re-measures the hot-path scenarios and fails on a >10%
 # per-metric regression against the committed BENCH_sim.json —
 # events/s per scenario (the attached-sink fig01 variant included),
@@ -173,6 +187,7 @@ full() {
     SHARDS=2 shard_matrix
     SHARDS=4 shard_matrix
     batch_conformance
+    fluid
     bench_gate
     bench_report
 }
